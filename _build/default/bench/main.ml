@@ -1,0 +1,141 @@
+(* The benchmark harness.
+
+   Part 1 re-runs every experiment (E1-E9 and the A1-A3 ablations) and
+   prints its result table — one table per theorem of the paper's
+   evaluation; EXPERIMENTS.md records a reference run.
+
+   Part 2 runs Bechamel micro-benchmarks, one Test.make per experiment,
+   timing the representative operation behind each table with OLS
+   regression over the monotonic clock.
+
+   Run with: dune exec bench/main.exe
+   (pass --tables-only or --micro-only to restrict) *)
+
+open Bechamel
+open Toolkit
+module Experiments = Vardi_experiments
+module Workloads = Vardi_experiments.Workloads
+
+let print_tables () =
+  Fmt.pr "============================================================@.";
+  Fmt.pr " Experiment report: Vardi, Querying Logical Databases (1985)@.";
+  Fmt.pr "============================================================@.";
+  List.iter
+    (fun (_, _, run) -> Fmt.pr "%a@." Experiments.Table.pp (run ()))
+    Experiments.Registry.all
+
+(* --- Bechamel micro-benchmarks, one per experiment --- *)
+
+let stage = Staged.stage
+
+let micro_tests () =
+  let module Certain = Vardi_certain.Engine in
+  let module Approx = Vardi_approx.Evaluate in
+  let module Precise = Vardi_approx.Precise_simulation in
+  let module Alpha = Vardi_approx.Alpha in
+  let module Ne_virtual = Vardi_cwdb.Ne_virtual in
+  let module Graph = Vardi_reductions.Graph in
+  let module Qbf = Vardi_reductions.Qbf in
+  let module Three_col = Vardi_reductions.Three_col in
+  let module Qbf_fo = Vardi_reductions.Qbf_fo in
+  let module Qbf_so = Vardi_reductions.Qbf_so in
+  let db_small = Workloads.parametric_db ~constants:5 ~unknowns:3 ~seed:42 in
+  let db_medium = Workloads.parametric_db ~constants:16 ~unknowns:2 ~seed:7 in
+  let db_tiny = Workloads.parametric_db ~constants:2 ~unknowns:2 ~seed:11 in
+  let graph = Graph.random ~vertices:5 ~edge_probability:0.5 ~seed:1 in
+  let qbf_fo = Qbf.random_cnf3 ~blocks:[ 2; 2 ] ~clauses:3 ~seed:5 in
+  let qbf_so = Qbf.random_cnf3 ~blocks:[ 1; 1 ] ~clauses:2 ~seed:3 in
+  let q = Workloads.mixed_query in
+  [
+    Test.make ~name:"e1/exact-vs-unknowns"
+      (stage (fun () -> Certain.answer db_small q));
+    Test.make ~name:"e2/precise-simulation"
+      (stage (fun () -> Precise.answer db_tiny Workloads.positive_query));
+    Test.make ~name:"e3/three-colorability"
+      (stage (fun () -> Three_col.colorable_via_certain graph));
+    Test.make ~name:"e4/qbf-fo"
+      (stage (fun () -> Qbf_fo.eval_via_certain qbf_fo));
+    Test.make ~name:"e5/qbf-so"
+      (stage (fun () -> Qbf_so.eval_via_certain qbf_so));
+    Test.make ~name:"e6/approx-quality"
+      (stage (fun () -> Approx.answer db_small q));
+    Test.make ~name:"e7/approx-scaling"
+      (stage (fun () -> Approx.answer db_medium q));
+    Test.make ~name:"e8/alpha-size"
+      (stage (fun () -> Alpha.formula ~pred:"P" ~arity:8));
+    Test.make ~name:"e9/virtual-ne"
+      (stage (fun () -> Ne_virtual.make db_medium));
+    Test.make ~name:"e10/expression-ratio"
+      (stage (fun () ->
+           Certain.certain_boolean db_small Workloads.negative_sentence));
+    Test.make ~name:"e11/naive-tables"
+      (stage (fun () -> Vardi_approx.Naive_tables.answer db_medium q));
+    Test.make ~name:"e12/sampling"
+      (stage (fun () ->
+           Vardi_certain.Sampling.boolean ~samples:8 ~seed:1 db_small
+             Workloads.negative_sentence));
+    Test.make ~name:"abl/naive-exact"
+      (stage (fun () ->
+           Certain.certain_boolean ~algorithm:Certain.Naive_mappings db_tiny
+             Workloads.negative_sentence));
+    Test.make ~name:"abl/algebra-backend"
+      (stage (fun () -> Approx.answer ~backend:Approx.Algebra db_medium q));
+    Test.make ~name:"abl/optimized-backend"
+      (stage (fun () ->
+           Approx.answer ~backend:Approx.Algebra_optimized db_medium q));
+    Test.make ~name:"abl/syntactic-alpha"
+      (stage (fun () ->
+           Approx.answer ~mode:Vardi_approx.Translate.Syntactic db_medium q));
+    Test.make ~name:"abl/merge-first"
+      (stage (fun () ->
+           Certain.certain_boolean ~order:Certain.Merge_first db_small
+             Workloads.negative_sentence));
+    Test.make ~name:"extra/reiter"
+      (stage (fun () -> Vardi_approx.Reiter.answer db_small q));
+    Test.make ~name:"extra/explain"
+      (stage (fun () ->
+           Vardi_certain.Explain.boolean db_small Workloads.negative_sentence));
+  ]
+
+let run_micro () =
+  Fmt.pr "@.=== Bechamel micro-benchmarks (OLS on the monotonic clock) ===@.";
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) ~stabilize:true ()
+  in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg [ Instance.monotonic_clock ] elt in
+          let result = Analyze.one ols Instance.monotonic_clock raw in
+          let estimate =
+            match Analyze.OLS.estimates result with
+            | Some (e :: _) -> e
+            | Some [] | None -> Float.nan
+          in
+          let r2 =
+            match Analyze.OLS.r_square result with
+            | Some r -> Printf.sprintf "%.4f" r
+            | None -> "-"
+          in
+          let human ns =
+            if ns >= 1e9 then Printf.sprintf "%8.2f s " (ns /. 1e9)
+            else if ns >= 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+            else if ns >= 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+            else Printf.sprintf "%8.0f ns" ns
+          in
+          Fmt.pr "  %-24s %s   (r2 = %s)@." (Test.Elt.name elt)
+            (human estimate) r2)
+        (Test.elements test))
+    (micro_tests ())
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let tables_only = List.mem "--tables-only" args in
+  let micro_only = List.mem "--micro-only" args in
+  if not micro_only then print_tables ();
+  if not tables_only then run_micro ();
+  Fmt.pr "@.done.@."

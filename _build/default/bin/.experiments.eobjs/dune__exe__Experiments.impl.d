@@ -1,0 +1,1 @@
+bin/experiments.ml: Array Fmt List String Sys Vardi_experiments

@@ -1,0 +1,33 @@
+(* Prints the full experiment report.
+
+   dune exec bin/experiments.exe                — text tables
+   dune exec bin/experiments.exe -- --markdown  — EXPERIMENTS.md body
+   dune exec bin/experiments.exe -- E3 A1       — selected experiments *)
+
+module Experiments = Vardi_experiments
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let markdown = List.mem "--markdown" args in
+  let selected = List.filter (fun a -> not (String.equal a "--markdown")) args in
+  let chosen =
+    match selected with
+    | [] -> List.map (fun (_, _, run) -> run) Experiments.Registry.all
+    | ids ->
+      List.map
+        (fun id ->
+          match Experiments.Registry.find id with
+          | Some run -> run
+          | None ->
+            Fmt.epr "unknown experiment %s (known: %s)@." id
+              (String.concat ", "
+                 (List.map (fun (i, _, _) -> i) Experiments.Registry.all));
+            exit 1)
+        ids
+  in
+  List.iter
+    (fun run ->
+      let table = run () in
+      if markdown then print_string (Experiments.Table.to_markdown table)
+      else Fmt.pr "%a@." Experiments.Table.pp table)
+    chosen

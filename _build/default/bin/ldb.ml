@@ -1,0 +1,411 @@
+(* ldb — command-line front end for CW logical databases.
+
+   ldb info      DB.ldb                      inspect a database
+   ldb axioms    DB.ldb                      print the full theory
+   ldb query     DB.ldb "(x). P(x)"          evaluate a query
+   ldb compile   DB.ldb "(x). ~P(x)"         show Q-hat and the algebra plan
+   ldb worlds    DB.ldb                      enumerate possible-world shapes *)
+
+open Cmdliner
+module Cterm = Cmdliner.Term
+open Logicaldb
+
+(* --- shared arguments and helpers --- *)
+
+let db_arg =
+  let doc = "Database file in .ldb format." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"DB" ~doc)
+
+let query_arg =
+  let doc = "Query, e.g. \"(x, y). exists z. R(x, z) /\\\\ R(z, y)\"." in
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY" ~doc)
+
+let handle f =
+  try f () with
+  | Ldb_format.Syntax_error (line, msg) ->
+    Fmt.epr "syntax error at line %d: %s@." line msg;
+    exit 2
+  | Parser.Parse_error (pos, msg) ->
+    Fmt.epr "query syntax error at offset %d: %s@." pos msg;
+    exit 2
+  | Lexer.Lex_error (pos, msg) ->
+    Fmt.epr "query lexical error at offset %d: %s@." pos msg;
+    exit 2
+  | Invalid_argument msg ->
+    Fmt.epr "error: %s@." msg;
+    exit 2
+  | Eval.Eval_error msg ->
+    Fmt.epr "evaluation error: %s@." msg;
+    exit 2
+
+(* .tldb files hold typed databases; everything else is untyped. *)
+type loaded =
+  | Untyped of Cw_database.t
+  | Typed of Ty_database.t
+
+let load_any path =
+  if Filename.check_suffix path ".tldb" then Typed (Tldb_format.load path)
+  else Untyped (Ldb_format.load path)
+
+(* Generic commands work on the untyped elaboration. *)
+let load path =
+  match load_any path with
+  | Untyped db -> db
+  | Typed tdb -> Ty_database.to_cw tdb
+
+(* --- info --- *)
+
+let info_cmd =
+  let run path =
+    handle (fun () ->
+        let db = load path in
+        let constants = Cw_database.constants db in
+        Fmt.pr "constants (%d): %s@." (List.length constants)
+          (String.concat ", " constants);
+        Fmt.pr "predicates: %s@."
+          (String.concat ", "
+             (List.map
+                (fun (p, k) -> Printf.sprintf "%s/%d" p k)
+                (Vocabulary.predicates (Cw_database.vocabulary db))));
+        Fmt.pr "facts: %d@." (List.length (Cw_database.facts db));
+        Fmt.pr "uniqueness axioms: %d@."
+          (List.length (Cw_database.distinct_pairs db));
+        Fmt.pr "fully specified: %b@." (Cw_database.is_fully_specified db);
+        Fmt.pr "unknown values: %s@."
+          (match Cw_database.unknown_values db with
+          | [] -> "(none)"
+          | us -> String.concat ", " us);
+        let cap = 1_000_000 in
+        let count = Partition.count_valid_up_to cap db in
+        Fmt.pr "possible-world shapes (kernel partitions): %s@."
+          (if count >= cap then Printf.sprintf ">= %d" cap
+           else string_of_int count))
+  in
+  let doc = "Show a database's vocabulary, axioms and unknowns." in
+  Cmd.v (Cmd.info "info" ~doc) Cterm.(const run $ db_arg)
+
+(* --- axioms --- *)
+
+let axioms_cmd =
+  let run path =
+    handle (fun () ->
+        let db = load path in
+        List.iter
+          (fun f -> Fmt.pr "%a@." Pretty.pp_formula f)
+          (Axioms.theory db))
+  in
+  let doc =
+    "Print the five-component theory (facts, uniqueness, domain closure, \
+     completions)."
+  in
+  Cmd.v (Cmd.info "axioms" ~doc) Cterm.(const run $ db_arg)
+
+(* --- query --- *)
+
+type engine =
+  | Exact
+  | Approximate
+  | Possible
+
+let engine_arg =
+  let doc =
+    "Evaluation engine: $(b,exact) (Theorem 1 certain answers), \
+     $(b,approx) (Section 5 sound approximation), or $(b,possible) \
+     (dual modality)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("exact", Exact); ("approx", Approximate); ("possible", Possible) ]) Exact
+    & info [ "engine"; "e" ] ~docv:"ENGINE" ~doc)
+
+let algorithm_arg =
+  let doc = "Exact algorithm: $(b,partitions) or $(b,naive)." in
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("partitions", Certain.Kernel_partitions);
+             ("naive", Certain.Naive_mappings);
+           ])
+        Certain.Kernel_partitions
+    & info [ "algorithm" ] ~docv:"ALGO" ~doc)
+
+let backend_arg =
+  let doc = "Approximation back end: $(b,direct) or $(b,algebra)." in
+  Arg.(
+    value
+    & opt (enum [ ("direct", Approx.Direct); ("algebra", Approx.Algebra) ]) Approx.Direct
+    & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
+let print_relation answer =
+  Relation.iter
+    (fun tuple -> Fmt.pr "%s@." (String.concat ", " tuple))
+    answer;
+  Fmt.pr "(%d tuples)@." (Relation.cardinal answer)
+
+(* Typed query evaluation for .tldb databases: typed syntax, typed
+   typechecking, then the untyped engines through the elaboration. *)
+let run_typed_query tdb query_text engine =
+  let q =
+    try Ty_parser.query query_text
+    with Ty_parser.Parse_error (pos, msg) ->
+      Fmt.epr "typed query syntax error at offset %d: %s@." pos msg;
+      exit 2
+  in
+  (try Ty_query.typecheck (Ty_database.vocabulary tdb) q
+   with Ty_formula.Type_error msg ->
+     Fmt.epr "type error: %s@." msg;
+     exit 2);
+  if q.Ty_query.head = [] then
+    let verdict =
+      match engine with
+      | Exact -> Ty_query.certain_boolean tdb q
+      | Approximate -> Ty_query.approx_boolean tdb q
+      | Possible ->
+        not
+          (Ty_query.certain_boolean tdb
+             (Ty_query.boolean (Ty_formula.Not q.Ty_query.body)))
+    in
+    Fmt.pr "%b@." verdict
+  else
+    let answer =
+      match engine with
+      | Exact -> Ty_query.certain_answer tdb q
+      | Approximate -> Ty_query.approx_answer tdb q
+      | Possible -> Ty_query.possible_answer tdb q
+    in
+    print_relation answer
+
+let query_cmd =
+  let run path query_text engine algorithm backend =
+    handle (fun () ->
+        match load_any path with
+        | Typed tdb -> run_typed_query tdb query_text engine
+        | Untyped db ->
+        let q = Parser.query query_text in
+        if Query.is_boolean q then begin
+          let verdict =
+            match engine with
+            | Exact -> Certain.certain_boolean ~algorithm db q
+            | Approximate -> Approx.boolean db q
+            | Possible -> Certain.possible_boolean ~algorithm db q
+          in
+          Fmt.pr "%b@." verdict
+        end
+        else begin
+          let answer =
+            match engine with
+            | Exact -> Certain.answer ~algorithm db q
+            | Approximate -> Approx.answer ~backend db q
+            | Possible -> Certain.possible_answer ~algorithm db q
+          in
+          print_relation answer
+        end;
+        if engine = Approximate then
+          match Approx.completeness db q with
+          | Approx.Complete_fully_specified ->
+            Fmt.pr "(exact: database fully specified — Theorem 12)@."
+          | Approx.Complete_positive ->
+            Fmt.pr "(exact: positive query — Theorem 13)@."
+          | Approx.Sound_only ->
+            Fmt.pr "(sound but possibly incomplete — Theorem 11)@.")
+  in
+  let doc = "Evaluate a query over a logical database." in
+  Cmd.v
+    (Cmd.info "query" ~doc)
+    Cterm.(const run $ db_arg $ query_arg $ engine_arg $ algorithm_arg $ backend_arg)
+
+(* --- compile --- *)
+
+let compile_cmd =
+  let run path query_text =
+    handle (fun () ->
+        let db = load path in
+        let q = Parser.query query_text in
+        Query_check.validate db q;
+        let hat_sem = Translate.query Translate.Semantic q in
+        let hat_syn = Translate.query Translate.Syntactic q in
+        Fmt.pr "Q           = %a@." Pretty.pp_query q;
+        Fmt.pr "Q^ semantic = %a@." Pretty.pp_query hat_sem;
+        Fmt.pr "Q^ syntactic formula size: %d (semantic: %d)@."
+          (Formula.size (Query.body hat_syn))
+          (Formula.size (Query.body hat_sem));
+        let ph2 = Ph.ph2 db in
+        let plan = Compile.query ph2 hat_sem in
+        let optimized = Optimizer.optimize ph2 plan in
+        Fmt.pr "algebra plan (%d nodes):@.%a@." (Algebra.size plan) Algebra.pp
+          plan;
+        Fmt.pr "optimized plan (%d nodes):@.%a@." (Algebra.size optimized)
+          Algebra.pp optimized)
+  in
+  let doc =
+    "Show the Section 5 translation Q-hat and its relational-algebra plan."
+  in
+  Cmd.v (Cmd.info "compile" ~doc) Cterm.(const run $ db_arg $ query_arg)
+
+(* --- worlds --- *)
+
+let worlds_cmd =
+  let limit_arg =
+    let doc = "Print at most $(docv) worlds." in
+    Arg.(value & opt int 20 & info [ "limit"; "n" ] ~docv:"N" ~doc)
+  in
+  let run path limit =
+    handle (fun () ->
+        let db = load path in
+        Seq.iter
+          (fun p -> Fmt.pr "%a@." Partition.pp p)
+          (Seq.take limit (Partition.all_valid db));
+        let total = Partition.count_valid_up_to 1_000_000 db in
+        if total > limit then Fmt.pr "... (%d shapes in total)@." total)
+  in
+  let doc =
+    "Enumerate the kernel partitions — the shapes of the database's possible \
+     worlds (Theorem 1)."
+  in
+  Cmd.v (Cmd.info "worlds" ~doc) Cterm.(const run $ db_arg $ limit_arg)
+
+(* --- explain --- *)
+
+let explain_cmd =
+  let run path query_text =
+    handle (fun () ->
+        let db = load path in
+        let q = Parser.query query_text in
+        if Query.is_boolean q then
+          Fmt.pr "%a@." Explain.pp_verdict
+            (Explain.boolean ~order:Partition.Merge_first db q)
+        else begin
+          (* Explain each constant tuple of the (small) candidate
+             space. *)
+          let constants = Cw_database.constants db in
+          if Query.arity q <> 1 then
+            Fmt.epr "explain handles Boolean and unary queries@."
+          else
+            List.iter
+              (fun c ->
+                Fmt.pr "%-12s %a@." c Explain.pp_verdict
+                  (Explain.member ~order:Partition.Merge_first db q [ c ]))
+              constants
+        end)
+  in
+  let doc =
+    "Explain certain-answer verdicts: print a possible-world shape \
+     (constant merging) refuting each non-certain answer."
+  in
+  Cmd.v (Cmd.info "explain" ~doc) Cterm.(const run $ db_arg $ query_arg)
+
+(* --- repl --- *)
+
+let repl_cmd =
+  let run path =
+    handle (fun () ->
+        let db = ref (load path) in
+        let engine = ref Exact in
+        let engine_name () =
+          match !engine with
+          | Exact -> "exact"
+          | Approximate -> "approx"
+          | Possible -> "possible"
+        in
+        let help () =
+          print_string
+            "commands:\n\
+            \  (x, y). FORMULA   evaluate a query (empty head = Boolean)\n\
+            \  :engine exact|approx|possible\n\
+            \  :info             database summary\n\
+            \  :axioms           print the theory\n\
+            \  :assert P(c, d)   add an atomic fact axiom\n\
+            \  :distinct c d     add a uniqueness axiom\n\
+            \  :help  :quit\n"
+        in
+        let evaluate line =
+          let q = Parser.query line in
+          if Query.is_boolean q then
+            let verdict =
+              match !engine with
+              | Exact -> Certain.certain_boolean !db q
+              | Approximate -> Approx.boolean !db q
+              | Possible -> Certain.possible_boolean !db q
+            in
+            Fmt.pr "%b@." verdict
+          else begin
+            let answer =
+              match !engine with
+              | Exact -> Certain.answer !db q
+              | Approximate -> Approx.answer !db q
+              | Possible -> Certain.possible_answer !db q
+            in
+            Relation.iter
+              (fun tuple -> Fmt.pr "%s@." (String.concat ", " tuple))
+              answer;
+            Fmt.pr "(%d tuples)@." (Relation.cardinal answer)
+          end
+        in
+        let command line =
+          match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+          | [ ":quit" ] | [ ":q" ] -> raise Exit
+          | [ ":help" ] -> help ()
+          | [ ":info" ] ->
+            Fmt.pr "%a@." Cw_database.pp !db;
+            Fmt.pr "fully specified: %b@." (Cw_database.is_fully_specified !db)
+          | [ ":axioms" ] ->
+            List.iter
+              (fun f -> Fmt.pr "%a@." Pretty.pp_formula f)
+              (Axioms.theory !db)
+          | [ ":engine"; e ] -> (
+            match e with
+            | "exact" -> engine := Exact
+            | "approx" -> engine := Approximate
+            | "possible" -> engine := Possible
+            | _ -> Fmt.pr "unknown engine %s@." e)
+          | ":assert" :: rest ->
+            let text = String.concat " " rest in
+            (match Parser.formula text with
+            | Formula.Atom (p, ts) when List.for_all Term.is_const ts ->
+              let args =
+                List.filter_map
+                  (function Term.Const c -> Some c | Term.Var _ -> None)
+                  ts
+              in
+              db := Cw_database.add_fact !db { Cw_database.pred = p; args };
+              Fmt.pr "ok@."
+            | _ -> Fmt.pr "only ground atoms can be asserted@.")
+          | [ ":distinct"; c; d ] ->
+            db := Cw_database.add_distinct !db c d;
+            Fmt.pr "ok@."
+          | _ -> Fmt.pr "unknown command (:help for help)@."
+        in
+        Fmt.pr "logical database REPL — engine %s; :help for commands@."
+          (engine_name ());
+        try
+          while true do
+            Fmt.pr "ldb> %!";
+            let line = try input_line stdin with End_of_file -> raise Exit in
+            let line = String.trim line in
+            if String.equal line "" then ()
+            else if line.[0] = ':' then
+              try command line with
+              | Invalid_argument msg -> Fmt.pr "error: %s@." msg
+              | Parser.Parse_error (_, msg) | Lexer.Lex_error (_, msg) ->
+                Fmt.pr "syntax error: %s@." msg
+            else
+              try evaluate line with
+              | Invalid_argument msg -> Fmt.pr "error: %s@." msg
+              | Parser.Parse_error (_, msg) | Lexer.Lex_error (_, msg) ->
+                Fmt.pr "syntax error: %s@." msg
+              | Eval.Eval_error msg -> Fmt.pr "evaluation error: %s@." msg
+          done
+        with Exit -> Fmt.pr "bye@.")
+  in
+  let doc = "Interactive query session over a logical database." in
+  Cmd.v (Cmd.info "repl" ~doc) Cterm.(const run $ db_arg)
+
+let main =
+  let doc = "query closed-world logical databases (Vardi, PODS 1985)" in
+  Cmd.group
+    (Cmd.info "ldb" ~version:"1.0.0" ~doc)
+    [ info_cmd; axioms_cmd; query_cmd; compile_cmd; worlds_cmd; explain_cmd; repl_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/coloring.ml: Array Axioms Cw_database Eval Fmt Graph List Logicaldb Partition Pretty Printf Query Seq Three_col

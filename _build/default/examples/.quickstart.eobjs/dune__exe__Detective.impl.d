@@ -1,0 +1,1 @@
+examples/detective.ml: Axioms Certain Cw_database Eval Fmt List Logicaldb Partition Pretty Printf Relation Seq

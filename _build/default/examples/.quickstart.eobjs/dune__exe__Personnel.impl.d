@@ -1,0 +1,1 @@
+examples/personnel.ml: Algebra Approx Certain Compile Fmt List Logicaldb Ne_virtual Ph Pretty Printf Relation Translate

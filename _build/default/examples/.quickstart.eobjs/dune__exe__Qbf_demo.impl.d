@@ -1,0 +1,1 @@
+examples/qbf_demo.ml: Cw_database Fmt Formula List Logicaldb Pretty Printf Qbf Qbf_fo Qbf_so Query

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Axioms Cw_database Fmt List Logicaldb Pretty Printf Relation Translate

@@ -1,0 +1,1 @@
+examples/university.ml: Axioms Cw_database Fmt List Logicaldb Pretty Printf Relation String Term Ty_database Ty_formula Ty_query Ty_vocabulary

@@ -1,0 +1,1 @@
+examples/whodunit.ml: Fmt List Logicaldb Parser Printf Relation Theory Vocabulary

@@ -1,0 +1,100 @@
+(* The paper's Section 2.2 aside, turned into a small whodunit: we may
+   not assert ~(jack_the_ripper = disraeli), "since we do not know the
+   identity of Jack the Ripper". Uniqueness axioms are knowledge about
+   identities; queries behave accordingly.
+
+   The example walks through how adding identity knowledge (uniqueness
+   axioms) monotonically sharpens the certain answers, and shows the
+   Theorem-1 machinery (mappings / kernel partitions) explicitly.
+
+   Run with: dune exec examples/detective.exe *)
+
+open Logicaldb
+
+let section title = Printf.printf "\n== %s ==\n" title
+
+let suspects = [ "disraeli"; "gladstone"; "sickert" ]
+
+let base_db () =
+  database
+    ~predicates:[ ("MURDERER", 1); ("IN_LONDON", 1) ]
+    ~constants:("jack_the_ripper" :: suspects)
+    ~facts:
+      [
+        ("MURDERER", [ "jack_the_ripper" ]);
+        ("IN_LONDON", [ "jack_the_ripper" ]);
+        ("IN_LONDON", [ "disraeli" ]);
+        ("IN_LONDON", [ "sickert" ]);
+      ]
+      (* The suspects are known, distinct people; Jack's identity is
+         open. *)
+    ~distinct:
+      (let rec pairs = function
+         | [] -> []
+         | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+       in
+       pairs suspects)
+    ()
+
+let report db =
+  let murderer_query = query "(x). MURDERER(x)" in
+  Fmt.pr "certain murderers:  %a@." Relation.pp (certain_answer db murderer_query);
+  Fmt.pr "possible murderers: %a@." Relation.pp
+    (Certain.possible_answer db murderer_query);
+  Printf.printf "kernel partitions to examine: %d\n" (Partition.count_valid db)
+
+let () =
+  let db = base_db () in
+  section "Initial knowledge";
+  Printf.printf "axioms:\n";
+  List.iter (fun f -> Fmt.pr "  %a@." Pretty.pp_formula f) (Axioms.theory db);
+  report db;
+
+  section "Deduction 1: the murderer was in London";
+  (* Gladstone has no IN_LONDON fact. Is he cleared? Not yet — the
+     closed world makes IN_LONDON(gladstone) false *as a fact*, but
+     "jack = gladstone" models make him the murderer anyway; in such a
+     model the completion axiom for IN_LONDON conflicts... let the
+     engine decide. *)
+  Printf.printf "certain that some Londoner is the murderer: %b\n"
+    (certain db "exists x. MURDERER(x) /\\ IN_LONDON(x)");
+  Printf.printf "gladstone possibly the murderer: %b\n"
+    (Certain.possible_member db (query "(x). MURDERER(x)") [ "gladstone" ]);
+
+  section "Deduction 2: alibi for Disraeli (add ~(jack = disraeli))";
+  let db = Cw_database.add_distinct db "jack_the_ripper" "disraeli" in
+  report db;
+  Printf.printf "disraeli still possible: %b\n"
+    (Certain.possible_member db (query "(x). MURDERER(x)") [ "disraeli" ]);
+
+  section "Deduction 3: alibi for Gladstone too";
+  let db = Cw_database.add_distinct db "jack_the_ripper" "gladstone" in
+  report db;
+  (* Now Jack can only be sickert — or himself, a distinct unknown
+     person. He is NOT certainly sickert: the identity could remain
+     forever unresolved. *)
+  Printf.printf "jack certainly = sickert: %b\n"
+    (certain db "jack_the_ripper = sickert");
+  Printf.printf "jack possibly = sickert: %b\n"
+    (not (certain db "jack_the_ripper != sickert"));
+
+  section "Deduction 4: close the case (fully specify)";
+  let closed = Cw_database.fully_specify db in
+  report closed;
+  Printf.printf
+    "fully specified database: one partition, Ph1 answers are exact \
+     (Corollary 2)\n";
+
+  section "Theorem 1, visibly";
+  let db3 = base_db () in
+  Printf.printf
+    "each kernel partition of the constants is one 'possible world \
+     shape':\n";
+  Seq.iter
+    (fun p ->
+      let world = Partition.quotient p in
+      let murderers =
+        Eval.answer world (query "(x). MURDERER(x)")
+      in
+      Fmt.pr "  %a  -->  murderers %a@." Partition.pp p Relation.pp murderers)
+    (Partition.all_valid db3)

@@ -1,0 +1,83 @@
+(* Beyond closed-world databases: arbitrary theories as logical
+   databases (paper, Section 2.1).
+
+   CW databases store only atomic facts and uniqueness axioms. A
+   general logical database is any finite theory — it can express
+   DISJUNCTIVE knowledge ("the murderer is the colonel or the butler")
+   that no set of atomic facts captures. The paper notes that query
+   evaluation over arbitrary theories is undecidable in general [Tr50];
+   the Theory module implements the decidable bounded-model
+   restriction, which is exact whenever the theory bounds its own
+   models (e.g. by a domain-closure axiom).
+
+   Run with: dune exec examples/whodunit.exe *)
+
+open Logicaldb
+
+let section title = Printf.printf "\n== %s ==\n" title
+let f = Parser.formula
+
+let vocabulary =
+  Vocabulary.make
+    ~constants:[ "colonel"; "butler"; "gardener" ]
+    ~predicates:[ ("MURDERER", 1); ("HAS_ALIBI", 1) ]
+
+let axioms =
+  [
+    (* Everybody in the manor is one of the three. *)
+    f "forall x. x = colonel \\/ x = butler \\/ x = gardener";
+    (* The three are distinct people. *)
+    f "colonel != butler";
+    f "colonel != gardener";
+    f "butler != gardener";
+    (* The detective's deductions so far: *)
+    f "MURDERER(colonel) \\/ MURDERER(butler)";   (* disjunctive knowledge! *)
+    f "exists x. MURDERER(x)";
+    f "forall x. MURDERER(x) -> ~HAS_ALIBI(x)";
+    f "HAS_ALIBI(gardener)";
+  ]
+
+let theory = Theory.make ~vocabulary ~axioms
+
+let ask description sentence =
+  Printf.printf "%-46s %b\n" description
+    (Theory.entails ~max_domain:3 theory (f sentence))
+
+let () =
+  section "The theory (knowledge that CW facts cannot express)";
+  Fmt.pr "%a@." Theory.pp theory;
+  Printf.printf "\nmodels within the domain bound: %d\n"
+    (List.length (List.of_seq (Theory.models ~max_domain:3 theory)));
+
+  section "Certain conclusions (true in every model)";
+  ask "someone is the murderer:" "exists x. MURDERER(x)";
+  ask "the gardener is innocent:" "~MURDERER(gardener)";
+  ask "some murderer lacks an alibi:"
+    "exists x. MURDERER(x) /\\ ~HAS_ALIBI(x)";
+
+  section "Open questions (true in some models, false in others)";
+  ask "the butler did it:" "MURDERER(butler)";
+  ask "the colonel did it:" "MURDERER(colonel)";
+  ask "the butler did NOT do it:" "~MURDERER(butler)";
+
+  section "Certain answers to a query";
+  let q = Parser.query "(x). ~MURDERER(x)" in
+  Fmt.pr "certainly-innocent: %a@." Relation.pp
+    (Theory.certain_answers ~max_domain:3 theory q);
+
+  section "New evidence: the colonel produces an alibi";
+  let theory' =
+    Theory.make ~vocabulary ~axioms:(axioms @ [ f "HAS_ALIBI(colonel)" ])
+  in
+  Printf.printf "butler certainly guilty now: %b\n"
+    (Theory.entails ~max_domain:3 theory' (f "MURDERER(butler)"));
+  Printf.printf "models remaining: %d\n"
+    (List.length (List.of_seq (Theory.models ~max_domain:3 theory')));
+
+  section "Contradictory evidence collapses the theory";
+  let broken =
+    Theory.make ~vocabulary
+      ~axioms:(axioms @ [ f "HAS_ALIBI(colonel)"; f "HAS_ALIBI(butler)" ])
+  in
+  Printf.printf "still satisfiable: %b\n"
+    (Theory.satisfiable ~max_domain:3 broken)

@@ -1,0 +1,1 @@
+lib/approx/alpha.ml: List Printf String Vardi_cwdb Vardi_logic

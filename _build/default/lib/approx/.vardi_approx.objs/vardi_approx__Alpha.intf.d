@@ -1,0 +1,1 @@
+lib/approx/alpha.mli: Vardi_logic

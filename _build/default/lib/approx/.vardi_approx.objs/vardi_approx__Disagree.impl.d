@@ -1,0 +1,1 @@
+lib/approx/disagree.ml: Hashtbl List Printf String Vardi_cwdb Vardi_logic

@@ -1,0 +1,1 @@
+lib/approx/disagree.mli: Vardi_cwdb Vardi_relational

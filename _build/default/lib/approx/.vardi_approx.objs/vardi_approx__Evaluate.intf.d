@@ -1,0 +1,1 @@
+lib/approx/evaluate.mli: Translate Vardi_cwdb Vardi_logic Vardi_relational

@@ -1,0 +1,1 @@
+lib/approx/naive_tables.ml: Vardi_cwdb Vardi_logic Vardi_relational

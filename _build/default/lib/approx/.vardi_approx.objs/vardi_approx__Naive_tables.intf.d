@@ -1,0 +1,1 @@
+lib/approx/naive_tables.mli: Vardi_cwdb Vardi_logic Vardi_relational

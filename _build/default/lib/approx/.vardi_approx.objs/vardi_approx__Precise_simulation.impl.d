@@ -1,0 +1,1 @@
+lib/approx/precise_simulation.ml: List Printf String Vardi_cwdb Vardi_logic Vardi_relational

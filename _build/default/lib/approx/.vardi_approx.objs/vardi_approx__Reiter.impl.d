@@ -1,0 +1,1 @@
+lib/approx/reiter.ml: Disagree List String Vardi_cwdb Vardi_logic Vardi_relational

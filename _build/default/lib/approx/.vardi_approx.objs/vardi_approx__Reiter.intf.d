@@ -1,0 +1,1 @@
+lib/approx/reiter.mli: Vardi_cwdb Vardi_logic Vardi_relational

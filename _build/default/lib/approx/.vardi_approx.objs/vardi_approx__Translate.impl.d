@@ -1,0 +1,1 @@
+lib/approx/translate.ml: Alpha Disagree Printf Set String Vardi_cwdb Vardi_logic

@@ -1,0 +1,1 @@
+lib/approx/translate.mli: Vardi_logic

@@ -1,0 +1,80 @@
+module Formula = Vardi_logic.Formula
+module Term = Vardi_logic.Term
+
+let free_var i = Printf.sprintf "alpha_x%d" i
+let bound_y i = Printf.sprintf "alpha_y%d" i
+
+(* conn_0(a, b) = a = b ∨ edge(a, b)
+   conn_{m+1}(a, b) =
+     ∃z ∀p ∀q (((p = a ∧ q = z) ∨ (p = z ∧ q = b)) → conn_m(p, q))
+   Each level introduces fresh names z<m>, p<m>, q<m>, and contains a
+   single occurrence of conn_m — the ∀-sharing trick that keeps the
+   formula small. conn_m captures connectivity by paths of length at
+   most 2^m. *)
+let rec conn level (a, b) ~edge =
+  if level = 0 then Formula.Or (Formula.Eq (a, b), edge a b)
+  else begin
+    let z = Printf.sprintf "alpha_z%d" level in
+    let p = Printf.sprintf "alpha_p%d" level in
+    let q = Printf.sprintf "alpha_q%d" level in
+    let tz = Term.var z and tp = Term.var p and tq = Term.var q in
+    let guard =
+      Formula.Or
+        ( Formula.And (Formula.Eq (tp, a), Formula.Eq (tq, tz)),
+          Formula.And (Formula.Eq (tp, tz), Formula.Eq (tq, b)) )
+    in
+    Formula.Exists
+      ( z,
+        Formula.Forall
+          ( p,
+            Formula.Forall
+              (q, Formula.Implies (guard, conn (level - 1) (tp, tq) ~edge)) ) )
+  end
+
+let levels_for nodes =
+  (* Paths of length ≤ nodes - 1 suffice; conn_m covers length 2^m. *)
+  let rec go m reach = if reach >= nodes - 1 then m else go (m + 1) (reach * 2) in
+  go 0 1
+
+let connectivity ~nodes (a, b) ~edge = conn (levels_for nodes) (a, b) ~edge
+
+let formula ~pred ~arity =
+  if arity < 1 then invalid_arg "Alpha.formula: arity must be at least 1";
+  let xs = List.init arity (fun i -> Term.var (free_var (i + 1))) in
+  let y_names = List.init arity (fun i -> bound_y (i + 1)) in
+  let ys = List.map Term.var y_names in
+  let edge u v =
+    Formula.disj
+      (List.map2
+         (fun xi yi ->
+           Formula.Or
+             ( Formula.And (Formula.Eq (u, xi), Formula.Eq (v, yi)),
+               Formula.And (Formula.Eq (u, yi), Formula.Eq (v, xi)) ))
+         xs ys)
+  in
+  let u = "alpha_u" and v = "alpha_v" in
+  let tu = Term.var u and tv = Term.var v in
+  let witness =
+    Formula.Exists
+      ( u,
+        Formula.Exists
+          ( v,
+            Formula.And
+              ( Formula.Atom (Vardi_cwdb.Ph.ne_predicate, [ tu; tv ]),
+                connectivity ~nodes:(2 * arity) (tu, tv) ~edge ) ) )
+  in
+  Formula.forall_many y_names
+    (Formula.Implies (Formula.Atom (pred, ys), witness))
+
+let instantiated ~pred args =
+  let arity = List.length args in
+  let body = formula ~pred ~arity in
+  let map x =
+    let rec find i = function
+      | [] -> None
+      | t :: rest ->
+        if String.equal x (free_var i) then Some t else find (i + 1) rest
+    in
+    find 1 args
+  in
+  Formula.substitute map body

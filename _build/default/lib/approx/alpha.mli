@@ -1,0 +1,47 @@
+(** The syntactic [α_P] formula of Lemma 10.
+
+    For a [k]-ary predicate [P] (k ≥ 1), [α_P(x)] is a first-order
+    formula over the vocabulary [{P, NE, =}] such that a tuple [c]
+    satisfies [α_P(c)] in [Ph₂(LB)] iff [c] disagrees with [d] for
+    every [d ∈ I(P)] — i.e. iff [c] is provably outside [P].
+
+    Shape (following the paper's proof):
+
+    [α_P(x) = ∀y (P(y) → ∃u∃v (NE(u,v) ∧ γ_{x,y}(u,v)))]
+
+    where [γ_{x,y}(u,v)] says [u] and [v] are connected in the graph
+    [G_{x,y}] with edges [(xi, yi)]. Connectivity over a graph of at
+    most [2k] nodes is expressed by the classical
+    repeated-squaring-with-∀-sharing formula [βₘ] (one occurrence of
+    the inner formula per level, [m = ⌈log₂ 2k⌉] levels), keeping the
+    total size [O(k log k)].
+
+    All bound variables use the reserved prefix [alpha_]; free
+    variables are [alpha_x1 ... alpha_xk], intended to be substituted
+    with the actual argument terms (capture-avoiding substitution is
+    provided by {!instantiated}). *)
+
+(** [free_var i] is the canonical [i]-th free variable name (1-based):
+    ["alpha_x<i>"]. *)
+val free_var : int -> string
+
+(** [formula ~pred ~arity] is [α_pred] over the canonical free
+    variables; [arity ≥ 1].
+    @raise Invalid_argument when [arity < 1]. *)
+val formula : pred:string -> arity:int -> Vardi_logic.Formula.t
+
+(** [instantiated ~pred args] is [α_pred(args)]: {!formula} with the
+    canonical variables replaced by [args] (arity = [List.length args],
+    which must be ≥ 1). *)
+val instantiated : pred:string -> Vardi_logic.Term.t list -> Vardi_logic.Formula.t
+
+(** [connectivity ~nodes (a, b) ~edge] is the [βₘ]-style subformula
+    asserting that terms [a] and [b] are connected in the graph whose
+    edge relation is given by the formula builder [edge] (applied to
+    two terms). [nodes] bounds the number of graph nodes, so paths of
+    length [< nodes] suffice. Exposed for direct testing. *)
+val connectivity :
+  nodes:int ->
+  Vardi_logic.Term.t * Vardi_logic.Term.t ->
+  edge:(Vardi_logic.Term.t -> Vardi_logic.Term.t -> Vardi_logic.Formula.t) ->
+  Vardi_logic.Formula.t

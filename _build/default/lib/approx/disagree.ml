@@ -1,0 +1,63 @@
+module Vocabulary = Vardi_logic.Vocabulary
+module Cw_database = Vardi_cwdb.Cw_database
+
+(* Union-find over the constants of the two tuples. The graph G_{c,d}
+   has an edge (ci, di) per position, so components are computed by
+   unioning positionwise; two occurrences of the same constant are the
+   same node. *)
+let tuples lb c d =
+  if List.length c <> List.length d then
+    invalid_arg "Disagree.tuples: tuples of different lengths";
+  let parent = Hashtbl.create 16 in
+  let rec find x =
+    match Hashtbl.find_opt parent x with
+    | None | Some None -> x
+    | Some (Some p) ->
+      let root = find p in
+      Hashtbl.replace parent x (Some root);
+      root
+  in
+  let union x y =
+    let rx = find x and ry = find y in
+    if not (String.equal rx ry) then Hashtbl.replace parent rx (Some ry)
+  in
+  List.iter2 union c d;
+  let nodes =
+    List.sort_uniq String.compare (List.rev_append c d)
+  in
+  let rec any_distinct_pair = function
+    | [] -> false
+    | u :: rest ->
+      List.exists
+        (fun v ->
+          Cw_database.are_distinct lb u v
+          && String.equal (find u) (find v))
+        rest
+      || any_distinct_pair rest
+  in
+  any_distinct_pair nodes
+
+let alpha_holds lb p c =
+  (match Vocabulary.arity_opt (Cw_database.vocabulary lb) p with
+  | None -> invalid_arg (Printf.sprintf "Disagree.alpha_holds: undeclared %s" p)
+  | Some k ->
+    if k <> List.length c then
+      invalid_arg
+        (Printf.sprintf "Disagree.alpha_holds: %s applied to %d arguments" p
+           (List.length c)));
+  List.for_all (fun d -> tuples lb c d) (Cw_database.facts_of lb p)
+
+let alpha_prefix = "alpha$"
+let alpha_predicate p = alpha_prefix ^ p
+
+let virtuals lb name =
+  let n = String.length alpha_prefix in
+  if
+    String.length name > n
+    && String.equal (String.sub name 0 n) alpha_prefix
+  then
+    let p = String.sub name n (String.length name - n) in
+    if Vocabulary.mem_predicate (Cw_database.vocabulary lb) p then
+      Some (fun args -> alpha_holds lb p args)
+    else None
+  else None

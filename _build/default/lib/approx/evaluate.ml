@@ -1,0 +1,53 @@
+module Query = Vardi_logic.Query
+module Relation = Vardi_relational.Relation
+module Eval = Vardi_relational.Eval
+module Compile = Vardi_relational.Compile
+module Cw_database = Vardi_cwdb.Cw_database
+module Query_check = Vardi_cwdb.Query_check
+module Ph = Vardi_cwdb.Ph
+
+type backend =
+  | Direct
+  | Algebra
+  | Algebra_optimized
+
+type completeness =
+  | Complete_fully_specified
+  | Complete_positive
+  | Sound_only
+
+let completeness lb q =
+  if Cw_database.is_fully_specified lb then Complete_fully_specified
+  else if Query.is_positive q then Complete_positive
+  else Sound_only
+
+let virtuals = Disagree.virtuals
+
+let answer ?(mode = Translate.Semantic) ?(backend = Direct) lb q =
+  Query_check.validate lb q;
+  let hat = Translate.query mode q in
+  let ph2 = Ph.ph2 lb in
+  let hooks = match mode with Semantic -> virtuals lb | Syntactic -> Eval.no_virtuals in
+  match backend with
+  | Direct -> Eval.answer ~virtuals:hooks ph2 hat
+  | Algebra -> Compile.answer ~virtuals:hooks ph2 hat
+  | Algebra_optimized ->
+    let plan = Vardi_relational.Optimizer.optimize ph2 (Compile.query ph2 hat) in
+    Vardi_relational.Algebra.run ~virtuals:hooks ph2 plan
+
+let member ?(mode = Translate.Semantic) lb q tuple =
+  Query_check.validate lb q;
+  Query_check.validate_tuple lb q tuple;
+  let hat = Translate.query mode q in
+  let ph2 = Ph.ph2 lb in
+  let hooks = match mode with Semantic -> virtuals lb | Syntactic -> Eval.no_virtuals in
+  Eval.member ~virtuals:hooks ph2 hat tuple
+
+let boolean ?(mode = Translate.Semantic) lb q =
+  Query_check.validate lb q;
+  if not (Query.is_boolean q) then
+    invalid_arg "Approx.boolean: the query has answer variables";
+  let hat = Translate.query mode q in
+  let ph2 = Ph.ph2 lb in
+  let hooks = match mode with Semantic -> virtuals lb | Syntactic -> Eval.no_virtuals in
+  Eval.satisfies ~virtuals:hooks ph2 (Query.body hat)

@@ -1,0 +1,14 @@
+module Query = Vardi_logic.Query
+module Eval = Vardi_relational.Eval
+module Ph = Vardi_cwdb.Ph
+module Query_check = Vardi_cwdb.Query_check
+
+let answer lb q =
+  Query_check.validate lb q;
+  Eval.answer (Ph.ph1 lb) q
+
+let boolean lb q =
+  Query_check.validate lb q;
+  if not (Query.is_boolean q) then
+    invalid_arg "Naive_tables.boolean: the query has answer variables";
+  Eval.satisfies (Ph.ph1 lb) (Query.body q)

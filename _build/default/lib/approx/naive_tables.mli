@@ -1,0 +1,36 @@
+(** The naive-tables baseline (Imielinski–Lipski style; cf. the
+    paper's introduction on null values in physical databases
+    [Bi81, Gr77, Za82, Fa82]).
+
+    The simplest way to query a database with unknown values is to
+    pretend it is an ordinary physical database: evaluate [Q] directly
+    on [Ph₁(LB)], treating each unknown constant as a fresh, distinct
+    value (a labeled null). This is the classical {e naive evaluation}
+    over naive tables.
+
+    Properties (all verified by the test suite and measured by
+    experiment E11):
+    - for {e positive} queries it coincides with the certain answer
+      (the classical Imielinski–Lipski result; here it follows from
+      Theorem 13, since the approximation leaves positive queries
+      untouched and [Ph₂] agrees with [Ph₁] on them);
+    - for queries with negation it is {e unsound}: evaluating
+      [¬TEACHES(mystery, plato)] on [Ph₁] says "true" merely because
+      the tuple is absent, even though models identifying [mystery]
+      with a teacher refute it. The Section 5 algorithm exists
+      precisely to fix this while staying polynomial: its [NE]/[α_P]
+      machinery returns "true" only for {e provable} absence.
+
+    This module is the paper-motivating baseline, not a recommended
+    evaluator. *)
+
+(** [answer lb q]: evaluate [q] on [Ph₁(LB)] as if it were a physical
+    database. Not sound for certain answers in general. *)
+val answer :
+  Vardi_cwdb.Cw_database.t ->
+  Vardi_logic.Query.t ->
+  Vardi_relational.Relation.t
+
+(** [boolean lb q] for Boolean queries.
+    @raise Invalid_argument when [q] has answer variables. *)
+val boolean : Vardi_cwdb.Cw_database.t -> Vardi_logic.Query.t -> bool

@@ -1,0 +1,40 @@
+(** Reiter's proof-theoretic query evaluation [Re86], reconstructed.
+
+    Reiter evaluates a query over an extended relational theory by
+    structural recursion on the (negation-normal) formula, computing at
+    each subformula the set of {e provable} instantiations:
+    - an atom's instances are the stored facts;
+    - a negated atom's instances are the tuples provably outside the
+      predicate (they disagree, via the uniqueness axioms, with every
+      stored fact — the same notion as {!Disagree});
+    - [∧] joins, [∨] unions, [∃] projects, and [∀x] intersects over all
+      constants.
+
+    Like the Section 5 algorithm this is sound but not complete
+    (disjunctions and existentials of unprovable-but-certain facts are
+    lost). The paper's Remark after Theorem 13 states that for
+    first-order queries both algorithms return {e identical} answers —
+    a claim the test suite verifies by running this independent
+    implementation against [Q̂(Ph₂(LB))]. Unlike the paper's
+    reconstruction of Reiter's approach, this one does not extend to
+    second-order queries (the paper makes the same observation).
+
+    Implementation note: this is a third, fully independent evaluation
+    path — no [Ph₂], no virtual predicates, no relational algebra; just
+    sets of tuples over the constant universe. *)
+
+exception Unsupported of string
+(** Raised on second-order quantifiers. *)
+
+(** [answer lb q] is Reiter's answer to [q] over [lb].
+    @raise Invalid_argument when the query mentions symbols outside the
+    vocabulary (as {!Vardi_cwdb.Query_check}).
+    @raise Unsupported on second-order queries. *)
+val answer :
+  Vardi_cwdb.Cw_database.t ->
+  Vardi_logic.Query.t ->
+  Vardi_relational.Relation.t
+
+(** [boolean lb q] for Boolean queries.
+    @raise Invalid_argument when [q] has answer variables. *)
+val boolean : Vardi_cwdb.Cw_database.t -> Vardi_logic.Query.t -> bool

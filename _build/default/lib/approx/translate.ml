@@ -1,0 +1,47 @@
+module Formula = Vardi_logic.Formula
+module Query = Vardi_logic.Query
+module Nnf = Vardi_logic.Nnf
+
+type mode =
+  | Semantic
+  | Syntactic
+
+exception Unsupported of string
+
+module String_set = Set.Make (String)
+
+let rec walk mode so_bound f =
+  match f with
+  | Formula.True | Formula.False | Formula.Eq _ | Formula.Atom _ -> f
+  | Formula.Not (Formula.Eq (s, t)) ->
+    Formula.Atom (Vardi_cwdb.Ph.ne_predicate, [ s; t ])
+  | Formula.Not (Formula.Atom (_, [])) -> f
+  | Formula.Not (Formula.Atom (p, ts)) -> (
+    match mode with
+    | Syntactic -> Alpha.instantiated ~pred:p ts
+    | Semantic ->
+      if String_set.mem p so_bound then
+        raise
+          (Unsupported
+             (Printf.sprintf
+                "negated second-order atom %s needs the syntactic translation" p))
+      else Formula.Atom (Disagree.alpha_predicate p, ts))
+  | Formula.Not _ ->
+    (* NNF guarantees negations sit on atoms. *)
+    assert false
+  | Formula.And (f, g) ->
+    Formula.And (walk mode so_bound f, walk mode so_bound g)
+  | Formula.Or (f, g) -> Formula.Or (walk mode so_bound f, walk mode so_bound g)
+  | Formula.Implies _ | Formula.Iff _ ->
+    (* NNF eliminates these. *)
+    assert false
+  | Formula.Exists (x, f) -> Formula.Exists (x, walk mode so_bound f)
+  | Formula.Forall (x, f) -> Formula.Forall (x, walk mode so_bound f)
+  | Formula.Exists2 (p, k, f) ->
+    Formula.Exists2 (p, k, walk mode (String_set.add p so_bound) f)
+  | Formula.Forall2 (p, k, f) ->
+    Formula.Forall2 (p, k, walk mode (String_set.add p so_bound) f)
+
+let formula mode f = walk mode String_set.empty (Nnf.transform f)
+
+let query mode q = Query.make (Query.head q) (formula mode (Query.body q))

@@ -1,0 +1,29 @@
+(** The query translation [Q ↦ Q̂] of Section 5.
+
+    Steps, following the paper:
+    + push all negations down to atoms (NNF, {!Vardi_logic.Nnf});
+    + replace every inequality [¬(xi = xj)] by [NE(xi, xj)];
+    + replace every negated atom [¬P(t)] by [α_P(t)] — either the
+      {e syntactic} Lemma-10 formula ({!Alpha}), or a {e semantic}
+      virtual predicate ["alpha$P"] evaluated by {!Disagree} (the
+      polynomial-time check used in Theorem 14's complexity analysis).
+
+    Positive subformulas are untouched, so a positive query translates
+    to itself (the syntactic heart of Theorem 13). *)
+
+type mode =
+  | Semantic   (** negated atoms become virtual ["alpha$P"] atoms *)
+  | Syntactic  (** negated atoms become Lemma-10 subformulas *)
+
+exception Unsupported of string
+(** Raised in [Semantic] mode when a negated atom's predicate is bound
+    by a second-order quantifier: a static virtual predicate cannot see
+    the quantified relation, so use [Syntactic] mode for such queries. *)
+
+(** [formula mode f] translates a formula (NNF is applied first).
+    Zero-ary negated atoms [¬P()] are kept as-is: on [Ph₂] they already
+    mean "P() is not an axiom", which is exactly provable absence. *)
+val formula : mode -> Vardi_logic.Formula.t -> Vardi_logic.Formula.t
+
+(** [query mode q] is [Q̂]: head unchanged, body translated. *)
+val query : mode -> Vardi_logic.Query.t -> Vardi_logic.Query.t

@@ -1,0 +1,1 @@
+lib/certain/engine.ml: List Seq Vardi_cwdb Vardi_logic Vardi_relational

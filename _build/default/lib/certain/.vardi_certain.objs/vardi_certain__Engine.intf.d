@@ -1,0 +1,1 @@
+lib/certain/engine.mli: Vardi_cwdb Vardi_logic Vardi_relational

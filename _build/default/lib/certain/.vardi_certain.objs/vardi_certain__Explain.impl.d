@@ -1,0 +1,1 @@
+lib/certain/explain.ml: Fmt List Seq Vardi_cwdb Vardi_logic Vardi_relational

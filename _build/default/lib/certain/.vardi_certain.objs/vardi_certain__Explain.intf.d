@@ -1,0 +1,1 @@
+lib/certain/explain.mli: Fmt Vardi_cwdb Vardi_logic

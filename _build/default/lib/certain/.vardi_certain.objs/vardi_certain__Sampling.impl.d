@@ -1,0 +1,1 @@
+lib/certain/sampling.ml: List Random Vardi_cwdb Vardi_logic Vardi_relational

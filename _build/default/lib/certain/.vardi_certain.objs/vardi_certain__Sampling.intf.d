@@ -1,0 +1,1 @@
+lib/certain/sampling.mli: Random Vardi_cwdb Vardi_logic

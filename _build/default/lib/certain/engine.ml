@@ -1,0 +1,143 @@
+module Formula = Vardi_logic.Formula
+module Query = Vardi_logic.Query
+module Vocabulary = Vardi_logic.Vocabulary
+module Relation = Vardi_relational.Relation
+module Eval = Vardi_relational.Eval
+module Cw_database = Vardi_cwdb.Cw_database
+module Mapping = Vardi_cwdb.Mapping
+module Partition = Vardi_cwdb.Partition
+
+type algorithm =
+  | Naive_mappings
+  | Kernel_partitions
+
+type order = Vardi_cwdb.Partition.order =
+  | Fresh_first
+  | Merge_first
+
+type stats = {
+  structures : int;
+  evaluations : int;
+}
+
+let validate = Vardi_cwdb.Query_check.validate
+let validate_tuple = Vardi_cwdb.Query_check.validate_tuple
+
+(* Every examined structure is an image database together with the
+   element renaming that produced it, so a candidate tuple [c] over [C]
+   is checked as [h(c) ∈ Q(h(Ph₁))]. *)
+type structure = {
+  image : Vardi_relational.Database.t;
+  rename : string -> string;
+}
+
+let structures algorithm order lb =
+  match algorithm with
+  | Naive_mappings ->
+    Seq.map
+      (fun h -> { image = Mapping.image_db h; rename = Mapping.apply h })
+      (Mapping.all_respecting lb)
+  | Kernel_partitions ->
+    Seq.map
+      (fun p ->
+        { image = Partition.quotient p; rename = Partition.representative p })
+      (Partition.all_valid ~order lb)
+
+let member_in q structure tuple =
+  Eval.member structure.image q (List.map structure.rename tuple)
+
+(* Universal quantification over structures, with early exit and work
+   counting. [check] receives one structure and says whether the tuple
+   (or sentence) survives it. *)
+let for_all_structures algorithm order lb check =
+  let examined = ref 0 in
+  let ok =
+    Seq.for_all
+      (fun s ->
+        incr examined;
+        check s)
+      (structures algorithm order lb)
+  in
+  (ok, { structures = !examined; evaluations = !examined })
+
+let exists_structure algorithm order lb check =
+  let examined = ref 0 in
+  let ok =
+    Seq.exists
+      (fun s ->
+        incr examined;
+        check s)
+      (structures algorithm order lb)
+  in
+  (ok, { structures = !examined; evaluations = !examined })
+
+let certain_member_stats ?(algorithm = Kernel_partitions)
+    ?(order = Fresh_first) lb q tuple =
+  validate lb q;
+  validate_tuple lb q tuple;
+  if Query.is_boolean q then
+    invalid_arg "Certain.certain_member: Boolean query; use certain_boolean";
+  for_all_structures algorithm order lb (fun s -> member_in q s tuple)
+
+let certain_member ?algorithm ?order lb q tuple =
+  fst (certain_member_stats ?algorithm ?order lb q tuple)
+
+let certain_boolean_stats ?(algorithm = Kernel_partitions)
+    ?(order = Fresh_first) lb q =
+  validate lb q;
+  if not (Query.is_boolean q) then
+    invalid_arg "Certain.certain_boolean: the query has answer variables";
+  for_all_structures algorithm order lb (fun s ->
+      Eval.satisfies s.image (Query.body q))
+
+let certain_boolean ?algorithm ?order lb q =
+  fst (certain_boolean_stats ?algorithm ?order lb q)
+
+let possible_member ?(algorithm = Kernel_partitions) ?(order = Fresh_first) lb
+    q tuple =
+  validate lb q;
+  validate_tuple lb q tuple;
+  if Query.is_boolean q then
+    invalid_arg "Certain.possible_member: Boolean query; use possible_boolean";
+  fst (exists_structure algorithm order lb (fun s -> member_in q s tuple))
+
+let possible_boolean ?(algorithm = Kernel_partitions) ?(order = Fresh_first)
+    lb q =
+  validate lb q;
+  if not (Query.is_boolean q) then
+    invalid_arg "Certain.possible_boolean: the query has answer variables";
+  fst
+    (exists_structure algorithm order lb (fun s ->
+         Eval.satisfies s.image (Query.body q)))
+
+let candidates lb k =
+  Relation.full ~domain:(Cw_database.constants lb) k
+
+(* For whole answers, evaluate the query once per structure and filter
+   the surviving candidates, instead of re-running the per-tuple
+   decision |C|^k times. *)
+let answer ?(algorithm = Kernel_partitions) ?(order = Fresh_first) lb q =
+  validate lb q;
+  let k = Query.arity q in
+  Seq.fold_left
+    (fun survivors s ->
+      if Relation.is_empty survivors then survivors
+      else
+        let image_answer = Eval.answer s.image q in
+        Relation.filter
+          (fun tuple -> Relation.mem (List.map s.rename tuple) image_answer)
+          survivors)
+    (candidates lb k) (structures algorithm order lb)
+
+let possible_answer ?(algorithm = Kernel_partitions) ?(order = Fresh_first) lb
+    q =
+  validate lb q;
+  let k = Query.arity q in
+  Seq.fold_left
+    (fun found s ->
+      let image_answer = Eval.answer s.image q in
+      Relation.union found
+        (Relation.filter
+           (fun tuple -> Relation.mem (List.map s.rename tuple) image_answer)
+           (candidates lb k)))
+    (Relation.empty k) (structures algorithm order lb)

@@ -1,0 +1,127 @@
+(** Exact evaluation of queries over CW logical databases, by
+    Theorem 1:
+
+    [c ∈ Q(LB)]  iff  [h(c) ∈ Q(h(Ph₁(LB)))] for every [h : C → C]
+    that respects [T].
+
+    Two interchangeable algorithms:
+    - {!Naive_mappings} enumerates all [|C|^|C|] mappings — the literal
+      statement of Theorem 1; usable only on tiny databases and kept as
+      a cross-validation reference.
+    - {!Kernel_partitions} quantifies over kernel partitions instead
+      (see {!Vardi_cwdb.Partition}), shrinking the space to at most
+      Bell(|C|) and exploiting uniqueness axioms for pruning. This is
+      the default.
+
+    Both are exponential in general — necessarily so, since Theorem 5
+    shows the problem co-NP-complete — which is the paper's motivation
+    for the {!Vardi_approx} approximation. *)
+
+type algorithm =
+  | Naive_mappings
+  | Kernel_partitions
+
+(** Structure-visit order for [Kernel_partitions] (ignored by
+    [Naive_mappings]): [Fresh_first] visits the discrete partition
+    first; [Merge_first] visits heavily-merged partitions first, which
+    finds countermodels faster when they require merging many unknowns
+    (ablation A4). Default: [Fresh_first]. *)
+type order = Vardi_cwdb.Partition.order =
+  | Fresh_first
+  | Merge_first
+
+(** Work counters for the complexity experiments. *)
+type stats = {
+  structures : int;
+    (** image databases examined (mappings or partitions) *)
+  evaluations : int;  (** query evaluations performed *)
+}
+
+(** [certain_member ?algorithm lb q c] decides [c ∈ Q(LB)], with early
+    exit on the first countermodel.
+
+    @raise Invalid_argument when [c]'s length differs from the query
+    arity, when a member of [c] is not a constant of [LB], when the
+    query mentions a predicate or constant outside the vocabulary of
+    [LB], or when the query head is empty (use {!certain_boolean}). *)
+val certain_member :
+  ?algorithm:algorithm ->
+  ?order:order ->
+  Vardi_cwdb.Cw_database.t ->
+  Vardi_logic.Query.t ->
+  string list ->
+  bool
+
+val certain_member_stats :
+  ?algorithm:algorithm ->
+  ?order:order ->
+  Vardi_cwdb.Cw_database.t ->
+  Vardi_logic.Query.t ->
+  string list ->
+  bool * stats
+
+(** [certain_boolean ?algorithm lb q] decides [T ⊨f φ] for a Boolean
+    query [(). φ] — [LAS(Q)] membership for Boolean queries.
+    @raise Invalid_argument if the query is not Boolean or mentions
+    symbols outside the vocabulary. *)
+val certain_boolean :
+  ?algorithm:algorithm ->
+  ?order:order ->
+  Vardi_cwdb.Cw_database.t ->
+  Vardi_logic.Query.t ->
+  bool
+
+val certain_boolean_stats :
+  ?algorithm:algorithm ->
+  ?order:order ->
+  Vardi_cwdb.Cw_database.t ->
+  Vardi_logic.Query.t ->
+  bool * stats
+
+(** [answer ?algorithm lb q] is the full certain answer [Q(LB)], a
+    relation over the constant set [C]. Computed by filtering [C^k]
+    through each examined structure, so each structure is evaluated
+    once regardless of the candidate count. *)
+val answer :
+  ?algorithm:algorithm ->
+  ?order:order ->
+  Vardi_cwdb.Cw_database.t ->
+  Vardi_logic.Query.t ->
+  Vardi_relational.Relation.t
+
+(** {1 The dual modality}
+
+    A tuple is a {e possible} answer when {e some} respecting mapping
+    admits it: [possible_member lb q c] iff
+    [∃h. h(c) ∈ Q(h(Ph₁(LB)))]. For Boolean queries,
+    [possible φ ⟺ ¬ certain (¬φ)]. Not studied by the paper directly
+    but implicit in its model-theoretic semantics; exposed because the
+    3-colorability reduction (Theorem 5) naturally asks a possibility
+    question. *)
+
+val possible_member :
+  ?algorithm:algorithm ->
+  ?order:order ->
+  Vardi_cwdb.Cw_database.t ->
+  Vardi_logic.Query.t ->
+  string list ->
+  bool
+
+val possible_boolean :
+  ?algorithm:algorithm ->
+  ?order:order ->
+  Vardi_cwdb.Cw_database.t ->
+  Vardi_logic.Query.t ->
+  bool
+
+val possible_answer :
+  ?algorithm:algorithm ->
+  ?order:order ->
+  Vardi_cwdb.Cw_database.t ->
+  Vardi_logic.Query.t ->
+  Vardi_relational.Relation.t
+
+(** [validate lb q] performs the vocabulary/arity checks shared by all
+    entry points.
+    @raise Invalid_argument on failure. *)
+val validate : Vardi_cwdb.Cw_database.t -> Vardi_logic.Query.t -> unit

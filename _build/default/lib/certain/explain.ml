@@ -1,0 +1,35 @@
+module Query = Vardi_logic.Query
+module Eval = Vardi_relational.Eval
+module Partition = Vardi_cwdb.Partition
+module Query_check = Vardi_cwdb.Query_check
+
+type verdict =
+  | Certain
+  | Refuted_by of Partition.t
+
+let search ?order lb check =
+  match
+    Seq.find (fun p -> not (check p)) (Partition.all_valid ?order lb)
+  with
+  | Some p -> Refuted_by p
+  | None -> Certain
+
+let boolean ?order lb q =
+  Query_check.validate lb q;
+  if not (Query.is_boolean q) then
+    invalid_arg "Explain.boolean: the query has answer variables";
+  search ?order lb (fun p ->
+      Eval.satisfies (Partition.quotient p) (Query.body q))
+
+let member ?order lb q tuple =
+  Query_check.validate lb q;
+  Query_check.validate_tuple lb q tuple;
+  if Query.is_boolean q then
+    invalid_arg "Explain.member: Boolean query; use Explain.boolean";
+  search ?order lb (fun p ->
+      Eval.member (Partition.quotient p) q
+        (List.map (Partition.representative p) tuple))
+
+let pp_verdict ppf = function
+  | Certain -> Fmt.string ppf "certain (holds in every possible world)"
+  | Refuted_by p -> Fmt.pf ppf "fails when constants merge as %a" Partition.pp p

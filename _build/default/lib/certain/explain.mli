@@ -1,0 +1,34 @@
+(** Countermodel extraction: not just {e whether} a tuple is a certain
+    answer, but {e why not}.
+
+    By Theorem 1, [c ∉ Q(LB)] exactly when some respecting mapping's
+    image refutes [φ(c)]; the kernel partition of that mapping is a
+    {e shape of a possible world} in which the answer fails — a
+    user-readable explanation ("...unless mystery and socrates are the
+    same person"). *)
+
+type verdict =
+  | Certain
+      (** the tuple/sentence holds in every possible world *)
+  | Refuted_by of Vardi_cwdb.Partition.t
+      (** a world shape in which it fails; its {!Vardi_cwdb.Partition.quotient}
+          is the countermodel database *)
+
+(** [boolean ?order lb q] explains a Boolean query.
+    @raise Invalid_argument as {!Engine.certain_boolean}. *)
+val boolean :
+  ?order:Vardi_cwdb.Partition.order ->
+  Vardi_cwdb.Cw_database.t ->
+  Vardi_logic.Query.t ->
+  verdict
+
+(** [member ?order lb q c] explains a candidate answer tuple.
+    @raise Invalid_argument as {!Engine.certain_member}. *)
+val member :
+  ?order:Vardi_cwdb.Partition.order ->
+  Vardi_cwdb.Cw_database.t ->
+  Vardi_logic.Query.t ->
+  string list ->
+  verdict
+
+val pp_verdict : verdict Fmt.t

@@ -1,0 +1,56 @@
+module Query = Vardi_logic.Query
+module Eval = Vardi_relational.Eval
+module Cw_database = Vardi_cwdb.Cw_database
+module Partition = Vardi_cwdb.Partition
+module Query_check = Vardi_cwdb.Query_check
+
+type verdict =
+  | Not_certain
+  | Probably_certain
+
+let random_partition ~state lb =
+  let constants = Cw_database.constants lb in
+  let compatible block c =
+    List.for_all (fun d -> not (Cw_database.are_distinct lb c d)) block
+  in
+  (* Insert each constant into a uniformly random choice among the
+     compatible existing blocks and one fresh block. *)
+  let blocks =
+    List.fold_left
+      (fun blocks c ->
+        let joinable = List.filter (fun b -> compatible b c) blocks in
+        let choice = Random.State.int state (List.length joinable + 1) in
+        if choice = List.length joinable then [ c ] :: blocks
+        else
+          let target = List.nth joinable choice in
+          List.map (fun b -> if b == target then c :: b else b) blocks)
+      [] constants
+  in
+  Partition.of_blocks lb blocks
+
+let run ~samples ~seed lb check =
+  if samples < 1 then invalid_arg "Sampling: need at least one sample";
+  let state = Random.State.make [| seed; samples |] in
+  let rec go i =
+    if i >= samples then Probably_certain
+    else
+      let p = random_partition ~state lb in
+      if check p then go (i + 1) else Not_certain
+  in
+  go 0
+
+let boolean ~samples ~seed lb q =
+  Query_check.validate lb q;
+  if not (Query.is_boolean q) then
+    invalid_arg "Sampling.boolean: the query has answer variables";
+  run ~samples ~seed lb (fun p ->
+      Eval.satisfies (Partition.quotient p) (Query.body q))
+
+let member ~samples ~seed lb q tuple =
+  Query_check.validate lb q;
+  Query_check.validate_tuple lb q tuple;
+  if Query.is_boolean q then
+    invalid_arg "Sampling.member: Boolean query; use Sampling.boolean";
+  run ~samples ~seed lb (fun p ->
+      Eval.member (Partition.quotient p) q
+        (List.map (Partition.representative p) tuple))

@@ -1,0 +1,46 @@
+(** Monte-Carlo refutation: the dual of the Section 5 approximation.
+
+    The paper's approximation is {e sound but incomplete} — it returns
+    only certain answers, possibly missing some. This engine has the
+    mirror-image guarantee: it is {e complete but unsound}. It samples
+    random respecting mappings [h : C → C]; any sample refuting
+    [φ(h(c))] proves [c] non-certain (a genuine countermodel), while
+    surviving all samples only suggests certainty.
+
+    Combined use: [Approx] answers "certainly yes", this engine
+    answers "certainly no", and the gap between them is the residue on
+    which only the exponential exact engine can decide. On random
+    workloads the two one-sided engines together decide almost
+    everything (experiment E12).
+
+    Sampling is uniform over the (kernel-partition) search space only
+    in a heuristic sense: each constant independently either stays
+    fresh or merges into a random earlier-compatible block. *)
+
+type verdict =
+  | Not_certain  (** a sampled countermodel refuted the query — definitive *)
+  | Probably_certain
+      (** every sample satisfied the query — {e no} guarantee *)
+
+(** [boolean ~samples ~seed lb q].
+    @raise Invalid_argument as {!Engine.certain_boolean}, or when
+    [samples < 1]. *)
+val boolean :
+  samples:int ->
+  seed:int ->
+  Vardi_cwdb.Cw_database.t ->
+  Vardi_logic.Query.t ->
+  verdict
+
+(** [member ~samples ~seed lb q c]. *)
+val member :
+  samples:int ->
+  seed:int ->
+  Vardi_cwdb.Cw_database.t ->
+  Vardi_logic.Query.t ->
+  string list ->
+  verdict
+
+(** [random_partition ~state lb] draws one valid kernel partition. *)
+val random_partition :
+  state:Random.State.t -> Vardi_cwdb.Cw_database.t -> Vardi_cwdb.Partition.t

@@ -1,0 +1,1 @@
+lib/core/ldb_format.ml: Buffer Format List Printf String Vardi_cwdb Vardi_logic

@@ -1,0 +1,1 @@
+lib/core/ldb_format.mli: Vardi_cwdb

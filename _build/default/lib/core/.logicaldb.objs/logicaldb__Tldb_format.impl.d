@@ -1,0 +1,1 @@
+lib/core/tldb_format.ml: Buffer Format List Printf String Vardi_cwdb Vardi_typed

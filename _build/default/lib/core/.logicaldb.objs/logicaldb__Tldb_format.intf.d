@@ -1,0 +1,1 @@
+lib/core/tldb_format.mli: Vardi_typed

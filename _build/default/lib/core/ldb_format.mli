@@ -1,0 +1,40 @@
+(** A plain-text format for CW logical databases ([.ldb] files).
+
+    Line-oriented; [#] starts a comment; blank lines ignored.
+
+    {v
+    # a database with one unknown identity
+    predicate TEACHES/2
+    constant socrates plato
+    fact TEACHES(socrates, plato)
+    distinct socrates plato
+    fully_specified
+    v}
+
+    - [predicate NAME/ARITY] declares a predicate;
+    - [constant NAME...] declares constants (constants appearing in
+      facts or [distinct] lines are declared implicitly);
+    - [fact P(c1, ..., ck)] adds an atomic fact axiom;
+    - [distinct c d] adds the uniqueness axiom [¬(c = d)];
+    - [fully_specified] (anywhere) closes the database with all
+      uniqueness axioms after reading every line. *)
+
+exception Syntax_error of int * string
+(** [(line_number, message)], 1-based. *)
+
+(** [parse text] reads a database from a string.
+    @raise Syntax_error on malformed lines, and [Invalid_argument] on
+    semantic violations (arity clash etc., from
+    {!Vardi_cwdb.Cw_database.make}). *)
+val parse : string -> Vardi_cwdb.Cw_database.t
+
+(** [load path] reads a database from a file.
+    @raise Sys_error when unreadable; otherwise as {!parse}. *)
+val load : string -> Vardi_cwdb.Cw_database.t
+
+(** [print db] renders a database; [parse (print db)] is equal to
+    [db]. *)
+val print : Vardi_cwdb.Cw_database.t -> string
+
+(** [save path db]. *)
+val save : string -> Vardi_cwdb.Cw_database.t -> unit

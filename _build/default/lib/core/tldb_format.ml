@@ -1,0 +1,168 @@
+module Ty_vocabulary = Vardi_typed.Ty_vocabulary
+module Ty_database = Vardi_typed.Ty_database
+
+exception Syntax_error of int * string
+
+let fail line fmt = Format.kasprintf (fun s -> raise (Syntax_error (line, s))) fmt
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let split_words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> not (String.equal w ""))
+
+let valid_name name =
+  String.length name > 0
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_' || c = '\'')
+       name
+
+let check_name lineno what name =
+  if not (valid_name name) then fail lineno "invalid %s name %S" what name
+
+(* [P(t1, t2)] — used for both predicate declarations (types inside)
+   and facts (constants inside). *)
+let parse_application lineno what rest =
+  let rest = String.trim rest in
+  match String.index_opt rest '(' with
+  | None -> fail lineno "%s needs the form NAME(...)" what
+  | Some open_paren ->
+    let name = String.trim (String.sub rest 0 open_paren) in
+    check_name lineno what name;
+    if String.length rest = 0 || rest.[String.length rest - 1] <> ')' then
+      fail lineno "%s misses the closing ')'" what;
+    let inside =
+      String.sub rest (open_paren + 1) (String.length rest - open_paren - 2)
+    in
+    let args =
+      if String.trim inside = "" then []
+      else String.split_on_char ',' inside |> List.map String.trim
+    in
+    List.iter (check_name lineno "argument") args;
+    (name, args)
+
+type accumulator = {
+  mutable types : string list;
+  mutable constants : (string * string) list;
+  mutable predicates : (string * string list) list;
+  mutable facts : (string * string list) list;
+  mutable distinct : (string * string) list;
+  mutable fully_specified : bool;
+}
+
+(* [constant a b c : tau] *)
+let parse_constants acc lineno words =
+  let rec split_at_colon before = function
+    | [] -> fail lineno "constant declarations need ': TYPE'"
+    | ":" :: [ tau ] -> (List.rev before, tau)
+    | ":" :: _ -> fail lineno "exactly one type after ':'"
+    | w :: rest -> split_at_colon (w :: before) rest
+  in
+  let names, tau = split_at_colon [] words in
+  if names = [] then fail lineno "constant declaration names nothing";
+  List.iter (check_name lineno "constant") names;
+  check_name lineno "type" tau;
+  acc.constants <- acc.constants @ List.map (fun c -> (c, tau)) names
+
+let parse_line acc lineno line =
+  let line = String.trim (strip_comment line) in
+  if String.equal line "" then ()
+  else
+    match split_words line with
+    | [ "fully_specified" ] -> acc.fully_specified <- true
+    | "type" :: names ->
+      List.iter (check_name lineno "type") names;
+      acc.types <- acc.types @ names
+    | "constant" :: words -> parse_constants acc lineno words
+    | "predicate" :: _ ->
+      let rest = String.sub line 9 (String.length line - 9) in
+      let name, signature = parse_application lineno "predicate" rest in
+      acc.predicates <- acc.predicates @ [ (name, signature) ]
+    | "fact" :: _ ->
+      let rest = String.sub line 4 (String.length line - 4) in
+      let name, args = parse_application lineno "fact" rest in
+      acc.facts <- acc.facts @ [ (name, args) ]
+    | [ "distinct"; c; d ] ->
+      check_name lineno "constant" c;
+      check_name lineno "constant" d;
+      acc.distinct <- acc.distinct @ [ (c, d) ]
+    | "distinct" :: _ -> fail lineno "distinct takes exactly two constants"
+    | word :: _ -> fail lineno "unknown directive %S" word
+    | [] -> ()
+
+let parse text =
+  let acc =
+    {
+      types = [];
+      constants = [];
+      predicates = [];
+      facts = [];
+      distinct = [];
+      fully_specified = false;
+    }
+  in
+  List.iteri (fun i line -> parse_line acc (i + 1) line) (String.split_on_char '\n' text);
+  let vocabulary =
+    Ty_vocabulary.make ~types:acc.types ~constants:acc.constants
+      ~predicates:acc.predicates
+  in
+  let db =
+    Ty_database.make ~vocabulary ~facts:acc.facts ~distinct:acc.distinct
+  in
+  if acc.fully_specified then Ty_database.fully_specify db else db
+
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  parse text
+
+let print db =
+  let buffer = Buffer.create 256 in
+  let vocabulary = Ty_database.vocabulary db in
+  Buffer.add_string buffer
+    (Printf.sprintf "type %s\n" (String.concat " " (Ty_vocabulary.types vocabulary)));
+  List.iter
+    (fun tau ->
+      match Ty_vocabulary.constants_of_type vocabulary tau with
+      | [] -> ()
+      | constants ->
+        Buffer.add_string buffer
+          (Printf.sprintf "constant %s : %s\n" (String.concat " " constants) tau))
+    (Ty_vocabulary.types vocabulary);
+  List.iter
+    (fun (p, signature) ->
+      Buffer.add_string buffer
+        (Printf.sprintf "predicate %s(%s)\n" p (String.concat ", " signature)))
+    (Ty_vocabulary.predicates vocabulary);
+  let cw = Ty_database.to_cw db in
+  List.iter
+    (fun { Vardi_cwdb.Cw_database.pred; args } ->
+      (* The elaboration adds ty$ facts; keep only user facts. *)
+      if not (String.length pred >= 3 && String.equal (String.sub pred 0 3) "ty$")
+      then
+        Buffer.add_string buffer
+          (Printf.sprintf "fact %s(%s)\n" pred (String.concat ", " args)))
+    (Vardi_cwdb.Cw_database.facts cw);
+  (* Same-type uniqueness axioms only (cross-type ones are implied). *)
+  List.iter
+    (fun (c, d) ->
+      let tau c = Ty_vocabulary.constant_type vocabulary c in
+      if String.equal (tau c) (tau d) then
+        Buffer.add_string buffer (Printf.sprintf "distinct %s %s\n" c d))
+    (Vardi_cwdb.Cw_database.distinct_pairs cw);
+  Buffer.contents buffer
+
+let save path db =
+  let oc = open_out path in
+  output_string oc (print db);
+  close_out oc

@@ -1,0 +1,34 @@
+(** A plain-text format for {e typed} CW logical databases ([.tldb]
+    files). Line-oriented; [#] comments; blank lines ignored.
+
+    {v
+    type person course
+    constant alice bob db_teacher : person
+    constant databases logic : course
+    predicate ENROLLED(person, course)
+    fact ENROLLED(alice, databases)
+    distinct alice bob
+    fully_specified
+    v}
+
+    - [type NAME...] declares types;
+    - [constant NAME... : TYPE] declares constants of one type;
+    - [predicate NAME(TYPE, ...)] declares a predicate ([NAME()] for a
+      propositional one);
+    - [fact P(c1, ..., ck)] adds an atomic fact axiom;
+    - [distinct c d] adds a (same-type) uniqueness axiom;
+    - [fully_specified] closes every type after reading all lines. *)
+
+exception Syntax_error of int * string
+
+(** [parse text].
+    @raise Syntax_error on malformed lines; [Invalid_argument] on
+    semantic violations (from {!Vardi_typed.Ty_database.make}). *)
+val parse : string -> Vardi_typed.Ty_database.t
+
+val load : string -> Vardi_typed.Ty_database.t
+
+(** [print db]; [parse (print db)] describes the same database. *)
+val print : Vardi_typed.Ty_database.t -> string
+
+val save : string -> Vardi_typed.Ty_database.t -> unit

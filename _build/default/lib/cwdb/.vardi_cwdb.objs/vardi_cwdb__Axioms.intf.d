@@ -1,0 +1,1 @@
+lib/cwdb/axioms.mli: Cw_database Vardi_logic Vardi_relational

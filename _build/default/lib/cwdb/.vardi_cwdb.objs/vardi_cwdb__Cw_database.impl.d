@@ -1,0 +1,1 @@
+lib/cwdb/cw_database.ml: Fmt List Printf Set String Vardi_logic

@@ -1,0 +1,1 @@
+lib/cwdb/cw_database.mli: Fmt Vardi_logic

@@ -1,0 +1,1 @@
+lib/cwdb/mapping.ml: Array Cw_database Float Fmt Fun List Map Ph Printf Seq String Vardi_relational

@@ -1,0 +1,1 @@
+lib/cwdb/mapping.mli: Cw_database Fmt Seq Vardi_relational

@@ -1,0 +1,1 @@
+lib/cwdb/ne_virtual.ml: Cw_database List Ph Printf Set String Vardi_logic

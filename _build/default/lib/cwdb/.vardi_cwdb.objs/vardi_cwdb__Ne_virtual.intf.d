@@ -1,0 +1,1 @@
+lib/cwdb/ne_virtual.mli: Cw_database Vardi_logic Vardi_relational

@@ -1,0 +1,1 @@
+lib/cwdb/partition.ml: Cw_database Fmt Fun List Map Mapping Printf Seq String

@@ -1,0 +1,1 @@
+lib/cwdb/partition.mli: Cw_database Fmt Mapping Seq Vardi_relational

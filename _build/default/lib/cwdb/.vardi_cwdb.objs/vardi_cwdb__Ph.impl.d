@@ -1,0 +1,1 @@
+lib/cwdb/ph.ml: Cw_database List Printf Vardi_logic Vardi_relational

@@ -1,0 +1,1 @@
+lib/cwdb/ph.mli: Cw_database Vardi_relational

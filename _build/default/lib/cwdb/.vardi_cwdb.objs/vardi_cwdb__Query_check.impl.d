@@ -1,0 +1,1 @@
+lib/cwdb/query_check.ml: Cw_database List Printf Vardi_logic

@@ -1,0 +1,1 @@
+lib/cwdb/query_check.mli: Cw_database Vardi_logic

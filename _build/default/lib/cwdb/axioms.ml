@@ -1,0 +1,50 @@
+module Formula = Vardi_logic.Formula
+module Term = Vardi_logic.Term
+module Vocabulary = Vardi_logic.Vocabulary
+module Eval = Vardi_relational.Eval
+
+let atomic_facts db =
+  List.map
+    (fun { Cw_database.pred; args } ->
+      Formula.Atom (pred, List.map Term.const args))
+    (Cw_database.facts db)
+
+let uniqueness db =
+  List.map
+    (fun (c, d) -> Formula.neq (Term.const c) (Term.const d))
+    (Cw_database.distinct_pairs db)
+
+let domain_closure db =
+  let x = Term.Var "x" in
+  let disjuncts =
+    List.map (fun c -> Formula.Eq (x, Term.const c)) (Cw_database.constants db)
+  in
+  Formula.Forall ("x", Formula.disj disjuncts)
+
+let completion db p =
+  let arity = Vocabulary.arity (Cw_database.vocabulary db) p in
+  let vars = List.init arity (Printf.sprintf "x%d") in
+  let terms = List.map Term.var vars in
+  match Cw_database.facts_of db p with
+  | [] -> Formula.forall_many vars (Formula.Not (Formula.Atom (p, terms)))
+  | tuples ->
+    let equals_tuple tuple =
+      Formula.conj
+        (List.map2 (fun v c -> Formula.Eq (Term.var v, Term.const c)) vars tuple)
+    in
+    Formula.forall_many vars
+      (Formula.Implies
+         (Formula.Atom (p, terms), Formula.disj (List.map equals_tuple tuples)))
+
+let completions db =
+  List.map
+    (fun (p, _) -> completion db p)
+    (Vocabulary.predicates (Cw_database.vocabulary db))
+
+let theory db =
+  atomic_facts db @ uniqueness db @ [ domain_closure db ] @ completions db
+
+let unique_conjunction db = Formula.conj (uniqueness db)
+
+let is_model db pb =
+  List.for_all (fun sentence -> Eval.satisfies pb sentence) (theory db)

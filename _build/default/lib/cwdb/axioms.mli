@@ -1,0 +1,38 @@
+(** The five-component theory of a CW logical database (paper,
+    Section 2.2), reconstructed as explicit formulas.
+
+    These are used to {e check} models (tests verify that [Ph₁(LB)]
+    satisfies [T], that [h(Ph₁(LB))] satisfies [T] exactly when [h]
+    respects [T], and so on); the evaluation engines never need to
+    materialize them. *)
+
+(** Atomic fact axioms, e.g. [TEACHES(socrates, plato)]. *)
+val atomic_facts : Cw_database.t -> Vardi_logic.Formula.t list
+
+(** Uniqueness axioms [¬(ci = cj)]. *)
+val uniqueness : Cw_database.t -> Vardi_logic.Formula.t list
+
+(** The domain closure axiom [∀x (x = c1 ∨ ... ∨ x = cn)]. *)
+val domain_closure : Cw_database.t -> Vardi_logic.Formula.t
+
+(** Completion axiom for one predicate:
+    [∀x (P(x) → x = c¹ ∨ ... ∨ x = cᵐ)], or [∀x ¬P(x)] when [P] has no
+    facts. For a 0-ary predicate with no facts this degenerates to
+    [¬P()]. *)
+val completion : Cw_database.t -> string -> Vardi_logic.Formula.t
+
+(** All completion axioms, one per predicate, in vocabulary order. *)
+val completions : Cw_database.t -> Vardi_logic.Formula.t list
+
+(** The whole theory [T], in the paper's order: atomic facts,
+    uniqueness, domain closure, completions. *)
+val theory : Cw_database.t -> Vardi_logic.Formula.t list
+
+(** [Unique(T)]: the conjunction of the uniqueness axioms (paper,
+    Section 5). *)
+val unique_conjunction : Cw_database.t -> Vardi_logic.Formula.t
+
+(** [is_model db pb] decides whether physical database [pb] satisfies
+    every sentence of [theory db] — i.e. whether [pb] is a possible
+    world of [db]. *)
+val is_model : Cw_database.t -> Vardi_relational.Database.t -> bool

@@ -1,0 +1,146 @@
+module Vocabulary = Vardi_logic.Vocabulary
+
+type fact = {
+  pred : string;
+  args : string list;
+}
+
+module Fact_set = Set.Make (struct
+  type t = fact
+
+  let compare a b =
+    let c = String.compare a.pred b.pred in
+    if c <> 0 then c else List.compare String.compare a.args b.args
+end)
+
+module Pair_set = Set.Make (struct
+  type t = string * string
+
+  let compare (a1, a2) (b1, b2) =
+    let c = String.compare a1 b1 in
+    if c <> 0 then c else String.compare a2 b2
+end)
+
+type t = {
+  vocabulary : Vocabulary.t;
+  facts : Fact_set.t;
+  distinct : Pair_set.t;
+}
+
+let normalize_pair c d = if String.compare c d <= 0 then (c, d) else (d, c)
+
+let check_fact vocabulary { pred; args } =
+  (match Vocabulary.arity_opt vocabulary pred with
+  | None ->
+    invalid_arg (Printf.sprintf "Cw_database: undeclared predicate %s" pred)
+  | Some k ->
+    if List.length args <> k then
+      invalid_arg
+        (Printf.sprintf "Cw_database: fact %s has %d arguments, declared %d"
+           pred (List.length args) k));
+  List.iter
+    (fun c ->
+      if not (Vocabulary.mem_constant vocabulary c) then
+        invalid_arg
+          (Printf.sprintf "Cw_database: fact argument %s is not a constant" c))
+    args
+
+let check_pair vocabulary c d =
+  if String.equal c d then
+    invalid_arg
+      (Printf.sprintf "Cw_database: uniqueness axiom ~(%s = %s) is inconsistent"
+         c d);
+  List.iter
+    (fun x ->
+      if not (Vocabulary.mem_constant vocabulary x) then
+        invalid_arg (Printf.sprintf "Cw_database: %s is not a constant" x))
+    [ c; d ]
+
+let make ~vocabulary ~facts ~distinct =
+  if Vocabulary.constants vocabulary = [] then
+    invalid_arg "Cw_database: the vocabulary needs at least one constant";
+  List.iter (check_fact vocabulary) facts;
+  List.iter (fun (c, d) -> check_pair vocabulary c d) distinct;
+  {
+    vocabulary;
+    facts = Fact_set.of_list facts;
+    distinct =
+      Pair_set.of_list (List.map (fun (c, d) -> normalize_pair c d) distinct);
+  }
+
+let vocabulary db = db.vocabulary
+let constants db = Vocabulary.constants db.vocabulary
+let facts db = Fact_set.elements db.facts
+
+let facts_of db p =
+  Fact_set.fold
+    (fun f acc -> if String.equal f.pred p then f.args :: acc else acc)
+    db.facts []
+  |> List.rev
+
+let distinct_pairs db = Pair_set.elements db.distinct
+
+let are_distinct db c d =
+  (not (String.equal c d)) && Pair_set.mem (normalize_pair c d) db.distinct
+
+let all_pairs cs =
+  let rec go acc = function
+    | [] -> acc
+    | c :: rest -> go (List.fold_left (fun a d -> (c, d) :: a) acc rest) rest
+  in
+  go [] cs
+
+let is_fully_specified db =
+  List.for_all (fun (c, d) -> are_distinct db c d) (all_pairs (constants db))
+
+let fully_specify db =
+  {
+    db with
+    distinct =
+      List.fold_left
+        (fun acc (c, d) -> Pair_set.add (normalize_pair c d) acc)
+        db.distinct
+        (all_pairs (constants db));
+  }
+
+let known_values db =
+  let cs = constants db in
+  List.filter
+    (fun c ->
+      List.for_all
+        (fun d -> String.equal c d || are_distinct db c d)
+        cs)
+    cs
+
+let unknown_values db =
+  let known = known_values db in
+  List.filter (fun c -> not (List.mem c known)) (constants db)
+
+let add_fact db fact =
+  check_fact db.vocabulary fact;
+  { db with facts = Fact_set.add fact db.facts }
+
+let add_distinct db c d =
+  check_pair db.vocabulary c d;
+  { db with distinct = Pair_set.add (normalize_pair c d) db.distinct }
+
+let size db =
+  Fact_set.cardinal db.facts
+  + Pair_set.cardinal db.distinct
+  + List.length (constants db)
+
+let equal a b =
+  Vocabulary.equal a.vocabulary b.vocabulary
+  && Fact_set.equal a.facts b.facts
+  && Pair_set.equal a.distinct b.distinct
+
+let pp ppf db =
+  let pp_fact ppf f =
+    Fmt.pf ppf "%s(%a)" f.pred Fmt.(list ~sep:(any ", ") string) f.args
+  in
+  let pp_pair ppf (c, d) = Fmt.pf ppf "%s != %s" c d in
+  Fmt.pf ppf "@[<v>%a@,facts: %a@,distinct: %a@]" Vocabulary.pp db.vocabulary
+    Fmt.(list ~sep:(any "; ") pp_fact)
+    (facts db)
+    Fmt.(list ~sep:(any "; ") pp_pair)
+    (distinct_pairs db)

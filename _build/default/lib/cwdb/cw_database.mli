@@ -1,0 +1,83 @@
+(** Closed-world logical databases (paper, Section 2.2).
+
+    A CW logical database [(L, T)] is determined by its {e atomic fact
+    axioms} and {e uniqueness axioms}; the domain-closure axiom and the
+    completion axioms are implied (paper: "In practice it suffices to
+    specify the atomic fact axioms and the uniqueness axioms"). This
+    module stores exactly those two components; {!Axioms} reconstructs
+    the full five-component theory on demand. *)
+
+(** An atomic fact axiom [P(c1, ..., ck)]. *)
+type fact = {
+  pred : string;
+  args : string list;  (** constant symbols *)
+}
+
+type t
+
+(** [make ~vocabulary ~facts ~distinct] builds a CW database.
+
+    Validation, per Section 2.2:
+    - every fact predicate is declared in [vocabulary] with the right
+      arity, and every fact argument is a constant of [vocabulary];
+    - every [distinct] pair consists of two {e different} constants of
+      [vocabulary] (an axiom [¬(c = c)] would make the theory
+      inconsistent, and the paper assumes no equalities in [T]);
+    - the vocabulary has at least one constant (the domain-closure
+      axiom needs a nonempty disjunction).
+
+    Pairs are stored unordered ([¬(ci=cj)] is identified with
+    [¬(cj=ci)]); duplicates are dropped.
+
+    @raise Invalid_argument when validation fails. *)
+val make :
+  vocabulary:Vardi_logic.Vocabulary.t ->
+  facts:fact list ->
+  distinct:(string * string) list ->
+  t
+
+val vocabulary : t -> Vardi_logic.Vocabulary.t
+
+(** The constant set [C] of [L], sorted. *)
+val constants : t -> string list
+
+(** Atomic fact axioms, sorted. *)
+val facts : t -> fact list
+
+(** [facts_of db p] is the list of argument tuples of the atomic facts
+    about predicate [p]. *)
+val facts_of : t -> string -> string list list
+
+(** Uniqueness axioms as sorted unordered pairs [(ci, cj)] with
+    [ci < cj]. *)
+val distinct_pairs : t -> (string * string) list
+
+(** [are_distinct db c d] holds when [¬(c = d)] is an axiom. *)
+val are_distinct : t -> string -> string -> bool
+
+(** A database is fully specified when every pair of distinct constants
+    carries a uniqueness axiom (paper, Section 2.2). *)
+val is_fully_specified : t -> bool
+
+(** [fully_specify db] adds all missing uniqueness axioms. *)
+val fully_specify : t -> t
+
+(** Constants that are {e known values}: distinct from every other
+    constant. The complement is the unknown-value set [U] of Section 5's
+    virtual-NE representation. *)
+val known_values : t -> string list
+
+val unknown_values : t -> string list
+
+(** [add_fact db fact] and [add_distinct db c d] extend the theory,
+    with the same validation as {!make}. *)
+val add_fact : t -> fact -> t
+
+val add_distinct : t -> string -> string -> t
+
+(** Size of the database: number of facts plus uniqueness axioms plus
+    constants — the data-complexity measure's input size. *)
+val size : t -> int
+
+val equal : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,81 @@
+module Database = Vardi_relational.Database
+module String_map = Map.Make (String)
+
+type t = {
+  db : Cw_database.t;
+  map : string String_map.t;  (* total on the constants of [db] *)
+}
+
+let of_assoc db pairs =
+  let constants = Cw_database.constants db in
+  let is_constant c = List.mem c constants in
+  List.iter
+    (fun (c, d) ->
+      if not (is_constant c && is_constant d) then
+        invalid_arg
+          (Printf.sprintf "Mapping.of_assoc: %s -> %s mentions a non-constant" c
+             d))
+    pairs;
+  let map =
+    List.fold_left
+      (fun acc c ->
+        let target =
+          match List.assoc_opt c pairs with Some d -> d | None -> c
+        in
+        String_map.add c target acc)
+      String_map.empty constants
+  in
+  { db; map }
+
+let identity db = of_assoc db []
+
+let apply h c =
+  match String_map.find_opt c h.map with
+  | Some d -> d
+  | None -> raise Not_found
+
+let apply_tuple h tuple = List.map (apply h) tuple
+
+let respects h =
+  List.for_all
+    (fun (c, d) -> not (String.equal (apply h c) (apply h d)))
+    (Cw_database.distinct_pairs h.db)
+
+let image_db h = Database.map_elements (apply h) (Ph.ph1 h.db)
+
+let count_all db =
+  let n = Float.of_int (List.length (Cw_database.constants db)) in
+  n ** n
+
+let all db =
+  let constants = Array.of_list (Cw_database.constants db) in
+  let n = Array.length constants in
+  if count_all db > Float.of_int (1 lsl 24) then
+    invalid_arg
+      (Printf.sprintf "Mapping.all: %d^%d mappings exceeds the enumeration cap"
+         n n);
+  (* Enumerate base-n counters of n digits; digit i gives h(c_i). *)
+  let total =
+    int_of_float (count_all db)
+  in
+  let of_index index =
+    let rec digits i value acc =
+      if i >= n then acc
+      else
+        digits (i + 1) (value / n)
+          (String_map.add constants.(i) constants.(value mod n) acc)
+    in
+    { db; map = digits 0 index String_map.empty }
+  in
+  Seq.map of_index (Seq.init (max total 1) Fun.id)
+
+let all_respecting db = Seq.filter respects (all db)
+
+let equal a b =
+  Cw_database.equal a.db b.db && String_map.equal String.equal a.map b.map
+
+let pp ppf h =
+  let bindings = String_map.bindings h.map in
+  Fmt.pf ppf "{%a}"
+    Fmt.(list ~sep:(any "; ") (pair ~sep:(any " -> ") string string))
+    bindings

@@ -1,0 +1,46 @@
+(** Mappings [h : C → C] (paper, Section 3.1).
+
+    Theorem 1 characterizes certain answers through all mappings of the
+    constant set into itself that {e respect} [T]: whenever
+    [¬(ci = cj) ∈ T], [h(ci) ≠ h(cj)]. *)
+
+type t
+
+(** [of_assoc db pairs] builds a mapping over the constants of [db];
+    constants missing from [pairs] map to themselves.
+    @raise Invalid_argument if a pair mentions a non-constant on either
+    side. *)
+val of_assoc : Cw_database.t -> (string * string) list -> t
+
+val identity : Cw_database.t -> t
+
+(** [apply h c].
+    @raise Not_found when [c] is not a constant of the database. *)
+val apply : t -> string -> string
+
+val apply_tuple : t -> string list -> string list
+
+(** [respects h] decides whether [h] respects the uniqueness axioms of
+    its database. *)
+val respects : t -> bool
+
+(** [image_db h] is [h(Ph₁(LB))] (Section 3.1): domain [h(C)],
+    constants [h ∘ I], relations [h(I(P))]. *)
+val image_db : t -> Vardi_relational.Database.t
+
+(** [all db] enumerates every mapping [h : C → C] — all [|C|^|C|] of
+    them, lazily.
+    @raise Invalid_argument when [|C|^|C|] exceeds [2^24] (use the
+    kernel-partition engine instead at that size). *)
+val all : Cw_database.t -> t Seq.t
+
+(** [all_respecting db] is [all db] filtered by {!respects}. *)
+val all_respecting : Cw_database.t -> t Seq.t
+
+(** [count_all db] is [|C|^|C|] (as a float, to survive overflow) —
+    the search-space measure reported in the paper's discussion of
+    expression complexity ("k is exponential in the size of LB"). *)
+val count_all : Cw_database.t -> float
+
+val equal : t -> t -> bool
+val pp : t Fmt.t

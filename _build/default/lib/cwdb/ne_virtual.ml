@@ -1,0 +1,66 @@
+module Formula = Vardi_logic.Formula
+module Term = Vardi_logic.Term
+
+module Pair_set = Set.Make (struct
+  type t = string * string
+
+  let compare (a1, a2) (b1, b2) =
+    let c = String.compare a1 b1 in
+    if c <> 0 then c else String.compare a2 b2
+end)
+
+module String_set = Set.Make (String)
+
+type t = {
+  unknowns : String_set.t;
+  stored : Pair_set.t;  (* normalized: smaller constant first *)
+}
+
+let normalize c d = if String.compare c d <= 0 then (c, d) else (d, c)
+
+let make db =
+  let unknowns = String_set.of_list (Cw_database.unknown_values db) in
+  let stored =
+    List.fold_left
+      (fun acc (c, d) ->
+        if String_set.mem c unknowns || String_set.mem d unknowns then
+          Pair_set.add (normalize c d) acc
+        else acc)
+      Pair_set.empty (Cw_database.distinct_pairs db)
+  in
+  { unknowns; stored }
+
+let unknowns t = String_set.elements t.unknowns
+let stored_pairs t = Pair_set.elements t.stored
+
+let holds t x y =
+  Pair_set.mem (normalize x y) t.stored
+  || ((not (String_set.mem x t.unknowns))
+     && (not (String_set.mem y t.unknowns))
+     && not (String.equal x y))
+
+let storage_size t = Pair_set.cardinal t.stored + String_set.cardinal t.unknowns
+
+let explicit_size db = List.length (Cw_database.distinct_pairs db)
+
+let virtuals t name =
+  if String.equal name Ph.ne_predicate then
+    Some
+      (function
+      | [ x; y ] -> holds t x y
+      | args ->
+        invalid_arg
+          (Printf.sprintf "Ne_virtual: NE applied to %d arguments"
+             (List.length args)))
+  else None
+
+let defining_formula =
+  let x = Term.var "x" and y = Term.var "y" in
+  Formula.Or
+    ( Formula.Atom ("NE'", [ x; y ]),
+      Formula.conj
+        [
+          Formula.Not (Formula.Atom ("U", [ x ]));
+          Formula.Not (Formula.Atom ("U", [ y ]));
+          Formula.neq x y;
+        ] )

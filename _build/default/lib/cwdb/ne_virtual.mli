@@ -1,0 +1,46 @@
+(** The compact, virtual representation of the [NE] relation (paper,
+    end of Section 5).
+
+    Materializing [NE] explicitly can cost up to a quadratic number of
+    pairs, yet in practice most values are {e known}. The paper stores
+    instead a unary relation [U] of unknown values and a binary [NE′]
+    of the inequalities known about values in [U], and defines
+
+    [NE(x, y) ≡ NE′(x, y) ∨ (¬U(x) ∧ ¬U(y) ∧ ¬(x = y))].
+
+    A constant is {e known} when a uniqueness axiom separates it from
+    every other constant; then all known-known pairs are automatically
+    unequal and only pairs touching [U] need storing. For a fully
+    specified database, [U] and [NE′] are empty and [NE(x,y)] reduces
+    to [¬(x = y)]. *)
+
+type t
+
+val make : Cw_database.t -> t
+
+(** The unknown-value set [U], sorted. *)
+val unknowns : t -> string list
+
+(** The stored pairs [NE′] (symmetric: both orientations counted once;
+    pairs are reported with the smaller constant first). *)
+val stored_pairs : t -> (string * string) list
+
+(** [holds t x y] evaluates the virtual [NE(x, y)]. *)
+val holds : t -> string -> string -> bool
+
+(** Storage cost (number of stored pairs plus [|U|]), versus
+    [explicit_size], the number of unordered pairs an explicit [NE]
+    would store. Benched by experiment E9. *)
+val storage_size : t -> int
+
+val explicit_size : Cw_database.t -> int
+
+(** A {!Vardi_relational.Eval.virtuals} hook exposing the virtual [NE]
+    under {!Ph.ne_predicate}, so [Ph₁(LB)] plus this hook behaves
+    exactly like [Ph₂(LB)]. *)
+val virtuals : t -> Vardi_relational.Eval.virtuals
+
+(** The defining formula of the virtual relation, with [NE′] and [U]
+    as atoms — for documentation and the algebra pipeline:
+    [NE'(x,y) \/ (~U(x) /\ ~U(y) /\ x != y)]. *)
+val defining_formula : Vardi_logic.Formula.t

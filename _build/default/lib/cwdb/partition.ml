@@ -1,0 +1,152 @@
+module String_map = Map.Make (String)
+
+type t = {
+  db : Cw_database.t;
+  (* Maps each constant to the minimum element of its block. *)
+  repr : string String_map.t;
+}
+
+let blocks p =
+  let by_repr =
+    String_map.fold
+      (fun c r acc ->
+        String_map.update r
+          (function None -> Some [ c ] | Some cs -> Some (c :: cs))
+          acc)
+      p.repr String_map.empty
+  in
+  String_map.bindings by_repr
+  |> List.map (fun (_, cs) -> List.sort String.compare cs)
+
+let representative p c =
+  match String_map.find_opt c p.repr with
+  | Some r -> r
+  | None -> raise Not_found
+
+let to_mapping p =
+  Mapping.of_assoc p.db (String_map.bindings p.repr)
+
+let quotient p = Mapping.image_db (to_mapping p)
+
+let discrete db =
+  {
+    db;
+    repr =
+      List.fold_left
+        (fun acc c -> String_map.add c c acc)
+        String_map.empty (Cw_database.constants db);
+  }
+
+let of_blocks db blocks =
+  let constants = Cw_database.constants db in
+  let repr =
+    List.fold_left
+      (fun acc block ->
+        match List.sort String.compare block with
+        | [] -> invalid_arg "Partition.of_blocks: empty block"
+        | rep :: _ as sorted ->
+          List.iter
+            (fun c ->
+              List.iter
+                (fun d ->
+                  if Cw_database.are_distinct db c d then
+                    invalid_arg
+                      (Printf.sprintf
+                         "Partition.of_blocks: block merges %s and %s, which \
+                          carry a uniqueness axiom"
+                         c d))
+                sorted)
+            sorted;
+          List.fold_left
+            (fun acc c ->
+              if String_map.mem c acc then
+                invalid_arg
+                  (Printf.sprintf "Partition.of_blocks: %s in two blocks" c);
+              String_map.add c rep acc)
+            acc sorted)
+      String_map.empty blocks
+  in
+  List.iter
+    (fun c ->
+      if not (String_map.mem c repr) then
+        invalid_arg (Printf.sprintf "Partition.of_blocks: %s not covered" c))
+    constants;
+  if String_map.cardinal repr <> List.length constants then
+    invalid_arg "Partition.of_blocks: blocks mention non-constants";
+  { db; repr }
+
+type order =
+  | Fresh_first
+  | Merge_first
+
+(* Enumerate set partitions by inserting constants one at a time into
+   an existing block or a fresh one — the standard restricted-growth
+   scheme — skipping insertions that would merge a distinct pair.
+   Blocks store members in descending insertion order; constants are
+   inserted in ascending order, so the minimum is the last element and
+   [List.rev] puts it first when building the representative map.
+
+   Ordering guarantee: with [Fresh_first], "open a fresh block" is
+   tried before any merge at every step, so the discrete partition is
+   produced first; [Merge_first] mirrors the choice order, producing
+   maximally-merged partitions early. *)
+let all_valid ?(order = Fresh_first) db =
+  let constants = Cw_database.constants db in
+  let compatible block c =
+    List.for_all (fun d -> not (Cw_database.are_distinct db c d)) block
+  in
+  let rec expand blocks remaining () =
+    match remaining with
+    | [] ->
+      let repr =
+        List.fold_left
+          (fun acc block ->
+            match block with
+            | [] -> acc
+            | rep :: _ ->
+              List.fold_left (fun acc c -> String_map.add c rep acc) acc block)
+          String_map.empty
+          (List.map List.rev blocks)
+      in
+      Seq.Cons ({ db; repr }, Seq.empty)
+    | c :: rest ->
+      let fresh = expand ([ c ] :: blocks) rest in
+      let joins =
+        List.mapi
+          (fun i block ->
+            if compatible block c then
+              let blocks' =
+                List.mapi (fun j b -> if i = j then c :: b else b) blocks
+              in
+              Some (expand blocks' rest)
+            else None)
+          blocks
+        |> List.filter_map Fun.id
+      in
+      let join_seq = List.fold_left Seq.append Seq.empty joins in
+      (match order with
+      | Fresh_first -> Seq.append fresh join_seq ()
+      | Merge_first -> Seq.append join_seq fresh ())
+  in
+  expand [] constants
+
+let count_valid db = Seq.fold_left (fun n _ -> n + 1) 0 (all_valid db)
+
+let count_valid_up_to cap db =
+  let rec go n seq =
+    if n >= cap then n
+    else
+      match seq () with
+      | Seq.Nil -> n
+      | Seq.Cons (_, rest) -> go (n + 1) rest
+  in
+  go 0 (all_valid db)
+
+let equal a b =
+  Cw_database.equal a.db b.db && String_map.equal String.equal a.repr b.repr
+
+let pp ppf p =
+  let pp_block ppf b =
+    Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") string) b
+  in
+  Fmt.pf ppf "%a" Fmt.(list ~sep:(any " | ") pp_block) (blocks p)

@@ -1,0 +1,71 @@
+(** Kernel partitions of the constant set.
+
+    Two mappings [h : C → C] with the same kernel (the partition of [C]
+    into preimage classes) yield isomorphic image databases
+    [h(Ph₁(LB))], via the bijection [h₁(c) ↦ h₂(c)] — which also maps
+    the interpretation of each constant symbol correspondingly. Since
+    query satisfaction is isomorphism-invariant, Theorem 1's universal
+    quantification over mappings reduces to a universal quantification
+    over {e kernel partitions} whose blocks are independent sets of the
+    distinctness graph (a mapping respects [T] iff its kernel never
+    merges a pair with a uniqueness axiom).
+
+    This cuts the search space from [|C|^|C|] mappings to at most
+    Bell(|C|) partitions, and usually far fewer once uniqueness axioms
+    prune blocks. The quotient database of a partition is the image
+    database of the representative mapping [c ↦ min(block(c))]. *)
+
+type t
+
+(** Blocks, each sorted, sorted by first element. Blocks partition the
+    constant set. *)
+val blocks : t -> string list list
+
+(** [representative p c] is the canonical representative (minimum) of
+    [c]'s block.
+    @raise Not_found when [c] is not a constant. *)
+val representative : t -> string -> string
+
+(** The representative mapping as a {!Mapping.t}. *)
+val to_mapping : t -> Mapping.t
+
+(** [quotient p] is the image database under the representative
+    mapping. *)
+val quotient : t -> Vardi_relational.Database.t
+
+(** [discrete db] is the partition into singletons (kernel of the
+    identity). *)
+val discrete : Cw_database.t -> t
+
+(** [of_blocks db blocks] builds a partition explicitly.
+    @raise Invalid_argument if [blocks] does not partition the constant
+    set or merges a pair carrying a uniqueness axiom. *)
+val of_blocks : Cw_database.t -> string list list -> t
+
+(** Enumeration order for {!all_valid}. [Fresh_first] tries opening a
+    new block before joining existing ones, so the discrete partition
+    comes first and heavily-merged partitions come last. [Merge_first]
+    is the mirror image: heavily-merged partitions come early — a
+    countermodel-seeking heuristic, since certain-answer countermodels
+    typically require merging unknowns (e.g. the Theorem 5 reduction's
+    proper colorings merge every vertex constant into a color class). *)
+type order =
+  | Fresh_first
+  | Merge_first
+
+(** [all_valid ?order db] lazily enumerates every partition of [C]
+    whose blocks are independent in the distinctness graph — exactly
+    the kernels of mappings that respect [T]. Default order:
+    [Fresh_first] (the discrete partition first). *)
+val all_valid : ?order:order -> Cw_database.t -> t Seq.t
+
+(** [count_valid db] counts the partitions [all_valid] yields. *)
+val count_valid : Cw_database.t -> int
+
+(** [count_valid_up_to cap db] counts lazily, stopping at [cap] — use
+    to probe whether a database is within an exact-evaluation budget
+    without paying for the full enumeration. *)
+val count_valid_up_to : int -> Cw_database.t -> int
+
+val equal : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,18 @@
+(** The canonical physical databases [Ph₁(LB)] and [Ph₂(LB)] (paper,
+    Sections 3.1 and 3.2).
+
+    [Ph₁(LB) = (L, I)]: domain is the constant set [C], [I] is the
+    identity on constants, and [I(P) = { c : P(c) ∈ T }].
+
+    [Ph₂(LB) = (L′, I)]: the same, over the vocabulary [L′ = L ∪ {NE}],
+    with [I(NE) = { (ci, cj) : ¬(ci = cj) ∈ T }] (stored symmetrically:
+    the paper identifies [¬(ci=cj)] with [¬(cj=ci)]). *)
+
+(** Name of the added inequality predicate in [L′]. *)
+val ne_predicate : string
+
+val ph1 : Cw_database.t -> Vardi_relational.Database.t
+
+(** @raise Invalid_argument if the vocabulary of [LB] already declares
+    a predicate named [NE]. *)
+val ph2 : Cw_database.t -> Vardi_relational.Database.t

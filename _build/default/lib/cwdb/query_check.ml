@@ -1,0 +1,35 @@
+module Formula = Vardi_logic.Formula
+module Query = Vardi_logic.Query
+module Vocabulary = Vardi_logic.Vocabulary
+
+let validate lb q =
+  let vocabulary = Cw_database.vocabulary lb in
+  let body = Query.body q in
+  List.iter
+    (fun (p, k) ->
+      match Vocabulary.arity_opt vocabulary p with
+      | None ->
+        invalid_arg
+          (Printf.sprintf "query predicate %s is not in the vocabulary" p)
+      | Some k' ->
+        if k <> k' then
+          invalid_arg
+            (Printf.sprintf "query uses predicate %s with arity %d, declared %d"
+               p k k'))
+    (Formula.free_preds body);
+  List.iter
+    (fun c ->
+      if not (Vocabulary.mem_constant vocabulary c) then
+        invalid_arg
+          (Printf.sprintf "query constant %s is not in the vocabulary" c))
+    (Formula.constants body)
+
+let validate_tuple lb q tuple =
+  if List.length tuple <> Query.arity q then
+    invalid_arg "candidate tuple arity differs from the query head";
+  List.iter
+    (fun c ->
+      if not (Vocabulary.mem_constant (Cw_database.vocabulary lb) c) then
+        invalid_arg
+          (Printf.sprintf "candidate constant %s is not in the vocabulary" c))
+    tuple

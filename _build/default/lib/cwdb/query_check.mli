@@ -1,0 +1,16 @@
+(** Validation of queries against a CW database's vocabulary: queries
+    over [LB = (L, T)] must be expressions of [L] (paper, Section 2.1).
+    Second-order predicate variables are exempt (they are bound by
+    their own quantifiers). *)
+
+(** [validate lb q] checks that every free predicate of the query body
+    is declared in [L] with the right arity and every constant belongs
+    to [C].
+    @raise Invalid_argument on a violation. *)
+val validate : Cw_database.t -> Vardi_logic.Query.t -> unit
+
+(** [validate_tuple lb q tuple] additionally checks a candidate answer:
+    right arity, all members constants of [C].
+    @raise Invalid_argument on a violation. *)
+val validate_tuple :
+  Cw_database.t -> Vardi_logic.Query.t -> string list -> unit

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: List Printf Table Vardi_approx Vardi_certain Vardi_cwdb Vardi_logic Vardi_reductions Vardi_relational Workloads

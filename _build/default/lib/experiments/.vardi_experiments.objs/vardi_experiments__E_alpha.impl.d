@@ -1,0 +1,1 @@
+lib/experiments/e_alpha.ml: List Printf Table Vardi_approx Vardi_cwdb Vardi_logic Vardi_relational

@@ -1,0 +1,1 @@
+lib/experiments/e_baselines.ml: List Printf Table Vardi_approx Vardi_certain Vardi_cwdb Vardi_logic Vardi_relational Workloads

@@ -1,0 +1,1 @@
+lib/experiments/e_oneside.ml: List Printf Table Vardi_approx Vardi_certain Vardi_logic Workloads

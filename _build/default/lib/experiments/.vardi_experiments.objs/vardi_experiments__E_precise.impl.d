@@ -1,0 +1,1 @@
+lib/experiments/e_precise.ml: List String Table Vardi_approx Vardi_certain Vardi_cwdb Vardi_logic Vardi_relational Workloads

@@ -1,0 +1,1 @@
+lib/experiments/e_precise.mli: Table

@@ -1,0 +1,1 @@
+lib/experiments/e_reductions.ml: List Table Vardi_certain Vardi_cwdb Vardi_logic Vardi_reductions

@@ -1,0 +1,1 @@
+lib/experiments/e_scaling.mli: Table

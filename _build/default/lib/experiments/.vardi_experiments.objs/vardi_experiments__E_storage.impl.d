@@ -1,0 +1,1 @@
+lib/experiments/e_storage.ml: List Printf Table Vardi_cwdb Vardi_relational Workloads

@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Ablations E_alpha E_baselines E_oneside E_precise E_quality E_reductions E_scaling E_storage List String

@@ -1,0 +1,1 @@
+lib/experiments/workloads.ml: List Printf Random Vardi_cwdb Vardi_logic

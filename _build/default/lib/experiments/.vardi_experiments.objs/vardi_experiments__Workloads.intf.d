@@ -1,0 +1,1 @@
+lib/experiments/workloads.mli: Vardi_cwdb Vardi_logic

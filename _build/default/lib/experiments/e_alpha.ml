@@ -1,0 +1,74 @@
+module Alpha = Vardi_approx.Alpha
+module Disagree = Vardi_approx.Disagree
+module Formula = Vardi_logic.Formula
+module Eval = Vardi_relational.Eval
+module Ph = Vardi_cwdb.Ph
+module Cw_database = Vardi_cwdb.Cw_database
+module Vocabulary = Vardi_logic.Vocabulary
+
+(* Cross-check the formula against the oracle for a k-ary predicate on
+   a small database with one unknown. *)
+let agreement_check arity =
+  let constants = [ "a"; "b"; "c" ] in
+  let facts =
+    [
+      { Cw_database.pred = "P"; args = List.init arity (fun i ->
+            List.nth constants (i mod 2)) };
+    ]
+  in
+  let db =
+    Cw_database.make
+      ~vocabulary:
+        (Vocabulary.make ~constants ~predicates:[ ("P", arity) ])
+      ~facts
+      ~distinct:[ ("a", "b") ]
+  in
+  let ph2 = Ph.ph2 db in
+  let formula = Alpha.formula ~pred:"P" ~arity in
+  let rec tuples k =
+    if k = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun c -> List.map (fun t -> c :: t) (tuples (k - 1)))
+        constants
+  in
+  List.for_all
+    (fun tuple ->
+      let env = List.mapi (fun i c -> (Alpha.free_var (i + 1), c)) tuple in
+      Eval.holds ph2 env formula = Disagree.alpha_holds db "P" tuple)
+    (tuples arity)
+
+let e8 () =
+  let rows =
+    List.map
+      (fun arity ->
+        let formula = Alpha.formula ~pred:"P" ~arity in
+        let size = Formula.size formula in
+        let bound =
+          float size
+          /. (float arity *. log (float (2 * arity)) /. log 2.0)
+        in
+        let checked =
+          if arity <= 3 then string_of_bool (agreement_check arity) else "-"
+        in
+        [
+          string_of_int arity;
+          string_of_int size;
+          Printf.sprintf "%.2f" bound;
+          checked;
+        ])
+      [ 1; 2; 3; 4; 6; 8; 12; 16; 24; 32 ]
+  in
+  Table.make ~id:"E8"
+    ~title:"Lemma 10: size of the alpha_P formula vs predicate arity"
+    ~paper_claim:
+      "Lemma 10: alpha_P has length O(k log k) in the vocabulary {P, NE, =}"
+    ~header:[ "arity k"; "formula size"; "size / (k log2 2k)"; "matches oracle" ]
+    ~notes:
+      [
+        "the normalized column stays bounded (and here even decreases): the \
+         construction meets the O(k log k) bound;";
+        "'matches oracle' evaluates the formula on Ph2 against the \
+         union-find disagreement oracle over all |C|^k tuples.";
+      ]
+    rows

@@ -1,0 +1,7 @@
+(** Experiment E8 (Lemma 10): the syntactic [α_P] formula.
+
+    Measures the formula size against the arity (the paper proves an
+    O(k log k) length bound) and cross-checks the formula's semantics
+    against the polynomial-time disagreement oracle. *)
+
+val e8 : unit -> Table.t

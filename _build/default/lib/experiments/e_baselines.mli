@@ -1,0 +1,12 @@
+(** Experiment E11: the naive-tables baseline vs the Section 5
+    algorithm.
+
+    The paper's introduction motivates logical databases by the
+    failure of null-value physical databases ("the physical database
+    approach was less than successful [Fa82]"). The concrete failure is
+    measurable: naive evaluation over [Ph₁] (unknowns as fresh values)
+    is {e unsound} for certain answers as soon as negation meets an
+    unknown value, while the paper's approximation stays 100% sound at
+    the same polynomial cost. On positive queries the two coincide. *)
+
+val e11 : unit -> Table.t

@@ -1,0 +1,11 @@
+(** Experiment E12: covering the exact problem with two one-sided
+    polynomial procedures.
+
+    The Section 5 approximation decides "certainly true" (sound,
+    incomplete — Theorem 11); Monte-Carlo countermodel sampling decides
+    "certainly false" (complete, unsound). Neither alone decides the
+    co-NP-complete problem — both together leave a residue, measured
+    here against ground truth from the exact engine, as a function of
+    the sampling budget. *)
+
+val e12 : unit -> Table.t

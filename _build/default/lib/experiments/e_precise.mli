@@ -1,0 +1,7 @@
+(** Experiment E2 (Theorem 3): the precise second-order simulation
+    agrees with the exact engine, and its cost — dominated by the
+    universal second-order quantification over [H ⊆ C²] — explodes
+    even at toy sizes, which is the paper's argument that the hidden
+    quantification, not the data, is the obstacle. *)
+
+val e2 : unit -> Table.t

@@ -1,0 +1,13 @@
+(** Experiment E6 (Theorems 11–13): answer quality of the
+    approximation algorithm.
+
+    On random database/query pairs, measure:
+    - soundness rate (must be 100%, Theorem 11);
+    - completeness rate on fully specified databases (must be 100%,
+      Theorem 12);
+    - completeness rate on positive queries (must be 100%, Theorem 13);
+    - recall on the residual fragment (negative queries over unknown
+      values) — the price of tractability, and the fragment where the
+      approximation legitimately under-reports. *)
+
+val e6 : unit -> Table.t

@@ -1,0 +1,17 @@
+(** Experiments E3, E4, E5: the hardness reductions, executed.
+
+    E3 (Theorem 5): 3-colorability decided through certain evaluation
+    of a fixed Boolean query; reduction agrees with the backtracking
+    solver, and the exact engine's work grows exponentially in the
+    graph size while the solver's does not (at these sizes) — the
+    co-NP-completeness of data complexity made visible.
+
+    E4 (Theorem 7): Bₖ₊₁ QBF truth decided through Σₖ first-order
+    certain evaluation (combined complexity Πₖ₊₁ᵖ).
+
+    E5 (Theorem 9): Bₖ₊₁ (3-CNF) QBF truth decided through Σₖ
+    second-order certain evaluation (data complexity Πₖ₊₁ᵖ). *)
+
+val e3 : unit -> Table.t
+val e4 : unit -> Table.t
+val e5 : unit -> Table.t

@@ -1,0 +1,23 @@
+(** Experiments E1 and E7: the cost of exactness.
+
+    E1 (Theorem 1 / Corollary 2): with the database size fixed, the
+    number of kernel partitions — and hence exact evaluation time —
+    grows exponentially with the number of {e unknown} constants, and
+    collapses to a single structure when the database is fully
+    specified.
+
+    E7 (Theorem 14): with the unknown count fixed, the approximation's
+    evaluation time grows polynomially in the database size while the
+    exact engine's remains dominated by the exponential partition
+    count; the approximation keeps scaling where the exact engine
+    becomes infeasible. *)
+
+val e1 : unit -> Table.t
+val e7 : unit -> Table.t
+
+(** E10 (Section 4, discussion before Theorem 5): {e expression}
+    complexity over logical databases exceeds the physical case by a
+    factor bounded by the number of mappings/partitions of the fixed
+    database — i.e., for a fixed [LB] the logical/physical time ratio
+    stays roughly constant as the query grows. *)
+val e10 : unit -> Table.t

@@ -1,0 +1,51 @@
+module Ne_virtual = Vardi_cwdb.Ne_virtual
+module Ph = Vardi_cwdb.Ph
+module Cw_database = Vardi_cwdb.Cw_database
+module Relation = Vardi_relational.Relation
+module Database = Vardi_relational.Database
+
+let agree db nev =
+  let ne = Database.relation (Ph.ph2 db) Ph.ne_predicate in
+  let constants = Cw_database.constants db in
+  List.for_all
+    (fun c ->
+      List.for_all
+        (fun d -> Ne_virtual.holds nev c d = Relation.mem [ c; d ] ne)
+        constants)
+    constants
+
+let e9 () =
+  let rows =
+    List.map
+      (fun (constants, unknowns) ->
+        let db = Workloads.parametric_db ~constants ~unknowns ~seed:31 in
+        let nev = Ne_virtual.make db in
+        let explicit = Ne_virtual.explicit_size db in
+        let virtual_size = Ne_virtual.storage_size nev in
+        [
+          string_of_int constants;
+          string_of_int unknowns;
+          string_of_int explicit;
+          string_of_int (List.length (Ne_virtual.unknowns nev));
+          string_of_int (List.length (Ne_virtual.stored_pairs nev));
+          string_of_int virtual_size;
+          (if explicit = 0 then "n/a"
+           else Printf.sprintf "%.2fx" (float explicit /. float (max 1 virtual_size)));
+          string_of_bool (agree db nev);
+        ])
+      [
+        (8, 0); (8, 2); (16, 0); (16, 2); (32, 0); (32, 4); (64, 0); (64, 4);
+      ]
+  in
+  Table.make ~id:"E9"
+    ~title:"virtual NE relation: storage vs the explicit encoding"
+    ~paper_claim:
+      "Section 5: storing NE explicitly is up to quadratic; with unknown set \
+       U and known inequalities NE', NE(x,y) = NE'(x,y) or (~U(x) and ~U(y) \
+       and x != y) — empty U/NE' when fully specified"
+    ~header:
+      [
+        "|C|"; "unknowns"; "explicit |NE|"; "|U|"; "|NE'|"; "virtual total";
+        "saving"; "agree";
+      ]
+    rows

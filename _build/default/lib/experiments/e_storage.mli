@@ -1,0 +1,8 @@
+(** Experiment E9 (Section 5, end): the virtual [NE] representation.
+
+    Compares the storage cost of the explicit [NE] relation (quadratic
+    in the number of known values) against the [U]/[NE′] virtual
+    representation (linear when unknowns are few), across database
+    sizes and unknown-value counts, verifying semantic agreement. *)
+
+val e9 : unit -> Table.t

@@ -1,0 +1,11 @@
+(** The experiment registry: every table of the reproduction, in
+    report order. *)
+
+(** [(id, description, runner)] triples, E1–E9 then A1–A3. *)
+val all : (string * string * (unit -> Table.t)) list
+
+(** [run_all ()] executes every experiment and returns the tables. *)
+val run_all : unit -> Table.t list
+
+(** [find id] looks up one experiment by id (case-insensitive). *)
+val find : string -> (unit -> Table.t) option

@@ -1,0 +1,66 @@
+type t = {
+  id : string;
+  title : string;
+  paper_claim : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ~id ~title ~paper_claim ~header ?(notes = []) rows =
+  List.iter
+    (fun row ->
+      if List.length row <> List.length header then
+        invalid_arg
+          (Printf.sprintf "Table %s: row width %d, header width %d" id
+             (List.length row) (List.length header)))
+    rows;
+  { id; title; paper_claim; header; rows; notes }
+
+let widths t =
+  let all = t.header :: t.rows in
+  let cols = List.length t.header in
+  List.init cols (fun i ->
+      List.fold_left (fun w row -> max w (String.length (List.nth row i))) 0 all)
+
+let pad width s = s ^ String.make (max 0 (width - String.length s)) ' '
+
+let pp ppf t =
+  let ws = widths t in
+  let line row =
+    String.concat "  " (List.map2 pad ws row)
+  in
+  Fmt.pf ppf "@.=== %s: %s ===@." t.id t.title;
+  Fmt.pf ppf "paper: %s@.@." t.paper_claim;
+  Fmt.pf ppf "%s@." (line t.header);
+  Fmt.pf ppf "%s@."
+    (String.concat "  " (List.map (fun w -> String.make w '-') ws));
+  List.iter (fun row -> Fmt.pf ppf "%s@." (line row)) t.rows;
+  List.iter (fun note -> Fmt.pf ppf "note: %s@." note) t.notes
+
+let to_markdown t =
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer (Printf.sprintf "### %s — %s\n\n" t.id t.title);
+  Buffer.add_string buffer (Printf.sprintf "*Paper claim:* %s\n\n" t.paper_claim);
+  Buffer.add_string buffer
+    ("| " ^ String.concat " | " t.header ^ " |\n");
+  Buffer.add_string buffer
+    ("|" ^ String.concat "|" (List.map (fun _ -> "---") t.header) ^ "|\n");
+  List.iter
+    (fun row -> Buffer.add_string buffer ("| " ^ String.concat " | " row ^ " |\n"))
+    t.rows;
+  List.iter
+    (fun note -> Buffer.add_string buffer (Printf.sprintf "\n*Note:* %s\n" note))
+    t.notes;
+  Buffer.contents buffer
+
+let ms v =
+  if v < 0.01 then "<0.01"
+  else if v < 10.0 then Printf.sprintf "%.2f" v
+  else if v < 1000.0 then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.0f" v
+
+let time f =
+  let start = Sys.time () in
+  let result = f () in
+  (result, (Sys.time () -. start) *. 1000.0)

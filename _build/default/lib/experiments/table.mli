@@ -1,0 +1,34 @@
+(** Plain-text result tables for the experiment reports (EXPERIMENTS.md
+    is generated from these). *)
+
+type t = {
+  id : string;        (** e.g. "E3" *)
+  title : string;
+  paper_claim : string;
+      (** what the paper's theorem predicts, one line *)
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val make :
+  id:string ->
+  title:string ->
+  paper_claim:string ->
+  header:string list ->
+  ?notes:string list ->
+  string list list ->
+  t
+
+(** Pretty-print with aligned columns. *)
+val pp : t Fmt.t
+
+(** Render as GitHub-flavoured markdown (for EXPERIMENTS.md). *)
+val to_markdown : t -> string
+
+(** Format milliseconds compactly. *)
+val ms : float -> string
+
+(** [time f] runs [f] and returns its result with elapsed CPU
+    milliseconds. *)
+val time : (unit -> 'a) -> 'a * float

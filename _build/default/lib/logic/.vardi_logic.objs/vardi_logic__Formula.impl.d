@@ -1,0 +1,1 @@
+lib/logic/formula.ml: Hashtbl List Printf Set Stdlib String Term

@@ -1,0 +1,1 @@
+lib/logic/generate.ml: Formula List Printf Query Random Term Vocabulary

@@ -1,0 +1,1 @@
+lib/logic/generate.mli: Formula Query Random Vocabulary

@@ -1,0 +1,1 @@
+lib/logic/lexer.ml: Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/logic/parser.ml: Array Fmt Formula Lexer List Query Set String Term

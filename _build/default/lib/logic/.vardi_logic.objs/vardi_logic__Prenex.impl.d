@@ -1,0 +1,1 @@
+lib/logic/prenex.ml: Formula List Map Nnf Printf Set String Term

@@ -1,0 +1,1 @@
+lib/logic/prenex.mli: Formula

@@ -1,0 +1,1 @@
+lib/logic/pretty.ml: Fmt Formula List Query Term

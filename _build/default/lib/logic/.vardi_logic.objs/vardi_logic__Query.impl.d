@@ -1,0 +1,1 @@
+lib/logic/query.ml: Formula List Printf String

@@ -1,0 +1,1 @@
+lib/logic/vocabulary.ml: Fmt Int List Map Printf Set String

@@ -1,0 +1,319 @@
+type t =
+  | True
+  | False
+  | Eq of Term.t * Term.t
+  | Atom of string * Term.t list
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Iff of t * t
+  | Exists of string * t
+  | Forall of string * t
+  | Exists2 of string * int * t
+  | Forall2 of string * int * t
+
+(* Structural comparison is adequate: the AST contains only strings,
+   ints and lists, never functions or cyclic values. *)
+let compare (a : t) (b : t) = Stdlib.compare a b
+let equal a b = compare a b = 0
+
+let eq s t = Eq (s, t)
+let neq s t = Not (Eq (s, t))
+let atom p ts = Atom (p, ts)
+
+let and_ a b =
+  match a, b with
+  | True, f | f, True -> f
+  | False, _ | _, False -> False
+  | _ -> And (a, b)
+
+let or_ a b =
+  match a, b with
+  | False, f | f, False -> f
+  | True, _ | _, True -> True
+  | _ -> Or (a, b)
+
+let not_ = function
+  | True -> False
+  | False -> True
+  | Not f -> f
+  | f -> Not f
+
+let implies a b =
+  match a, b with
+  | True, f -> f
+  | False, _ -> True
+  | _, True -> True
+  | _ -> Implies (a, b)
+
+let iff a b =
+  match a, b with
+  | True, f | f, True -> f
+  | False, f | f, False -> not_ f
+  | _ -> Iff (a, b)
+
+let exists x f = Exists (x, f)
+let forall x f = Forall (x, f)
+
+let conj fs = List.fold_left and_ True fs
+let disj fs = List.fold_left or_ False fs
+
+let exists_many xs f = List.fold_right exists xs f
+let forall_many xs f = List.fold_right forall xs f
+
+let dedup_keep_order names =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun n ->
+      if Hashtbl.mem seen n then false
+      else begin
+        Hashtbl.add seen n ();
+        true
+      end)
+    names
+
+let free_vars f =
+  let module S = Set.Make (String) in
+  let rec go bound acc = function
+    | True | False -> acc
+    | Eq (s, t) -> add bound (add bound acc s) t
+    | Atom (_, ts) -> List.fold_left (add bound) acc ts
+    | Not f -> go bound acc f
+    | And (f, g) | Or (f, g) | Implies (f, g) | Iff (f, g) ->
+      go bound (go bound acc f) g
+    | Exists (x, f) | Forall (x, f) -> go (S.add x bound) acc f
+    | Exists2 (_, _, f) | Forall2 (_, _, f) -> go bound acc f
+  and add bound acc t =
+    match t with
+    | Term.Var x when not (S.mem x bound) -> x :: acc
+    | Term.Var _ | Term.Const _ -> acc
+  in
+  dedup_keep_order (List.rev (go S.empty [] f))
+
+let all_vars f =
+  let rec go acc = function
+    | True | False -> acc
+    | Eq (s, t) -> add (add acc s) t
+    | Atom (_, ts) -> List.fold_left add acc ts
+    | Not f -> go acc f
+    | And (f, g) | Or (f, g) | Implies (f, g) | Iff (f, g) -> go (go acc f) g
+    | Exists (x, f) | Forall (x, f) -> go (x :: acc) f
+    | Exists2 (_, _, f) | Forall2 (_, _, f) -> go acc f
+  and add acc = function
+    | Term.Var x -> x :: acc
+    | Term.Const _ -> acc
+  in
+  dedup_keep_order (List.rev (go [] f))
+
+let free_preds f =
+  let module S = Set.Make (String) in
+  let rec go bound acc = function
+    | True | False | Eq _ -> acc
+    | Atom (p, ts) ->
+      if S.mem p bound then acc else (p, List.length ts) :: acc
+    | Not f -> go bound acc f
+    | And (f, g) | Or (f, g) | Implies (f, g) | Iff (f, g) ->
+      go bound (go bound acc f) g
+    | Exists (_, f) | Forall (_, f) -> go bound acc f
+    | Exists2 (p, _, f) | Forall2 (p, _, f) -> go (S.add p bound) acc f
+  in
+  let pairs = List.rev (go S.empty [] f) in
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun (p, _) ->
+      if Hashtbl.mem seen p then false
+      else begin
+        Hashtbl.add seen p ();
+        true
+      end)
+    pairs
+
+let constants f =
+  let rec go acc = function
+    | True | False -> acc
+    | Eq (s, t) -> add (add acc s) t
+    | Atom (_, ts) -> List.fold_left add acc ts
+    | Not f -> go acc f
+    | And (f, g) | Or (f, g) | Implies (f, g) | Iff (f, g) -> go (go acc f) g
+    | Exists (_, f) | Forall (_, f) -> go acc f
+    | Exists2 (_, _, f) | Forall2 (_, _, f) -> go acc f
+  and add acc = function
+    | Term.Const c -> c :: acc
+    | Term.Var _ -> acc
+  in
+  dedup_keep_order (List.rev (go [] f))
+
+let rec size = function
+  | True | False | Eq _ | Atom _ -> 1
+  | Not f -> 1 + size f
+  | And (f, g) | Or (f, g) | Implies (f, g) | Iff (f, g) -> 1 + size f + size g
+  | Exists (_, f) | Forall (_, f) -> 1 + size f
+  | Exists2 (_, _, f) | Forall2 (_, _, f) -> 1 + size f
+
+let is_positive f =
+  (* [pos] is the parity context: [true] when under an even number of
+     negations. [Iff] counts as a conjunction of two implications, so
+     both sides must be positive in both parities to be safe. *)
+  let rec go pos = function
+    | True | False -> true
+    | Eq _ | Atom _ -> pos
+    | Not f -> go (not pos) f
+    | And (f, g) | Or (f, g) -> go pos f && go pos g
+    | Implies (f, g) -> go (not pos) f && go pos g
+    | Iff (f, g) -> go pos f && go (not pos) f && go pos g && go (not pos) g
+    | Exists (_, f) | Forall (_, f) -> go pos f
+    | Exists2 (_, _, f) | Forall2 (_, _, f) -> go pos f
+  in
+  go true f
+
+let rec is_first_order = function
+  | True | False | Eq _ | Atom _ -> true
+  | Not f -> is_first_order f
+  | And (f, g) | Or (f, g) | Implies (f, g) | Iff (f, g) ->
+    is_first_order f && is_first_order g
+  | Exists (_, f) | Forall (_, f) -> is_first_order f
+  | Exists2 _ | Forall2 _ -> false
+
+let fresh_var ~base fs =
+  let used =
+    List.fold_left (fun acc f -> List.rev_append (all_vars f) acc) [] fs
+  in
+  let module S = Set.Make (String) in
+  let used = S.of_list used in
+  if not (S.mem base used) then base
+  else
+    let rec try_index i =
+      let candidate = Printf.sprintf "%s%d" base i in
+      if S.mem candidate used then try_index (i + 1) else candidate
+    in
+    try_index 0
+
+let substitute map f =
+  (* Capture-avoiding: when descending under a binder [x], drop [x]
+     from the substitution; if [x] occurs in the range of the remaining
+     substitution, rename the binder first. *)
+  let range_vars map dom =
+    List.concat_map
+      (fun x -> match map x with Some t -> Term.vars_of [ t ] | None -> [])
+      dom
+  in
+  let rec go dom map f =
+    match f with
+    | True | False -> f
+    | Eq (s, t) -> Eq (Term.substitute map s, Term.substitute map t)
+    | Atom (p, ts) -> Atom (p, List.map (Term.substitute map) ts)
+    | Not f -> Not (go dom map f)
+    | And (f, g) -> And (go dom map f, go dom map g)
+    | Or (f, g) -> Or (go dom map f, go dom map g)
+    | Implies (f, g) -> Implies (go dom map f, go dom map g)
+    | Iff (f, g) -> Iff (go dom map f, go dom map g)
+    | Exists (x, body) ->
+      let x', body' = under_binder dom map x body in
+      Exists (x', body')
+    | Forall (x, body) ->
+      let x', body' = under_binder dom map x body in
+      Forall (x', body')
+    | Exists2 (p, k, body) -> Exists2 (p, k, go dom map body)
+    | Forall2 (p, k, body) -> Forall2 (p, k, go dom map body)
+  and under_binder dom map x body =
+    let dom' = List.filter (fun y -> not (String.equal y x)) dom in
+    let map' y = if String.equal y x then None else map y in
+    if List.mem x (range_vars map dom') then begin
+      let x' = fresh_var ~base:x [ body ] in
+      let rename y =
+        if String.equal y x then Some (Term.Var x') else map' y
+      in
+      (x', go (x' :: dom') rename body)
+    end
+    else (x, go dom' map' body)
+  in
+  let dom = free_vars f in
+  go dom map f
+
+let instantiate pairs f =
+  let map x =
+    match List.assoc_opt x pairs with
+    | Some c -> Some (Term.Const c)
+    | None -> None
+  in
+  substitute map f
+
+let rec rename_atom ~from ~into f =
+  let re = rename_atom ~from ~into in
+  match f with
+  | True | False | Eq _ -> f
+  | Atom (p, ts) when String.equal p from -> Atom (into, ts)
+  | Atom _ -> f
+  | Not f -> Not (re f)
+  | And (f, g) -> And (re f, re g)
+  | Or (f, g) -> Or (re f, re g)
+  | Implies (f, g) -> Implies (re f, re g)
+  | Iff (f, g) -> Iff (re f, re g)
+  | Exists (x, f) -> Exists (x, re f)
+  | Forall (x, f) -> Forall (x, re f)
+  | Exists2 (p, k, f) ->
+    let p' = if String.equal p from then into else p in
+    Exists2 (p', k, re f)
+  | Forall2 (p, k, f) ->
+    let p' = if String.equal p from then into else p in
+    Forall2 (p', k, re f)
+
+let rec has_quantifier = function
+  | True | False | Eq _ | Atom _ -> false
+  | Not f -> has_quantifier f
+  | And (f, g) | Or (f, g) | Implies (f, g) | Iff (f, g) ->
+    has_quantifier f || has_quantifier g
+  | Exists _ | Forall _ | Exists2 _ | Forall2 _ -> true
+
+(* Count quantifier-block alternations of the leading prefix. The
+   polarity convention follows Theorem 6: Σₖ starts existentially and
+   has k blocks, so ∃*∀* is Σ₂. A leading ∀ prefix counts an empty
+   initial ∃ block, so ∀* is Σ₂ as well. [strip] peels one quantifier
+   of the kind being ranked; [matrix_ok] decides whether the remaining
+   matrix is admissible (quantifier-free for the FO rank, free of
+   second-order quantifiers for the SO rank). *)
+let prefix_rank ~strip ~matrix_ok f =
+  let rec blocks first current count f =
+    match strip f with
+    | Some (`E, body) ->
+      let first = match first with `None -> `E | k -> k in
+      if current = `E then blocks first `E count body
+      else blocks first `E (count + 1) body
+    | Some (`A, body) ->
+      let first = match first with `None -> `A | k -> k in
+      if current = `A then blocks first `A count body
+      else blocks first `A (count + 1) body
+    | None -> if matrix_ok f then Some (first, count) else None
+  in
+  match blocks `None `None 0 f with
+  | None -> None
+  | Some (`None, _) -> Some 0
+  | Some (`E, k) -> Some k
+  (* A leading ∀ block counts an empty initial ∃ block: ∀* sits in
+     Σ₂ but not Σ₁. *)
+  | Some (`A, k) -> Some (k + 1)
+
+let fo_sigma_rank f =
+  let strip = function
+    | Exists (_, body) -> Some (`E, body)
+    | Forall (_, body) -> Some (`A, body)
+    | _ -> None
+  in
+  prefix_rank ~strip ~matrix_ok:(fun g -> not (has_quantifier g)) f
+
+let so_sigma_rank f =
+  let strip = function
+    | Exists2 (_, _, body) -> Some (`E, body)
+    | Forall2 (_, _, body) -> Some (`A, body)
+    | _ -> None
+  in
+  let rec so_free = function
+    | True | False | Eq _ | Atom _ -> true
+    | Not f -> so_free f
+    | And (f, g) | Or (f, g) | Implies (f, g) | Iff (f, g) ->
+      so_free f && so_free g
+    | Exists (_, f) | Forall (_, f) -> so_free f
+    | Exists2 _ | Forall2 _ -> false
+  in
+  prefix_rank ~strip ~matrix_ok:so_free f

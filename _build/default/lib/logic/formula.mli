@@ -1,0 +1,120 @@
+(** First- and second-order formulas over a relational vocabulary
+    (paper, Section 2).
+
+    Formulas may use:
+    - equality atoms [t1 = t2],
+    - predicate atoms [P(t1, ..., tk)] where [P] is either a predicate
+      of the vocabulary or a second-order (predicate) variable bound by
+      {!constructor:Exists2}/{!constructor:Forall2},
+    - the connectives [¬ ∧ ∨ → ↔],
+    - first-order quantifiers over individual variables, and
+    - second-order quantifiers over predicate variables with an
+      explicit arity (used by Theorem 3's precise simulation and by the
+      Theorem 9 reduction). *)
+
+type t =
+  | True
+  | False
+  | Eq of Term.t * Term.t
+  | Atom of string * Term.t list
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Iff of t * t
+  | Exists of string * t
+  | Forall of string * t
+  | Exists2 of string * int * t  (** [(∃P/k) φ] — predicate variable *)
+  | Forall2 of string * int * t  (** [(∀P/k) φ] *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** {1 Smart constructors} *)
+
+val eq : Term.t -> Term.t -> t
+val neq : Term.t -> Term.t -> t
+val atom : string -> Term.t list -> t
+
+(** [and_ a b] simplifies on [True]/[False] arguments; likewise the
+    other connective constructors below. *)
+val and_ : t -> t -> t
+
+val or_ : t -> t -> t
+val not_ : t -> t
+val implies : t -> t -> t
+val iff : t -> t -> t
+val exists : string -> t -> t
+val forall : string -> t -> t
+
+(** [conj fs] is the conjunction of [fs] ([True] when empty). *)
+val conj : t list -> t
+
+(** [disj fs] is the disjunction of [fs] ([False] when empty). *)
+val disj : t list -> t
+
+(** [exists_many xs f] is [∃x1 ... ∃xn. f]. *)
+val exists_many : string list -> t -> t
+
+val forall_many : string list -> t -> t
+
+(** {1 Structure} *)
+
+(** Free individual variables, in first-occurrence order. *)
+val free_vars : t -> string list
+
+(** All individual variables (free and bound). *)
+val all_vars : t -> string list
+
+(** Free predicate variables with arities: atom names that are not
+    bound by a second-order quantifier. Whether they denote vocabulary
+    predicates is up to the caller. *)
+val free_preds : t -> (string * int) list
+
+(** Constant symbols occurring in the formula. *)
+val constants : t -> string list
+
+(** Number of connectives, quantifiers and atoms — the formula length
+    measure used for the Lemma 10 O(k log k) bound. *)
+val size : t -> int
+
+(** [is_positive f] is [true] when every atom of [f] is governed by an
+    even number of negations, where [Implies]/[Iff] are expanded in the
+    usual way (paper, Section 5: positive queries). [Eq] and predicate
+    atoms both count as atoms; [True]/[False] never block positivity. *)
+val is_positive : t -> bool
+
+(** [is_first_order f] is [true] when [f] has no second-order
+    quantifier. *)
+val is_first_order : t -> bool
+
+(** [substitute map f] capture-avoiding substitution of individual
+    variables: each free variable [x] with [map x = Some t] becomes
+    [t]. Bound variables are renamed as needed. *)
+val substitute : (string -> Term.t option) -> t -> t
+
+(** [instantiate pairs f] substitutes constants for free variables:
+    [instantiate [("x", "a")] f] replaces free [x] by constant [a]. *)
+val instantiate : (string * string) list -> t -> t
+
+(** [rename_atom ~from ~into f] renames every atom named [from]
+    (including second-order binders for [from]) into [into]. Used by
+    Theorem 3's [P ↦ P′] substitution. *)
+val rename_atom : from:string -> into:string -> t -> t
+
+(** A variable name not occurring (free or bound) in any of the given
+    formulas, derived from [base]. *)
+val fresh_var : base:string -> t list -> string
+
+(** {1 Quantifier-prefix classification (paper, Theorems 6–9)} *)
+
+(** [fo_sigma_rank f] classifies a prenex-like first-order formula: the
+    number of quantifier-block alternations of its leading prefix,
+    starting existentially. [Some k] means [f] is syntactically in
+    Σₖ (e.g. [∃x ∀y. ψ] with quantifier-free [ψ] has rank 2). [None]
+    when [f] has quantifiers below the propositional structure. *)
+val fo_sigma_rank : t -> int option
+
+(** Same classification for the second-order prefix (Σᵏ classes of
+    Theorems 8 and 9). *)
+val so_sigma_rank : t -> int option

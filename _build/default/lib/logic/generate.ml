@@ -1,0 +1,73 @@
+type profile = {
+  depth : int;
+  allow_negation : bool;
+  allow_quantifiers : bool;
+}
+
+let default_profile = { depth = 3; allow_negation = true; allow_quantifiers = true }
+
+let pick state xs = List.nth xs (Random.State.int state (List.length xs))
+
+let gen_term state vocabulary vars =
+  let constants = Vocabulary.constants vocabulary in
+  match vars, constants with
+  | [], [] -> invalid_arg "Generate: no variables and no constants"
+  | [], _ -> Term.const (pick state constants)
+  | _, [] -> Term.var (pick state vars)
+  | _, _ ->
+    if Random.State.bool state then Term.var (pick state vars)
+    else Term.const (pick state constants)
+
+let gen_atom state vocabulary vars =
+  let predicates = Vocabulary.predicates vocabulary in
+  let equality () =
+    Formula.Eq (gen_term state vocabulary vars, gen_term state vocabulary vars)
+  in
+  if predicates = [] || Random.State.int state 4 = 0 then
+    (* Equality needs at least one term source. *)
+    equality ()
+  else
+    let p, k = pick state predicates in
+    Formula.Atom (p, List.init k (fun _ -> gen_term state vocabulary vars))
+
+let var_pool = [ "gx"; "gy"; "gz" ]
+
+let formula ?(profile = default_profile) ~state vocabulary ~vars =
+  let rec go depth vars =
+    if depth = 0 then gen_atom state vocabulary vars
+    else
+      let choice = Random.State.int state 10 in
+      let sub () = go (depth - 1) vars in
+      match choice with
+      | 0 | 1 -> gen_atom state vocabulary vars
+      | 2 | 3 -> Formula.And (sub (), sub ())
+      | 4 | 5 -> Formula.Or (sub (), sub ())
+      | 6 when profile.allow_negation -> Formula.Not (sub ())
+      | 7 when profile.allow_negation -> Formula.Implies (sub (), sub ())
+      | 8 when profile.allow_quantifiers ->
+        let x = pick state var_pool in
+        Formula.Exists (x, go (depth - 1) (x :: vars))
+      | 9 when profile.allow_quantifiers ->
+        let x = pick state var_pool in
+        Formula.Forall (x, go (depth - 1) (x :: vars))
+      | _ -> gen_atom state vocabulary vars
+  in
+  (* Ensure atoms are constructible. *)
+  if
+    vars = []
+    && Vocabulary.constants vocabulary = []
+    && Vocabulary.predicates vocabulary = []
+  then invalid_arg "Generate: empty vocabulary and no variables";
+  go profile.depth vars
+
+let sentence ?profile ~state vocabulary =
+  let f = formula ?profile ~state vocabulary ~vars:[] in
+  (* [vars:[]] can still leak variables through quantifier bodies?
+     No: free variables come only from [vars]; quantified ones are
+     bound. Close defensively anyway. *)
+  Formula.forall_many (Formula.free_vars f) f
+
+let query ?profile ~state vocabulary ~arity =
+  let head = List.init arity (Printf.sprintf "q%d") in
+  let f = formula ?profile ~state vocabulary ~vars:head in
+  Query.make head f

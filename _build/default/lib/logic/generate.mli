@@ -1,0 +1,43 @@
+(** Seeded random generation of formulas and queries — a fuzzing aid
+    for engine implementors (the test suite's property-based tests use
+    an equivalent QCheck generator; this one has no test-framework
+    dependency and is part of the public API).
+
+    All generation is deterministic in the [Random.State.t]. Generated
+    formulas are well-formed over the given vocabulary: predicates are
+    applied at their declared arity, constants are drawn from the
+    vocabulary, and quantified variables are drawn from a fixed pool. *)
+
+type profile = {
+  depth : int;  (** maximum connective nesting (default 3) *)
+  allow_negation : bool;  (** include [¬], [→], [↔] (default true) *)
+  allow_quantifiers : bool;  (** include [∃]/[∀] (default true) *)
+}
+
+val default_profile : profile
+
+(** [formula ?profile ~state vocabulary ~vars] generates a formula
+    whose free variables are drawn from [vars] (possibly fewer, never
+    others).
+    @raise Invalid_argument when the vocabulary has no predicate and no
+    constant and [vars] is empty (no atoms can be built). *)
+val formula :
+  ?profile:profile ->
+  state:Random.State.t ->
+  Vocabulary.t ->
+  vars:string list ->
+  Formula.t
+
+(** [sentence ?profile ~state vocabulary] generates a closed formula
+    (free variables are quantified away). *)
+val sentence :
+  ?profile:profile -> state:Random.State.t -> Vocabulary.t -> Formula.t
+
+(** [query ?profile ~state vocabulary ~arity] generates a query with
+    [arity] head variables. *)
+val query :
+  ?profile:profile ->
+  state:Random.State.t ->
+  Vocabulary.t ->
+  arity:int ->
+  Query.t

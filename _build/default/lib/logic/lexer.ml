@@ -1,0 +1,133 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | SLASH
+  | COLON
+  | EQ
+  | NEQ
+  | AND
+  | OR
+  | NOT
+  | ARROW
+  | DARROW
+  | EXISTS
+  | FORALL
+  | EXISTS2
+  | FORALL2
+  | TRUE
+  | FALSE
+  | EOF
+
+type located = {
+  token : token;
+  pos : int;
+}
+
+exception Lex_error of int * string
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+let is_digit c = c >= '0' && c <= '9'
+
+let keyword = function
+  | "exists" -> Some EXISTS
+  | "forall" -> Some FORALL
+  | "exists2" -> Some EXISTS2
+  | "forall2" -> Some FORALL2
+  | "not" -> Some NOT
+  | "true" -> Some TRUE
+  | "false" -> Some FALSE
+  | _ -> None
+
+let tokenize input =
+  let n = String.length input in
+  let rec scan i acc =
+    if i >= n then List.rev ({ token = EOF; pos = n } :: acc)
+    else
+      let c = input.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then scan (i + 1) acc
+      else if c = '#' then
+        let rec skip j = if j < n && input.[j] <> '\n' then skip (j + 1) else j in
+        scan (skip i) acc
+      else if is_digit c then
+        let rec go j = if j < n && is_digit input.[j] then go (j + 1) else j in
+        let j = go i in
+        let lexeme = String.sub input i (j - i) in
+        (* A digit run followed by identifier characters (e.g. [3rd]) is
+           an identifier-like constant, not an integer. *)
+        if j < n && is_ident_char input.[j] then begin
+          let rec go' k =
+            if k < n && is_ident_char input.[k] then go' (k + 1) else k
+          in
+          let k = go' j in
+          scan k ({ token = IDENT (String.sub input i (k - i)); pos = i } :: acc)
+        end
+        else scan j ({ token = INT (int_of_string lexeme); pos = i } :: acc)
+      else if is_ident_start c then begin
+        let rec go j =
+          if j < n && is_ident_char input.[j] then go (j + 1) else j
+        in
+        let j = go i in
+        let lexeme = String.sub input i (j - i) in
+        let token =
+          match keyword lexeme with Some t -> t | None -> IDENT lexeme
+        in
+        scan j ({ token; pos = i } :: acc)
+      end
+      else
+        let two = if i + 1 < n then String.sub input i 2 else "" in
+        let three = if i + 2 < n then String.sub input i 3 else "" in
+        if String.equal three "<->" then
+          scan (i + 3) ({ token = DARROW; pos = i } :: acc)
+        else if String.equal two "->" then
+          scan (i + 2) ({ token = ARROW; pos = i } :: acc)
+        else if String.equal two "/\\" then
+          scan (i + 2) ({ token = AND; pos = i } :: acc)
+        else if String.equal two "\\/" then
+          scan (i + 2) ({ token = OR; pos = i } :: acc)
+        else if String.equal two "!=" then
+          scan (i + 2) ({ token = NEQ; pos = i } :: acc)
+        else
+          match c with
+          | '(' -> scan (i + 1) ({ token = LPAREN; pos = i } :: acc)
+          | ')' -> scan (i + 1) ({ token = RPAREN; pos = i } :: acc)
+          | ',' -> scan (i + 1) ({ token = COMMA; pos = i } :: acc)
+          | '.' -> scan (i + 1) ({ token = DOT; pos = i } :: acc)
+          | '/' -> scan (i + 1) ({ token = SLASH; pos = i } :: acc)
+          | ':' -> scan (i + 1) ({ token = COLON; pos = i } :: acc)
+          | '=' -> scan (i + 1) ({ token = EQ; pos = i } :: acc)
+          | '~' -> scan (i + 1) ({ token = NOT; pos = i } :: acc)
+          | _ ->
+            raise (Lex_error (i, Printf.sprintf "unexpected character %C" c))
+  in
+  scan 0 []
+
+let pp_token ppf = function
+  | IDENT s -> Fmt.pf ppf "identifier %s" s
+  | INT i -> Fmt.pf ppf "integer %d" i
+  | LPAREN -> Fmt.string ppf "'('"
+  | RPAREN -> Fmt.string ppf "')'"
+  | COMMA -> Fmt.string ppf "','"
+  | DOT -> Fmt.string ppf "'.'"
+  | SLASH -> Fmt.string ppf "'/'"
+  | COLON -> Fmt.string ppf "':'"
+  | EQ -> Fmt.string ppf "'='"
+  | NEQ -> Fmt.string ppf "'!='"
+  | AND -> Fmt.string ppf "'/\\'"
+  | OR -> Fmt.string ppf "'\\/'"
+  | NOT -> Fmt.string ppf "'~'"
+  | ARROW -> Fmt.string ppf "'->'"
+  | DARROW -> Fmt.string ppf "'<->'"
+  | EXISTS -> Fmt.string ppf "'exists'"
+  | FORALL -> Fmt.string ppf "'forall'"
+  | EXISTS2 -> Fmt.string ppf "'exists2'"
+  | FORALL2 -> Fmt.string ppf "'forall2'"
+  | TRUE -> Fmt.string ppf "'true'"
+  | FALSE -> Fmt.string ppf "'false'"
+  | EOF -> Fmt.string ppf "end of input"

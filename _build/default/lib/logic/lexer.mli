@@ -1,0 +1,46 @@
+(** Hand-rolled lexer for the concrete formula/query/database syntax. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | SLASH
+  | COLON
+  | EQ            (** [=] *)
+  | NEQ           (** [!=] *)
+  | AND           (** [/\ ] *)
+  | OR            (** [\/] *)
+  | NOT           (** [~] or [not] *)
+  | ARROW         (** [->] *)
+  | DARROW        (** [<->] *)
+  | EXISTS
+  | FORALL
+  | EXISTS2
+  | FORALL2
+  | TRUE
+  | FALSE
+  | EOF
+
+(** A token paired with its byte offset in the input (for error
+    reporting). *)
+type located = {
+  token : token;
+  pos : int;
+}
+
+exception Lex_error of int * string
+(** [Lex_error (pos, message)]: unexpected character at byte [pos]. *)
+
+(** [tokenize s] lexes the whole input. The result always ends with an
+    [EOF] token. Comments run from [#] to end of line. Identifiers
+    match [[A-Za-z_][A-Za-z0-9_']*] and may also be purely numeric
+    ([INT]); keywords ([exists], [forall], [exists2], [forall2], [not],
+    [true], [false]) are case-sensitive.
+
+    @raise Lex_error on an unexpected character. *)
+val tokenize : string -> located list
+
+val pp_token : token Fmt.t

@@ -1,0 +1,44 @@
+open Formula
+
+let rec positive f =
+  match f with
+  | True | False | Eq _ | Atom _ -> f
+  | Not g -> negative g
+  | And (f, g) -> And (positive f, positive g)
+  | Or (f, g) -> Or (positive f, positive g)
+  | Implies (f, g) -> Or (negative f, positive g)
+  | Iff (f, g) ->
+    (* φ↔ψ  ≡  (φ∧ψ) ∨ (¬φ∧¬ψ): duplicates subformulas, as any
+       NNF of ↔ must. *)
+    Or (And (positive f, positive g), And (negative f, negative g))
+  | Exists (x, f) -> Exists (x, positive f)
+  | Forall (x, f) -> Forall (x, positive f)
+  | Exists2 (p, k, f) -> Exists2 (p, k, positive f)
+  | Forall2 (p, k, f) -> Forall2 (p, k, positive f)
+
+and negative f =
+  match f with
+  | True -> False
+  | False -> True
+  | Eq _ | Atom _ -> Not f
+  | Not g -> positive g
+  | And (f, g) -> Or (negative f, negative g)
+  | Or (f, g) -> And (negative f, negative g)
+  | Implies (f, g) -> And (positive f, negative g)
+  | Iff (f, g) ->
+    Or (And (positive f, negative g), And (negative f, positive g))
+  | Exists (x, f) -> Forall (x, negative f)
+  | Forall (x, f) -> Exists (x, negative f)
+  | Exists2 (p, k, f) -> Forall2 (p, k, negative f)
+  | Forall2 (p, k, f) -> Exists2 (p, k, negative f)
+
+let transform = positive
+
+let rec is_nnf = function
+  | True | False | Eq _ | Atom _ -> true
+  | Not (Eq _) | Not (Atom _) -> true
+  | Not _ -> false
+  | And (f, g) | Or (f, g) -> is_nnf f && is_nnf g
+  | Implies _ | Iff _ -> false
+  | Exists (_, f) | Forall (_, f) -> is_nnf f
+  | Exists2 (_, _, f) | Forall2 (_, _, f) -> is_nnf f

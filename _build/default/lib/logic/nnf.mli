@@ -1,0 +1,15 @@
+(** Negation normal form (paper, Section 5).
+
+    The approximation algorithm first pushes all negations in a query
+    "down to the atomic formulas": [¬∀x.φ ↦ ∃x.¬φ], [¬∃x.φ ↦ ∀x.¬φ],
+    [¬(φ∧ψ) ↦ ¬φ∨¬ψ], [¬(φ∨ψ) ↦ ¬φ∧¬ψ], [¬¬φ ↦ φ], after first
+    eliminating [→] and [↔]. Second-order quantifiers dualize the same
+    way. In the result, [Not] appears only directly above [Eq] or
+    [Atom]. *)
+
+(** [transform f] is an NNF formula logically equivalent to [f]. *)
+val transform : Formula.t -> Formula.t
+
+(** [is_nnf f] checks that negations occur only on atoms and that [f]
+    contains no [Implies]/[Iff]. *)
+val is_nnf : Formula.t -> bool

@@ -1,0 +1,232 @@
+exception Parse_error of int * string
+
+module String_set = Set.Make (String)
+
+type state = {
+  tokens : Lexer.located array;
+  mutable cursor : int;
+}
+
+let peek st = st.tokens.(st.cursor)
+let advance st = st.cursor <- st.cursor + 1
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let error located msg = raise (Parse_error (located.Lexer.pos, msg))
+
+let expect st token what =
+  let t = next st in
+  if t.Lexer.token <> token then
+    error t
+      (Fmt.str "expected %s but found %a" what Lexer.pp_token t.Lexer.token)
+
+let ident st what =
+  let t = next st in
+  match t.Lexer.token with
+  | Lexer.IDENT s -> s
+  | Lexer.INT i -> string_of_int i
+  | other -> error t (Fmt.str "expected %s but found %a" what Lexer.pp_token other)
+
+(* Comma-separated identifier list for quantifier binders. *)
+let rec binders st acc =
+  let x = ident st "a variable name" in
+  match (peek st).Lexer.token with
+  | Lexer.COMMA ->
+    advance st;
+    binders st (x :: acc)
+  | _ -> List.rev (x :: acc)
+
+(* Comma-separated [P/k] list for second-order binders. *)
+let rec pred_binders st acc =
+  let p = ident st "a predicate name" in
+  expect st Lexer.SLASH "'/' before the arity";
+  let t = next st in
+  let k =
+    match t.Lexer.token with
+    | Lexer.INT k when k >= 0 -> k
+    | other -> error t (Fmt.str "expected an arity but found %a" Lexer.pp_token other)
+  in
+  match (peek st).Lexer.token with
+  | Lexer.COMMA ->
+    advance st;
+    pred_binders st ((p, k) :: acc)
+  | _ -> List.rev ((p, k) :: acc)
+
+let term_of_ident vars name =
+  if String_set.mem name vars then Term.Var name else Term.Const name
+
+let rec parse_iff st vars =
+  let lhs = parse_implies st vars in
+  match (peek st).Lexer.token with
+  | Lexer.DARROW ->
+    advance st;
+    let rhs = parse_implies st vars in
+    parse_iff_tail st vars (Formula.Iff (lhs, rhs))
+  | _ -> lhs
+
+and parse_iff_tail st vars acc =
+  match (peek st).Lexer.token with
+  | Lexer.DARROW ->
+    advance st;
+    let rhs = parse_implies st vars in
+    parse_iff_tail st vars (Formula.Iff (acc, rhs))
+  | _ -> acc
+
+and parse_implies st vars =
+  let lhs = parse_or st vars in
+  match (peek st).Lexer.token with
+  | Lexer.ARROW ->
+    advance st;
+    let rhs = parse_implies st vars in
+    Formula.Implies (lhs, rhs)
+  | _ -> lhs
+
+and parse_or st vars =
+  let lhs = parse_and st vars in
+  parse_or_tail st vars lhs
+
+and parse_or_tail st vars acc =
+  match (peek st).Lexer.token with
+  | Lexer.OR ->
+    advance st;
+    let rhs = parse_and st vars in
+    parse_or_tail st vars (Formula.Or (acc, rhs))
+  | _ -> acc
+
+and parse_and st vars =
+  let lhs = parse_unary st vars in
+  parse_and_tail st vars lhs
+
+and parse_and_tail st vars acc =
+  match (peek st).Lexer.token with
+  | Lexer.AND ->
+    advance st;
+    let rhs = parse_unary st vars in
+    parse_and_tail st vars (Formula.And (acc, rhs))
+  | _ -> acc
+
+and parse_unary st vars =
+  let t = peek st in
+  match t.Lexer.token with
+  | Lexer.NOT ->
+    advance st;
+    Formula.Not (parse_unary st vars)
+  | Lexer.EXISTS ->
+    advance st;
+    let xs = binders st [] in
+    expect st Lexer.DOT "'.' after the quantified variables";
+    let vars' = List.fold_left (fun s x -> String_set.add x s) vars xs in
+    let body = parse_iff st vars' in
+    Formula.exists_many xs body
+  | Lexer.FORALL ->
+    advance st;
+    let xs = binders st [] in
+    expect st Lexer.DOT "'.' after the quantified variables";
+    let vars' = List.fold_left (fun s x -> String_set.add x s) vars xs in
+    let body = parse_iff st vars' in
+    Formula.forall_many xs body
+  | Lexer.EXISTS2 ->
+    advance st;
+    let ps = pred_binders st [] in
+    expect st Lexer.DOT "'.' after the quantified predicates";
+    let body = parse_iff st vars in
+    List.fold_right (fun (p, k) f -> Formula.Exists2 (p, k, f)) ps body
+  | Lexer.FORALL2 ->
+    advance st;
+    let ps = pred_binders st [] in
+    expect st Lexer.DOT "'.' after the quantified predicates";
+    let body = parse_iff st vars in
+    List.fold_right (fun (p, k) f -> Formula.Forall2 (p, k, f)) ps body
+  | _ -> parse_atomic st vars
+
+and parse_atomic st vars =
+  let t = next st in
+  match t.Lexer.token with
+  | Lexer.TRUE -> Formula.True
+  | Lexer.FALSE -> Formula.False
+  | Lexer.LPAREN ->
+    let f = parse_iff st vars in
+    expect st Lexer.RPAREN "')'";
+    f
+  | Lexer.IDENT name -> parse_after_name st vars name
+  | Lexer.INT i -> parse_after_name st vars (string_of_int i)
+  | other ->
+    error t (Fmt.str "expected a formula but found %a" Lexer.pp_token other)
+
+(* After an identifier we may see an atom [P(...)], or an equality
+   [t = u] / inequality [t != u] whose left term is the identifier. *)
+and parse_after_name st vars name =
+  match (peek st).Lexer.token with
+  | Lexer.LPAREN ->
+    advance st;
+    let args =
+      match (peek st).Lexer.token with
+      | Lexer.RPAREN -> []
+      | _ -> parse_terms st vars []
+    in
+    expect st Lexer.RPAREN "')' closing the argument list";
+    Formula.Atom (name, args)
+  | Lexer.EQ ->
+    advance st;
+    let rhs = parse_term st vars in
+    Formula.Eq (term_of_ident vars name, rhs)
+  | Lexer.NEQ ->
+    advance st;
+    let rhs = parse_term st vars in
+    Formula.Not (Formula.Eq (term_of_ident vars name, rhs))
+  | other ->
+    error (peek st)
+      (Fmt.str "expected '(', '=' or '!=' after %s but found %a" name
+         Lexer.pp_token other)
+
+and parse_terms st vars acc =
+  let t = parse_term st vars in
+  match (peek st).Lexer.token with
+  | Lexer.COMMA ->
+    advance st;
+    parse_terms st vars (t :: acc)
+  | _ -> List.rev (t :: acc)
+
+and parse_term st vars =
+  let name = ident st "a term" in
+  term_of_ident vars name
+
+let make_state input = { tokens = Array.of_list (Lexer.tokenize input); cursor = 0 }
+
+let finish st what =
+  let t = peek st in
+  match t.Lexer.token with
+  | Lexer.EOF -> ()
+  | other ->
+    error t (Fmt.str "trailing input after %s: %a" what Lexer.pp_token other)
+
+let formula ?(free_vars = []) input =
+  let st = make_state input in
+  let vars = String_set.of_list free_vars in
+  let f = parse_iff st vars in
+  finish st "the formula";
+  f
+
+let query input =
+  let st = make_state input in
+  expect st Lexer.LPAREN "'(' opening the query head";
+  let head =
+    match (peek st).Lexer.token with
+    | Lexer.RPAREN -> []
+    | _ -> binders st []
+  in
+  expect st Lexer.RPAREN "')' closing the query head";
+  expect st Lexer.DOT "'.' after the query head";
+  let vars = String_set.of_list head in
+  let body = parse_iff st vars in
+  finish st "the query";
+  Query.make head body
+
+let term ?(free_vars = []) input =
+  let st = make_state input in
+  let t = parse_term st (String_set.of_list free_vars) in
+  finish st "the term";
+  t

@@ -1,0 +1,23 @@
+(** Recursive-descent parser for the concrete formula/query syntax
+    printed by {!Pretty}.
+
+    Variable/constant disambiguation is contextual: an identifier in
+    term position denotes a {e variable} when it is bound by an
+    enclosing quantifier or listed among [free_vars]; otherwise it
+    denotes a {e constant}. This matches the paper's convention where
+    queries [(x).φ(x)] declare their variables up front. *)
+
+exception Parse_error of int * string
+(** [Parse_error (pos, message)]: syntax error at byte offset [pos]. *)
+
+(** [formula ~free_vars s] parses a formula; identifiers in [free_vars]
+    are read as free variables.
+    @raise Parse_error or {!Lexer.Lex_error} on malformed input. *)
+val formula : ?free_vars:string list -> string -> Formula.t
+
+(** [query s] parses [(x1, ..., xk). φ]. The head identifiers become
+    the free variables of the body. *)
+val query : string -> Query.t
+
+(** [term ~free_vars s] parses a single term. *)
+val term : ?free_vars:string list -> string -> Term.t

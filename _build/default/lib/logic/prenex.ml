@@ -1,0 +1,104 @@
+exception Unsupported of string
+
+module String_map = Map.Make (String)
+module String_set = Set.Make (String)
+
+type quantifier =
+  | Q_exists
+  | Q_forall
+
+let is_prenex f =
+  let rec matrix_free = function
+    | Formula.True | Formula.False | Formula.Eq _ | Formula.Atom _ -> true
+    | Formula.Not g -> matrix_free g
+    | Formula.And (a, b)
+    | Formula.Or (a, b)
+    | Formula.Implies (a, b)
+    | Formula.Iff (a, b) ->
+      matrix_free a && matrix_free b
+    | Formula.Exists _ | Formula.Forall _ | Formula.Exists2 _
+    | Formula.Forall2 _ ->
+      false
+  in
+  let rec strip = function
+    | Formula.Exists (_, g) | Formula.Forall (_, g) -> strip g
+    | g -> g
+  in
+  matrix_free (strip f)
+
+let transform f =
+  if not (Formula.is_first_order f) then
+    raise (Unsupported "prenex transformation covers first-order formulas only");
+  let f = Nnf.transform f in
+  (* Global freshness: every binder gets a name distinct from all free
+     variables and from every earlier binder, so extracted prefixes
+     never capture. A binder keeps its own name when it is the first
+     with that name. *)
+  let used = ref (String_set.of_list (Formula.free_vars f)) in
+  let fresh base =
+    let candidate =
+      if String_set.mem base !used then begin
+        let rec try_index i =
+          let name = Printf.sprintf "%s_%d" base i in
+          if String_set.mem name !used then try_index (i + 1) else name
+        in
+        try_index 1
+      end
+      else base
+    in
+    used := String_set.add candidate !used;
+    candidate
+  in
+  let apply env term =
+    match term with
+    | Term.Var x -> (
+      match String_map.find_opt x env with
+      | Some x' -> Term.Var x'
+      | None -> term)
+    | Term.Const _ -> term
+  in
+  (* Returns (prefix outermost-first, quantifier-free matrix). *)
+  let rec go env = function
+    | (Formula.True | Formula.False) as g -> ([], g)
+    | Formula.Eq (s, t) -> ([], Formula.Eq (apply env s, apply env t))
+    | Formula.Atom (p, ts) -> ([], Formula.Atom (p, List.map (apply env) ts))
+    | Formula.Not g ->
+      (* NNF: [g] is atomic, hence quantifier-free. *)
+      let prefix, matrix = go env g in
+      assert (prefix = []);
+      ([], Formula.Not matrix)
+    | Formula.And (a, b) ->
+      let pa, ma = go env a in
+      let pb, mb = go env b in
+      (pa @ pb, Formula.And (ma, mb))
+    | Formula.Or (a, b) ->
+      let pa, ma = go env a in
+      let pb, mb = go env b in
+      (pa @ pb, Formula.Or (ma, mb))
+    | Formula.Exists (x, g) ->
+      let x' = fresh x in
+      let prefix, matrix = go (String_map.add x x' env) g in
+      ((Q_exists, x') :: prefix, matrix)
+    | Formula.Forall (x, g) ->
+      let x' = fresh x in
+      let prefix, matrix = go (String_map.add x x' env) g in
+      ((Q_forall, x') :: prefix, matrix)
+    | Formula.Implies _ | Formula.Iff _ ->
+      (* NNF eliminates these. *)
+      assert false
+    | Formula.Exists2 _ | Formula.Forall2 _ ->
+      (* Ruled out by the first-order check above. *)
+      assert false
+  in
+  let prefix, matrix = go String_map.empty f in
+  List.fold_right
+    (fun (q, x) body ->
+      match q with
+      | Q_exists -> Formula.Exists (x, body)
+      | Q_forall -> Formula.Forall (x, body))
+    prefix matrix
+
+let rank f =
+  match Formula.fo_sigma_rank (transform f) with
+  | Some k -> k
+  | None -> assert false (* transform always yields a prenex formula *)

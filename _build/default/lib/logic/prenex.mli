@@ -1,0 +1,26 @@
+(** Prenex normal form for first-order formulas.
+
+    The Σₖ query classes of Theorems 6 and 7 are defined on
+    quantifier-prefix formulas; {!Formula.fo_sigma_rank} classifies
+    only formulas already in that shape. This module converts any
+    first-order formula into an equivalent prenex one (NNF first, then
+    quantifier extraction with capture-avoiding renaming), after which
+    every formula has a defined rank. *)
+
+exception Unsupported of string
+(** Raised on second-order quantifiers. *)
+
+(** [transform f] is a logically equivalent prenex formula: a string of
+    quantifiers over a quantifier-free matrix in NNF. Bound variables
+    may be renamed.
+    @raise Unsupported when [f] contains a second-order quantifier. *)
+val transform : Formula.t -> Formula.t
+
+(** [is_prenex f]: quantifiers appear only as the leading prefix. *)
+val is_prenex : Formula.t -> bool
+
+(** [rank f] is [Formula.fo_sigma_rank (transform f)] — defined for
+    every first-order formula. Note prenexing is not canonical, so this
+    is an upper bound on the formula's true alternation class.
+    @raise Unsupported as {!transform}. *)
+val rank : Formula.t -> int

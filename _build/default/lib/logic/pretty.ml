@@ -1,0 +1,84 @@
+open Formula
+
+let pp_term = Term.pp
+
+(* Precedence levels, loosest first:
+   0 iff and quantifiers, 1 implies, 2 or, 3 and, 4 not, 5 atoms.
+   A subformula is parenthesized when its level is strictly looser than
+   the context requires. Quantifiers sit at level 0 because their scope
+   extends maximally to the right: they may appear bare only where a
+   whole formula is expected (top level, quantifier bodies), and are
+   parenthesized in every operand position. [Implies] is printed
+   right-associatively; [Iff] operands are both forced to level 1, so
+   nested [Iff]s round-trip through explicit parentheses. *)
+let level = function
+  | Iff _ | Exists _ | Forall _ | Exists2 _ | Forall2 _ -> 0
+  | Implies _ -> 1
+  | Or _ -> 2
+  | And _ -> 3
+  | Not (Eq _) -> 5 (* printed as [t != t], an atom *)
+  | Not _ -> 4
+  | True | False | Eq _ | Atom _ -> 5
+
+let rec collect_exists acc = function
+  | Exists (x, f) -> collect_exists (x :: acc) f
+  | f -> (List.rev acc, f)
+
+let rec collect_forall acc = function
+  | Forall (x, f) -> collect_forall (x :: acc) f
+  | f -> (List.rev acc, f)
+
+let rec collect_exists2 acc = function
+  | Exists2 (p, k, f) -> collect_exists2 ((p, k) :: acc) f
+  | f -> (List.rev acc, f)
+
+let rec collect_forall2 acc = function
+  | Forall2 (p, k, f) -> collect_forall2 ((p, k) :: acc) f
+  | f -> (List.rev acc, f)
+
+let rec pp_at min_level ppf f =
+  let lvl = level f in
+  if lvl < min_level then Fmt.pf ppf "(%a)" (pp_at 0) f
+  else
+    match f with
+    | True -> Fmt.string ppf "true"
+    | False -> Fmt.string ppf "false"
+    | Eq (s, t) -> Fmt.pf ppf "%a = %a" Term.pp s Term.pp t
+    | Not (Eq (s, t)) -> Fmt.pf ppf "%a != %a" Term.pp s Term.pp t
+    | Atom (p, []) -> Fmt.pf ppf "%s()" p
+    | Atom (p, ts) ->
+      Fmt.pf ppf "%s(%a)" p Fmt.(list ~sep:(any ", ") Term.pp) ts
+    | Not f -> Fmt.pf ppf "~%a" (pp_at 4) f
+    | And (f, g) -> Fmt.pf ppf "%a /\\ %a" (pp_at 3) f (pp_at 4) g
+    | Or (f, g) -> Fmt.pf ppf "%a \\/ %a" (pp_at 2) f (pp_at 3) g
+    | Implies (f, g) -> Fmt.pf ppf "%a -> %a" (pp_at 2) f (pp_at 1) g
+    | Iff (f, g) -> Fmt.pf ppf "%a <-> %a" (pp_at 1) f (pp_at 1) g
+    | Exists _ ->
+      let xs, body = collect_exists [] f in
+      Fmt.pf ppf "exists %a. %a"
+        Fmt.(list ~sep:(any ", ") string)
+        xs (pp_at 0) body
+    | Forall _ ->
+      let xs, body = collect_forall [] f in
+      Fmt.pf ppf "forall %a. %a"
+        Fmt.(list ~sep:(any ", ") string)
+        xs (pp_at 0) body
+    | Exists2 _ ->
+      let ps, body = collect_exists2 [] f in
+      Fmt.pf ppf "exists2 %a. %a" pp_pbinders ps (pp_at 0) body
+    | Forall2 _ ->
+      let ps, body = collect_forall2 [] f in
+      Fmt.pf ppf "forall2 %a. %a" pp_pbinders ps (pp_at 0) body
+
+and pp_pbinders ppf ps =
+  Fmt.(list ~sep:(any ", ") (fun ppf (p, k) -> Fmt.pf ppf "%s/%d" p k)) ppf ps
+
+let pp_formula ppf f = pp_at 0 ppf f
+
+let pp_query ppf q =
+  Fmt.pf ppf "(%a). %a"
+    Fmt.(list ~sep:(any ", ") string)
+    (Query.head q) pp_formula (Query.body q)
+
+let formula_to_string = Fmt.to_to_string pp_formula
+let query_to_string = Fmt.to_to_string pp_query

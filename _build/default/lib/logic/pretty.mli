@@ -1,0 +1,17 @@
+(** Pretty-printing of formulas and queries in the concrete syntax
+    accepted by {!Parser} (round-trip: parsing the output of [pp_*]
+    yields an equal AST).
+
+    Concrete syntax summary:
+    - atoms: [P(x, y)], [x = y], [x != y] (sugar for [~(x = y)])
+    - connectives: [~φ], [φ /\ ψ], [φ \/ ψ], [φ -> ψ], [φ <-> ψ]
+    - quantifiers: [exists x, y. φ], [forall x. φ] (maximal scope)
+    - second order: [exists2 P/2. φ], [forall2 Q/1. φ]
+    - queries: [(x, y). φ]; Boolean queries: [(). φ] *)
+
+val pp_term : Term.t Fmt.t
+val pp_formula : Formula.t Fmt.t
+val pp_query : Query.t Fmt.t
+
+val formula_to_string : Formula.t -> string
+val query_to_string : Query.t -> string

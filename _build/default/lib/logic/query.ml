@@ -1,0 +1,41 @@
+type t = {
+  head : string list;
+  body : Formula.t;
+}
+
+let make head body =
+  let rec check_distinct = function
+    | [] -> ()
+    | x :: rest ->
+      if List.mem x rest then
+        invalid_arg (Printf.sprintf "Query.make: duplicate head variable %s" x);
+      check_distinct rest
+  in
+  check_distinct head;
+  let free = Formula.free_vars body in
+  List.iter
+    (fun x ->
+      if not (List.mem x head) then
+        invalid_arg
+          (Printf.sprintf "Query.make: free variable %s missing from head" x))
+    free;
+  { head; body }
+
+let boolean body = make [] body
+
+let head q = q.head
+let body q = q.body
+let arity q = List.length q.head
+let is_boolean q = q.head = []
+let is_positive q = Formula.is_positive q.body
+let is_first_order q = Formula.is_first_order q.body
+
+let equal a b =
+  List.equal String.equal a.head b.head && Formula.equal a.body b.body
+
+let instantiate q tuple =
+  if List.length tuple <> List.length q.head then
+    invalid_arg "Query.instantiate: arity mismatch";
+  Formula.instantiate (List.combine q.head tuple) q.body
+
+let map_body f q = make q.head (f q.body)

@@ -1,0 +1,44 @@
+(** Queries (paper, Section 2.1).
+
+    A query is an expression [(x1, ..., xk). φ] where [φ] is a formula
+    and [x1 ... xk] is a sequence of distinct variables containing all
+    free variables of [φ]. A query with an empty head is a Boolean
+    query. *)
+
+type t = private {
+  head : string list;  (** the answer variables, in output-column order *)
+  body : Formula.t;
+}
+
+(** [make head body] builds a query.
+
+    @raise Invalid_argument if [head] has duplicates or misses a free
+    variable of [body]. Head variables that do not occur in [body] are
+    allowed (they quantify over the whole domain / constant set). *)
+val make : string list -> Formula.t -> t
+
+(** [boolean body] is [make [] body].
+    @raise Invalid_argument if [body] has free variables. *)
+val boolean : Formula.t -> t
+
+val head : t -> string list
+val body : t -> Formula.t
+val arity : t -> int
+val is_boolean : t -> bool
+
+(** A query is positive when its body is (paper, Theorem 13). *)
+val is_positive : t -> bool
+
+val is_first_order : t -> bool
+val equal : t -> t -> bool
+
+(** [instantiate q tuple] is the sentence [φ(c)]: the body with each
+    head variable replaced by the corresponding constant.
+    @raise Invalid_argument on an arity mismatch. *)
+val instantiate : t -> string list -> Formula.t
+
+(** [map_body f q] rebuilds the query with body [f (body q)]; the head
+    is kept.
+    @raise Invalid_argument if the new body has free variables outside
+    the head. *)
+val map_body : (Formula.t -> Formula.t) -> t -> t

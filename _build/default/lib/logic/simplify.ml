@@ -1,0 +1,57 @@
+open Formula
+
+(* One local rewrite on a node whose children are already simplified;
+   [None] when no rule applies. *)
+let step = function
+  | Not True -> Some False
+  | Not False -> Some True
+  | Not (Not f) -> Some f
+  | Eq (s, t) when Term.equal s t -> Some True
+  | And (True, f) | And (f, True) -> Some f
+  | And (False, _) | And (_, False) -> Some False
+  | And (f, g) when equal f g -> Some f
+  (* absorption *)
+  | And (f, Or (g, _)) when equal f g -> Some f
+  | And (f, Or (_, g)) when equal f g -> Some f
+  | And (Or (g, _), f) when equal f g -> Some f
+  | And (Or (_, g), f) when equal f g -> Some f
+  | Or (False, f) | Or (f, False) -> Some f
+  | Or (True, _) | Or (_, True) -> Some True
+  | Or (f, g) when equal f g -> Some f
+  | Or (f, And (g, _)) when equal f g -> Some f
+  | Or (f, And (_, g)) when equal f g -> Some f
+  | Or (And (g, _), f) when equal f g -> Some f
+  | Or (And (_, g), f) when equal f g -> Some f
+  | Implies (True, f) -> Some f
+  | Implies (False, _) -> Some True
+  | Implies (_, True) -> Some True
+  | Implies (f, False) -> Some (Not f)
+  | Implies (f, g) when equal f g -> Some True
+  | Iff (True, f) | Iff (f, True) -> Some f
+  | Iff (False, f) | Iff (f, False) -> Some (Not f)
+  | Iff (f, g) when equal f g -> Some True
+  | Exists (x, f) when not (List.mem x (free_vars f)) -> Some f
+  | Forall (x, f) when not (List.mem x (free_vars f)) -> Some f
+  | True | False | Eq _ | Atom _ | Not _ | And _ | Or _ | Implies _ | Iff _
+  | Exists _ | Forall _ | Exists2 _ | Forall2 _ ->
+    None
+
+let rec formula f =
+  let f' =
+    match f with
+    | True | False | Eq _ | Atom _ -> f
+    | Not g -> Not (formula g)
+    | And (g, h) -> And (formula g, formula h)
+    | Or (g, h) -> Or (formula g, formula h)
+    | Implies (g, h) -> Implies (formula g, formula h)
+    | Iff (g, h) -> Iff (formula g, formula h)
+    | Exists (x, g) -> Exists (x, formula g)
+    | Forall (x, g) -> Forall (x, formula g)
+    | Exists2 (p, k, g) -> Exists2 (p, k, formula g)
+    | Forall2 (p, k, g) -> Forall2 (p, k, formula g)
+  in
+  match step f' with
+  | Some rewritten -> formula rewritten
+  | None -> f'
+
+let query q = Query.map_body formula q

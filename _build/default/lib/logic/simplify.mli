@@ -1,0 +1,24 @@
+(** Formula simplification: constant folding and local logical
+    identities.
+
+    Applied rules (bottom-up, to a fixpoint):
+    - [True]/[False] folding through every connective;
+    - [¬¬φ → φ]; [t = t → True];
+    - idempotence [φ∧φ → φ], [φ∨φ → φ], and [φ→φ], [φ↔φ → True]
+      (syntactic equality);
+    - absorption [φ ∧ (φ ∨ ψ) → φ], [φ ∨ (φ ∧ ψ) → φ];
+    - vacuous quantifiers: [∃x.φ → φ] and [∀x.φ → φ] when [x] is not
+      free in [φ].
+
+    The vacuous-quantifier rule is sound because every physical
+    database in this library has a {e nonempty} domain (enforced by
+    {!Vardi_relational.Database.make}), matching the standard
+    convention for relational structures.
+
+    Simplification never increases {!Formula.size} and preserves
+    satisfaction on every database. *)
+
+val formula : Formula.t -> Formula.t
+
+(** [query q] simplifies the body; the head is unchanged. *)
+val query : Query.t -> Query.t

@@ -1,0 +1,53 @@
+type t =
+  | Var of string
+  | Const of string
+
+let compare a b =
+  match a, b with
+  | Var x, Var y -> String.compare x y
+  | Const x, Const y -> String.compare x y
+  | Var _, Const _ -> -1
+  | Const _, Var _ -> 1
+
+let equal a b = compare a b = 0
+
+let var x = Var x
+let const c = Const c
+
+let is_var = function Var _ -> true | Const _ -> false
+let is_const = function Const _ -> true | Var _ -> false
+
+let dedup_keep_order names =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun n ->
+      if Hashtbl.mem seen n then false
+      else begin
+        Hashtbl.add seen n ();
+        true
+      end)
+    names
+
+let vars_of ts =
+  dedup_keep_order
+    (List.filter_map (function Var x -> Some x | Const _ -> None) ts)
+
+let consts_of ts =
+  dedup_keep_order
+    (List.filter_map (function Const c -> Some c | Var _ -> None) ts)
+
+let rename_var ~from ~into t =
+  match t with
+  | Var x when String.equal x from -> Var into
+  | Var _ | Const _ -> t
+
+let substitute map t =
+  match t with
+  | Var x -> (match map x with Some t' -> t' | None -> t)
+  | Const _ -> t
+
+let pp ppf = function
+  | Var x -> Fmt.string ppf x
+  | Const c -> Fmt.string ppf c
+
+let to_string = Fmt.to_to_string pp

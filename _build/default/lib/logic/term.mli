@@ -1,0 +1,36 @@
+(** First-order terms over a relational vocabulary.
+
+    A relational vocabulary has no function symbols (paper, Section 2.1),
+    so a term is either an individual variable or a constant symbol. *)
+
+type t =
+  | Var of string    (** an individual variable, e.g. [x1] *)
+  | Const of string  (** a constant symbol, e.g. [socrates] *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val var : string -> t
+val const : string -> t
+
+val is_var : t -> bool
+val is_const : t -> bool
+
+(** [vars_of ts] is the list of distinct variable names occurring in
+    [ts], in first-occurrence order. *)
+val vars_of : t list -> string list
+
+(** [consts_of ts] is the list of distinct constant names occurring in
+    [ts], in first-occurrence order. *)
+val consts_of : t list -> string list
+
+(** [rename_var ~from ~into t] replaces the variable [from] by the
+    variable [into]; constants and other variables are unchanged. *)
+val rename_var : from:string -> into:string -> t -> t
+
+(** [substitute map t] replaces a variable by [map]'s binding for it
+    when one exists. Constants are never substituted. *)
+val substitute : (string -> t option) -> t -> t
+
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,69 @@
+module String_map = Map.Make (String)
+module String_set = Set.Make (String)
+
+type t = {
+  constants : String_set.t;
+  predicates : int String_map.t;
+}
+
+let check_predicate name arity =
+  if String.equal name "=" then
+    invalid_arg "Vocabulary: equality is built in and cannot be declared";
+  if arity < 0 then
+    invalid_arg (Printf.sprintf "Vocabulary: negative arity for %s" name)
+
+let add_predicate_map map (name, arity) =
+  check_predicate name arity;
+  match String_map.find_opt name map with
+  | None -> String_map.add name arity map
+  | Some a when a = arity -> map
+  | Some a ->
+    invalid_arg
+      (Printf.sprintf "Vocabulary: predicate %s declared with arities %d and %d"
+         name a arity)
+
+let make ~constants ~predicates =
+  {
+    constants = String_set.of_list constants;
+    predicates = List.fold_left add_predicate_map String_map.empty predicates;
+  }
+
+let empty = { constants = String_set.empty; predicates = String_map.empty }
+
+let constants v = String_set.elements v.constants
+let predicates v = String_map.bindings v.predicates
+
+let mem_constant v c = String_set.mem c v.constants
+let mem_predicate v p = String_map.mem p v.predicates
+
+let arity v p =
+  match String_map.find_opt p v.predicates with
+  | Some a -> a
+  | None -> raise Not_found
+
+let arity_opt v p = String_map.find_opt p v.predicates
+
+let add_constant v c = { v with constants = String_set.add c v.constants }
+
+let add_predicate v p k =
+  { v with predicates = add_predicate_map v.predicates (p, k) }
+
+let union a b =
+  {
+    constants = String_set.union a.constants b.constants;
+    predicates =
+      String_map.fold
+        (fun name arity acc -> add_predicate_map acc (name, arity))
+        b.predicates a.predicates;
+  }
+
+let equal a b =
+  String_set.equal a.constants b.constants
+  && String_map.equal Int.equal a.predicates b.predicates
+
+let pp ppf v =
+  Fmt.pf ppf "@[<v>constants: %a@,predicates: %a@]"
+    Fmt.(list ~sep:comma string)
+    (constants v)
+    Fmt.(list ~sep:comma (pair ~sep:(any "/") string int))
+    (predicates v)

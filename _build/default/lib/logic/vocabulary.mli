@@ -1,0 +1,50 @@
+(** Relational vocabularies (paper, Section 2.1).
+
+    A relational vocabulary [L] consists of finitely many constant
+    symbols and finitely many predicate symbols (each with an arity),
+    plus the always-present equality symbol. There are no function
+    symbols. Equality is handled specially by the evaluators and is
+    {e not} listed among the predicates here. *)
+
+type t
+
+(** [make ~constants ~predicates] builds a vocabulary.
+
+    @raise Invalid_argument if a predicate is declared twice with
+    different arities, if an arity is negative, or if a predicate is
+    named ["="] (equality is built in). Duplicate constants are
+    tolerated and deduplicated. *)
+val make : constants:string list -> predicates:(string * int) list -> t
+
+val empty : t
+
+(** Constant symbols, sorted. This is the set called [C] in the paper. *)
+val constants : t -> string list
+
+(** Predicate symbols with arities, sorted by name. *)
+val predicates : t -> (string * int) list
+
+val mem_constant : t -> string -> bool
+val mem_predicate : t -> string -> bool
+
+(** [arity v p] is the arity of predicate [p].
+    @raise Not_found if [p] is not declared. *)
+val arity : t -> string -> int
+
+val arity_opt : t -> string -> int option
+
+(** [add_constant v c] is [v] extended with constant [c] (no-op when
+    already present). *)
+val add_constant : t -> string -> t
+
+(** [add_predicate v p k] extends [v] with the [k]-ary predicate [p].
+    @raise Invalid_argument on an arity clash with an existing
+    declaration. *)
+val add_predicate : t -> string -> int -> t
+
+(** [union a b] merges two vocabularies.
+    @raise Invalid_argument on an arity clash. *)
+val union : t -> t -> t
+
+val equal : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/reductions/graph.ml: Array Fmt Int List Option Printf Random Set Stdlib

@@ -1,0 +1,1 @@
+lib/reductions/graph.mli: Fmt

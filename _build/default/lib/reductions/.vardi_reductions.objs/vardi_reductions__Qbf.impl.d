@@ -1,0 +1,1 @@
+lib/reductions/qbf.ml: Array Fmt Hashtbl List Option Printf Random

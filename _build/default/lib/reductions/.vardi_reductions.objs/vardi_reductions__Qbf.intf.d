@@ -1,0 +1,1 @@
+lib/reductions/qbf.mli: Fmt

@@ -1,0 +1,1 @@
+lib/reductions/qbf_fo.ml: List Printf Qbf Vardi_certain Vardi_cwdb Vardi_logic

@@ -1,0 +1,1 @@
+lib/reductions/qbf_so.ml: List Printf Qbf Vardi_certain Vardi_cwdb Vardi_logic

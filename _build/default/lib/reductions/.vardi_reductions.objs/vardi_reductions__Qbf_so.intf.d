@@ -1,0 +1,1 @@
+lib/reductions/qbf_so.mli: Qbf Vardi_certain Vardi_cwdb Vardi_logic

@@ -1,0 +1,1 @@
+lib/reductions/three_col.ml: Array Graph List Printf String Vardi_certain Vardi_cwdb Vardi_logic

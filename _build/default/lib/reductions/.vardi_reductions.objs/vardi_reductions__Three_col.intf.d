@@ -1,0 +1,1 @@
+lib/reductions/three_col.mli: Graph Vardi_certain Vardi_cwdb Vardi_logic

@@ -1,0 +1,106 @@
+module Pair_set = Set.Make (struct
+  type t = int * int
+
+  let compare = Stdlib.compare
+end)
+
+type t = {
+  vertices : int;
+  edges : Pair_set.t;  (* normalized: (min, max) *)
+}
+
+let normalize (u, v) = if u <= v then (u, v) else (v, u)
+
+let make ~vertices ~edges =
+  if vertices < 0 then invalid_arg "Graph.make: negative vertex count";
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || v < 0 || u >= vertices || v >= vertices then
+        invalid_arg
+          (Printf.sprintf "Graph.make: edge (%d, %d) out of range" u v))
+    edges;
+  { vertices; edges = Pair_set.of_list (List.map normalize edges) }
+
+let vertex_count g = g.vertices
+let edges g = Pair_set.elements g.edges
+let has_edge g u v = Pair_set.mem (normalize (u, v)) g.edges
+
+let neighbours g v =
+  Pair_set.fold
+    (fun (a, b) acc ->
+      if a = v && b = v then v :: acc
+      else if a = v then b :: acc
+      else if b = v then a :: acc
+      else acc)
+    g.edges []
+  |> List.sort_uniq Int.compare
+
+let coloring k g =
+  if k < 0 then invalid_arg "Graph.coloring: negative color count";
+  let colors = Array.make (max g.vertices 1) (-1) in
+  let ok v c =
+    (not (has_edge g v v))
+    && List.for_all
+         (fun w -> w = v || colors.(w) <> c || colors.(w) = -1)
+         (neighbours g v)
+  in
+  let rec assign v =
+    if v >= g.vertices then true
+    else
+      let rec try_color c =
+        if c >= k then false
+        else begin
+          colors.(v) <- c;
+          if ok v c && assign (v + 1) then true
+          else begin
+            colors.(v) <- -1;
+            try_color (c + 1)
+          end
+        end
+      in
+      try_color 0
+  in
+  if assign 0 then Some (Array.sub colors 0 g.vertices) else None
+
+let colorable k g = Option.is_some (coloring k g)
+
+let is_proper_coloring g colors =
+  Array.length colors = g.vertices
+  && Pair_set.for_all (fun (u, v) -> colors.(u) <> colors.(v)) g.edges
+
+let random ~vertices ~edge_probability ~seed =
+  if edge_probability < 0.0 || edge_probability > 1.0 then
+    invalid_arg "Graph.random: probability out of range";
+  let state = Random.State.make [| seed; vertices |] in
+  let edges = ref [] in
+  for u = 0 to vertices - 1 do
+    for v = u + 1 to vertices - 1 do
+      if Random.State.float state 1.0 < edge_probability then
+        edges := (u, v) :: !edges
+    done
+  done;
+  make ~vertices ~edges:!edges
+
+let complete n =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  make ~vertices:n ~edges:!edges
+
+let cycle n =
+  if n < 3 then invalid_arg "Graph.cycle: need at least 3 vertices";
+  make ~vertices:n ~edges:(List.init n (fun i -> (i, (i + 1) mod n)))
+
+let petersen () =
+  let outer = List.init 5 (fun i -> (i, (i + 1) mod 5)) in
+  let spokes = List.init 5 (fun i -> (i, i + 5)) in
+  let inner = List.init 5 (fun i -> (5 + i, 5 + ((i + 2) mod 5))) in
+  make ~vertices:10 ~edges:(outer @ spokes @ inner)
+
+let pp ppf g =
+  Fmt.pf ppf "graph(%d vertices; %a)" g.vertices
+    Fmt.(list ~sep:(any ", ") (pair ~sep:(any "-") int int))
+    (edges g)

@@ -1,0 +1,50 @@
+(** Undirected graphs for the Theorem 5 reduction from 3-colorability,
+    plus a direct backtracking coloring solver used as the independent
+    baseline that validates the reduction. *)
+
+type t
+
+(** [make ~vertices ~edges] builds a graph on vertices
+    [0 .. vertices-1]. Self-loops are allowed (they make the graph
+    uncolorable); duplicate and mirrored edges collapse.
+    @raise Invalid_argument on a vertex out of range or
+    [vertices < 0]. *)
+val make : vertices:int -> edges:(int * int) list -> t
+
+val vertex_count : t -> int
+
+(** Edges, normalized (small endpoint first) and sorted. *)
+val edges : t -> (int * int) list
+
+val has_edge : t -> int -> int -> bool
+val neighbours : t -> int -> int list
+
+(** [colorable k g] decides [k]-colorability by backtracking with the
+    smallest-index-first heuristic. *)
+val colorable : int -> t -> bool
+
+(** [coloring k g] additionally returns a witness: [coloring.(v)] is
+    the color of [v], in [0 .. k-1]. *)
+val coloring : int -> t -> int array option
+
+(** [is_proper_coloring g colors] checks a witness. *)
+val is_proper_coloring : t -> int array -> bool
+
+(** [random ~vertices ~edge_probability ~seed] draws an Erdős–Rényi
+    graph (deterministic in [seed]).
+    @raise Invalid_argument unless [0.0 <= edge_probability <= 1.0]. *)
+val random : vertices:int -> edge_probability:float -> seed:int -> t
+
+(** Classic fixed instances for tests and benches. *)
+
+val complete : int -> t
+(** [complete n] is K_n: 3-colorable iff [n <= 3]. *)
+
+val cycle : int -> t
+(** [cycle n] is C_n ([n >= 3]): 2-colorable iff [n] even, always
+    3-colorable. *)
+
+val petersen : unit -> t
+(** The Petersen graph: 3-colorable, not 2-colorable. *)
+
+val pp : t Fmt.t

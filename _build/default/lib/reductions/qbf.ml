@@ -1,0 +1,161 @@
+type var = {
+  block : int;
+  index : int;
+}
+
+type literal = {
+  positive : bool;
+  var : var;
+}
+
+type matrix =
+  | Lit of literal
+  | Not of matrix
+  | And of matrix * matrix
+  | Or of matrix * matrix
+
+type t = {
+  blocks : int list;
+  matrix : matrix;
+}
+
+let rec check_matrix blocks = function
+  | Lit { var = { block; index }; _ } ->
+    let ok =
+      block >= 1
+      && block <= List.length blocks
+      && index >= 1
+      && index <= List.nth blocks (block - 1)
+    in
+    if not ok then
+      invalid_arg (Printf.sprintf "Qbf: variable x_{%d,%d} out of range" block index)
+  | Not m -> check_matrix blocks m
+  | And (a, b) | Or (a, b) ->
+    check_matrix blocks a;
+    check_matrix blocks b
+
+let make ~blocks ~matrix =
+  if blocks = [] then invalid_arg "Qbf.make: at least one block required";
+  List.iter
+    (fun m -> if m < 0 then invalid_arg "Qbf.make: negative block size")
+    blocks;
+  check_matrix blocks matrix;
+  { blocks; matrix }
+
+let blocks t = t.blocks
+let matrix t = t.matrix
+let block_count t = List.length t.blocks
+let universal_block _ i = i mod 2 = 1
+
+let rec eval_matrix m assignment =
+  match m with
+  | Lit { positive; var } ->
+    if positive then assignment var else not (assignment var)
+  | Not m -> not (eval_matrix m assignment)
+  | And (a, b) -> eval_matrix a assignment && eval_matrix b assignment
+  | Or (a, b) -> eval_matrix a assignment || eval_matrix b assignment
+
+let eval t =
+  (* [values] maps (block, index) to the chosen Boolean; blocks are
+     decided outer-to-inner, each expanded by binary counting over its
+     variables. *)
+  let values = Hashtbl.create 16 in
+  let assignment var =
+    match Hashtbl.find_opt values (var.block, var.index) with
+    | Some b -> b
+    | None -> assert false
+  in
+  let rec decide_block bi remaining =
+    match remaining with
+    | [] -> eval_matrix t.matrix assignment
+    | size :: rest ->
+      let universal = universal_block t bi in
+      let rec choose j =
+        (* Try both values for variable j, combining per quantifier. *)
+        if j > size then decide_block (bi + 1) rest
+        else begin
+          let with_value b =
+            Hashtbl.replace values (bi, j) b;
+            let r = choose (j + 1) in
+            Hashtbl.remove values (bi, j);
+            r
+          in
+          if universal then with_value false && with_value true
+          else with_value false || with_value true
+        end
+      in
+      choose 1
+  in
+  decide_block 1 t.blocks
+
+type clause3 = literal * literal * literal
+
+let of_cnf3 ~blocks clauses =
+  let matrix =
+    match clauses with
+    | [] ->
+      (* An empty conjunction is true; encode as x ∨ ¬x over a dummy
+         variable only when one exists, else raise. *)
+      (match
+         List.find_index (fun m -> m > 0) blocks
+       with
+      | Some bi ->
+        let v = { block = bi + 1; index = 1 } in
+        Or (Lit { positive = true; var = v }, Lit { positive = false; var = v })
+      | None -> invalid_arg "Qbf.of_cnf3: no variables at all")
+    | (l1, l2, l3) :: rest ->
+      let clause (a, b, c) = Or (Lit a, Or (Lit b, Lit c)) in
+      List.fold_left
+        (fun acc cl -> And (acc, clause cl))
+        (clause (l1, l2, l3))
+        rest
+  in
+  make ~blocks ~matrix
+
+let cnf3_clauses t =
+  let rec clauses acc = function
+    | And (a, b) -> Option.bind (clauses acc a) (fun acc -> clauses acc b)
+    | Or (Lit a, Or (Lit b, Lit c)) -> Some ((a, b, c) :: acc)
+    | Or _ | Lit _ | Not _ -> None
+  in
+  Option.map List.rev (clauses [] t.matrix)
+
+let random_cnf3 ~blocks ~clauses ~seed =
+  let all_vars =
+    List.concat
+      (List.mapi
+         (fun bi size ->
+           List.init size (fun j -> { block = bi + 1; index = j + 1 }))
+         blocks)
+  in
+  if all_vars = [] then invalid_arg "Qbf.random_cnf3: no variables";
+  let vars = Array.of_list all_vars in
+  let state = Random.State.make [| seed; clauses; Array.length vars |] in
+  let literal () =
+    {
+      positive = Random.State.bool state;
+      var = vars.(Random.State.int state (Array.length vars));
+    }
+  in
+  let clause_list =
+    List.init clauses (fun _ -> (literal (), literal (), literal ()))
+  in
+  of_cnf3 ~blocks clause_list
+
+let pp_literal ppf { positive; var } =
+  Fmt.pf ppf "%sx_{%d,%d}" (if positive then "" else "~") var.block var.index
+
+let rec pp_matrix ppf = function
+  | Lit l -> pp_literal ppf l
+  | Not m -> Fmt.pf ppf "~(%a)" pp_matrix m
+  | And (a, b) -> Fmt.pf ppf "(%a /\\ %a)" pp_matrix a pp_matrix b
+  | Or (a, b) -> Fmt.pf ppf "(%a \\/ %a)" pp_matrix a pp_matrix b
+
+let pp ppf t =
+  List.iteri
+    (fun i size ->
+      Fmt.pf ppf "%s[%d vars] "
+        (if universal_block t (i + 1) then "forall" else "exists")
+        size)
+    t.blocks;
+  pp_matrix ppf t.matrix

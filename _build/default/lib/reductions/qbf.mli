@@ -1,0 +1,75 @@
+(** Quantified Boolean formulas in the class Bₖ₊₁ of Stockmeyer,
+    as used by Theorems 7 and 9:
+
+    [(∀x₁,₁...∀x₁,ₘ₁)(∃x₂,₁...∃x₂,ₘ₂)...(Q xₖ₊₁,₁...Q xₖ₊₁,ₘₖ₊₁) ψ]
+
+    — blocks of variables alternating ∀/∃ starting universally, over a
+    quantifier-free matrix [ψ]. Deciding truth of Bₖ₊₁ formulas is
+    Πₖ₊₁ᵖ-complete [St77].
+
+    This module also provides the direct (exponential-time) evaluator
+    used as the independent baseline validating both reductions. *)
+
+(** Variable [x_{block,index}]; both 1-based, [block ≤ number of
+    blocks], [index ≤ size of that block]. *)
+type var = {
+  block : int;
+  index : int;
+}
+
+type literal = {
+  positive : bool;
+  var : var;
+}
+
+type matrix =
+  | Lit of literal
+  | Not of matrix
+  | And of matrix * matrix
+  | Or of matrix * matrix
+
+type t
+
+(** [make ~blocks ~matrix] builds a QBF; [blocks] lists the block sizes
+    [m₁ ... mₖ₊₁] (all ≥ 0, at least one block).
+    @raise Invalid_argument when a matrix variable is out of range. *)
+val make : blocks:int list -> matrix:matrix -> t
+
+val blocks : t -> int list
+val matrix : t -> matrix
+
+(** Number of blocks; the paper's [k + 1]. *)
+val block_count : t -> int
+
+(** [universal_block t i] — is the [i]-th (1-based) block universal?
+    Block 1 always is; quantifiers alternate. *)
+val universal_block : t -> int -> bool
+
+(** [eval t] decides truth by exhaustive expansion of the quantifier
+    prefix — [2^Σmᵢ] assignments in the worst case. *)
+val eval : t -> bool
+
+(** [eval_matrix t assignment] evaluates the matrix under a total
+    assignment [assignment var]. *)
+val eval_matrix : matrix -> (var -> bool) -> bool
+
+(** {1 3-CNF matrices (Theorem 9)} *)
+
+(** A clause of exactly three literals. *)
+type clause3 = literal * literal * literal
+
+(** [of_cnf3 ~blocks clauses] builds the QBF with matrix
+    [⋀ (l₁ ∨ l₂ ∨ l₃)]. An empty clause list means [true]. *)
+val of_cnf3 : blocks:int list -> clause3 list -> t
+
+(** [cnf3_clauses t] recovers the clause list when the matrix is
+    syntactically a conjunction of 3-literal disjunctions. *)
+val cnf3_clauses : t -> clause3 list option
+
+(** [random_cnf3 ~blocks ~clauses ~seed] draws [clauses] random
+    3-clauses over the declared variables (deterministic in [seed]).
+    Variables are drawn uniformly; signs are fair coins.
+    @raise Invalid_argument when the blocks declare no variable. *)
+val random_cnf3 : blocks:int list -> clauses:int -> seed:int -> t
+
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/relational/algebra.ml: Array Database Eval Fmt Format List Relation String

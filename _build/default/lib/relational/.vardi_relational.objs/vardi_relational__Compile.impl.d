@@ -1,0 +1,1 @@
+lib/relational/compile.ml: Algebra Database Fun List Printf Relation String Vardi_logic

@@ -1,0 +1,1 @@
+lib/relational/compile.mli: Algebra Database Eval Relation Vardi_logic

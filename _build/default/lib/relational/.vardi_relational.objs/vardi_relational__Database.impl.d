@@ -1,0 +1,1 @@
+lib/relational/database.ml: Fmt List Map Printf Relation Set String Tuple Vardi_logic

@@ -1,0 +1,1 @@
+lib/relational/database.mli: Fmt Relation Tuple Vardi_logic

@@ -1,0 +1,1 @@
+lib/relational/eval.ml: Bool Database List Map Printf Relation Seq String Tuple Vardi_logic

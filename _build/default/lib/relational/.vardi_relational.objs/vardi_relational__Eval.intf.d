@@ -1,0 +1,1 @@
+lib/relational/eval.mli: Database Relation Tuple Vardi_logic

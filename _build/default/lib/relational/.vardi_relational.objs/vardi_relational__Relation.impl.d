@@ -1,0 +1,1 @@
+lib/relational/relation.ml: Array Float Fmt Fun Int List Printf Seq Set Tuple

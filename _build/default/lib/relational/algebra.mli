@@ -1,0 +1,43 @@
+(** A positional relational algebra — the "standard database management
+    system" on which Section 5 implements logical databases.
+
+    Expressions denote relations whose columns are numbered from 0.
+    Constant symbols inside selections are resolved through the
+    database's constant interpretation at evaluation time. *)
+
+type selection =
+  | Cols_eq of int * int              (** keep rows with [row.(i) = row.(j)] *)
+  | Cols_neq of int * int
+  | Col_eq_const of int * string      (** [row.(i) = I(c)] for constant symbol [c] *)
+  | Col_neq_const of int * string
+  | Consts_eq of string * string      (** row-independent: [I(c) = I(d)] *)
+  | Consts_neq of string * string
+
+type t =
+  | Base of string                    (** a stored relation *)
+  | Virtual of string * int           (** computed relation, materialized from
+                                          {!Eval.virtuals} over [D^arity] *)
+  | Domain                            (** the unary relation holding all of [D] *)
+  | Empty of int                      (** the empty [k]-ary relation *)
+  | Select of selection * t
+  | Project of int list * t           (** output column [i] is input column
+                                          [cols.(i)]; may duplicate and reorder *)
+  | Product of t * t
+  | Union of t * t
+  | Inter of t * t
+  | Diff of t * t
+
+(** [arity db e] is the output arity of [e] against [db]'s schema.
+    @raise Eval.Eval_error on unknown base relations, column indexes
+    out of range, or arity mismatches between set-operation operands. *)
+val arity : Database.t -> t -> int
+
+(** [run ?virtuals db e] evaluates [e] bottom-up.
+    @raise Eval.Eval_error as {!arity} does, and when a [Virtual] node
+    has no entry in [virtuals]. *)
+val run : ?virtuals:Eval.virtuals -> Database.t -> t -> Relation.t
+
+(** Number of nodes, a cost measure for the ablation benches. *)
+val size : t -> int
+
+val pp : t Fmt.t

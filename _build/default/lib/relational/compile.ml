@@ -1,0 +1,149 @@
+module Formula = Vardi_logic.Formula
+module Term = Vardi_logic.Term
+module Query = Vardi_logic.Query
+
+exception Unsupported of string
+
+let index_of vars x =
+  let rec go i = function
+    | [] -> raise (Unsupported (Printf.sprintf "variable %s not in scope" x))
+    | y :: rest -> if String.equal x y then i else go (i + 1) rest
+  in
+  go 0 vars
+
+(* D^k as an algebra expression; D^0 is the nullary relation holding
+   the empty tuple (encoded as a projection of Domain to no columns). *)
+let full_rel k =
+  if k = 0 then Algebra.Project ([], Algebra.Domain)
+  else
+    let rec build k =
+      if k = 1 then Algebra.Domain
+      else Algebra.Product (Algebra.Domain, build (k - 1))
+    in
+    build k
+
+let rec compile db vars f =
+  let k = List.length vars in
+  let full = full_rel k in
+  match f with
+  | Formula.True -> full
+  | Formula.False -> Algebra.Empty k
+  | Formula.Eq (s, t) -> compile_eq vars full s t
+  | Formula.Atom (p, ts) -> compile_atom db vars p ts
+  | Formula.Not f -> Algebra.Diff (full, compile db vars f)
+  | Formula.And (f, g) -> Algebra.Inter (compile db vars f, compile db vars g)
+  | Formula.Or (f, g) -> Algebra.Union (compile db vars f, compile db vars g)
+  | Formula.Implies (f, g) ->
+    Algebra.Union (Algebra.Diff (full, compile db vars f), compile db vars g)
+  | Formula.Iff (f, g) ->
+    let cf = compile db vars f and cg = compile db vars g in
+    Algebra.Union
+      (Algebra.Inter (cf, cg), Algebra.Inter (Algebra.Diff (full, cf), Algebra.Diff (full, cg)))
+  | Formula.Exists (x, f) ->
+    (* Rename a shadowed binder so the extended column list stays
+       duplicate-free. *)
+    let x', f' =
+      if List.mem x vars then begin
+        let x' = Formula.fresh_var ~base:x [ f ] in
+        let x'' =
+          if List.mem x' vars then
+            Formula.fresh_var ~base:(x' ^ "_c") [ f ]
+          else x'
+        in
+        (x'', Formula.substitute
+                (fun y ->
+                  if String.equal y x then Some (Term.Var x'') else None)
+                f)
+      end
+      else (x, f)
+    in
+    let inner = compile db (vars @ [ x' ]) f' in
+    Algebra.Project (List.init k Fun.id, inner)
+  | Formula.Forall (x, f) ->
+    compile db vars (Formula.Not (Formula.Exists (x, Formula.Not f)))
+  | Formula.Exists2 _ | Formula.Forall2 _ ->
+    raise (Unsupported "second-order quantifier")
+
+and compile_eq vars full s t =
+  match s, t with
+  | Term.Var x, Term.Var y ->
+    Algebra.Select (Algebra.Cols_eq (index_of vars x, index_of vars y), full)
+  | Term.Var x, Term.Const c | Term.Const c, Term.Var x ->
+    Algebra.Select (Algebra.Col_eq_const (index_of vars x, c), full)
+  | Term.Const c, Term.Const d ->
+    Algebra.Select (Algebra.Consts_eq (c, d), full)
+
+and compile_atom db vars p ts =
+  let k = List.length vars in
+  let m = List.length ts in
+  let base =
+    match Database.relation_opt db p with
+    | Some r ->
+      if Relation.arity r <> m then
+        raise
+          (Unsupported
+             (Printf.sprintf "atom %s has arity %d, schema says %d" p m
+                (Relation.arity r)));
+      Algebra.Base p
+    | None -> Algebra.Virtual (p, m)
+  in
+  (* Constrain constant arguments and repeated variables in place. *)
+  let constrained =
+    List.fold_left
+      (fun (expr, seen, pos) t ->
+        match t with
+        | Term.Const c ->
+          (Algebra.Select (Algebra.Col_eq_const (pos, c), expr), seen, pos + 1)
+        | Term.Var x -> (
+          match List.assoc_opt x seen with
+          | Some first ->
+            (Algebra.Select (Algebra.Cols_eq (first, pos), expr), seen, pos + 1)
+          | None -> (expr, (x, pos) :: seen, pos + 1)))
+      (base, [], 0) ts
+  in
+  let expr, seen, _ = constrained in
+  (* Pad with Domain columns for the target variables not used by the
+     atom, then project into target order. Pad column for the i-th
+     missing variable sits at [m + i]. *)
+  let missing =
+    List.filter (fun v -> not (List.mem_assoc v seen)) vars
+  in
+  let padded =
+    List.fold_left (fun e _ -> Algebra.Product (e, Algebra.Domain)) expr missing
+  in
+  let column v =
+    match List.assoc_opt v seen with
+    | Some pos -> pos
+    | None ->
+      let rec find i = function
+        | [] -> assert false
+        | w :: rest -> if String.equal v w then i else find (i + 1) rest
+      in
+      m + find 0 missing
+  in
+  let cols = List.map column vars in
+  if cols = List.init k Fun.id && List.length missing = 0 && m = k then expr
+  else Algebra.Project (cols, padded)
+
+let check_no_duplicates vars =
+  let rec go = function
+    | [] -> ()
+    | v :: rest ->
+      if List.mem v rest then
+        invalid_arg (Printf.sprintf "Compile: duplicate variable %s" v);
+      go rest
+  in
+  go vars
+
+let formula db ~vars f =
+  check_no_duplicates vars;
+  List.iter
+    (fun x ->
+      if not (List.mem x vars) then
+        raise (Unsupported (Printf.sprintf "free variable %s not in vars" x)))
+    (Formula.free_vars f);
+  compile db vars f
+
+let query db q = formula db ~vars:(Query.head q) (Query.body q)
+
+let answer ?virtuals db q = Algebra.run ?virtuals db (query db q)

@@ -1,0 +1,32 @@
+(** Compilation of first-order queries to relational algebra.
+
+    Because every database here is finite and the CW domain-closure
+    axiom closes the domain, compilation uses {e active-domain}
+    semantics: each subformula is compiled to a relation over the full
+    ordered variable list, padding with [Domain] products; then
+    [∧ ↦ ∩], [∨ ↦ ∪], [¬ ↦ D^k ∖ ·], [∃x ↦ project], [∀x ↦ ¬∃x¬].
+    This mirrors how the Section 5 approximation would run on a
+    standard relational system.
+
+    Second-order quantifiers are not compilable; atoms whose name is
+    not in the database schema compile to [Algebra.Virtual] nodes so
+    the [α_P] predicates of the approximation algorithm can be plugged
+    in at run time. *)
+
+exception Unsupported of string
+
+(** [formula db ~vars f] compiles [f] to an expression whose column
+    [i] holds the value of [List.nth vars i].
+    @raise Unsupported on second-order quantifiers, or when a free
+    variable of [f] is missing from [vars].
+    @raise Invalid_argument when [vars] contains duplicates. *)
+val formula :
+  Database.t -> vars:string list -> Vardi_logic.Formula.t -> Algebra.t
+
+(** [query db q] compiles a whole query; columns follow the head. *)
+val query : Database.t -> Vardi_logic.Query.t -> Algebra.t
+
+(** [answer ?virtuals db q] compiles and runs [q] — the end-to-end
+    "DBMS" pipeline used by the ablation bench. *)
+val answer :
+  ?virtuals:Eval.virtuals -> Database.t -> Vardi_logic.Query.t -> Relation.t

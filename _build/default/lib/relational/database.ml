@@ -1,0 +1,193 @@
+module Vocabulary = Vardi_logic.Vocabulary
+module String_map = Map.Make (String)
+module String_set = Set.Make (String)
+
+type t = {
+  vocabulary : Vocabulary.t;
+  domain : String_set.t;
+  constants : Tuple.element String_map.t;
+  relations : Relation.t String_map.t;
+}
+
+let check_tuples_in_domain domain name r =
+  Relation.iter
+    (fun tuple ->
+      List.iter
+        (fun e ->
+          if not (String_set.mem e domain) then
+            invalid_arg
+              (Printf.sprintf
+                 "Database: relation %s mentions %s, outside the domain" name e))
+        tuple)
+    r
+
+let make ~vocabulary ~domain ~constants ~relations =
+  let domain_set = String_set.of_list domain in
+  if String_set.is_empty domain_set then
+    invalid_arg "Database.make: the domain must be nonempty";
+  let constant_map =
+    List.fold_left
+      (fun acc (c, e) ->
+        if not (Vocabulary.mem_constant vocabulary c) then
+          invalid_arg
+            (Printf.sprintf "Database.make: %s is not a constant of L" c);
+        if not (String_set.mem e domain_set) then
+          invalid_arg
+            (Printf.sprintf "Database.make: constant %s maps outside the domain"
+               c);
+        String_map.add c e acc)
+      String_map.empty constants
+  in
+  List.iter
+    (fun c ->
+      if not (String_map.mem c constant_map) then
+        invalid_arg
+          (Printf.sprintf "Database.make: constant %s has no interpretation" c))
+    (Vocabulary.constants vocabulary);
+  let relation_map =
+    List.fold_left
+      (fun acc (p, r) ->
+        match Vocabulary.arity_opt vocabulary p with
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Database.make: %s is not a predicate of L" p)
+        | Some k ->
+          if Relation.arity r <> k then
+            invalid_arg
+              (Printf.sprintf
+                 "Database.make: relation %s has arity %d, declared %d" p
+                 (Relation.arity r) k);
+          check_tuples_in_domain domain_set p r;
+          String_map.add p r acc)
+      String_map.empty relations
+  in
+  let relation_map =
+    List.fold_left
+      (fun acc (p, k) ->
+        if String_map.mem p acc then acc
+        else String_map.add p (Relation.empty k) acc)
+      relation_map
+      (Vocabulary.predicates vocabulary)
+  in
+  {
+    vocabulary;
+    domain = domain_set;
+    constants = constant_map;
+    relations = relation_map;
+  }
+
+let vocabulary db = db.vocabulary
+let domain db = String_set.elements db.domain
+let domain_size db = String_set.cardinal db.domain
+
+let constant db c =
+  match String_map.find_opt c db.constants with
+  | Some e -> e
+  | None -> raise Not_found
+
+let relation db p =
+  match String_map.find_opt p db.relations with
+  | Some r -> r
+  | None -> raise Not_found
+
+let relation_opt db p = String_map.find_opt p db.relations
+
+let with_relation db p r =
+  check_tuples_in_domain db.domain p r;
+  let vocabulary =
+    if Vocabulary.mem_predicate db.vocabulary p then begin
+      if Vocabulary.arity db.vocabulary p <> Relation.arity r then
+        invalid_arg
+          (Printf.sprintf "Database.with_relation: arity clash for %s" p);
+      db.vocabulary
+    end
+    else Vocabulary.add_predicate db.vocabulary p (Relation.arity r)
+  in
+  { db with vocabulary; relations = String_map.add p r db.relations }
+
+let map_elements h db =
+  {
+    db with
+    domain = String_set.map h db.domain;
+    constants = String_map.map h db.constants;
+    relations = String_map.map (Relation.map (List.map h)) db.relations;
+  }
+
+let size db =
+  String_map.fold (fun _ r acc -> acc + Relation.cardinal r) db.relations 0
+
+let equal a b =
+  Vocabulary.equal a.vocabulary b.vocabulary
+  && String_set.equal a.domain b.domain
+  && String_map.equal String.equal a.constants b.constants
+  && String_map.equal Relation.equal a.relations b.relations
+
+(* Isomorphism search: backtrack over injective extensions of the
+   constant-forced partial bijection. Only suitable for small domains. *)
+let isomorphic a b =
+  Vocabulary.equal a.vocabulary b.vocabulary
+  && String_set.cardinal a.domain = String_set.cardinal b.domain
+  && String_map.for_all
+       (fun p ra ->
+         Relation.cardinal ra = Relation.cardinal (relation b p))
+       a.relations
+  &&
+  let da = String_set.elements a.domain in
+  let db_elems = String_set.elements b.domain in
+  (* The bijection is forced on constant interpretations. *)
+  let forced =
+    String_map.fold
+      (fun c ea acc ->
+        match acc with
+        | None -> None
+        | Some m -> (
+          let eb = String_map.find c b.constants in
+          match String_map.find_opt ea m with
+          | Some eb' when String.equal eb eb' -> Some m
+          | Some _ -> None
+          | None ->
+            if List.exists (fun (_, v) -> String.equal v eb) (String_map.bindings m)
+            then None
+            else Some (String_map.add ea eb m)))
+      a.constants (Some String_map.empty)
+  in
+  match forced with
+  | None -> false
+  | Some forced ->
+    let check_complete m =
+      String_map.for_all
+        (fun p ra ->
+          let rb = relation b p in
+          Relation.for_all
+            (fun tuple ->
+              Relation.mem (List.map (fun e -> String_map.find e m) tuple) rb)
+            ra)
+        a.relations
+    in
+    let rec extend m used = function
+      | [] -> check_complete m
+      | e :: rest ->
+        if String_map.mem e m then extend m used rest
+        else
+          List.exists
+            (fun e' ->
+              (not (String_set.mem e' used))
+              && extend (String_map.add e e' m) (String_set.add e' used) rest)
+            db_elems
+    in
+    let used =
+      String_map.fold (fun _ v acc -> String_set.add v acc) forced
+        String_set.empty
+    in
+    extend forced used da
+
+let pp ppf db =
+  let pp_constant ppf (c, e) = Fmt.pf ppf "%s -> %s" c e in
+  let pp_relation ppf (p, r) = Fmt.pf ppf "%s = %a" p Relation.pp r in
+  Fmt.pf ppf "@[<v>domain: {%a}@,constants: %a@,%a@]"
+    Fmt.(list ~sep:(any ", ") string)
+    (domain db)
+    Fmt.(list ~sep:(any "; ") pp_constant)
+    (String_map.bindings db.constants)
+    Fmt.(list ~sep:cut pp_relation)
+    (String_map.bindings db.relations)

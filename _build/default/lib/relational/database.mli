@@ -1,0 +1,69 @@
+(** Physical databases (paper, Section 2.1).
+
+    A physical database is a pair [(L, I)]: a relational vocabulary and
+    a finite interpretation — a nonempty finite domain [D], an element
+    of [D] for each constant symbol, and a relation over [D] of the
+    right arity for each predicate symbol. Equality is always
+    interpreted as actual equality and is not stored. *)
+
+type t
+
+(** [make ~vocabulary ~domain ~constants ~relations] builds and
+    validates a database:
+    - [domain] must be nonempty (duplicates are removed);
+    - [constants] must assign a domain element to {e every} constant of
+      the vocabulary;
+    - [relations] must assign to every predicate of the vocabulary a
+      relation of the declared arity whose tuples draw from [domain]
+      (missing predicates default to the empty relation).
+
+    @raise Invalid_argument when validation fails. *)
+val make :
+  vocabulary:Vardi_logic.Vocabulary.t ->
+  domain:Tuple.element list ->
+  constants:(string * Tuple.element) list ->
+  relations:(string * Relation.t) list ->
+  t
+
+val vocabulary : t -> Vardi_logic.Vocabulary.t
+
+(** Domain elements, sorted. *)
+val domain : t -> Tuple.element list
+
+val domain_size : t -> int
+
+(** [constant db c] is the domain element interpreting [c].
+    @raise Not_found when [c] is not a constant of the vocabulary. *)
+val constant : t -> string -> Tuple.element
+
+(** [relation db p] is the relation interpreting predicate [p].
+    @raise Not_found when [p] is not declared. *)
+val relation : t -> string -> Relation.t
+
+val relation_opt : t -> string -> Relation.t option
+
+(** [with_relation db p r] overrides (or adds) the interpretation of
+    [p], extending the vocabulary if needed. Tuples must draw from the
+    domain.
+    @raise Invalid_argument on violations. *)
+val with_relation : t -> string -> Relation.t -> t
+
+(** [map_elements h db] is the image database [h(db)] of Section 3.1:
+    domain [h(D)], constants [h ∘ I], relations [h(I(P))]. [h] need not
+    be injective. *)
+val map_elements : (Tuple.element -> Tuple.element) -> t -> t
+
+(** Total number of tuples across all relations. *)
+val size : t -> int
+
+(** Equality of interpretations (same vocabulary, domain, constant map
+    and relations). *)
+val equal : t -> t -> bool
+
+(** [isomorphic a b] tests isomorphism by searching for a bijection
+    between the (small) domains that maps constants to corresponding
+    constants and relations onto relations. Exponential; intended for
+    tests on small databases. *)
+val isomorphic : t -> t -> bool
+
+val pp : t Fmt.t

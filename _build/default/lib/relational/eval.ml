@@ -1,0 +1,122 @@
+module Formula = Vardi_logic.Formula
+module Term = Vardi_logic.Term
+module Query = Vardi_logic.Query
+module String_map = Map.Make (String)
+
+exception Eval_error of string
+
+type virtuals = string -> (Tuple.element list -> bool) option
+
+let no_virtuals _ = None
+
+type context = {
+  db : Database.t;
+  virtuals : virtuals;
+  env : Tuple.element String_map.t;      (* individual variables *)
+  so_env : Relation.t String_map.t;      (* second-order variables *)
+}
+
+let element ctx = function
+  | Term.Var x -> (
+    match String_map.find_opt x ctx.env with
+    | Some e -> e
+    | None -> raise (Eval_error (Printf.sprintf "unbound variable %s" x)))
+  | Term.Const c -> (
+    try Database.constant ctx.db c
+    with Not_found ->
+      raise (Eval_error (Printf.sprintf "unknown constant %s" c)))
+
+let atom_holds ctx p args =
+  match String_map.find_opt p ctx.so_env with
+  | Some r ->
+    if Relation.arity r <> List.length args then
+      raise
+        (Eval_error
+           (Printf.sprintf "predicate variable %s used with arity %d" p
+              (List.length args)));
+    Relation.mem args r
+  | None -> (
+    match ctx.virtuals p with
+    | Some check -> check args
+    | None -> (
+      match Database.relation_opt ctx.db p with
+      | Some r ->
+        if Relation.arity r <> List.length args then
+          raise
+            (Eval_error
+               (Printf.sprintf "predicate %s used with arity %d, declared %d" p
+                  (List.length args) (Relation.arity r)));
+        Relation.mem args r
+      | None -> raise (Eval_error (Printf.sprintf "unknown predicate %s" p))))
+
+let rec eval ctx formula =
+  match formula with
+  | Formula.True -> true
+  | Formula.False -> false
+  | Formula.Eq (s, t) -> String.equal (element ctx s) (element ctx t)
+  | Formula.Atom (p, ts) -> atom_holds ctx p (List.map (element ctx) ts)
+  | Formula.Not f -> not (eval ctx f)
+  | Formula.And (f, g) -> eval ctx f && eval ctx g
+  | Formula.Or (f, g) -> eval ctx f || eval ctx g
+  | Formula.Implies (f, g) -> (not (eval ctx f)) || eval ctx g
+  | Formula.Iff (f, g) -> Bool.equal (eval ctx f) (eval ctx g)
+  | Formula.Exists (x, f) ->
+    List.exists
+      (fun e -> eval { ctx with env = String_map.add x e ctx.env } f)
+      (Database.domain ctx.db)
+  | Formula.Forall (x, f) ->
+    List.for_all
+      (fun e -> eval { ctx with env = String_map.add x e ctx.env } f)
+      (Database.domain ctx.db)
+  | Formula.Exists2 (p, k, f) ->
+    Seq.exists
+      (fun r -> eval { ctx with so_env = String_map.add p r ctx.so_env } f)
+      (all_relations ctx k)
+  | Formula.Forall2 (p, k, f) ->
+    Seq.for_all
+      (fun r -> eval { ctx with so_env = String_map.add p r ctx.so_env } f)
+      (all_relations ctx k)
+
+and all_relations ctx k =
+  let universe = Relation.full ~domain:(Database.domain ctx.db) k in
+  Relation.subsets universe
+
+let make_context ?(virtuals = no_virtuals) db env =
+  {
+    db;
+    virtuals;
+    env =
+      List.fold_left
+        (fun acc (x, e) -> String_map.add x e acc)
+        String_map.empty env;
+    so_env = String_map.empty;
+  }
+
+let holds ?virtuals db env formula = eval (make_context ?virtuals db env) formula
+
+let satisfies ?virtuals db sentence =
+  match Formula.free_vars sentence with
+  | [] -> holds ?virtuals db [] sentence
+  | x :: _ ->
+    raise (Eval_error (Printf.sprintf "sentence has free variable %s" x))
+
+let member ?virtuals db q tuple =
+  let head = Query.head q in
+  if List.length tuple <> List.length head then
+    raise (Eval_error "Eval.member: tuple arity differs from the query head");
+  holds ?virtuals db (List.combine head tuple) (Query.body q)
+
+let answer ?virtuals db q =
+  let head = Query.head q in
+  let k = List.length head in
+  let domain = Database.domain db in
+  let rec assignments = function
+    | 0 -> [ [] ]
+    | n ->
+      let rest = assignments (n - 1) in
+      List.concat_map (fun e -> List.map (fun t -> e :: t) rest) domain
+  in
+  List.fold_left
+    (fun acc tuple ->
+      if member ?virtuals db q tuple then Relation.add tuple acc else acc)
+    (Relation.empty k) (assignments k)

@@ -1,0 +1,47 @@
+(** Tarskian query evaluation over physical databases (paper,
+    Section 2.1): [Q(PB) = { d ∈ D^|x| : I satisfies φ(d) }].
+
+    First-order quantifiers range over the database domain.
+    Second-order quantifiers range over all relations of the given
+    arity over the domain — exponential, guarded by
+    {!Relation.max_enumeration}; they exist to execute Theorem 3's
+    precise simulation and the Theorem 9 reduction on small inputs.
+
+    Atoms are resolved in this order: second-order environment (bound
+    predicate variables), then [virtuals] (computed predicates, used by
+    the approximation algorithm for [α_P] and the virtual [NE]), then
+    the database relations. *)
+
+exception Eval_error of string
+
+(** Assigns a computed truth value to some predicate names; see
+    {!Approx} for its two uses in the paper. *)
+type virtuals = string -> (Tuple.element list -> bool) option
+
+val no_virtuals : virtuals
+
+(** [satisfies ?virtuals db sentence] decides [db ⊨ sentence].
+    @raise Eval_error on a free variable, an unknown predicate, or an
+    arity mismatch. *)
+val satisfies :
+  ?virtuals:virtuals -> Database.t -> Vardi_logic.Formula.t -> bool
+
+(** [holds ?virtuals db env formula] decides satisfaction under an
+    explicit variable assignment. *)
+val holds :
+  ?virtuals:virtuals ->
+  Database.t ->
+  (string * Tuple.element) list ->
+  Vardi_logic.Formula.t ->
+  bool
+
+(** [answer ?virtuals db q] is [Q(PB)]: all head-arity tuples over the
+    domain whose assignment satisfies the body. *)
+val answer : ?virtuals:virtuals -> Database.t -> Vardi_logic.Query.t -> Relation.t
+
+(** [member ?virtuals db q tuple] decides [tuple ∈ Q(PB)] without
+    materializing the whole answer (the decision problem whose
+    complexity Section 4 studies).
+    @raise Eval_error on arity mismatch with the query head. *)
+val member :
+  ?virtuals:virtuals -> Database.t -> Vardi_logic.Query.t -> Tuple.t -> bool

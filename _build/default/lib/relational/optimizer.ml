@@ -1,0 +1,108 @@
+open Algebra
+
+(* Columns inspected by a selection, or [] for row-independent ones. *)
+let selection_columns = function
+  | Cols_eq (i, j) | Cols_neq (i, j) -> [ i; j ]
+  | Col_eq_const (i, _) | Col_neq_const (i, _) -> [ i ]
+  | Consts_eq _ | Consts_neq _ -> []
+
+let shift_selection offset = function
+  | Cols_eq (i, j) -> Cols_eq (i - offset, j - offset)
+  | Cols_neq (i, j) -> Cols_neq (i - offset, j - offset)
+  | Col_eq_const (i, c) -> Col_eq_const (i - offset, c)
+  | Col_neq_const (i, c) -> Col_neq_const (i - offset, c)
+  | (Consts_eq _ | Consts_neq _) as s -> s
+
+(* Remap a selection's columns through a projection list: output column
+   [i] of [Project (cols, e)] is input column [List.nth cols i]. *)
+let remap_selection cols = function
+  | Cols_eq (i, j) -> Cols_eq (List.nth cols i, List.nth cols j)
+  | Cols_neq (i, j) -> Cols_neq (List.nth cols i, List.nth cols j)
+  | Col_eq_const (i, c) -> Col_eq_const (List.nth cols i, c)
+  | Col_neq_const (i, c) -> Col_neq_const (List.nth cols i, c)
+  | (Consts_eq _ | Consts_neq _) as s -> s
+
+let is_identity_projection cols k =
+  List.length cols = k && List.mapi (fun i c -> i = c) cols |> List.for_all Fun.id
+
+(* Universal expressions denote the full relation D^k. Every expression
+   evaluates to a subset of D^k (database validation keeps all stored
+   and virtual tuples inside the domain), which justifies absorbing
+   universals in set operations and cancelling double complements. *)
+let rec is_universal = function
+  | Domain -> true
+  | Product (a, b) -> is_universal a && is_universal b
+  | Base _ | Virtual _ | Empty _ | Select _ | Project _ | Union _ | Inter _
+  | Diff _ ->
+    false
+
+(* One top-level rewrite step; [None] when no rule applies. Children
+   are already in normal form when this is called. *)
+let step db expr =
+  let arity e = Algebra.arity db e in
+  match expr with
+  (* --- trivial selections --- *)
+  | Select (Cols_eq (i, j), e) when i = j -> Some e
+  | Select (Cols_neq (i, j), e) when i = j -> Some (Empty (arity e))
+  | Select (_, (Empty _ as e)) -> Some e
+  (* --- selection pushdown --- *)
+  | Select (sel, Project (cols, e)) ->
+    Some (Project (cols, Select (remap_selection cols sel, e)))
+  | Select (sel, Union (a, b)) -> Some (Union (Select (sel, a), Select (sel, b)))
+  | Select (sel, Inter (a, b)) -> Some (Inter (Select (sel, a), b))
+  | Select (sel, Diff (a, b)) -> Some (Diff (Select (sel, a), b))
+  | Select (sel, Product (a, b)) ->
+    let ka = arity a in
+    let cols = selection_columns sel in
+    if List.for_all (fun c -> c < ka) cols then
+      Some (Product (Select (sel, a), b))
+    else if List.for_all (fun c -> c >= ka) cols then
+      Some (Product (a, Select (shift_selection ka sel, b)))
+    else None
+  (* --- projections --- *)
+  | Project (cols, e) when is_identity_projection cols (arity e) -> Some e
+  | Project (cols1, Project (cols2, e)) ->
+    let cols2 = Array.of_list cols2 in
+    Some (Project (List.map (fun i -> cols2.(i)) cols1, e))
+  | Project (cols, Empty _) -> Some (Empty (List.length cols))
+  (* --- constant folding on set operations --- *)
+  | Union (Empty _, e) | Union (e, Empty _) -> Some e
+  | Inter ((Empty _ as e), _) | Inter (_, (Empty _ as e)) -> Some e
+  | Diff ((Empty _ as e), _) -> Some e
+  | Diff (e, Empty _) -> Some e
+  | Product ((Empty _ as a), b) -> Some (Empty (arity a + arity b))
+  | Product (a, (Empty _ as b)) -> Some (Empty (arity a + arity b))
+  (* --- idempotence (syntactic) --- *)
+  | Union (a, b) when a = b -> Some a
+  | Inter (a, b) when a = b -> Some a
+  | Diff (a, b) when a = b -> Some (Empty (arity a))
+  (* --- universal absorption and double complement --- *)
+  | Inter (u, e) when is_universal u -> Some e
+  | Inter (e, u) when is_universal u -> Some e
+  | Union (u, _) when is_universal u -> Some u
+  | Union (_, u) when is_universal u -> Some u
+  | Diff (e, u) when is_universal u -> Some (Empty (arity e))
+  | Diff (u1, Diff (u2, e)) when is_universal u1 && is_universal u2 -> Some e
+  | Base _ | Virtual _ | Domain | Empty _ | Select _ | Project _ | Product _
+  | Union _ | Inter _ | Diff _ ->
+    None
+
+let optimize db expr =
+  (* Validate once up front so rewrites can assume well-formedness. *)
+  let _ = Algebra.arity db expr in
+  let rec normalize expr =
+    let expr' =
+      match expr with
+      | Base _ | Virtual _ | Domain | Empty _ -> expr
+      | Select (sel, e) -> Select (sel, normalize e)
+      | Project (cols, e) -> Project (cols, normalize e)
+      | Product (a, b) -> Product (normalize a, normalize b)
+      | Union (a, b) -> Union (normalize a, normalize b)
+      | Inter (a, b) -> Inter (normalize a, normalize b)
+      | Diff (a, b) -> Diff (normalize a, normalize b)
+    in
+    match step db expr' with
+    | Some rewritten -> normalize rewritten
+    | None -> expr'
+  in
+  normalize expr

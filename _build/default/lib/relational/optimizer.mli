@@ -1,0 +1,23 @@
+(** A rule-based optimizer for relational-algebra plans.
+
+    The {!Compile} translation is deliberately naive (pad every
+    subformula to the full active domain); this pass recovers much of
+    the cost through classical, semantics-preserving rewrites:
+
+    - constant folding: operations on [Empty] and on universal
+      (full-domain) operands — including double-complement
+      cancellation, the [∀ = ¬∃¬] compilation pattern — plus trivial
+      selections
+      ([$i = $i] / [$i != $i]), idempotent set operations;
+    - projection fusion and elimination of identity projections;
+    - selection pushdown through [Project], [Union], [Inter], [Diff]
+      and into the relevant side of a [Product].
+
+    Soundness invariant (checked by the test suite on random plans):
+    [run db (optimize db e) = run db e]. *)
+
+(** [optimize db e] rewrites to a fixpoint. The database supplies the
+    schema (base-relation arities) needed to type column positions.
+    @raise Eval.Eval_error if [e] is ill-formed w.r.t. [db] (same
+    validation as {!Algebra.arity}). *)
+val optimize : Database.t -> Algebra.t -> Algebra.t

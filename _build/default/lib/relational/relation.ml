@@ -1,0 +1,120 @@
+module Tuple_set = Set.Make (struct
+  type t = Tuple.t
+
+  let compare = Tuple.compare
+end)
+
+type t = {
+  arity : int;
+  tuples : Tuple_set.t;
+}
+
+let max_enumeration = 1 lsl 20
+
+let empty k =
+  if k < 0 then invalid_arg "Relation.empty: negative arity";
+  { arity = k; tuples = Tuple_set.empty }
+
+let check_arity r tuple =
+  if Tuple.arity tuple <> r.arity then
+    invalid_arg
+      (Printf.sprintf "Relation: tuple %s has arity %d, expected %d"
+         (Tuple.to_string tuple) (Tuple.arity tuple) r.arity)
+
+let add tuple r =
+  check_arity r tuple;
+  { r with tuples = Tuple_set.add tuple r.tuples }
+
+let of_tuples k tuples = List.fold_left (fun r t -> add t r) (empty k) tuples
+
+let arity r = r.arity
+let cardinal r = Tuple_set.cardinal r.tuples
+let is_empty r = Tuple_set.is_empty r.tuples
+let mem tuple r = Tuple_set.mem tuple r.tuples
+let tuples r = Tuple_set.elements r.tuples
+
+let fold f r acc = Tuple_set.fold f r.tuples acc
+let iter f r = Tuple_set.iter f r.tuples
+let exists p r = Tuple_set.exists p r.tuples
+let for_all p r = Tuple_set.for_all p r.tuples
+let filter p r = { r with tuples = Tuple_set.filter p r.tuples }
+
+let map f r =
+  fold
+    (fun tuple acc ->
+      let tuple' = f tuple in
+      if Tuple.arity tuple' <> r.arity then
+        invalid_arg "Relation.map: arity not preserved";
+      add tuple' acc)
+    r (empty r.arity)
+
+let same_arity a b =
+  if a.arity <> b.arity then
+    invalid_arg
+      (Printf.sprintf "Relation: arity mismatch (%d vs %d)" a.arity b.arity)
+
+let union a b =
+  same_arity a b;
+  { a with tuples = Tuple_set.union a.tuples b.tuples }
+
+let inter a b =
+  same_arity a b;
+  { a with tuples = Tuple_set.inter a.tuples b.tuples }
+
+let diff a b =
+  same_arity a b;
+  { a with tuples = Tuple_set.diff a.tuples b.tuples }
+
+let subset a b =
+  same_arity a b;
+  Tuple_set.subset a.tuples b.tuples
+
+let equal a b = a.arity = b.arity && Tuple_set.equal a.tuples b.tuples
+
+let compare a b =
+  let c = Int.compare a.arity b.arity in
+  if c <> 0 then c else Tuple_set.compare a.tuples b.tuples
+
+let product a b =
+  let result = empty (a.arity + b.arity) in
+  fold
+    (fun ta acc -> fold (fun tb acc -> add (ta @ tb) acc) b acc)
+    a result
+
+let full ~domain k =
+  if k < 0 then invalid_arg "Relation.full: negative arity";
+  let n = List.length domain in
+  let count = Float.of_int n ** Float.of_int k in
+  if count > Float.of_int max_enumeration then
+    invalid_arg
+      (Printf.sprintf "Relation.full: %d^%d tuples exceeds the enumeration cap"
+         n k);
+  let rec build k =
+    if k = 0 then [ [] ]
+    else
+      let rest = build (k - 1) in
+      List.concat_map (fun e -> List.map (fun t -> e :: t) rest) domain
+  in
+  of_tuples k (build k)
+
+let subsets r =
+  let n = cardinal r in
+  if n > 20 then
+    invalid_arg
+      (Printf.sprintf
+         "Relation.subsets: 2^%d subsets exceeds the enumeration cap" n);
+  let elements = Array.of_list (tuples r) in
+  let total = 1 lsl n in
+  let subset_of_mask mask =
+    let rec collect i acc =
+      if i >= n then acc
+      else if mask land (1 lsl i) <> 0 then
+        collect (i + 1) (add elements.(i) acc)
+      else collect (i + 1) acc
+    in
+    collect 0 (empty r.arity)
+  in
+  Seq.map subset_of_mask (Seq.init total Fun.id)
+
+let pp ppf r =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any "; ") Tuple.pp) (tuples r)

@@ -1,0 +1,66 @@
+(** Finite relations: sets of equal-arity tuples.
+
+    The empty relation carries an explicit arity so that schema
+    information survives emptiness. *)
+
+type t
+
+(** [empty k] is the empty [k]-ary relation.
+    @raise Invalid_argument when [k < 0]. *)
+val empty : int -> t
+
+(** [of_tuples k tuples] builds a relation.
+    @raise Invalid_argument if some tuple's arity differs from [k]. *)
+val of_tuples : int -> Tuple.t list -> t
+
+val arity : t -> int
+val cardinal : t -> int
+val is_empty : t -> bool
+val mem : Tuple.t -> t -> bool
+
+(** [add tuple r].
+    @raise Invalid_argument on an arity mismatch. *)
+val add : Tuple.t -> t -> t
+
+(** Tuples in ascending lexicographic order. *)
+val tuples : t -> Tuple.t list
+
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Tuple.t -> unit) -> t -> unit
+val exists : (Tuple.t -> bool) -> t -> bool
+val for_all : (Tuple.t -> bool) -> t -> bool
+val filter : (Tuple.t -> bool) -> t -> t
+
+(** [map f r] applies [f] to every tuple. [f] must preserve arity.
+    @raise Invalid_argument if it does not. *)
+val map : (Tuple.t -> Tuple.t) -> t -> t
+
+(** Set operations. All raise [Invalid_argument] on arity mismatch. *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** [product a b] is the Cartesian product, of arity
+    [arity a + arity b]. *)
+val product : t -> t -> t
+
+(** [full ~domain k] is the complete relation [domain^k]. Guarded by
+    {!max_enumeration}: raises [Invalid_argument] when
+    [|domain|^k > max_enumeration]. *)
+val full : domain:Tuple.element list -> int -> t
+
+(** Cap on materialized enumerations ([full] and {!subsets}). *)
+val max_enumeration : int
+
+(** [subsets r] enumerates all subsets of [r] (used by bounded
+    second-order quantification, Theorems 3, 8 and 9). The result is a
+    sequence to avoid materializing all [2^|r|] subsets.
+    @raise Invalid_argument when [cardinal r] exceeds [log2
+    max_enumeration]. *)
+val subsets : t -> t Seq.t
+
+val pp : t Fmt.t

@@ -1,0 +1,9 @@
+type element = string
+type t = element list
+
+let compare = List.compare String.compare
+let equal a b = compare a b = 0
+let arity = List.length
+
+let pp ppf t = Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ", ") string) t
+let to_string = Fmt.to_to_string pp

@@ -1,0 +1,14 @@
+(** Tuples of domain elements.
+
+    Domain elements are represented as strings throughout: for a
+    [Ph₁]/[Ph₂] database they are the constant symbols of the
+    vocabulary (paper, Section 3.1). *)
+
+type element = string
+type t = element list
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val arity : t -> int
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/theory/theory.ml: Fmt List Printf Seq Vardi_cwdb Vardi_logic Vardi_relational

@@ -1,0 +1,1 @@
+lib/theory/theory.mli: Fmt Seq Vardi_cwdb Vardi_logic Vardi_relational

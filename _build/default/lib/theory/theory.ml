@@ -1,0 +1,121 @@
+module Formula = Vardi_logic.Formula
+module Query = Vardi_logic.Query
+module Vocabulary = Vardi_logic.Vocabulary
+module Relation = Vardi_relational.Relation
+module Database = Vardi_relational.Database
+module Eval = Vardi_relational.Eval
+
+type t = {
+  vocabulary : Vocabulary.t;
+  axioms : Formula.t list;
+}
+
+let check_axiom vocabulary axiom =
+  (match Formula.free_vars axiom with
+  | [] -> ()
+  | x :: _ ->
+    invalid_arg (Printf.sprintf "Theory: axiom has free variable %s" x));
+  List.iter
+    (fun (p, k) ->
+      match Vocabulary.arity_opt vocabulary p with
+      | None ->
+        invalid_arg (Printf.sprintf "Theory: axiom uses undeclared predicate %s" p)
+      | Some k' ->
+        if k <> k' then
+          invalid_arg
+            (Printf.sprintf "Theory: predicate %s used with arity %d, declared %d"
+               p k k'))
+    (Formula.free_preds axiom);
+  List.iter
+    (fun c ->
+      if not (Vocabulary.mem_constant vocabulary c) then
+        invalid_arg (Printf.sprintf "Theory: axiom uses undeclared constant %s" c))
+    (Formula.constants axiom)
+
+let make ~vocabulary ~axioms =
+  List.iter (check_axiom vocabulary) axioms;
+  { vocabulary; axioms }
+
+let vocabulary t = t.vocabulary
+let axioms t = t.axioms
+
+let of_cw lb =
+  {
+    vocabulary = Vardi_cwdb.Cw_database.vocabulary lb;
+    axioms = Vardi_cwdb.Axioms.theory lb;
+  }
+
+let element i = Printf.sprintf "e%d" (i + 1)
+
+(* All assignments of [targets] values to the [sources] list, as assoc
+   lists, lazily. *)
+let rec assignments sources targets () =
+  match sources with
+  | [] -> Seq.Cons ([], Seq.empty)
+  | x :: rest ->
+    Seq.concat_map
+      (fun tail -> List.to_seq (List.map (fun y -> (x, y) :: tail) targets))
+      (assignments rest targets)
+      ()
+
+let models ~max_domain t =
+  if max_domain < 1 then invalid_arg "Theory.models: bound must be positive";
+  let constants = Vocabulary.constants t.vocabulary in
+  let predicates = Vocabulary.predicates t.vocabulary in
+  let sizes = Seq.init max_domain (fun i -> i + 1) in
+  Seq.concat_map
+    (fun n ->
+      let domain = List.init n element in
+      let constant_maps = assignments constants domain in
+      Seq.concat_map
+        (fun cmap ->
+          (* Lazily fold relation choices for each predicate. *)
+          let rec choose = function
+            | [] -> Seq.return []
+            | (p, k) :: rest ->
+              let universe = Relation.full ~domain k in
+              Seq.concat_map
+                (fun tail ->
+                  Seq.map (fun r -> (p, r) :: tail) (Relation.subsets universe))
+                (choose rest)
+          in
+          Seq.filter_map
+            (fun relations ->
+              let candidate =
+                Database.make ~vocabulary:t.vocabulary ~domain ~constants:cmap
+                  ~relations
+              in
+              if List.for_all (Eval.satisfies candidate) t.axioms then
+                Some candidate
+              else None)
+            (choose predicates))
+        constant_maps)
+    sizes
+
+let satisfiable ~max_domain t =
+  not (Seq.is_empty (models ~max_domain t))
+
+let entails ~max_domain t sentence =
+  (match Formula.free_vars sentence with
+  | [] -> ()
+  | x :: _ ->
+    invalid_arg (Printf.sprintf "Theory.entails: free variable %s" x));
+  Seq.for_all (fun m -> Eval.satisfies m sentence) (models ~max_domain t)
+
+let certain_answers ~max_domain t q =
+  let constants = Vocabulary.constants t.vocabulary in
+  let k = Query.arity q in
+  let candidates = Relation.full ~domain:constants k in
+  Seq.fold_left
+    (fun survivors m ->
+      if Relation.is_empty survivors then survivors
+      else
+        Relation.filter
+          (fun tuple -> Eval.satisfies m (Query.instantiate q tuple))
+          survivors)
+    candidates (models ~max_domain t)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@,axioms:@,%a@]" Vocabulary.pp t.vocabulary
+    Fmt.(list ~sep:cut (fun ppf f -> Fmt.pf ppf "  %a" Vardi_logic.Pretty.pp_formula f))
+    t.axioms

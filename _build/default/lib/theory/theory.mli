@@ -1,0 +1,65 @@
+(** General logical databases: arbitrary finite first-order theories
+    (paper, Section 2.1).
+
+    "If logical databases can consist of arbitrary theories, or even
+    only arbitrary first-order theories, then query evaluation is
+    equivalent to testing finite validity in first-order logic, and
+    hence is undecidable [Tr50]."
+
+    This module implements the natural decidable restriction: finite
+    implication over models with a {e bounded domain}. For CW
+    databases the domain-closure axiom bounds every model by [|C|], so
+    bounded entailment at bound [|C|] coincides with the exact engines
+    (property-tested); for arbitrary theories the bound is a parameter
+    and the answers are those certain over all models up to that size —
+    a sound approximation of finite implication that becomes exact
+    whenever the theory itself bounds its models.
+
+    Everything here is brute force (model enumeration); it exists as a
+    semantic reference and for small exploratory theories, not as an
+    efficient engine. *)
+
+type t
+
+(** [make ~vocabulary ~axioms] builds a theory.
+    @raise Invalid_argument if an axiom has free individual variables,
+    uses an undeclared predicate (free predicate symbols must be in the
+    vocabulary), an undeclared constant, or a wrong arity. *)
+val make :
+  vocabulary:Vardi_logic.Vocabulary.t ->
+  axioms:Vardi_logic.Formula.t list ->
+  t
+
+val vocabulary : t -> Vardi_logic.Vocabulary.t
+val axioms : t -> Vardi_logic.Formula.t list
+
+(** [of_cw lb] is the five-component theory of a CW database. *)
+val of_cw : Vardi_cwdb.Cw_database.t -> t
+
+(** [models ~max_domain t] lazily enumerates every model of [t] whose
+    domain is [{e1, ..., en}] for some [n ≤ max_domain] (element names
+    are canonical; models are enumerated up to the names of unused
+    elements, not up to isomorphism).
+
+    @raise Invalid_argument when [max_domain < 1] or the enumeration
+    space of some relation exceeds
+    {!Vardi_relational.Relation.max_enumeration}. *)
+val models : max_domain:int -> t -> Vardi_relational.Database.t Seq.t
+
+(** [satisfiable ~max_domain t] — does [t] have a model within the
+    bound? (No model within the bound proves nothing beyond it unless
+    the theory bounds its own models.) *)
+val satisfiable : max_domain:int -> t -> bool
+
+(** [entails ~max_domain t sentence] — does every model within the
+    bound satisfy [sentence]?
+    @raise Invalid_argument if [sentence] has free variables. *)
+val entails : max_domain:int -> t -> Vardi_logic.Formula.t -> bool
+
+(** [certain_answers ~max_domain t q] — the tuples of {e constants}
+    [c] with [entails ~max_domain t φ(c)] (the paper's [Q(LB)],
+    restricted to bounded models). *)
+val certain_answers :
+  max_domain:int -> t -> Vardi_logic.Query.t -> Vardi_relational.Relation.t
+
+val pp : t Fmt.t

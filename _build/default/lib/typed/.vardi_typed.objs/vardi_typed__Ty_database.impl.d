@@ -1,0 +1,1 @@
+lib/typed/ty_database.ml: Fmt List Printf String Ty_vocabulary Vardi_cwdb

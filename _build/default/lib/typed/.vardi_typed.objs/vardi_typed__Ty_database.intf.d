@@ -1,0 +1,1 @@
+lib/typed/ty_database.mli: Fmt Ty_vocabulary Vardi_cwdb

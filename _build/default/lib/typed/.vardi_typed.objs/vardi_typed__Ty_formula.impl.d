@@ -1,0 +1,1 @@
+lib/typed/ty_formula.ml: Fmt Format Hashtbl List Map Printf Set String Ty_vocabulary Vardi_logic

@@ -1,0 +1,1 @@
+lib/typed/ty_formula.mli: Fmt Ty_vocabulary Vardi_logic

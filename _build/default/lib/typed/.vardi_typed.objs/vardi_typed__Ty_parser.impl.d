@@ -1,0 +1,1 @@
+lib/typed/ty_parser.ml: Array Fmt List Set String Ty_formula Ty_query Vardi_logic

@@ -1,0 +1,1 @@
+lib/typed/ty_parser.mli: Fmt Ty_formula Ty_query

@@ -1,0 +1,1 @@
+lib/typed/ty_query.ml: Fmt List Printf Ty_database Ty_formula Ty_vocabulary Vardi_approx Vardi_certain Vardi_logic

@@ -1,0 +1,1 @@
+lib/typed/ty_query.mli: Fmt Ty_database Ty_formula Ty_vocabulary Vardi_logic Vardi_relational

@@ -1,0 +1,1 @@
+lib/typed/ty_vocabulary.ml: Fmt List Map Printf String Vardi_logic

@@ -1,0 +1,1 @@
+lib/typed/ty_vocabulary.mli: Fmt Vardi_logic

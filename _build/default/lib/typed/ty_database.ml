@@ -1,0 +1,133 @@
+module Cw_database = Vardi_cwdb.Cw_database
+
+type t = {
+  vocabulary : Ty_vocabulary.t;
+  facts : (string * string list) list;
+  distinct : (string * string) list;  (* same-type pairs only *)
+}
+
+let check_fact vocabulary (p, args) =
+  let signature =
+    try Ty_vocabulary.signature vocabulary p
+    with Not_found ->
+      invalid_arg (Printf.sprintf "Ty_database: undeclared predicate %s" p)
+  in
+  if List.length signature <> List.length args then
+    invalid_arg
+      (Printf.sprintf "Ty_database: %s expects %d arguments, got %d" p
+         (List.length signature) (List.length args));
+  List.iteri
+    (fun i (tau, c) ->
+      let actual =
+        try Ty_vocabulary.constant_type vocabulary c
+        with Not_found ->
+          invalid_arg (Printf.sprintf "Ty_database: undeclared constant %s" c)
+      in
+      if not (String.equal actual tau) then
+        invalid_arg
+          (Printf.sprintf
+             "Ty_database: argument %d of %s(%s) has type %s, expected %s"
+             (i + 1) p (String.concat ", " args) actual tau))
+    (List.combine signature args)
+
+let same_type vocabulary c d =
+  String.equal
+    (Ty_vocabulary.constant_type vocabulary c)
+    (Ty_vocabulary.constant_type vocabulary d)
+
+let make ~vocabulary ~facts ~distinct =
+  List.iter (check_fact vocabulary) facts;
+  let distinct =
+    List.filter
+      (fun (c, d) ->
+        List.iter
+          (fun x ->
+            if not (Ty_vocabulary.mem_constant vocabulary x) then
+              invalid_arg
+                (Printf.sprintf "Ty_database: undeclared constant %s" x))
+          [ c; d ];
+        if String.equal c d then
+          invalid_arg
+            (Printf.sprintf "Ty_database: inconsistent axiom ~(%s = %s)" c d);
+        (* Cross-type distinctness is automatic; keep only the
+           informative same-type axioms. *)
+        same_type vocabulary c d)
+      distinct
+  in
+  { vocabulary; facts; distinct }
+
+let vocabulary db = db.vocabulary
+
+let same_type_pairs db =
+  let constants = List.map fst (Ty_vocabulary.constants db.vocabulary) in
+  let rec pairs = function
+    | [] -> []
+    | c :: rest ->
+      List.filter_map
+        (fun d -> if same_type db.vocabulary c d then Some (c, d) else None)
+        rest
+      @ pairs rest
+  in
+  pairs constants
+
+let are_distinct db c d =
+  List.exists
+    (fun (a, b) ->
+      (String.equal a c && String.equal b d)
+      || (String.equal a d && String.equal b c))
+    db.distinct
+
+let is_fully_specified db =
+  List.for_all (fun (c, d) -> are_distinct db c d) (same_type_pairs db)
+
+let fully_specify db = { db with distinct = same_type_pairs db }
+
+let unknown_values db =
+  let constants = List.map fst (Ty_vocabulary.constants db.vocabulary) in
+  List.filter
+    (fun c ->
+      List.exists
+        (fun d ->
+          (not (String.equal c d))
+          && same_type db.vocabulary c d
+          && not (are_distinct db c d))
+        constants)
+    constants
+
+let to_cw db =
+  let vocabulary = db.vocabulary in
+  let type_facts =
+    List.map
+      (fun (c, tau) -> (Ty_vocabulary.type_predicate tau, [ c ]))
+      (Ty_vocabulary.constants vocabulary)
+  in
+  let cross_type =
+    let constants = List.map fst (Ty_vocabulary.constants vocabulary) in
+    let rec pairs = function
+      | [] -> []
+      | c :: rest ->
+        List.filter_map
+          (fun d -> if same_type vocabulary c d then None else Some (c, d))
+          rest
+        @ pairs rest
+    in
+    pairs constants
+  in
+  Cw_database.make
+    ~vocabulary:(Ty_vocabulary.untyped vocabulary)
+    ~facts:
+      (List.map
+         (fun (pred, args) -> { Cw_database.pred; args })
+         (db.facts @ type_facts))
+    ~distinct:(db.distinct @ cross_type)
+
+let pp ppf db =
+  let pp_fact ppf (p, args) =
+    Fmt.pf ppf "%s(%s)" p (String.concat ", " args)
+  in
+  let pp_pair ppf (c, d) = Fmt.pf ppf "%s != %s" c d in
+  Fmt.pf ppf "@[<v>%a@,facts: %a@,distinct: %a@]" Ty_vocabulary.pp db.vocabulary
+    Fmt.(list ~sep:(any "; ") pp_fact)
+    db.facts
+    Fmt.(list ~sep:(any "; ") pp_pair)
+    db.distinct

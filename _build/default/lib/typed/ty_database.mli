@@ -1,0 +1,42 @@
+(** Typed CW logical databases — Reiter's extended relational theories
+    with their types restored (the paper drops them "for simplicity").
+
+    A typed database elaborates to an untyped {!Vardi_cwdb.Cw_database}:
+    - one unary predicate [ty$τ] per type, with a fact per constant of
+      that type (its completion axiom {e is} the per-type domain
+      closure);
+    - automatic uniqueness axioms between constants of different types
+      (sorts denote disjoint object kinds);
+    - the user's facts and same-type uniqueness axioms unchanged. *)
+
+type t
+
+(** [make ~vocabulary ~facts ~distinct].
+    @raise Invalid_argument when a fact's arguments violate its
+    predicate's signature, a distinct pair mentions an undeclared
+    constant, or (redundantly but harmlessly) pairs constants of
+    different types — those axioms hold automatically and are
+    accepted. *)
+val make :
+  vocabulary:Ty_vocabulary.t ->
+  facts:(string * string list) list ->
+  distinct:(string * string) list ->
+  t
+
+val vocabulary : t -> Ty_vocabulary.t
+
+(** A typed database is fully specified when every {e same-type} pair
+    of constants carries a uniqueness axiom (cross-type pairs always
+    do). *)
+val is_fully_specified : t -> bool
+
+val fully_specify : t -> t
+
+(** Unknown values, i.e. constants not separated from every other
+    constant {e of their own type}. *)
+val unknown_values : t -> string list
+
+(** The untyped elaboration. *)
+val to_cw : t -> Vardi_cwdb.Cw_database.t
+
+val pp : t Fmt.t

@@ -1,0 +1,173 @@
+module Term = Vardi_logic.Term
+module Formula = Vardi_logic.Formula
+module String_map = Map.Make (String)
+
+type t =
+  | True
+  | False
+  | Eq of Term.t * Term.t
+  | Atom of string * Term.t list
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Iff of t * t
+  | Exists of string * string * t
+  | Forall of string * string * t
+  | Exists2 of string * string list * t
+  | Forall2 of string * string list * t
+
+exception Type_error of string
+
+let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+let typecheck vocabulary ~env f =
+  let term_type var_env = function
+    | Term.Var x -> (
+      match String_map.find_opt x var_env with
+      | Some tau -> tau
+      | None -> type_error "unbound variable %s" x)
+    | Term.Const c -> (
+      try Ty_vocabulary.constant_type vocabulary c
+      with Not_found -> type_error "undeclared constant %s" c)
+  in
+  let check_type tau =
+    if not (Ty_vocabulary.mem_type vocabulary tau) then
+      type_error "undeclared type %s" tau
+  in
+  let check_atom var_env so_env p args =
+    let signature =
+      match String_map.find_opt p so_env with
+      | Some s -> s
+      | None -> (
+        try Ty_vocabulary.signature vocabulary p
+        with Not_found -> type_error "undeclared predicate %s" p)
+    in
+    if List.length signature <> List.length args then
+      type_error "predicate %s expects %d arguments, got %d" p
+        (List.length signature) (List.length args);
+    List.iteri
+      (fun i (expected, term) ->
+        let actual = term_type var_env term in
+        if not (String.equal expected actual) then
+          type_error "argument %d of %s has type %s, expected %s" (i + 1) p
+            actual expected)
+      (List.combine signature args)
+  in
+  let rec go var_env so_env = function
+    | True | False -> ()
+    | Eq (s, t) ->
+      let ts = term_type var_env s and tt = term_type var_env t in
+      if not (String.equal ts tt) then
+        type_error "equality between type %s and type %s" ts tt
+    | Atom (p, args) -> check_atom var_env so_env p args
+    | Not f -> go var_env so_env f
+    | And (f, g) | Or (f, g) | Implies (f, g) | Iff (f, g) ->
+      go var_env so_env f;
+      go var_env so_env g
+    | Exists (x, tau, f) | Forall (x, tau, f) ->
+      check_type tau;
+      go (String_map.add x tau var_env) so_env f
+    | Exists2 (p, signature, f) | Forall2 (p, signature, f) ->
+      List.iter check_type signature;
+      go var_env (String_map.add p signature so_env) f
+  in
+  let var_env =
+    List.fold_left
+      (fun acc (x, tau) ->
+        check_type tau;
+        String_map.add x tau acc)
+      String_map.empty env
+  in
+  go var_env String_map.empty f
+
+let free_vars f =
+  let module S = Set.Make (String) in
+  let add bound acc = function
+    | Term.Var x when not (S.mem x bound) -> x :: acc
+    | Term.Var _ | Term.Const _ -> acc
+  in
+  let rec go bound acc = function
+    | True | False -> acc
+    | Eq (s, t) -> add bound (add bound acc s) t
+    | Atom (_, ts) -> List.fold_left (add bound) acc ts
+    | Not f -> go bound acc f
+    | And (f, g) | Or (f, g) | Implies (f, g) | Iff (f, g) ->
+      go bound (go bound acc f) g
+    | Exists (x, _, f) | Forall (x, _, f) -> go (S.add x bound) acc f
+    | Exists2 (_, _, f) | Forall2 (_, _, f) -> go bound acc f
+  in
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.add seen x ();
+        true
+      end)
+    (List.rev (go S.empty [] f))
+
+(* Well-formedness guard for a quantified predicate variable:
+   ∀x1..xk (P(x) → ty$τ1(x1) ∧ ... ∧ ty$τk(xk)). *)
+let signature_guard p signature =
+  let vars = List.mapi (fun i _ -> Printf.sprintf "ty_x%d" i) signature in
+  let terms = List.map Term.var vars in
+  let typed =
+    Formula.conj
+      (List.map2
+         (fun tau t -> Formula.Atom (Ty_vocabulary.type_predicate tau, [ t ]))
+         signature terms)
+  in
+  Formula.forall_many vars (Formula.Implies (Formula.Atom (p, terms), typed))
+
+let rec erase = function
+  | True -> Formula.True
+  | False -> Formula.False
+  | Eq (s, t) -> Formula.Eq (s, t)
+  | Atom (p, args) -> Formula.Atom (p, args)
+  | Not f -> Formula.Not (erase f)
+  | And (f, g) -> Formula.And (erase f, erase g)
+  | Or (f, g) -> Formula.Or (erase f, erase g)
+  | Implies (f, g) -> Formula.Implies (erase f, erase g)
+  | Iff (f, g) -> Formula.Iff (erase f, erase g)
+  | Exists (x, tau, f) ->
+    Formula.Exists
+      ( x,
+        Formula.And
+          (Formula.Atom (Ty_vocabulary.type_predicate tau, [ Term.var x ]), erase f)
+      )
+  | Forall (x, tau, f) ->
+    Formula.Forall
+      ( x,
+        Formula.Implies
+          (Formula.Atom (Ty_vocabulary.type_predicate tau, [ Term.var x ]), erase f)
+      )
+  | Exists2 (p, signature, f) ->
+    Formula.Exists2
+      ( p,
+        List.length signature,
+        Formula.And (signature_guard p signature, erase f) )
+  | Forall2 (p, signature, f) ->
+    Formula.Forall2
+      ( p,
+        List.length signature,
+        Formula.Implies (signature_guard p signature, erase f) )
+
+let rec pp ppf = function
+  | True -> Fmt.string ppf "true"
+  | False -> Fmt.string ppf "false"
+  | Eq (s, t) -> Fmt.pf ppf "%a = %a" Term.pp s Term.pp t
+  | Atom (p, []) -> Fmt.pf ppf "%s()" p
+  | Atom (p, args) ->
+    Fmt.pf ppf "%s(%a)" p Fmt.(list ~sep:(any ", ") Term.pp) args
+  | Not f -> Fmt.pf ppf "~(%a)" pp f
+  | And (f, g) -> Fmt.pf ppf "(%a /\\ %a)" pp f pp g
+  | Or (f, g) -> Fmt.pf ppf "(%a \\/ %a)" pp f pp g
+  | Implies (f, g) -> Fmt.pf ppf "(%a -> %a)" pp f pp g
+  | Iff (f, g) -> Fmt.pf ppf "(%a <-> %a)" pp f pp g
+  | Exists (x, tau, f) -> Fmt.pf ppf "exists %s : %s. %a" x tau pp f
+  | Forall (x, tau, f) -> Fmt.pf ppf "forall %s : %s. %a" x tau pp f
+  | Exists2 (p, s, f) ->
+    Fmt.pf ppf "exists2 %s : %s. %a" p (String.concat " x " s) pp f
+  | Forall2 (p, s, f) ->
+    Fmt.pf ppf "forall2 %s : %s. %a" p (String.concat " x " s) pp f

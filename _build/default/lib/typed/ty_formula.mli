@@ -1,0 +1,46 @@
+(** Typed first- and second-order formulas: quantifiers carry the type
+    they range over, predicate variables carry signatures. *)
+
+type t =
+  | True
+  | False
+  | Eq of Vardi_logic.Term.t * Vardi_logic.Term.t
+  | Atom of string * Vardi_logic.Term.t list
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Iff of t * t
+  | Exists of string * string * t  (** [(∃x : τ) φ] *)
+  | Forall of string * string * t
+  | Exists2 of string * string list * t  (** [(∃P : τ₁×...×τₖ) φ] *)
+  | Forall2 of string * string list * t
+
+exception Type_error of string
+
+(** [typecheck vocabulary ~env f] verifies that [f] is well-typed:
+    every atom's arguments match its signature (user predicates from
+    the vocabulary, predicate variables from their binders), both sides
+    of an equality have the same type, every variable is bound (by a
+    quantifier or by [env]), every constant is declared, and every
+    quantifier ranges over a declared type.
+
+    [env] assigns types to free variables (the query head).
+
+    @raise Type_error with a descriptive message on violations. *)
+val typecheck : Ty_vocabulary.t -> env:(string * string) list -> t -> unit
+
+(** Free individual variables, in first-occurrence order. *)
+val free_vars : t -> string list
+
+(** [erase vocabulary f] is the untyped formula: typed quantifiers are
+    relativized through the generated type predicates —
+    [(∃x:τ)φ ↦ ∃x (ty$τ(x) ∧ φ)], [(∀x:τ)φ ↦ ∀x (ty$τ(x) → φ)] — and
+    second-order binders get signature guards:
+    [(∃P:σ)φ ↦ ∃P (wf_σ(P) ∧ φ)] where [wf_σ(P) = ∀x (P(x) → ⋀ ty$τᵢ(xᵢ))]
+    (dually with [→] for [∀P]).
+
+    [erase] does not typecheck; call {!typecheck} first. *)
+val erase : t -> Vardi_logic.Formula.t
+
+val pp : t Fmt.t

@@ -1,0 +1,313 @@
+module Lexer = Vardi_logic.Lexer
+module Term = Vardi_logic.Term
+
+exception Parse_error of int * string
+
+module String_set = Set.Make (String)
+
+type state = {
+  tokens : Lexer.located array;
+  mutable cursor : int;
+}
+
+let peek st = st.tokens.(st.cursor)
+let advance st = st.cursor <- st.cursor + 1
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let error located msg = raise (Parse_error (located.Lexer.pos, msg))
+
+let expect st token what =
+  let t = next st in
+  if t.Lexer.token <> token then
+    error t
+      (Fmt.str "expected %s but found %a" what Lexer.pp_token t.Lexer.token)
+
+let ident st what =
+  let t = next st in
+  match t.Lexer.token with
+  | Lexer.IDENT s -> s
+  | Lexer.INT i -> string_of_int i
+  | other -> error t (Fmt.str "expected %s but found %a" what Lexer.pp_token other)
+
+(* [x : tau, y : tau', ...] *)
+let rec typed_binders st acc =
+  let x = ident st "a variable name" in
+  expect st Lexer.COLON "':' before the variable's type";
+  let tau = ident st "a type name" in
+  match (peek st).Lexer.token with
+  | Lexer.COMMA ->
+    advance st;
+    typed_binders st ((x, tau) :: acc)
+  | _ -> List.rev ((x, tau) :: acc)
+
+(* [Q : (tau, tau'), ...] *)
+let rec so_binders st acc =
+  let p = ident st "a predicate name" in
+  expect st Lexer.COLON "':' before the predicate's signature";
+  expect st Lexer.LPAREN "'(' opening the signature";
+  let rec types acc =
+    let tau = ident st "a type name" in
+    match (peek st).Lexer.token with
+    | Lexer.COMMA ->
+      advance st;
+      types (tau :: acc)
+    | _ -> List.rev (tau :: acc)
+  in
+  let signature =
+    match (peek st).Lexer.token with
+    | Lexer.RPAREN -> []
+    | _ -> types []
+  in
+  expect st Lexer.RPAREN "')' closing the signature";
+  match (peek st).Lexer.token with
+  | Lexer.COMMA ->
+    advance st;
+    so_binders st ((p, signature) :: acc)
+  | _ -> List.rev ((p, signature) :: acc)
+
+let term_of_ident vars name =
+  if String_set.mem name vars then Term.Var name else Term.Const name
+
+let rec parse_iff st vars =
+  let lhs = parse_implies st vars in
+  parse_iff_tail st vars lhs
+
+and parse_iff_tail st vars acc =
+  match (peek st).Lexer.token with
+  | Lexer.DARROW ->
+    advance st;
+    let rhs = parse_implies st vars in
+    parse_iff_tail st vars (Ty_formula.Iff (acc, rhs))
+  | _ -> acc
+
+and parse_implies st vars =
+  let lhs = parse_or st vars in
+  match (peek st).Lexer.token with
+  | Lexer.ARROW ->
+    advance st;
+    let rhs = parse_implies st vars in
+    Ty_formula.Implies (lhs, rhs)
+  | _ -> lhs
+
+and parse_or st vars =
+  let lhs = parse_and st vars in
+  parse_or_tail st vars lhs
+
+and parse_or_tail st vars acc =
+  match (peek st).Lexer.token with
+  | Lexer.OR ->
+    advance st;
+    let rhs = parse_and st vars in
+    parse_or_tail st vars (Ty_formula.Or (acc, rhs))
+  | _ -> acc
+
+and parse_and st vars =
+  let lhs = parse_unary st vars in
+  parse_and_tail st vars lhs
+
+and parse_and_tail st vars acc =
+  match (peek st).Lexer.token with
+  | Lexer.AND ->
+    advance st;
+    let rhs = parse_unary st vars in
+    parse_and_tail st vars (Ty_formula.And (acc, rhs))
+  | _ -> acc
+
+and parse_unary st vars =
+  match (peek st).Lexer.token with
+  | Lexer.NOT ->
+    advance st;
+    Ty_formula.Not (parse_unary st vars)
+  | Lexer.EXISTS ->
+    advance st;
+    let binders = typed_binders st [] in
+    expect st Lexer.DOT "'.' after the quantified variables";
+    let vars' =
+      List.fold_left (fun s (x, _) -> String_set.add x s) vars binders
+    in
+    let body = parse_iff st vars' in
+    List.fold_right
+      (fun (x, tau) f -> Ty_formula.Exists (x, tau, f))
+      binders body
+  | Lexer.FORALL ->
+    advance st;
+    let binders = typed_binders st [] in
+    expect st Lexer.DOT "'.' after the quantified variables";
+    let vars' =
+      List.fold_left (fun s (x, _) -> String_set.add x s) vars binders
+    in
+    let body = parse_iff st vars' in
+    List.fold_right
+      (fun (x, tau) f -> Ty_formula.Forall (x, tau, f))
+      binders body
+  | Lexer.EXISTS2 ->
+    advance st;
+    let binders = so_binders st [] in
+    expect st Lexer.DOT "'.' after the quantified predicates";
+    let body = parse_iff st vars in
+    List.fold_right
+      (fun (p, s) f -> Ty_formula.Exists2 (p, s, f))
+      binders body
+  | Lexer.FORALL2 ->
+    advance st;
+    let binders = so_binders st [] in
+    expect st Lexer.DOT "'.' after the quantified predicates";
+    let body = parse_iff st vars in
+    List.fold_right
+      (fun (p, s) f -> Ty_formula.Forall2 (p, s, f))
+      binders body
+  | _ -> parse_atomic st vars
+
+and parse_atomic st vars =
+  let t = next st in
+  match t.Lexer.token with
+  | Lexer.TRUE -> Ty_formula.True
+  | Lexer.FALSE -> Ty_formula.False
+  | Lexer.LPAREN ->
+    let f = parse_iff st vars in
+    expect st Lexer.RPAREN "')'";
+    f
+  | Lexer.IDENT name -> parse_after_name st vars name
+  | Lexer.INT i -> parse_after_name st vars (string_of_int i)
+  | other ->
+    error t (Fmt.str "expected a formula but found %a" Lexer.pp_token other)
+
+and parse_after_name st vars name =
+  match (peek st).Lexer.token with
+  | Lexer.LPAREN ->
+    advance st;
+    let args =
+      match (peek st).Lexer.token with
+      | Lexer.RPAREN -> []
+      | _ -> parse_terms st vars []
+    in
+    expect st Lexer.RPAREN "')' closing the argument list";
+    Ty_formula.Atom (name, args)
+  | Lexer.EQ ->
+    advance st;
+    let rhs = parse_term st vars in
+    Ty_formula.Eq (term_of_ident vars name, rhs)
+  | Lexer.NEQ ->
+    advance st;
+    let rhs = parse_term st vars in
+    Ty_formula.Not (Ty_formula.Eq (term_of_ident vars name, rhs))
+  | other ->
+    error (peek st)
+      (Fmt.str "expected '(', '=' or '!=' after %s but found %a" name
+         Lexer.pp_token other)
+
+and parse_terms st vars acc =
+  let t = parse_term st vars in
+  match (peek st).Lexer.token with
+  | Lexer.COMMA ->
+    advance st;
+    parse_terms st vars (t :: acc)
+  | _ -> List.rev (t :: acc)
+
+and parse_term st vars =
+  let name = ident st "a term" in
+  term_of_ident vars name
+
+let make_state input =
+  { tokens = Array.of_list (Lexer.tokenize input); cursor = 0 }
+
+let finish st what =
+  let t = peek st in
+  match t.Lexer.token with
+  | Lexer.EOF -> ()
+  | other ->
+    error t (Fmt.str "trailing input after %s: %a" what Lexer.pp_token other)
+
+let formula ?(free_vars = []) input =
+  let st = make_state input in
+  let f = parse_iff st (String_set.of_list free_vars) in
+  finish st "the formula";
+  f
+
+let query input =
+  let st = make_state input in
+  expect st Lexer.LPAREN "'(' opening the query head";
+  let head =
+    match (peek st).Lexer.token with
+    | Lexer.RPAREN -> []
+    | _ -> typed_binders st []
+  in
+  expect st Lexer.RPAREN "')' closing the query head";
+  expect st Lexer.DOT "'.' after the query head";
+  let vars = String_set.of_list (List.map fst head) in
+  let body = parse_iff st vars in
+  finish st "the query";
+  Ty_query.make head body
+
+(* Printing in the same syntax, with the same precedence scheme as the
+   untyped pretty-printer. *)
+
+let level = function
+  | Ty_formula.Iff _ | Ty_formula.Exists _ | Ty_formula.Forall _
+  | Ty_formula.Exists2 _ | Ty_formula.Forall2 _ ->
+    0
+  | Ty_formula.Implies _ -> 1
+  | Ty_formula.Or _ -> 2
+  | Ty_formula.And _ -> 3
+  | Ty_formula.Not (Ty_formula.Eq _) -> 5
+  | Ty_formula.Not _ -> 4
+  | Ty_formula.True | Ty_formula.False | Ty_formula.Eq _ | Ty_formula.Atom _ ->
+    5
+
+let pp_binding ppf (x, tau) = Fmt.pf ppf "%s : %s" x tau
+
+let pp_signature ppf (p, signature) =
+  Fmt.pf ppf "%s : (%a)" p Fmt.(list ~sep:(any ", ") string) signature
+
+let rec collect_exists acc = function
+  | Ty_formula.Exists (x, tau, f) -> collect_exists ((x, tau) :: acc) f
+  | f -> (List.rev acc, f)
+
+let rec collect_forall acc = function
+  | Ty_formula.Forall (x, tau, f) -> collect_forall ((x, tau) :: acc) f
+  | f -> (List.rev acc, f)
+
+let rec pp_at min_level ppf f =
+  let lvl = level f in
+  if lvl < min_level then Fmt.pf ppf "(%a)" (pp_at 0) f
+  else
+    match f with
+    | Ty_formula.True -> Fmt.string ppf "true"
+    | Ty_formula.False -> Fmt.string ppf "false"
+    | Ty_formula.Eq (s, t) -> Fmt.pf ppf "%a = %a" Term.pp s Term.pp t
+    | Ty_formula.Not (Ty_formula.Eq (s, t)) ->
+      Fmt.pf ppf "%a != %a" Term.pp s Term.pp t
+    | Ty_formula.Atom (p, []) -> Fmt.pf ppf "%s()" p
+    | Ty_formula.Atom (p, ts) ->
+      Fmt.pf ppf "%s(%a)" p Fmt.(list ~sep:(any ", ") Term.pp) ts
+    | Ty_formula.Not f -> Fmt.pf ppf "~%a" (pp_at 4) f
+    | Ty_formula.And (f, g) -> Fmt.pf ppf "%a /\\ %a" (pp_at 3) f (pp_at 4) g
+    | Ty_formula.Or (f, g) -> Fmt.pf ppf "%a \\/ %a" (pp_at 2) f (pp_at 3) g
+    | Ty_formula.Implies (f, g) ->
+      Fmt.pf ppf "%a -> %a" (pp_at 2) f (pp_at 1) g
+    | Ty_formula.Iff (f, g) -> Fmt.pf ppf "%a <-> %a" (pp_at 1) f (pp_at 1) g
+    | Ty_formula.Exists _ ->
+      let binders, body = collect_exists [] f in
+      Fmt.pf ppf "exists %a. %a"
+        Fmt.(list ~sep:(any ", ") pp_binding)
+        binders (pp_at 0) body
+    | Ty_formula.Forall _ ->
+      let binders, body = collect_forall [] f in
+      Fmt.pf ppf "forall %a. %a"
+        Fmt.(list ~sep:(any ", ") pp_binding)
+        binders (pp_at 0) body
+    | Ty_formula.Exists2 (p, s, body) ->
+      Fmt.pf ppf "exists2 %a. %a" pp_signature (p, s) (pp_at 0) body
+    | Ty_formula.Forall2 (p, s, body) ->
+      Fmt.pf ppf "forall2 %a. %a" pp_signature (p, s) (pp_at 0) body
+
+let pp_formula ppf f = pp_at 0 ppf f
+
+let pp_query ppf q =
+  Fmt.pf ppf "(%a). %a"
+    Fmt.(list ~sep:(any ", ") pp_binding)
+    q.Ty_query.head pp_formula q.Ty_query.body

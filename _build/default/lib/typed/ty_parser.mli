@@ -1,0 +1,28 @@
+(** Parser for the typed concrete syntax.
+
+    Grammar differences from the untyped {!Vardi_logic.Parser}:
+    - quantifier binders carry types: [exists x : person. φ],
+      [forall x : person, y : course. φ];
+    - second-order binders carry signatures:
+      [exists2 Q : (person, course). φ];
+    - query heads are typed: [(x : person, y : course). φ].
+
+    The connective grammar (precedences, [~], [/\ ], [\/], [->],
+    [<->], [=], [!=], comments) is identical. Variable/constant
+    disambiguation is contextual as in the untyped parser. *)
+
+exception Parse_error of int * string
+
+(** [formula ~free_vars s] parses a typed formula; [free_vars] names
+    identifiers to read as variables (their types come from the
+    caller, e.g. a query head).
+    @raise Parse_error / {!Vardi_logic.Lexer.Lex_error}. *)
+val formula : ?free_vars:string list -> string -> Ty_formula.t
+
+(** [query s] parses [(x1 : τ1, ..., xk : τk). φ]. *)
+val query : string -> Ty_query.t
+
+(** Printer whose output {!formula} accepts (round-trip tested). *)
+val pp_formula : Ty_formula.t Fmt.t
+
+val pp_query : Ty_query.t Fmt.t

@@ -1,0 +1,72 @@
+module Formula = Vardi_logic.Formula
+module Term = Vardi_logic.Term
+module Query = Vardi_logic.Query
+module Certain = Vardi_certain.Engine
+module Approx = Vardi_approx.Evaluate
+
+type t = {
+  head : (string * string) list;
+  body : Ty_formula.t;
+}
+
+let make head body =
+  let rec check_distinct = function
+    | [] -> ()
+    | (x, _) :: rest ->
+      if List.mem_assoc x rest then
+        invalid_arg (Printf.sprintf "Ty_query: duplicate head variable %s" x);
+      check_distinct rest
+  in
+  check_distinct head;
+  List.iter
+    (fun x ->
+      if not (List.mem_assoc x head) then
+        invalid_arg
+          (Printf.sprintf "Ty_query: free variable %s missing from head" x))
+    (Ty_formula.free_vars body);
+  { head; body }
+
+let boolean body = make [] body
+
+let typecheck vocabulary q =
+  Ty_formula.typecheck vocabulary ~env:q.head q.body
+
+let erase q =
+  let head_guards =
+    List.map
+      (fun (x, tau) ->
+        Formula.Atom (Ty_vocabulary.type_predicate tau, [ Term.var x ]))
+      q.head
+  in
+  Query.make (List.map fst q.head)
+    (Formula.conj (head_guards @ [ Ty_formula.erase q.body ]))
+
+let prepare db q =
+  typecheck (Ty_database.vocabulary db) q;
+  (Ty_database.to_cw db, erase q)
+
+let certain_answer db q =
+  let cw, uq = prepare db q in
+  Certain.answer cw uq
+
+let possible_answer db q =
+  let cw, uq = prepare db q in
+  Certain.possible_answer cw uq
+
+let approx_answer db q =
+  let cw, uq = prepare db q in
+  Approx.answer cw uq
+
+let certain_boolean db q =
+  let cw, uq = prepare db q in
+  Certain.certain_boolean cw uq
+
+let approx_boolean db q =
+  let cw, uq = prepare db q in
+  Approx.boolean cw uq
+
+let pp ppf q =
+  let pp_binding ppf (x, tau) = Fmt.pf ppf "%s : %s" x tau in
+  Fmt.pf ppf "(%a). %a"
+    Fmt.(list ~sep:(any ", ") pp_binding)
+    q.head Ty_formula.pp q.body

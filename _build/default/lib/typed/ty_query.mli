@@ -1,0 +1,39 @@
+(** Typed queries and their evaluation through the untyped engines.
+
+    A typed query [(x₁:τ₁, ..., xₖ:τₖ). φ] elaborates to the untyped
+    query whose body is the relativized [erase φ] with the head
+    variables constrained to their types, and is then evaluated by any
+    of the untyped engines. Answers are relations over constants whose
+    columns respect the head types by construction. *)
+
+type t = private {
+  head : (string * string) list;  (** answer variables with their types *)
+  body : Ty_formula.t;
+}
+
+(** [make head body].
+    @raise Invalid_argument on duplicate head variables or a free
+    body variable missing from the head. *)
+val make : (string * string) list -> Ty_formula.t -> t
+
+val boolean : Ty_formula.t -> t
+
+(** [typecheck vocabulary q].
+    @raise Ty_formula.Type_error on ill-typed queries. *)
+val typecheck : Ty_vocabulary.t -> t -> unit
+
+(** [erase q] is the untyped query. Head variables [x:τ] contribute a
+    conjunct [ty$τ(x)] so that answers stay inside their declared
+    types. *)
+val erase : t -> Vardi_logic.Query.t
+
+(** {1 Evaluation} — each function typechecks, elaborates database and
+    query, and runs the corresponding untyped engine. *)
+
+val certain_answer : Ty_database.t -> t -> Vardi_relational.Relation.t
+val possible_answer : Ty_database.t -> t -> Vardi_relational.Relation.t
+val approx_answer : Ty_database.t -> t -> Vardi_relational.Relation.t
+val certain_boolean : Ty_database.t -> t -> bool
+val approx_boolean : Ty_database.t -> t -> bool
+
+val pp : t Fmt.t

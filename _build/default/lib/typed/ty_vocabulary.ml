@@ -1,0 +1,103 @@
+module String_map = Map.Make (String)
+module Vocabulary = Vardi_logic.Vocabulary
+
+type t = {
+  types : string list;  (* sorted *)
+  constants : string String_map.t;  (* constant -> type *)
+  predicates : string list String_map.t;  (* predicate -> signature *)
+}
+
+let reserved_prefix = "ty$"
+let type_predicate tau = reserved_prefix ^ tau
+
+let reserved name =
+  String.length name >= String.length reserved_prefix
+  && String.equal (String.sub name 0 (String.length reserved_prefix)) reserved_prefix
+
+let check_name what name =
+  if reserved name then
+    invalid_arg
+      (Printf.sprintf "Ty_vocabulary: %s %s uses the reserved ty$ prefix" what
+         name)
+
+let make ~types ~constants ~predicates =
+  List.iter (check_name "type") types;
+  let type_set = List.sort_uniq String.compare types in
+  let check_type context tau =
+    if not (List.mem tau type_set) then
+      invalid_arg
+        (Printf.sprintf "Ty_vocabulary: %s mentions undeclared type %s" context
+           tau)
+  in
+  let constant_map =
+    List.fold_left
+      (fun acc (c, tau) ->
+        check_name "constant" c;
+        check_type (Printf.sprintf "constant %s" c) tau;
+        match String_map.find_opt c acc with
+        | Some tau' when not (String.equal tau tau') ->
+          invalid_arg
+            (Printf.sprintf "Ty_vocabulary: constant %s declared as %s and %s" c
+               tau' tau)
+        | Some _ | None -> String_map.add c tau acc)
+      String_map.empty constants
+  in
+  let predicate_map =
+    List.fold_left
+      (fun acc (p, signature) ->
+        check_name "predicate" p;
+        if String.equal p "=" then
+          invalid_arg "Ty_vocabulary: equality is built in";
+        List.iter (check_type (Printf.sprintf "predicate %s" p)) signature;
+        match String_map.find_opt p acc with
+        | Some s when not (List.equal String.equal s signature) ->
+          invalid_arg
+            (Printf.sprintf "Ty_vocabulary: predicate %s declared twice" p)
+        | Some _ | None -> String_map.add p signature acc)
+      String_map.empty predicates
+  in
+  { types = type_set; constants = constant_map; predicates = predicate_map }
+
+let types v = v.types
+let constants v = String_map.bindings v.constants
+let predicates v = String_map.bindings v.predicates
+
+let constant_type v c =
+  match String_map.find_opt c v.constants with
+  | Some tau -> tau
+  | None -> raise Not_found
+
+let signature v p =
+  match String_map.find_opt p v.predicates with
+  | Some s -> s
+  | None -> raise Not_found
+
+let mem_type v tau = List.mem tau v.types
+let mem_constant v c = String_map.mem c v.constants
+let mem_predicate v p = String_map.mem p v.predicates
+
+let constants_of_type v tau =
+  String_map.fold
+    (fun c tau' acc -> if String.equal tau tau' then c :: acc else acc)
+    v.constants []
+  |> List.sort String.compare
+
+let untyped v =
+  Vocabulary.make
+    ~constants:(List.map fst (constants v))
+    ~predicates:
+      (List.map (fun (p, s) -> (p, List.length s)) (predicates v)
+      @ List.map (fun tau -> (type_predicate tau, 1)) v.types)
+
+let pp ppf v =
+  let pp_constant ppf (c, tau) = Fmt.pf ppf "%s : %s" c tau in
+  let pp_predicate ppf (p, s) =
+    Fmt.pf ppf "%s(%s)" p (String.concat ", " s)
+  in
+  Fmt.pf ppf "@[<v>types: %a@,constants: %a@,predicates: %a@]"
+    Fmt.(list ~sep:comma string)
+    v.types
+    Fmt.(list ~sep:(any "; ") pp_constant)
+    (constants v)
+    Fmt.(list ~sep:(any "; ") pp_predicate)
+    (predicates v)

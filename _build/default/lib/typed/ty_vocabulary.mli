@@ -1,0 +1,58 @@
+(** Typed relational vocabularies.
+
+    The paper works untyped "for simplicity"; Reiter's extended
+    relational theories [Re84, Re86] are {e typed}: each constant
+    carries a type, each predicate a signature, and quantifiers range
+    over one type. This module (with {!Ty_database} and {!Elaborate})
+    restores that generality on top of the untyped core: types become
+    unary predicates, typed quantifiers relativize, and cross-type
+    constants get automatic uniqueness axioms (distinct types denote
+    disjoint sorts of objects). *)
+
+type t
+
+(** [make ~types ~constants ~predicates] with [constants] as
+    [(name, type)] and [predicates] as [(name, argument types)].
+
+    @raise Invalid_argument when a constant or predicate mentions an
+    undeclared type, a name is declared twice inconsistently, a
+    predicate is named ["="], or a name uses the reserved ["ty$"]
+    prefix. *)
+val make :
+  types:string list ->
+  constants:(string * string) list ->
+  predicates:(string * string list) list ->
+  t
+
+val types : t -> string list
+val constants : t -> (string * string) list
+val predicates : t -> (string * string list) list
+
+(** [constant_type v c].
+    @raise Not_found when undeclared. *)
+val constant_type : t -> string -> string
+
+(** [signature v p].
+    @raise Not_found when undeclared. *)
+val signature : t -> string -> string list
+
+val mem_type : t -> string -> bool
+val mem_constant : t -> string -> bool
+val mem_predicate : t -> string -> bool
+
+(** Constants of one type, sorted. *)
+val constants_of_type : t -> string -> string list
+
+(** The reserved prefix for generated type predicates: ["ty$"]. *)
+val reserved_prefix : string
+
+(** [type_predicate tau] is the untyped predicate name encoding type
+    [tau]. *)
+val type_predicate : string -> string
+
+(** The untyped vocabulary this elaborates to: all constants, all
+    predicates (arities only), plus one unary type predicate per
+    type. *)
+val untyped : t -> Vardi_logic.Vocabulary.t
+
+val pp : t Fmt.t

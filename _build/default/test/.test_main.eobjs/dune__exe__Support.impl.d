@@ -1,0 +1,1 @@
+test/support.ml: Alcotest Cw_database Fmt Formula List Logicaldb Pretty Printf QCheck2 QCheck_alcotest Query Relation Term

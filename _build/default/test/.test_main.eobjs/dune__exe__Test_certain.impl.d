@@ -1,0 +1,1 @@
+test/test_certain.ml: Alcotest Certain Cw_database Eval Formula List Logicaldb Mapping Parser Ph Pretty QCheck2 Query Relation Seq Support

@@ -1,0 +1,1 @@
+test/test_cwdb.ml: Alcotest Axioms Cw_database Database Hashtbl List Logicaldb Mapping Ne_virtual Option Parser Partition Ph QCheck2 Query_check Relation Seq Support Vocabulary

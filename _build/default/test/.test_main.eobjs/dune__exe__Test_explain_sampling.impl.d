@@ -1,0 +1,1 @@
+test/test_explain_sampling.ml: Alcotest Certain Cw_database Eval Explain Fun List Logicaldb Parser Partition QCheck2 Query Random Sampling String Support

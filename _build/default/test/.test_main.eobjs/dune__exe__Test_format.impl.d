@@ -1,0 +1,1 @@
+test/test_format.ml: Alcotest Cw_database Filename Ldb_format List Logicaldb Printf QCheck2 Support Sys

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Eval Formula List Logicaldb Nnf Option Ph Prenex QCheck2 Simplify String Support Term Vocabulary

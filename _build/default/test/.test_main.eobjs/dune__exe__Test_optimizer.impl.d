@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Algebra Approx Compile Database Fmt List Logicaldb Optimizer Ph QCheck2 Relation Support Vocabulary

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Formula Lexer Logicaldb Parser Pretty Printf QCheck2 Query Support Term

@@ -1,0 +1,1 @@
+test/test_precise.ml: Alcotest Certain Cw_database Formula List Logicaldb Parser Precise_simulation Printf Query Support

@@ -1,0 +1,1 @@
+test/test_reductions.ml: Alcotest Certain Cw_database Eval Formula Graph List Logicaldb Mapping Printf QCheck2 Qbf Qbf_fo Qbf_so Query Seq String Support Three_col

@@ -1,0 +1,1 @@
+test/test_reiter.ml: Alcotest Approx Certain Cw_database Formula List Logicaldb Parser QCheck2 Query Reiter Relation Support Term

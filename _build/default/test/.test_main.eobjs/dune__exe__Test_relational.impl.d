@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Algebra Compile Database Eval Formula List Logicaldb Parser Ph QCheck2 Query Relation String Support Term Vocabulary

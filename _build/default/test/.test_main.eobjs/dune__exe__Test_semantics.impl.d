@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Approx Axioms Certain Cw_database Database Eval List Logicaldb Parser Ph Pretty Printf Query Relation Seq Support Vocabulary

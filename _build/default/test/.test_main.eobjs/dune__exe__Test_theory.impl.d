@@ -1,0 +1,1 @@
+test/test_theory.ml: Alcotest Certain Cw_database List Logicaldb Parser QCheck2 Query Support Theory Vocabulary

@@ -1,0 +1,1 @@
+test/test_typed.ml: Alcotest Cw_database Fmt List Logicaldb Printf QCheck2 Relation String Support Term Tldb_format Ty_database Ty_formula Ty_parser Ty_query Ty_vocabulary

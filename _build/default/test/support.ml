@@ -1,0 +1,178 @@
+(* Shared helpers and QCheck generators for the test suites. *)
+
+open Logicaldb
+
+let relation_testable =
+  Alcotest.testable Relation.pp Relation.equal
+
+let formula_testable =
+  Alcotest.testable Pretty.pp_formula Formula.equal
+
+let query_testable = Alcotest.testable Pretty.pp_query Query.equal
+
+(* ------------------------------------------------------------------ *)
+(* Paper-flavoured fixture databases.                                  *)
+
+(* The Socrates database: one unknown identity ("mystery" could be
+   socrates or plato — no uniqueness axiom separates it). *)
+let socrates_db () =
+  database
+    ~predicates:[ ("TEACHES", 2) ]
+    ~constants:[ "socrates"; "plato"; "mystery" ]
+    ~facts:[ ("TEACHES", [ "socrates"; "plato" ]) ]
+    ~distinct:[ ("socrates", "plato") ]
+    ()
+
+(* A fully specified personnel database. *)
+let personnel_db () =
+  database
+    ~predicates:[ ("EMP_DEPT", 2); ("DEPT_MGR", 2) ]
+    ~facts:
+      [
+        ("EMP_DEPT", [ "john"; "toys" ]);
+        ("EMP_DEPT", [ "mary"; "books" ]);
+        ("DEPT_MGR", [ "toys"; "sue" ]);
+        ("DEPT_MGR", [ "books"; "sue" ]);
+      ]
+    ()
+  |> Cw_database.fully_specify
+
+(* The Jack-the-Ripper database from the paper's Section 2.2: two
+   names whose identity is unresolved. *)
+let ripper_db () =
+  database
+    ~predicates:[ ("MURDERER", 1); ("POLITICIAN", 1) ]
+    ~constants:[ "jack_the_ripper"; "disraeli"; "victoria" ]
+    ~facts:
+      [ ("MURDERER", [ "jack_the_ripper" ]); ("POLITICIAN", [ "disraeli" ]) ]
+    ~distinct:[ ("disraeli", "victoria"); ("jack_the_ripper", "victoria") ]
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Random generation for property tests. All sizes are kept tiny so
+   the naive reference engines stay fast.                              *)
+
+let gen_constant_pool =
+  QCheck2.Gen.oneofl [ [ "a"; "b" ]; [ "a"; "b"; "c" ]; [ "a"; "b"; "c"; "d" ] ]
+
+(* A random CW database over constants from the pool, predicates P/1
+   and R/2, random facts and a random consistent set of uniqueness
+   axioms. *)
+let gen_cw_database : Cw_database.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* constants = gen_constant_pool in
+  let pick = oneofl constants in
+  let* unary_facts = list_size (int_bound 3) (map (fun c -> ("P", [ c ])) pick) in
+  let* binary_facts =
+    list_size (int_bound 4)
+      (map2 (fun c d -> ("R", [ c; d ])) pick pick)
+  in
+  let all_pairs =
+    let rec go = function
+      | [] -> []
+      | c :: rest -> List.map (fun d -> (c, d)) rest @ go rest
+    in
+    go constants
+  in
+  let* distinct =
+    (* Independently keep each pair with probability 1/2. *)
+    List.fold_left
+      (fun acc pair ->
+        let* acc = acc in
+        let* keep = bool in
+        return (if keep then pair :: acc else acc))
+      (return []) all_pairs
+  in
+  return
+    (database ~predicates:[ ("P", 1); ("R", 2) ] ~constants
+       ~facts:(unary_facts @ binary_facts)
+       ~distinct ())
+
+(* Random first-order formulas over P/1, R/2, variables drawn from
+   [vars], constants from [consts]. Depth-bounded. *)
+let gen_formula ~vars ~consts : Formula.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let gen_term =
+    oneof
+      [
+        map Term.var (oneofl vars);
+        map Term.const (oneofl consts);
+      ]
+  in
+  let gen_atom =
+    oneof
+      [
+        map (fun t -> Formula.Atom ("P", [ t ])) gen_term;
+        map2 (fun s t -> Formula.Atom ("R", [ s; t ])) gen_term gen_term;
+        map2 (fun s t -> Formula.Eq (s, t)) gen_term gen_term;
+      ]
+  in
+  let gen_var = oneofl vars in
+  fix
+    (fun self depth ->
+      if depth = 0 then gen_atom
+      else
+        frequency
+          [
+            (2, gen_atom);
+            (2, map2 (fun a b -> Formula.And (a, b)) (self (depth - 1)) (self (depth - 1)));
+            (2, map2 (fun a b -> Formula.Or (a, b)) (self (depth - 1)) (self (depth - 1)));
+            (2, map (fun a -> Formula.Not a) (self (depth - 1)));
+            (1, map2 (fun a b -> Formula.Implies (a, b)) (self (depth - 1)) (self (depth - 1)));
+            (1, map2 (fun a b -> Formula.Iff (a, b)) (self (depth - 1)) (self (depth - 1)));
+            (2, map2 (fun x a -> Formula.Exists (x, a)) gen_var (self (depth - 1)));
+            (2, map2 (fun x a -> Formula.Forall (x, a)) gen_var (self (depth - 1)));
+          ])
+    3
+
+(* A random sentence (no free variables): quantify away whatever is
+   free. *)
+let gen_sentence ~consts : Formula.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let vars = [ "x"; "y"; "z" ] in
+  let* f = gen_formula ~vars ~consts in
+  let* close_universally = bool in
+  let close x g =
+    if close_universally then Formula.Forall (x, g) else Formula.Exists (x, g)
+  in
+  return (List.fold_right close (Formula.free_vars f) f)
+
+(* A random query with the given head size. *)
+let gen_query ~arity ~consts : Query.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let head = List.init arity (Printf.sprintf "q%d") in
+  let vars = head @ [ "x"; "y" ] in
+  let* f = gen_formula ~vars ~consts in
+  let bound =
+    List.filter (fun v -> not (List.mem v head)) (Formula.free_vars f)
+  in
+  let closed = List.fold_right (fun x g -> Formula.Exists (x, g)) bound f in
+  return (Query.make head closed)
+
+(* A random database/query pair sharing a constant pool. *)
+let gen_db_and_query ~arity : (Cw_database.t * Query.t) QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* db = gen_cw_database in
+  let consts = Cw_database.constants db in
+  let* q = gen_query ~arity ~consts in
+  return (db, q)
+
+let gen_db_and_sentence : (Cw_database.t * Formula.t) QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* db = gen_cw_database in
+  let* s = gen_sentence ~consts:(Cw_database.constants db) in
+  return (db, s)
+
+(* Printers for counterexample reporting. *)
+let print_db db = Fmt.str "%a" Cw_database.pp db
+let print_formula f = Pretty.formula_to_string f
+let print_query q = Pretty.query_to_string q
+
+let print_db_query (db, q) =
+  Printf.sprintf "%s\nquery: %s" (print_db db) (print_query q)
+
+let print_db_sentence (db, s) =
+  Printf.sprintf "%s\nsentence: %s" (print_db db) (print_formula s)
+
+(* Wrap a QCheck2 test as an alcotest case. *)
+let qcheck_case test = QCheck_alcotest.to_alcotest test

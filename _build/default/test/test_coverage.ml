@@ -1,0 +1,290 @@
+(* Coverage sweep: exercises API surfaces not covered by the focused
+   suites — printers, error paths, small helpers. *)
+
+open Logicaldb
+
+let check = Alcotest.check
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* --- printers produce the documented concrete syntax --- *)
+
+let test_pretty_precedence_table () =
+  let cases =
+    [
+      (* (formula, expected rendering) *)
+      ("A() /\\ B() \\/ C()", "A() /\\ B() \\/ C()");
+      ("(A() \\/ B()) /\\ C()", "(A() \\/ B()) /\\ C()");
+      ("~(A() /\\ B())", "~(A() /\\ B())");
+      ("~A() /\\ ~B()", "~A() /\\ ~B()");
+      ("A() -> B() -> C()", "A() -> B() -> C()");
+      ("(A() -> B()) -> C()", "(A() -> B()) -> C()");
+      ("(exists x. P(x)) /\\ A()", "(exists x. P(x)) /\\ A()");
+      ("exists x. P(x) /\\ A()", "exists x. P(x) /\\ A()");
+      ("x != y \\/ x = y", "x != y \\/ x = y");
+    ]
+  in
+  List.iter
+    (fun (input, expected) ->
+      let f = Parser.formula ~free_vars:[ "x"; "y" ] input in
+      check_str input expected (Pretty.formula_to_string f))
+    cases
+
+let test_lexer_positions () =
+  let tokens = Lexer.tokenize "P(x) /\\ Q" in
+  let positions = List.map (fun t -> t.Lexer.pos) tokens in
+  check (Alcotest.list Alcotest.int) "byte offsets" [ 0; 1; 2; 3; 5; 8; 9 ]
+    positions
+
+let test_parse_error_positions () =
+  (match Parser.formula "P(x) @@" with
+  | exception Lexer.Lex_error (5, _) -> ()
+  | exception Lexer.Lex_error (n, _) -> Alcotest.failf "wrong position %d" n
+  | _ -> Alcotest.fail "expected a lexical error");
+  match Parser.formula "P(x) /\\" with
+  | exception Parser.Parse_error (_, msg) ->
+    check_bool "mentions expectation" true
+      (String.length msg > 0)
+  | _ -> Alcotest.fail "expected a parse error"
+
+(* --- query API corners --- *)
+
+let test_query_api () =
+  let q = Parser.query "(x, y). R(x, y)" in
+  check_int "arity" 2 (Query.arity q);
+  (* map_body validates the new body's free variables. *)
+  (match
+     Query.map_body (fun _ -> Formula.Atom ("P", [ Term.var "z" ])) q
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "free variable outside head must be rejected");
+  (* instantiate arity check *)
+  (match Query.instantiate q [ "a" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "arity mismatch must be rejected");
+  (* duplicate head *)
+  match Query.make [ "x"; "x" ] Formula.True with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate head must be rejected"
+
+let test_fresh_var () =
+  let f = Parser.formula ~free_vars:[ "x"; "x0" ] "R(x, x0)" in
+  let fresh = Formula.fresh_var ~base:"x" [ f ] in
+  check_bool "fresh avoids x and x0" true
+    ((not (String.equal fresh "x")) && not (String.equal fresh "x0"))
+
+(* --- relation helpers --- *)
+
+let test_relation_map_and_errors () =
+  let r = Relation.of_tuples 1 [ [ "a" ]; [ "b" ] ] in
+  let upper = Relation.map (List.map String.uppercase_ascii) r in
+  check_bool "mapped" true (Relation.mem [ "A" ] upper);
+  (match Relation.map (fun t -> t @ t) r with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "arity-changing map must be rejected");
+  match Relation.empty (-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative arity must be rejected"
+
+(* --- mapping corners --- *)
+
+let test_mapping_errors () =
+  let db = Support.socrates_db () in
+  (match Mapping.of_assoc db [ ("socrates", "unknown_person") ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-constant target must be rejected");
+  let h = Mapping.identity db in
+  match Mapping.apply h "not_a_constant" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "expected Not_found"
+
+let test_mapping_count () =
+  let db = Support.socrates_db () in
+  check_bool "3^3" true (Mapping.count_all db = 27.0)
+
+(* --- axioms helpers --- *)
+
+let test_unique_conjunction () =
+  let db = Support.socrates_db () in
+  check Support.formula_testable "single axiom"
+    (Parser.formula "plato != socrates")
+    (Axioms.unique_conjunction db);
+  let free = database ~constants:[ "a" ] () in
+  check Support.formula_testable "empty conjunction" Formula.True
+    (Axioms.unique_conjunction free)
+
+(* --- Ne_virtual defining formula --- *)
+
+let test_ne_defining_formula () =
+  (* The documented defining formula evaluates like the virtual NE when
+     U and NE' are materialized as relations. *)
+  let db = Support.socrates_db () in
+  let nev = Ne_virtual.make db in
+  let constants = Cw_database.constants db in
+  let vocabulary =
+    Vocabulary.make ~constants
+      ~predicates:[ ("U", 1); ("NE'", 2) ]
+  in
+  let u_rel =
+    Relation.of_tuples 1 (List.map (fun c -> [ c ]) (Ne_virtual.unknowns nev))
+  in
+  let ne'_rel =
+    Relation.of_tuples 2
+      (List.concat_map
+         (fun (c, d) -> [ [ c; d ]; [ d; c ] ])
+         (Ne_virtual.stored_pairs nev))
+  in
+  let pb =
+    Database.make ~vocabulary ~domain:constants
+      ~constants:(List.map (fun c -> (c, c)) constants)
+      ~relations:[ ("U", u_rel); ("NE'", ne'_rel) ]
+  in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun d ->
+          let by_formula =
+            Eval.holds pb [ ("x", c); ("y", d) ] Ne_virtual.defining_formula
+          in
+          check_bool
+            (Printf.sprintf "NE(%s, %s)" c d)
+            (Ne_virtual.holds nev c d) by_formula)
+        constants)
+    constants
+
+(* --- graph helpers --- *)
+
+let test_graph_corners () =
+  (match Graph.make ~vertices:2 ~edges:[ (0, 5) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range edge must be rejected");
+  (match Graph.random ~vertices:3 ~edge_probability:1.5 ~seed:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad probability must be rejected");
+  let g = Graph.random ~vertices:4 ~edge_probability:1.0 ~seed:0 in
+  check_int "p=1.0 gives K4 edges" 6 (List.length (Graph.edges g));
+  let g0 = Graph.random ~vertices:4 ~edge_probability:0.0 ~seed:0 in
+  check_int "p=0.0 gives no edges" 0 (List.length (Graph.edges g0));
+  (* determinism *)
+  let a = Graph.random ~vertices:6 ~edge_probability:0.5 ~seed:9 in
+  let b = Graph.random ~vertices:6 ~edge_probability:0.5 ~seed:9 in
+  check_bool "deterministic in seed" true (Graph.edges a = Graph.edges b)
+
+(* --- qbf corners --- *)
+
+let test_qbf_corners () =
+  (match
+     Qbf.make ~blocks:[ 1 ]
+       ~matrix:(Qbf.Lit { positive = true; var = { Qbf.block = 2; index = 1 } })
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range block must be rejected");
+  (match Qbf.make ~blocks:[] ~matrix:(Qbf.Lit { positive = true; var = { Qbf.block = 1; index = 1 } }) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty block list must be rejected");
+  (* matrix with Not *)
+  let t =
+    Qbf.make ~blocks:[ 1 ]
+      ~matrix:
+        (Qbf.Not (Qbf.Lit { positive = false; var = { Qbf.block = 1; index = 1 } }))
+  in
+  (* ∀x ¬¬x = ∀x x = false *)
+  check_bool "double negation in matrix" false (Qbf.eval t);
+  (* empty clause list means true *)
+  check_bool "empty cnf" true (Qbf.eval (Qbf.of_cnf3 ~blocks:[ 1 ] []))
+
+(* --- typed layer corners --- *)
+
+let test_ty_vocabulary_untyped () =
+  let v =
+    Ty_vocabulary.make ~types:[ "t" ]
+      ~constants:[ ("a", "t") ]
+      ~predicates:[ ("P", [ "t"; "t" ]) ]
+  in
+  let u = Ty_vocabulary.untyped v in
+  check_bool "user predicate kept" true (Vocabulary.mem_predicate u "P");
+  check_int "user predicate arity" 2 (Vocabulary.arity u "P");
+  check_bool "type predicate added" true (Vocabulary.mem_predicate u "ty$t");
+  check_bool "constant kept" true (Vocabulary.mem_constant u "a")
+
+(* --- theory pretty-printing does not raise --- *)
+
+let test_pp_smoke () =
+  let db = Support.socrates_db () in
+  let strings =
+    [
+      Fmt.str "%a" Cw_database.pp db;
+      Fmt.str "%a" Database.pp (Ph.ph2 db);
+      Fmt.str "%a" Vocabulary.pp (Cw_database.vocabulary db);
+      Fmt.str "%a" Theory.pp (Theory.of_cw db);
+      Fmt.str "%a" Mapping.pp (Mapping.identity db);
+      Fmt.str "%a" Partition.pp (Partition.discrete db);
+      Fmt.str "%a" Graph.pp (Graph.cycle 4);
+      Fmt.str "%a" Qbf.pp (Qbf.random_cnf3 ~blocks:[ 1; 1 ] ~clauses:2 ~seed:1);
+      Fmt.str "%a" Relation.pp (Relation.full ~domain:[ "a"; "b" ] 1);
+    ]
+  in
+  List.iter (fun s -> check_bool "nonempty" true (String.length s > 0)) strings
+
+(* --- the public fuzzing generator --- *)
+
+let test_generate_well_formed () =
+  let db = Support.socrates_db () in
+  let vocabulary = Cw_database.vocabulary db in
+  let state = Random.State.make [| 2026 |] in
+  for _ = 1 to 200 do
+    (* Sentences are closed and evaluable on Ph1. *)
+    let s = Generate.sentence ~state vocabulary in
+    check (Alcotest.list Alcotest.string) "closed" [] (Formula.free_vars s);
+    ignore (Eval.satisfies (Ph.ph1 db) s);
+    (* Queries pass vocabulary validation and evaluate everywhere. *)
+    let q = Generate.query ~state vocabulary ~arity:1 in
+    Query_check.validate db q;
+    ignore (Certain.answer db q)
+  done
+
+let test_generate_profiles () =
+  let vocabulary =
+    Vocabulary.make ~constants:[ "a" ] ~predicates:[ ("P", 1) ]
+  in
+  let state = Random.State.make [| 7 |] in
+  for _ = 1 to 100 do
+    let s =
+      Generate.formula
+        ~profile:
+          { Generate.depth = 4; allow_negation = false; allow_quantifiers = false }
+        ~state vocabulary ~vars:[ "x" ]
+    in
+    check_bool "negation-free profile is positive" true (Formula.is_positive s);
+    check_bool "quantifier-free profile" true
+      (Option.is_some (Formula.fo_sigma_rank s) && Formula.fo_sigma_rank s = Some 0)
+  done;
+  (* Determinism in the seed. *)
+  let gen seed =
+    Generate.sentence ~state:(Random.State.make [| seed |]) vocabulary
+  in
+  check Support.formula_testable "deterministic" (gen 5) (gen 5)
+
+let suite =
+  [
+    Alcotest.test_case "generator well-formedness" `Quick
+      test_generate_well_formed;
+    Alcotest.test_case "generator profiles" `Quick test_generate_profiles;
+    Alcotest.test_case "pretty precedence table" `Quick
+      test_pretty_precedence_table;
+    Alcotest.test_case "lexer positions" `Quick test_lexer_positions;
+    Alcotest.test_case "parse error positions" `Quick test_parse_error_positions;
+    Alcotest.test_case "query api corners" `Quick test_query_api;
+    Alcotest.test_case "fresh var" `Quick test_fresh_var;
+    Alcotest.test_case "relation map/errors" `Quick test_relation_map_and_errors;
+    Alcotest.test_case "mapping errors" `Quick test_mapping_errors;
+    Alcotest.test_case "mapping count" `Quick test_mapping_count;
+    Alcotest.test_case "unique conjunction" `Quick test_unique_conjunction;
+    Alcotest.test_case "NE defining formula" `Quick test_ne_defining_formula;
+    Alcotest.test_case "graph corners" `Quick test_graph_corners;
+    Alcotest.test_case "qbf corners" `Quick test_qbf_corners;
+    Alcotest.test_case "typed untyped vocabulary" `Quick
+      test_ty_vocabulary_untyped;
+    Alcotest.test_case "printer smoke" `Quick test_pp_smoke;
+  ]

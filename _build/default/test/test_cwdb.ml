@@ -1,0 +1,350 @@
+(* Tests for CW logical databases: construction, axioms, Ph₁/Ph₂,
+   mappings, partitions, virtual NE. *)
+
+open Logicaldb
+
+let check = Alcotest.check
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let socrates = Support.socrates_db ()
+
+(* --- construction and validation --- *)
+
+let test_make_validation () =
+  let v = Vocabulary.make ~constants:[ "a" ] ~predicates:[ ("P", 1) ] in
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid (fun () ->
+      Cw_database.make ~vocabulary:v
+        ~facts:[ { Cw_database.pred = "Q"; args = [ "a" ] } ]
+        ~distinct:[]);
+  expect_invalid (fun () ->
+      Cw_database.make ~vocabulary:v
+        ~facts:[ { Cw_database.pred = "P"; args = [ "a"; "a" ] } ]
+        ~distinct:[]);
+  expect_invalid (fun () ->
+      Cw_database.make ~vocabulary:v ~facts:[] ~distinct:[ ("a", "a") ]);
+  expect_invalid (fun () ->
+      Cw_database.make ~vocabulary:v ~facts:[] ~distinct:[ ("a", "zzz") ]);
+  expect_invalid (fun () ->
+      Cw_database.make
+        ~vocabulary:(Vocabulary.make ~constants:[] ~predicates:[])
+        ~facts:[] ~distinct:[])
+
+let test_distinct_pairs_normalized () =
+  let db =
+    database ~constants:[ "a"; "b" ] ~distinct:[ ("b", "a"); ("a", "b") ] ()
+  in
+  check
+    Alcotest.(list (pair string string))
+    "normalized and deduplicated"
+    [ ("a", "b") ]
+    (Cw_database.distinct_pairs db);
+  check_bool "symmetric lookup" true (Cw_database.are_distinct db "b" "a")
+
+let test_fully_specified () =
+  check_bool "socrates not fully specified" false
+    (Cw_database.is_fully_specified socrates);
+  let full = Cw_database.fully_specify socrates in
+  check_bool "now fully specified" true (Cw_database.is_fully_specified full);
+  check_int "all pairs" 3 (List.length (Cw_database.distinct_pairs full))
+
+let test_known_unknown () =
+  (* mystery is separated from nobody; socrates and plato are separated
+     from each other but not from mystery, so nothing is fully known. *)
+  check
+    Alcotest.(list string)
+    "unknowns"
+    [ "mystery"; "plato"; "socrates" ]
+    (Cw_database.unknown_values socrates);
+  let full = Cw_database.fully_specify socrates in
+  check Alcotest.(list string) "no unknowns once fully specified" []
+    (Cw_database.unknown_values full)
+
+(* --- the five-component theory --- *)
+
+let test_axioms_shapes () =
+  check_int "atomic facts" 1 (List.length (Axioms.atomic_facts socrates));
+  check_int "uniqueness" 1 (List.length (Axioms.uniqueness socrates));
+  let closure = Axioms.domain_closure socrates in
+  check Support.formula_testable "domain closure"
+    (Parser.formula "forall x. x = mystery \\/ x = plato \\/ x = socrates")
+    closure;
+  let completion = Axioms.completion socrates "TEACHES" in
+  check Support.formula_testable "completion"
+    (Parser.formula
+       "forall x0, x1. TEACHES(x0, x1) -> x0 = socrates /\\ x1 = plato")
+    completion
+
+let test_completion_empty_predicate () =
+  let db = database ~predicates:[ ("P", 1) ] ~constants:[ "a" ] () in
+  check Support.formula_testable "empty completion"
+    (Parser.formula "forall x0. ~P(x0)")
+    (Axioms.completion db "P")
+
+let test_ph1_is_model () =
+  check_bool "Ph1 satisfies T" true (Axioms.is_model socrates (Ph.ph1 socrates));
+  check_bool "Ph1 satisfies T (personnel)" true
+    (Axioms.is_model (Support.personnel_db ()) (Ph.ph1 (Support.personnel_db ())))
+
+let test_non_model () =
+  (* Dropping a fact from Ph1 falsifies the atomic fact axiom. *)
+  let ph1 = Ph.ph1 socrates in
+  let broken = Database.with_relation ph1 "TEACHES" (Relation.empty 2) in
+  check_bool "missing fact" false (Axioms.is_model socrates broken);
+  (* Adding a tuple violates the completion axiom. *)
+  let extended =
+    Database.with_relation ph1 "TEACHES"
+      (Relation.of_tuples 2 [ [ "socrates"; "plato" ]; [ "plato"; "plato" ] ])
+  in
+  check_bool "extra fact" false (Axioms.is_model socrates extended)
+
+(* --- Ph₁ / Ph₂ --- *)
+
+let test_ph1 () =
+  let pb = Ph.ph1 socrates in
+  check
+    Alcotest.(list string)
+    "domain = C"
+    [ "mystery"; "plato"; "socrates" ]
+    (Database.domain pb);
+  check Alcotest.string "identity on constants" "plato"
+    (Database.constant pb "plato");
+  check_bool "facts stored" true
+    (Relation.mem [ "socrates"; "plato" ] (Database.relation pb "TEACHES"))
+
+let test_ph2 () =
+  let pb = Ph.ph2 socrates in
+  let ne = Database.relation pb Ph.ne_predicate in
+  check_int "NE stored symmetrically" 2 (Relation.cardinal ne);
+  check_bool "NE pair" true (Relation.mem [ "plato"; "socrates" ] ne);
+  check_bool "NE mirror" true (Relation.mem [ "socrates"; "plato" ] ne);
+  (* NE must not leak into Ph1. *)
+  check_bool "ph1 has no NE" true
+    (Option.is_none (Database.relation_opt (Ph.ph1 socrates) Ph.ne_predicate))
+
+(* --- mappings --- *)
+
+let test_mapping_basics () =
+  let h = Mapping.of_assoc socrates [ ("mystery", "socrates") ] in
+  check Alcotest.string "mapped" "socrates" (Mapping.apply h "mystery");
+  check Alcotest.string "identity elsewhere" "plato" (Mapping.apply h "plato");
+  check_bool "respects" true (Mapping.respects h);
+  let bad = Mapping.of_assoc socrates [ ("socrates", "plato") ] in
+  check_bool "violates uniqueness" false (Mapping.respects bad)
+
+let test_mapping_image () =
+  let h = Mapping.of_assoc socrates [ ("mystery", "socrates") ] in
+  let image = Mapping.image_db h in
+  check_int "collapsed domain" 2 (Database.domain_size image);
+  check Alcotest.string "constant moved" "socrates"
+    (Database.constant image "mystery");
+  (* The image of a respecting mapping is still a model of T
+     (paper, proof of Theorem 1). *)
+  check_bool "image is a model" true (Axioms.is_model socrates image)
+
+let test_mapping_enumeration () =
+  let all = List.of_seq (Mapping.all socrates) in
+  check_int "3^3 mappings" 27 (List.length all);
+  let respecting = List.of_seq (Mapping.all_respecting socrates) in
+  (* h(socrates) ≠ h(plato): 27 minus mappings sending both to the same
+     element. Count directly instead of trusting arithmetic. *)
+  let direct =
+    List.length (List.filter Mapping.respects all)
+  in
+  check_int "respecting count matches filter" direct (List.length respecting);
+  check_bool "identity respects" true
+    (List.exists (Mapping.equal (Mapping.identity socrates)) respecting)
+
+(* --- partitions --- *)
+
+let test_partition_discrete () =
+  let p = Partition.discrete socrates in
+  check_int "three singleton blocks" 3 (List.length (Partition.blocks p));
+  check Alcotest.string "self representative" "plato"
+    (Partition.representative p "plato")
+
+let test_partition_of_blocks () =
+  let p =
+    Partition.of_blocks socrates [ [ "mystery"; "socrates" ]; [ "plato" ] ]
+  in
+  check Alcotest.string "merged representative" "mystery"
+    (Partition.representative p "socrates");
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  (* merging a distinct pair *)
+  expect_invalid (fun () ->
+      Partition.of_blocks socrates [ [ "socrates"; "plato" ]; [ "mystery" ] ]);
+  (* missing constant *)
+  expect_invalid (fun () -> Partition.of_blocks socrates [ [ "socrates" ] ]);
+  (* double coverage *)
+  expect_invalid (fun () ->
+      Partition.of_blocks socrates
+        [ [ "socrates"; "mystery" ]; [ "plato"; "mystery" ] ])
+
+let test_partition_enumeration () =
+  (* Partitions of {mystery, plato, socrates} whose blocks avoid the
+     pair (socrates, plato): 5 total partitions of a 3-set, minus
+     {sp}{m} and {spm}, leaving 3. *)
+  check_int "valid partitions" 3 (Partition.count_valid socrates);
+  let all = List.of_seq (Partition.all_valid socrates) in
+  check_bool "discrete first" true
+    (Partition.equal (List.hd all) (Partition.discrete socrates));
+  (* A fully specified database admits only the discrete partition. *)
+  check_int "fully specified: 1 partition" 1
+    (Partition.count_valid (Cw_database.fully_specify socrates))
+
+let test_partition_orders () =
+  (* Both orders enumerate the same set of partitions. *)
+  let sort ps =
+    List.sort compare (List.map Partition.blocks ps)
+  in
+  check
+    Alcotest.(list (list (list string)))
+    "same partition set"
+    (sort (List.of_seq (Partition.all_valid ~order:Partition.Fresh_first socrates)))
+    (sort (List.of_seq (Partition.all_valid ~order:Partition.Merge_first socrates)));
+  (* Merge-first on an unconstrained database starts with the single
+     all-in-one block. *)
+  let free = database ~constants:[ "a"; "b"; "c" ] () in
+  (match List.of_seq (Partition.all_valid ~order:Partition.Merge_first free) with
+  | first :: _ ->
+    check Alcotest.int "one block first" 1 (List.length (Partition.blocks first))
+  | [] -> Alcotest.fail "no partitions");
+  (* Fresh-first starts discrete. *)
+  match List.of_seq (Partition.all_valid ~order:Partition.Fresh_first free) with
+  | first :: _ ->
+    check Alcotest.int "discrete first" 3 (List.length (Partition.blocks first))
+  | [] -> Alcotest.fail "no partitions"
+
+let test_partition_quotient_is_model () =
+  List.iter
+    (fun p -> check_bool "quotient is a model" true
+        (Axioms.is_model socrates (Partition.quotient p)))
+    (List.of_seq (Partition.all_valid socrates))
+
+(* Kernel-partition count equals the number of distinct kernels of
+   respecting mappings (sanity of the symmetry argument). *)
+let partition_counts_match_mappings =
+  QCheck2.Test.make ~count:60 ~name:"partitions = mapping kernels"
+    ~print:Support.print_db Support.gen_cw_database
+    (fun db ->
+      let kernels = Hashtbl.create 16 in
+      Seq.iter
+        (fun h ->
+          let constants = Cw_database.constants db in
+          let blocks = Hashtbl.create 8 in
+          List.iter
+            (fun c ->
+              let img = Mapping.apply h c in
+              let cur =
+                Option.value ~default:[] (Hashtbl.find_opt blocks img)
+              in
+              Hashtbl.replace blocks img (c :: cur))
+            constants;
+          let kernel =
+            Hashtbl.fold (fun _ cs acc -> List.sort compare cs :: acc) blocks []
+            |> List.sort compare
+          in
+          Hashtbl.replace kernels kernel ())
+        (Mapping.all_respecting db);
+      Hashtbl.length kernels = Partition.count_valid db)
+
+(* --- virtual NE --- *)
+
+let test_ne_virtual_socrates () =
+  let nev = Ne_virtual.make socrates in
+  (* Everybody is unknown here (mystery separates nobody). *)
+  check_int "unknowns" 3 (List.length (Ne_virtual.unknowns nev));
+  check_bool "stored pair" true (Ne_virtual.holds nev "socrates" "plato");
+  check_bool "unknown pair absent" false (Ne_virtual.holds nev "mystery" "plato")
+
+let test_ne_virtual_fully_specified () =
+  let full = Cw_database.fully_specify socrates in
+  let nev = Ne_virtual.make full in
+  check_int "no unknowns" 0 (List.length (Ne_virtual.unknowns nev));
+  check_int "nothing stored" 0 (List.length (Ne_virtual.stored_pairs nev));
+  check_bool "reduces to inequality" true (Ne_virtual.holds nev "plato" "socrates");
+  check_bool "never reflexive" false (Ne_virtual.holds nev "plato" "plato")
+
+(* Virtual NE agrees with the explicit NE of Ph₂ on every pair. *)
+let ne_virtual_agrees =
+  QCheck2.Test.make ~count:150 ~name:"virtual NE = explicit NE"
+    ~print:Support.print_db Support.gen_cw_database
+    (fun db ->
+      let nev = Ne_virtual.make db in
+      let ne = Database.relation (Ph.ph2 db) Ph.ne_predicate in
+      let constants = Cw_database.constants db in
+      List.for_all
+        (fun c ->
+          List.for_all
+            (fun d -> Ne_virtual.holds nev c d = Relation.mem [ c; d ] ne)
+            constants)
+        constants)
+
+(* Virtual NE storage never exceeds explicit storage. *)
+let ne_virtual_compact =
+  QCheck2.Test.make ~count:150 ~name:"virtual NE storage bound"
+    ~print:Support.print_db Support.gen_cw_database
+    (fun db ->
+      let nev = Ne_virtual.make db in
+      Ne_virtual.storage_size nev
+      <= Ne_virtual.explicit_size db + List.length (Ne_virtual.unknowns nev))
+
+(* --- query checks --- *)
+
+let test_query_check () =
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  Query_check.validate socrates (Parser.query "(x). TEACHES(x, plato)");
+  expect_invalid (fun () ->
+      Query_check.validate socrates (Parser.query "(x). NOPE(x)"));
+  expect_invalid (fun () ->
+      Query_check.validate socrates (Parser.query "(x). TEACHES(x)"));
+  expect_invalid (fun () ->
+      Query_check.validate socrates (Parser.query "(x). TEACHES(x, aristotle)"));
+  expect_invalid (fun () ->
+      Query_check.validate_tuple socrates
+        (Parser.query "(x). TEACHES(x, plato)")
+        [ "a"; "b" ])
+
+let suite =
+  [
+    Alcotest.test_case "make validation" `Quick test_make_validation;
+    Alcotest.test_case "distinct pairs normalized" `Quick
+      test_distinct_pairs_normalized;
+    Alcotest.test_case "fully specified" `Quick test_fully_specified;
+    Alcotest.test_case "known/unknown values" `Quick test_known_unknown;
+    Alcotest.test_case "axiom shapes" `Quick test_axioms_shapes;
+    Alcotest.test_case "empty completion" `Quick test_completion_empty_predicate;
+    Alcotest.test_case "Ph1 is a model" `Quick test_ph1_is_model;
+    Alcotest.test_case "non-models rejected" `Quick test_non_model;
+    Alcotest.test_case "Ph1 construction" `Quick test_ph1;
+    Alcotest.test_case "Ph2 construction" `Quick test_ph2;
+    Alcotest.test_case "mapping basics" `Quick test_mapping_basics;
+    Alcotest.test_case "mapping image" `Quick test_mapping_image;
+    Alcotest.test_case "mapping enumeration" `Quick test_mapping_enumeration;
+    Alcotest.test_case "discrete partition" `Quick test_partition_discrete;
+    Alcotest.test_case "partition of blocks" `Quick test_partition_of_blocks;
+    Alcotest.test_case "partition enumeration" `Quick test_partition_enumeration;
+    Alcotest.test_case "partition orders" `Quick test_partition_orders;
+    Alcotest.test_case "quotients are models" `Quick
+      test_partition_quotient_is_model;
+    Support.qcheck_case partition_counts_match_mappings;
+    Alcotest.test_case "virtual NE (socrates)" `Quick test_ne_virtual_socrates;
+    Alcotest.test_case "virtual NE (fully specified)" `Quick
+      test_ne_virtual_fully_specified;
+    Support.qcheck_case ne_virtual_agrees;
+    Support.qcheck_case ne_virtual_compact;
+    Alcotest.test_case "query checks" `Quick test_query_check;
+  ]

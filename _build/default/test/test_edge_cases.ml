@@ -1,0 +1,238 @@
+(* Edge cases and failure injection across the stack: enumeration caps,
+   degenerate databases, zero-ary predicates, malformed inputs. *)
+
+open Logicaldb
+
+let check = Alcotest.check
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let expect_invalid f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* --- enumeration caps --- *)
+
+let test_relation_full_cap () =
+  let domain = List.init 64 string_of_int in
+  expect_invalid (fun () -> Relation.full ~domain 4)
+
+let test_relation_subsets_cap () =
+  let r =
+    Relation.of_tuples 1 (List.init 25 (fun i -> [ string_of_int i ]))
+  in
+  expect_invalid (fun () -> Relation.subsets r)
+
+let test_mapping_enumeration_cap () =
+  let db =
+    database ~constants:(List.init 12 (Printf.sprintf "c%d")) ()
+  in
+  expect_invalid (fun () -> Mapping.all db)
+
+let test_so_eval_cap () =
+  (* A second-order quantifier over a big domain must refuse, not
+     hang. *)
+  let vocabulary =
+    Vocabulary.make ~constants:(List.init 30 (Printf.sprintf "c%d")) ~predicates:[]
+  in
+  let elements = List.init 30 (Printf.sprintf "c%d") in
+  let db =
+    Database.make ~vocabulary ~domain:elements
+      ~constants:(List.map (fun c -> (c, c)) elements)
+      ~relations:[]
+  in
+  expect_invalid (fun () ->
+      Eval.satisfies db (Parser.formula "exists2 Q/2. exists x. Q(x, x)"))
+
+(* --- degenerate databases --- *)
+
+let singleton_db () = database ~predicates:[ ("P", 1) ] ~constants:[ "only" ] ()
+
+let test_singleton_constant () =
+  let db = singleton_db () in
+  (* One constant, no facts: the only world has P empty. *)
+  check_bool "closed world negation" true
+    (Certain.certain_boolean db (Parser.query "(). ~P(only)"));
+  check_bool "domain closure" true
+    (Certain.certain_boolean db (Parser.query "(). forall x. x = only"));
+  check_int "one partition" 1 (Partition.count_valid db);
+  (* A single constant is trivially a known value. *)
+  check Alcotest.(list string) "no unknowns" [] (Cw_database.unknown_values db)
+
+let test_zero_ary_predicates () =
+  let db =
+    database ~predicates:[ ("RAINING", 0); ("SUNNY", 0) ] ~constants:[ "w" ]
+      ~facts:[ ("RAINING", []) ]
+      ()
+  in
+  check_bool "stored proposition" true
+    (Certain.certain_boolean db (Parser.query "(). RAINING()"));
+  check_bool "closed-world proposition" true
+    (Certain.certain_boolean db (Parser.query "(). ~SUNNY()"));
+  (* The approximation agrees on 0-ary negation (its special case). *)
+  check_bool "approx proposition" true
+    (Approx.boolean db (Parser.query "(). ~SUNNY()"));
+  check_bool "approx stored" true
+    (Approx.boolean db (Parser.query "(). RAINING()"));
+  check_bool "reiter agrees" true
+    (Reiter.boolean db (Parser.query "(). ~SUNNY()"))
+
+let test_no_facts_at_all () =
+  let db = database ~predicates:[ ("R", 2) ] ~constants:[ "a"; "b" ] () in
+  (* Completion makes R empty everywhere. *)
+  check_bool "predicate empty" true
+    (Certain.certain_boolean db (Parser.query "(). forall x, y. ~R(x, y)"));
+  check_bool "approx too" true
+    (Approx.boolean db (Parser.query "(). forall x, y. ~R(x, y)"))
+
+(* Everything merged: a database with no uniqueness axioms admits the
+   one-element world, where all constants coincide. *)
+let test_total_collapse () =
+  let db =
+    database ~predicates:[ ("P", 1) ] ~constants:[ "a"; "b"; "c" ]
+      ~facts:[ ("P", [ "a" ]) ]
+      ()
+  in
+  (* In the all-merged world, P(b) holds; in the discrete world it
+     fails: neither P(b) nor ~P(b) is certain. *)
+  check_bool "P(b) open" false (Certain.certain_boolean db (Parser.query "(). P(b)"));
+  check_bool "~P(b) open" false
+    (Certain.certain_boolean db (Parser.query "(). ~P(b)"));
+  check_bool "P(b) possible" true
+    (Certain.possible_boolean db (Parser.query "(). P(b)"));
+  (* But ∃x P(x) is certain — the fact survives every merge. *)
+  check_bool "existential certain" true
+    (Certain.certain_boolean db (Parser.query "(). exists x. P(x)"))
+
+(* --- the alpha machinery's corners --- *)
+
+let test_alpha_arity_errors () =
+  expect_invalid (fun () -> Alpha.formula ~pred:"P" ~arity:0);
+  let db = singleton_db () in
+  expect_invalid (fun () -> Disagree.alpha_holds db "P" [ "only"; "only" ]);
+  expect_invalid (fun () -> Disagree.alpha_holds db "NOPE" [ "only" ])
+
+let test_disagree_length_mismatch () =
+  let db = singleton_db () in
+  expect_invalid (fun () -> Disagree.tuples db [ "only" ] [])
+
+(* --- compile / translate failure modes --- *)
+
+let test_compile_rejects_second_order () =
+  let db = Ph.ph1 (singleton_db ()) in
+  match Compile.query db (Parser.query "(). exists2 Q/1. Q(only)") with
+  | exception Compile.Unsupported _ -> ()
+  | _ -> Alcotest.fail "expected Unsupported"
+
+let test_translate_iff_heavy () =
+  (* Deeply nested Iff: NNF must still leave a correct, negation-atomic
+     body; check semantics against the exact engine on a fully
+     specified db (completeness guaranteed). *)
+  let db =
+    database ~predicates:[ ("P", 1) ] ~constants:[ "a"; "b" ]
+      ~facts:[ ("P", [ "a" ]) ]
+      ()
+    |> Cw_database.fully_specify
+  in
+  let q =
+    Parser.query "(x). (P(x) <-> P(a)) <-> (P(b) <-> P(x))"
+  in
+  check Support.relation_testable "iff tower"
+    (Certain.answer db q) (Approx.answer db q)
+
+let test_precise_simulation_reserved_names () =
+  let db = singleton_db () in
+  expect_invalid (fun () ->
+      Precise_simulation.query'
+        (Cw_database.vocabulary db)
+        (Query.make [ "sim_z1" ] (Formula.Eq (Term.var "sim_z1", Term.var "sim_z1"))))
+
+(* --- parser obscure corners --- *)
+
+let test_parser_corners () =
+  (* Identifiers with primes and digits. *)
+  let f = Parser.formula "P'(x1')" in
+  check Support.formula_testable "primed names"
+    (Formula.Atom ("P'", [ Term.const "x1'" ]))
+    f;
+  (* Numeric-prefixed identifier is a constant, not an int. *)
+  let g = Parser.formula "M(3rd)" in
+  check Support.formula_testable "3rd is a name"
+    (Formula.Atom ("M", [ Term.const "3rd" ]))
+    g;
+  (* Deeply nested parens. *)
+  let h = Parser.formula "((((true))))" in
+  check Support.formula_testable "nested parens" Formula.True h
+
+let test_format_edge_cases () =
+  (* CRLF endings and stray whitespace. *)
+  let db = Ldb_format.parse "constant a b\r\n  distinct a b\r\n" in
+  check_bool "crlf" true (Cw_database.are_distinct db "a" "b");
+  (* A comment-only file has no constants — rejected, not looping. *)
+  (match Ldb_format.parse "# nothing\n" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty database must be rejected");
+  (* Duplicate facts collapse. *)
+  let db2 =
+    Ldb_format.parse "predicate P/1\nfact P(a)\nfact P(a)\n"
+  in
+  check_int "dedup" 1 (List.length (Cw_database.facts db2))
+
+(* --- query evaluation meta-invariants --- *)
+
+(* member agrees with answer on every candidate tuple. *)
+let member_matches_answer =
+  QCheck2.Test.make ~count:80 ~name:"certain_member = answer membership"
+    ~print:Support.print_db_query
+    (Support.gen_db_and_query ~arity:1)
+    (fun (db, query) ->
+      let full_answer = Certain.answer db query in
+      List.for_all
+        (fun c ->
+          Certain.certain_member db query [ c ] = Relation.mem [ c ] full_answer)
+        (Cw_database.constants db))
+
+(* Approx.member agrees with Approx.answer. *)
+let approx_member_matches_answer =
+  QCheck2.Test.make ~count:80 ~name:"approx member = answer membership"
+    ~print:Support.print_db_query
+    (Support.gen_db_and_query ~arity:1)
+    (fun (db, query) ->
+      let full_answer = Approx.answer db query in
+      List.for_all
+        (fun c ->
+          Approx.member db query [ c ] = Relation.mem [ c ] full_answer)
+        (Cw_database.constants db))
+
+(* The identity partition's quotient is Ph1 itself. *)
+let discrete_quotient_is_ph1 =
+  QCheck2.Test.make ~count:80 ~name:"discrete quotient = Ph1"
+    ~print:Support.print_db Support.gen_cw_database
+    (fun db ->
+      Database.equal (Partition.quotient (Partition.discrete db)) (Ph.ph1 db))
+
+let suite =
+  [
+    Alcotest.test_case "Relation.full cap" `Quick test_relation_full_cap;
+    Alcotest.test_case "Relation.subsets cap" `Quick test_relation_subsets_cap;
+    Alcotest.test_case "Mapping.all cap" `Quick test_mapping_enumeration_cap;
+    Alcotest.test_case "SO evaluation cap" `Quick test_so_eval_cap;
+    Alcotest.test_case "singleton constant" `Quick test_singleton_constant;
+    Alcotest.test_case "zero-ary predicates" `Quick test_zero_ary_predicates;
+    Alcotest.test_case "no facts" `Quick test_no_facts_at_all;
+    Alcotest.test_case "total collapse" `Quick test_total_collapse;
+    Alcotest.test_case "alpha arity errors" `Quick test_alpha_arity_errors;
+    Alcotest.test_case "disagree length mismatch" `Quick
+      test_disagree_length_mismatch;
+    Alcotest.test_case "compile rejects SO" `Quick
+      test_compile_rejects_second_order;
+    Alcotest.test_case "iff tower" `Quick test_translate_iff_heavy;
+    Alcotest.test_case "reserved sim_ names" `Quick
+      test_precise_simulation_reserved_names;
+    Alcotest.test_case "parser corners" `Quick test_parser_corners;
+    Alcotest.test_case "format edge cases" `Quick test_format_edge_cases;
+    Support.qcheck_case member_matches_answer;
+    Support.qcheck_case approx_member_matches_answer;
+    Support.qcheck_case discrete_quotient_is_ph1;
+  ]

@@ -1,0 +1,128 @@
+(* Tests for countermodel explanations and Monte-Carlo refutation. *)
+
+open Logicaldb
+
+let check_bool = Alcotest.(check bool)
+
+let socrates = Support.socrates_db ()
+let q s = Parser.query s
+
+(* --- Explain --- *)
+
+let test_explain_certain () =
+  match Explain.boolean socrates (q "(). TEACHES(socrates, plato)") with
+  | Explain.Certain -> ()
+  | Explain.Refuted_by p ->
+    Alcotest.failf "unexpected refutation: %a" Partition.pp p
+
+let test_explain_refutation_is_genuine () =
+  (* ~TEACHES(mystery, plato) fails exactly when mystery merges with
+     socrates; the returned partition must actually refute. *)
+  let query = q "(). ~TEACHES(mystery, plato)" in
+  match Explain.boolean socrates query with
+  | Explain.Certain -> Alcotest.fail "expected a refutation"
+  | Explain.Refuted_by p ->
+    check_bool "countermodel really refutes" false
+      (Eval.satisfies (Partition.quotient p) (Query.body query));
+    check_bool "countermodel merges mystery and socrates" true
+      (String.equal
+         (Partition.representative p "mystery")
+         (Partition.representative p "socrates"))
+
+let test_explain_member () =
+  let teaches = q "(x). exists y. TEACHES(x, y)" in
+  (match Explain.member socrates teaches [ "socrates" ] with
+  | Explain.Certain -> ()
+  | Explain.Refuted_by _ -> Alcotest.fail "socrates certainly teaches");
+  match Explain.member socrates teaches [ "mystery" ] with
+  | Explain.Certain -> Alcotest.fail "mystery does not certainly teach"
+  | Explain.Refuted_by p ->
+    (* In that world, mystery's image must not teach. *)
+    check_bool "refuting world" false
+      (Eval.member (Partition.quotient p) teaches
+         [ Partition.representative p "mystery" ])
+
+(* Explain agrees with the engine verdict. *)
+let explain_agrees_with_engine =
+  QCheck2.Test.make ~count:120 ~name:"explain = certain_boolean"
+    ~print:Support.print_db_sentence Support.gen_db_and_sentence
+    (fun (db, sentence) ->
+      let query = Query.boolean sentence in
+      let verdict = Explain.boolean db query in
+      let certain = Certain.certain_boolean db query in
+      match verdict with
+      | Explain.Certain -> certain
+      | Explain.Refuted_by p ->
+        (not certain)
+        && not (Eval.satisfies (Partition.quotient p) sentence))
+
+(* --- Sampling --- *)
+
+let test_sampling_refutes_open_negation () =
+  (* With enough samples the merged world always shows up for this tiny
+     database (3 constants). *)
+  check_bool "refuted" true
+    (Sampling.boolean ~samples:64 ~seed:7 socrates
+       (q "(). ~TEACHES(mystery, plato)")
+    = Sampling.Not_certain)
+
+let test_sampling_never_refutes_certain () =
+  check_bool "no false refutation" true
+    (Sampling.boolean ~samples:64 ~seed:7 socrates
+       (q "(). TEACHES(socrates, plato)")
+    = Sampling.Probably_certain)
+
+(* Completeness (one-sidedness): Not_certain implies really not
+   certain. *)
+let sampling_refutations_sound =
+  QCheck2.Test.make ~count:120 ~name:"sampling refutations are genuine"
+    ~print:Support.print_db_sentence Support.gen_db_and_sentence
+    (fun (db, sentence) ->
+      let query = Query.boolean sentence in
+      match Sampling.boolean ~samples:8 ~seed:11 db query with
+      | Sampling.Not_certain -> not (Certain.certain_boolean db query)
+      | Sampling.Probably_certain -> true)
+
+(* Certain sentences always survive sampling. *)
+let sampling_passes_certain =
+  QCheck2.Test.make ~count:120 ~name:"certain sentences survive sampling"
+    ~print:Support.print_db_sentence Support.gen_db_and_sentence
+    (fun (db, sentence) ->
+      let query = Query.boolean sentence in
+      QCheck2.assume (Certain.certain_boolean db query);
+      Sampling.boolean ~samples:16 ~seed:3 db query
+      = Sampling.Probably_certain)
+
+(* Random partitions are valid (never merge a distinct pair). *)
+let random_partitions_valid =
+  QCheck2.Test.make ~count:150 ~name:"sampled partitions respect axioms"
+    ~print:Support.print_db Support.gen_cw_database
+    (fun db ->
+      let state = Random.State.make [| 99 |] in
+      List.for_all
+        (fun _ ->
+          let p = Sampling.random_partition ~state db in
+          List.for_all
+            (fun (c, d) ->
+              not
+                (String.equal
+                   (Partition.representative p c)
+                   (Partition.representative p d)))
+            (Cw_database.distinct_pairs db))
+        (List.init 10 Fun.id))
+
+let suite =
+  [
+    Alcotest.test_case "explain certain" `Quick test_explain_certain;
+    Alcotest.test_case "explain refutation" `Quick
+      test_explain_refutation_is_genuine;
+    Alcotest.test_case "explain member" `Quick test_explain_member;
+    Support.qcheck_case explain_agrees_with_engine;
+    Alcotest.test_case "sampling refutes open negation" `Quick
+      test_sampling_refutes_open_negation;
+    Alcotest.test_case "sampling spares certain facts" `Quick
+      test_sampling_never_refutes_certain;
+    Support.qcheck_case sampling_refutations_sound;
+    Support.qcheck_case sampling_passes_certain;
+    Support.qcheck_case random_partitions_valid;
+  ]

@@ -1,0 +1,97 @@
+(* Tests for the .ldb text format. *)
+
+open Logicaldb
+
+let check = Alcotest.check
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let db_testable = Alcotest.testable Cw_database.pp Cw_database.equal
+
+let sample_text =
+  {|# sample database
+predicate TEACHES/2 WISE/1
+constant mystery
+fact TEACHES(socrates, plato)
+fact WISE(socrates)
+distinct socrates plato
+|}
+
+let test_parse_sample () =
+  let db = Ldb_format.parse sample_text in
+  check
+    Alcotest.(list string)
+    "constants (explicit + implicit)"
+    [ "mystery"; "plato"; "socrates" ]
+    (Cw_database.constants db);
+  check_int "facts" 2 (List.length (Cw_database.facts db));
+  check_bool "distinct" true (Cw_database.are_distinct db "plato" "socrates")
+
+let test_fully_specified_directive () =
+  let db = Ldb_format.parse "constant a b c\nfully_specified\n" in
+  check_bool "closed" true (Cw_database.is_fully_specified db);
+  check_int "all pairs" 3 (List.length (Cw_database.distinct_pairs db))
+
+let test_zero_ary_fact () =
+  let db = Ldb_format.parse "predicate FLAG/0\nconstant a\nfact FLAG()\n" in
+  check_int "one fact" 1 (List.length (Cw_database.facts db))
+
+let test_syntax_errors () =
+  let expect_error text =
+    match Ldb_format.parse text with
+    | exception Ldb_format.Syntax_error _ -> ()
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail (Printf.sprintf "%S should be rejected" text)
+  in
+  expect_error "predicate P\n";
+  expect_error "predicate P/x\n";
+  expect_error "fact P(a\n";
+  expect_error "distinct a\n";
+  expect_error "distinct a b c\n";
+  expect_error "bogus directive\n";
+  (* semantic: undeclared predicate arity *)
+  expect_error "predicate P/2\nfact P(a)\n"
+
+let test_error_line_numbers () =
+  match Ldb_format.parse "constant a\n\n# fine\ndistinct a\n" with
+  | exception Ldb_format.Syntax_error (4, _) -> ()
+  | exception Ldb_format.Syntax_error (n, _) ->
+    Alcotest.failf "wrong line: %d" n
+  | _ -> Alcotest.fail "expected a syntax error"
+
+let test_roundtrip_fixtures () =
+  List.iter
+    (fun db ->
+      check db_testable "print/parse round-trip" db
+        (Ldb_format.parse (Ldb_format.print db)))
+    [
+      Support.socrates_db ();
+      Support.personnel_db ();
+      Support.ripper_db ();
+    ]
+
+let roundtrip_random =
+  QCheck2.Test.make ~count:150 ~name:"ldb print/parse round-trip"
+    ~print:Support.print_db Support.gen_cw_database
+    (fun db -> Cw_database.equal db (Ldb_format.parse (Ldb_format.print db)))
+
+let test_file_io () =
+  let path = Filename.temp_file "logicaldb" ".ldb" in
+  let db = Support.socrates_db () in
+  Ldb_format.save path db;
+  let loaded = Ldb_format.load path in
+  Sys.remove path;
+  check db_testable "save/load" db loaded
+
+let suite =
+  [
+    Alcotest.test_case "parse sample" `Quick test_parse_sample;
+    Alcotest.test_case "fully_specified directive" `Quick
+      test_fully_specified_directive;
+    Alcotest.test_case "zero-ary facts" `Quick test_zero_ary_fact;
+    Alcotest.test_case "syntax errors" `Quick test_syntax_errors;
+    Alcotest.test_case "error line numbers" `Quick test_error_line_numbers;
+    Alcotest.test_case "fixture round-trips" `Quick test_roundtrip_fixtures;
+    Support.qcheck_case roundtrip_random;
+    Alcotest.test_case "file io" `Quick test_file_io;
+  ]

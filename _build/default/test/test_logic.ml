@@ -1,0 +1,359 @@
+(* Unit tests for the logic layer: terms, vocabularies, formulas, NNF. *)
+
+open Logicaldb
+
+let check = Alcotest.check
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let x = Term.var "x"
+let y = Term.var "y"
+let a = Term.const "a"
+let b = Term.const "b"
+
+(* --- terms --- *)
+
+let test_term_basics () =
+  check_bool "var is var" true (Term.is_var x);
+  check_bool "const is const" true (Term.is_const a);
+  check_bool "var not const" false (Term.is_const x);
+  check_bool "equal" true (Term.equal x (Term.var "x"));
+  check_bool "not equal across kinds" false (Term.equal x (Term.const "x"))
+
+let test_term_collections () =
+  check (Alcotest.list Alcotest.string) "vars in order" [ "x"; "y" ]
+    (Term.vars_of [ x; a; y; x ]);
+  check (Alcotest.list Alcotest.string) "consts in order" [ "a"; "b" ]
+    (Term.consts_of [ a; x; b; a ])
+
+let test_term_substitute () =
+  let map v = if String.equal v "x" then Some a else None in
+  check_bool "var substituted" true (Term.equal (Term.substitute map x) a);
+  check_bool "const untouched" true (Term.equal (Term.substitute map b) b);
+  check_bool "other var untouched" true (Term.equal (Term.substitute map y) y)
+
+(* --- vocabulary --- *)
+
+let test_vocabulary_basics () =
+  let v =
+    Vocabulary.make ~constants:[ "b"; "a"; "a" ] ~predicates:[ ("P", 1); ("R", 2) ]
+  in
+  check (Alcotest.list Alcotest.string) "constants dedup + sorted" [ "a"; "b" ]
+    (Vocabulary.constants v);
+  check_int "arity" 2 (Vocabulary.arity v "R");
+  check_bool "mem" true (Vocabulary.mem_predicate v "P");
+  check_bool "not mem" false (Vocabulary.mem_predicate v "Q")
+
+let test_vocabulary_errors () =
+  Alcotest.check_raises "arity clash" (Invalid_argument
+    "Vocabulary: predicate P declared with arities 1 and 2")
+    (fun () ->
+      ignore (Vocabulary.make ~constants:[] ~predicates:[ ("P", 1); ("P", 2) ]));
+  Alcotest.check_raises "equality reserved"
+    (Invalid_argument "Vocabulary: equality is built in and cannot be declared")
+    (fun () -> ignore (Vocabulary.make ~constants:[] ~predicates:[ ("=", 2) ]))
+
+let test_vocabulary_union () =
+  let va = Vocabulary.make ~constants:[ "a" ] ~predicates:[ ("P", 1) ] in
+  let vb = Vocabulary.make ~constants:[ "b" ] ~predicates:[ ("R", 2) ] in
+  let u = Vocabulary.union va vb in
+  check (Alcotest.list Alcotest.string) "union constants" [ "a"; "b" ]
+    (Vocabulary.constants u);
+  check_int "union predicates" 2 (List.length (Vocabulary.predicates u))
+
+(* --- formulas --- *)
+
+let sample =
+  (* exists z. (R(x, z) /\ ~P(a)) \/ z = y ... with z bound *)
+  Formula.Exists
+    ( "z",
+      Formula.Or
+        ( Formula.And
+            ( Formula.Atom ("R", [ x; Term.var "z" ]),
+              Formula.Not (Formula.Atom ("P", [ a ])) ),
+          Formula.Eq (Term.var "z", y) ) )
+
+let test_free_vars () =
+  check (Alcotest.list Alcotest.string) "free vars" [ "x"; "y" ]
+    (Formula.free_vars sample);
+  check (Alcotest.list Alcotest.string) "all vars" [ "z"; "x"; "y" ]
+    (Formula.all_vars sample)
+
+let test_free_preds () =
+  let preds = Formula.free_preds sample in
+  check_bool "R free" true (List.mem ("R", 2) preds);
+  check_bool "P free" true (List.mem ("P", 1) preds);
+  let so = Formula.Exists2 ("Q", 1, Formula.Atom ("Q", [ x ])) in
+  check_bool "bound SO predicate not free" true (Formula.free_preds so = [])
+
+let test_constants () =
+  check (Alcotest.list Alcotest.string) "constants" [ "a" ]
+    (Formula.constants sample)
+
+let test_positive () =
+  check_bool "atom positive" true (Formula.is_positive (Formula.Atom ("P", [ x ])));
+  check_bool "negation not positive" false
+    (Formula.is_positive (Formula.Not (Formula.Atom ("P", [ x ]))));
+  check_bool "double negation positive" true
+    (Formula.is_positive (Formula.Not (Formula.Not (Formula.Atom ("P", [ x ])))));
+  check_bool "implication left is negative" false
+    (Formula.is_positive
+       (Formula.Implies (Formula.Atom ("P", [ x ]), Formula.True)));
+  check_bool "quantified positive" true
+    (Formula.is_positive (Formula.Forall ("x", Formula.Atom ("P", [ x ]))))
+
+let test_substitute_capture () =
+  (* Substituting y for x in (exists y. R(x, y)) must rename the
+     binder, not capture. *)
+  let f = Formula.Exists ("y", Formula.Atom ("R", [ x; y ])) in
+  let map v = if String.equal v "x" then Some y else None in
+  let g = Formula.substitute map f in
+  match g with
+  | Formula.Exists (fresh, Formula.Atom ("R", [ Term.Var v1; Term.Var v2 ])) ->
+    check Alcotest.string "outer var substituted" "y" v1;
+    check Alcotest.string "binder renamed" fresh v2;
+    check_bool "no capture" false (String.equal fresh "y")
+  | _ -> Alcotest.fail "unexpected shape after substitution"
+
+let test_instantiate () =
+  let f = Formula.Atom ("R", [ x; y ]) in
+  let g = Formula.instantiate [ ("x", "a"); ("y", "b") ] f in
+  check Support.formula_testable "instantiated" (Formula.Atom ("R", [ a; b ])) g
+
+let test_rename_atom () =
+  let f = Formula.And (Formula.Atom ("P", [ x ]), Formula.Atom ("R", [ x; y ])) in
+  let g = Formula.rename_atom ~from:"P" ~into:"P2" f in
+  check Support.formula_testable "renamed"
+    (Formula.And (Formula.Atom ("P2", [ x ]), Formula.Atom ("R", [ x; y ])))
+    g
+
+let test_sigma_rank () =
+  let qf = Formula.Atom ("P", [ a ]) in
+  let f1 = Formula.Exists ("x", Formula.Atom ("P", [ x ])) in
+  let f2 = Formula.Exists ("x", Formula.Forall ("y", Formula.Atom ("R", [ x; y ]))) in
+  let f_univ = Formula.Forall ("x", Formula.Atom ("P", [ x ])) in
+  check Alcotest.(option int) "rank 0" (Some 0) (Formula.fo_sigma_rank qf);
+  check Alcotest.(option int) "rank 1" (Some 1) (Formula.fo_sigma_rank f1);
+  check Alcotest.(option int) "rank 2" (Some 2) (Formula.fo_sigma_rank f2);
+  check Alcotest.(option int) "forall-first counts empty block" (Some 2)
+    (Formula.fo_sigma_rank f_univ);
+  let nonprenex =
+    Formula.And (f1, Formula.Atom ("P", [ a ]))
+  in
+  check Alcotest.(option int) "not prenex" None (Formula.fo_sigma_rank nonprenex)
+
+let test_so_sigma_rank () =
+  let f =
+    Formula.Exists2
+      ("Q", 1, Formula.Forall ("x", Formula.Atom ("Q", [ x ])))
+  in
+  check Alcotest.(option int) "SO rank 1" (Some 1) (Formula.so_sigma_rank f);
+  let g = Formula.Exists2 ("Q", 1, Formula.Forall2 ("S", 1, Formula.True)) in
+  check Alcotest.(option int) "SO rank 2" (Some 2) (Formula.so_sigma_rank g)
+
+let test_smart_constructors () =
+  check Support.formula_testable "and true" (Formula.Atom ("P", [ x ]))
+    (Formula.and_ Formula.True (Formula.Atom ("P", [ x ])));
+  check Support.formula_testable "or false" (Formula.Atom ("P", [ x ]))
+    (Formula.or_ (Formula.Atom ("P", [ x ])) Formula.False);
+  check Support.formula_testable "not not" (Formula.Atom ("P", [ x ]))
+    (Formula.not_ (Formula.not_ (Formula.Atom ("P", [ x ]))));
+  check Support.formula_testable "conj empty" Formula.True (Formula.conj []);
+  check Support.formula_testable "disj empty" Formula.False (Formula.disj [])
+
+(* --- NNF --- *)
+
+let test_nnf_shapes () =
+  let open Formula in
+  let f = Not (And (Atom ("P", [ x ]), Not (Atom ("P", [ y ])))) in
+  let g = Nnf.transform f in
+  check_bool "is nnf" true (Nnf.is_nnf g);
+  check Support.formula_testable "de morgan"
+    (Or (Not (Atom ("P", [ x ])), Atom ("P", [ y ])))
+    g
+
+let test_nnf_quantifiers () =
+  let open Formula in
+  let f = Not (Forall ("x", Atom ("P", [ x ]))) in
+  check Support.formula_testable "neg forall"
+    (Exists ("x", Not (Atom ("P", [ x ]))))
+    (Nnf.transform f);
+  let g = Not (Exists2 ("Q", 1, Atom ("Q", [ a ]))) in
+  check Support.formula_testable "neg SO exists"
+    (Forall2 ("Q", 1, Not (Atom ("Q", [ a ]))))
+    (Nnf.transform g)
+
+let test_nnf_implies_iff () =
+  let open Formula in
+  let p = Atom ("P", [ a ]) and q = Atom ("P", [ b ]) in
+  check_bool "implies eliminated" true (Nnf.is_nnf (Nnf.transform (Implies (p, q))));
+  check_bool "iff eliminated" true (Nnf.is_nnf (Nnf.transform (Iff (p, q))));
+  check_bool "not iff eliminated" true
+    (Nnf.is_nnf (Nnf.transform (Not (Iff (p, q)))))
+
+(* NNF preserves semantics: checked against the evaluator on a tiny
+   physical database, over random formulas. *)
+let nnf_preserves_semantics =
+  QCheck2.Test.make ~count:300 ~name:"nnf preserves truth"
+    ~print:Support.print_db_sentence Support.gen_db_and_sentence
+    (fun (db, sentence) ->
+      let pb = Ph.ph1 db in
+      Eval.satisfies pb sentence = Eval.satisfies pb (Nnf.transform sentence))
+
+let nnf_idempotent =
+  QCheck2.Test.make ~count:300 ~name:"nnf idempotent"
+    ~print:Support.print_db_sentence Support.gen_db_and_sentence
+    (fun (_, sentence) ->
+      let once = Nnf.transform sentence in
+      Formula.equal once (Nnf.transform once))
+
+let nnf_output_is_nnf =
+  QCheck2.Test.make ~count:300 ~name:"nnf output is nnf"
+    ~print:Support.print_db_sentence Support.gen_db_and_sentence
+    (fun (_, sentence) -> Nnf.is_nnf (Nnf.transform sentence))
+
+(* --- prenex normal form --- *)
+
+let test_prenex_shapes () =
+  let open Formula in
+  (* (∃x P(x)) ∧ (∀y R(y,a)) pulls both quantifiers out. *)
+  let f =
+    And
+      ( Exists ("x", Atom ("P", [ Term.var "x" ])),
+        Forall ("y", Atom ("R", [ Term.var "y"; a ])) )
+  in
+  let g = Prenex.transform f in
+  check_bool "prenex" true (Prenex.is_prenex g);
+  check_bool "was not prenex" false (Prenex.is_prenex f);
+  (* Negated quantifier dualizes then extracts. *)
+  let h = Not (Forall ("x", Atom ("P", [ Term.var "x" ]))) in
+  check Support.formula_testable "dualized"
+    (Exists ("x", Not (Atom ("P", [ Term.var "x" ]))))
+    (Prenex.transform h)
+
+let test_prenex_shadowing () =
+  let open Formula in
+  (* Two binders named x on the two sides of a conjunction must end up
+     with different names. *)
+  let f =
+    And
+      ( Exists ("x", Atom ("P", [ Term.var "x" ])),
+        Forall ("x", Atom ("Q", [ Term.var "x" ])) )
+  in
+  match Prenex.transform f with
+  | Exists (x1, Forall (x2, _)) ->
+    check_bool "renamed apart" false (String.equal x1 x2)
+  | _ -> Alcotest.fail "unexpected prefix shape"
+
+let test_prenex_rank () =
+  check_int "rank of matrix" 0 (Prenex.rank (Formula.Atom ("P", [ a ])));
+  check_int "rank exists" 1
+    (Prenex.rank (Formula.Exists ("x", Formula.Atom ("P", [ x ]))));
+  check_int "rank exists-forall" 2
+    (Prenex.rank
+       (Formula.Exists
+          ("x", Formula.Forall ("y", Formula.Atom ("R", [ x; y ])))));
+  (* SO quantifiers are rejected. *)
+  match Prenex.transform (Formula.Exists2 ("Q", 1, Formula.True)) with
+  | exception Prenex.Unsupported _ -> ()
+  | _ -> Alcotest.fail "expected Unsupported"
+
+(* --- simplification --- *)
+
+let test_simplify_rules () =
+  let open Formula in
+  let p = Atom ("P", [ a ]) in
+  let cases =
+    [
+      ("double negation", Not (Not p), p);
+      ("reflexive equality", Eq (a, a), True);
+      ("and true", And (p, True), p);
+      ("or false", Or (False, p), p);
+      ("implies false", Implies (p, False), Not p);
+      ("iff false", Iff (False, p), Not p);
+      ("iff self", Iff (p, p), True);
+      ("absorption and", And (p, Or (p, Atom ("Q", []))), p);
+      ("absorption or", Or (And (Atom ("Q", []), p), p), p);
+      ("vacuous exists", Exists ("x", p), p);
+      ("vacuous forall", Forall ("x", p), p);
+      (* A non-vacuous quantifier stays. *)
+      ( "bound quantifier kept",
+        Exists ("x", Atom ("P", [ x ])),
+        Exists ("x", Atom ("P", [ x ])) );
+    ]
+  in
+  List.iter
+    (fun (name, input, expected) ->
+      check Support.formula_testable name expected (Simplify.formula input))
+    cases
+
+let simplify_preserves_semantics =
+  QCheck2.Test.make ~count:300 ~name:"simplify preserves truth"
+    ~print:Support.print_db_sentence Support.gen_db_and_sentence
+    (fun (db, sentence) ->
+      let pb = Ph.ph1 db in
+      Eval.satisfies pb sentence = Eval.satisfies pb (Simplify.formula sentence))
+
+let simplify_never_grows =
+  QCheck2.Test.make ~count:300 ~name:"simplify never grows"
+    ~print:Support.print_db_sentence Support.gen_db_and_sentence
+    (fun (_, sentence) ->
+      Formula.size (Simplify.formula sentence) <= Formula.size sentence)
+
+let simplify_idempotent =
+  QCheck2.Test.make ~count:300 ~name:"simplify idempotent"
+    ~print:Support.print_db_sentence Support.gen_db_and_sentence
+    (fun (_, sentence) ->
+      let once = Simplify.formula sentence in
+      Formula.equal once (Simplify.formula once))
+
+let prenex_preserves_semantics =
+  QCheck2.Test.make ~count:300 ~name:"prenex preserves truth"
+    ~print:Support.print_db_sentence Support.gen_db_and_sentence
+    (fun (db, sentence) ->
+      let pb = Ph.ph1 db in
+      Eval.satisfies pb sentence = Eval.satisfies pb (Prenex.transform sentence))
+
+let prenex_output_is_prenex =
+  QCheck2.Test.make ~count:300 ~name:"prenex output is prenex"
+    ~print:Support.print_db_sentence Support.gen_db_and_sentence
+    (fun (_, sentence) ->
+      let g = Prenex.transform sentence in
+      Prenex.is_prenex g
+      && Option.is_some (Formula.fo_sigma_rank g))
+
+let suite =
+  [
+    Alcotest.test_case "term basics" `Quick test_term_basics;
+    Alcotest.test_case "term collections" `Quick test_term_collections;
+    Alcotest.test_case "term substitute" `Quick test_term_substitute;
+    Alcotest.test_case "vocabulary basics" `Quick test_vocabulary_basics;
+    Alcotest.test_case "vocabulary errors" `Quick test_vocabulary_errors;
+    Alcotest.test_case "vocabulary union" `Quick test_vocabulary_union;
+    Alcotest.test_case "free vars" `Quick test_free_vars;
+    Alcotest.test_case "free preds" `Quick test_free_preds;
+    Alcotest.test_case "constants" `Quick test_constants;
+    Alcotest.test_case "positivity" `Quick test_positive;
+    Alcotest.test_case "capture-avoiding substitution" `Quick
+      test_substitute_capture;
+    Alcotest.test_case "instantiate" `Quick test_instantiate;
+    Alcotest.test_case "rename atom" `Quick test_rename_atom;
+    Alcotest.test_case "FO sigma rank" `Quick test_sigma_rank;
+    Alcotest.test_case "SO sigma rank" `Quick test_so_sigma_rank;
+    Alcotest.test_case "smart constructors" `Quick test_smart_constructors;
+    Alcotest.test_case "nnf shapes" `Quick test_nnf_shapes;
+    Alcotest.test_case "nnf quantifiers" `Quick test_nnf_quantifiers;
+    Alcotest.test_case "nnf implies/iff" `Quick test_nnf_implies_iff;
+    Support.qcheck_case nnf_preserves_semantics;
+    Support.qcheck_case nnf_idempotent;
+    Support.qcheck_case nnf_output_is_nnf;
+    Alcotest.test_case "simplify rules" `Quick test_simplify_rules;
+    Support.qcheck_case simplify_preserves_semantics;
+    Support.qcheck_case simplify_never_grows;
+    Support.qcheck_case simplify_idempotent;
+    Alcotest.test_case "prenex shapes" `Quick test_prenex_shapes;
+    Alcotest.test_case "prenex shadowing" `Quick test_prenex_shadowing;
+    Alcotest.test_case "prenex rank" `Quick test_prenex_rank;
+    Support.qcheck_case prenex_preserves_semantics;
+    Support.qcheck_case prenex_output_is_prenex;
+  ]

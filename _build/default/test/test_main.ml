@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "logicaldb"
+    [
+      ("logic", Test_logic.suite);
+      ("parser", Test_parser.suite);
+      ("relational", Test_relational.suite);
+      ("cwdb", Test_cwdb.suite);
+      ("certain", Test_certain.suite);
+      ("approx", Test_approx.suite);
+      ("reiter", Test_reiter.suite);
+      ("typed", Test_typed.suite);
+      ("precise-simulation", Test_precise.suite);
+      ("reductions", Test_reductions.suite);
+      ("format", Test_format.suite);
+      ("edge-cases", Test_edge_cases.suite);
+      ("optimizer", Test_optimizer.suite);
+      ("semantics-ground-truth", Test_semantics.suite);
+      ("explain-sampling", Test_explain_sampling.suite);
+      ("theory", Test_theory.suite);
+      ("coverage", Test_coverage.suite);
+    ]

@@ -1,0 +1,155 @@
+(* Parser and pretty-printer tests, including the round-trip property. *)
+
+open Logicaldb
+
+let check = Alcotest.check
+
+let parses expected input =
+  let head = Query.head expected in
+  let got = Parser.formula ~free_vars:head input in
+  check Support.formula_testable input (Query.body expected) got
+
+let test_atoms () =
+  let q = Query.make [ "x" ] (Formula.Atom ("P", [ Term.var "x" ])) in
+  parses q "P(x)";
+  let q2 =
+    Query.make [ "x" ]
+      (Formula.Atom ("R", [ Term.var "x"; Term.const "alice" ]))
+  in
+  parses q2 "R(x, alice)";
+  let q3 = Query.make [] (Formula.Atom ("Z", [])) in
+  parses q3 "Z()"
+
+let test_equalities () =
+  let q =
+    Query.make [ "x" ] (Formula.Eq (Term.var "x", Term.const "a"))
+  in
+  parses q "x = a";
+  let q2 =
+    Query.make [ "x" ]
+      (Formula.Not (Formula.Eq (Term.var "x", Term.const "a")))
+  in
+  parses q2 "x != a"
+
+let test_numeric_constants () =
+  let q = Query.make [] (Formula.Eq (Term.const "1", Term.const "2")) in
+  parses q "1 = 2";
+  let q2 = Query.make [] (Formula.Atom ("M", [ Term.const "3" ])) in
+  parses q2 "M(3)"
+
+let test_connective_precedence () =
+  let p = Formula.Atom ("A", []) in
+  let q = Formula.Atom ("B", []) in
+  let r = Formula.Atom ("C", []) in
+  let got = Parser.formula "A() \\/ B() /\\ C()" in
+  check Support.formula_testable "and binds tighter"
+    (Formula.Or (p, Formula.And (q, r)))
+    got;
+  let got2 = Parser.formula "A() -> B() -> C()" in
+  check Support.formula_testable "implies right assoc"
+    (Formula.Implies (p, Formula.Implies (q, r)))
+    got2;
+  let got3 = Parser.formula "~A() /\\ B()" in
+  check Support.formula_testable "not binds tightest"
+    (Formula.And (Formula.Not p, q))
+    got3
+
+let test_quantifiers () =
+  let got = Parser.formula "exists x, y. R(x, y)" in
+  check Support.formula_testable "multi-binder"
+    (Formula.Exists
+       ("x", Formula.Exists ("y", Formula.Atom ("R", [ Term.var "x"; Term.var "y" ]))))
+    got;
+  (* Maximal scope: the conjunction is inside the quantifier. *)
+  let got2 = Parser.formula "exists x. P(x) /\\ Q(x)" in
+  check Support.formula_testable "maximal scope"
+    (Formula.Exists
+       ( "x",
+         Formula.And
+           (Formula.Atom ("P", [ Term.var "x" ]), Formula.Atom ("Q", [ Term.var "x" ])) ))
+    got2;
+  (* Parenthesized: the quantifier closes early, x is a constant
+     outside. *)
+  let got3 = Parser.formula "(exists x. P(x)) /\\ Q(x)" in
+  check Support.formula_testable "parens close scope"
+    (Formula.And
+       ( Formula.Exists ("x", Formula.Atom ("P", [ Term.var "x" ])),
+         Formula.Atom ("Q", [ Term.const "x" ]) ))
+    got3
+
+let test_second_order () =
+  let got = Parser.formula "exists2 Q/1. forall x. Q(x)" in
+  check Support.formula_testable "SO binder"
+    (Formula.Exists2
+       ("Q", 1, Formula.Forall ("x", Formula.Atom ("Q", [ Term.var "x" ]))))
+    got
+
+let test_query_heads () =
+  let q = Parser.query "(x, y). R(x, y)" in
+  check Alcotest.(list string) "head" [ "x"; "y" ] (Query.head q);
+  let b = Parser.query "(). exists x. P(x)" in
+  check Alcotest.bool "boolean" true (Query.is_boolean b)
+
+let test_paper_query () =
+  (* The paper's Section 2.1 example. *)
+  let q =
+    Parser.query
+      "(x1, x2). exists y. EMP_DEPT(x1, y) /\\ DEPT_MGR(y, x2)"
+  in
+  check Alcotest.int "arity" 2 (Query.arity q);
+  check Alcotest.bool "first order" true (Query.is_first_order q);
+  check Alcotest.bool "positive" true (Query.is_positive q)
+
+let test_errors () =
+  let expect_parse_error input =
+    match Parser.formula input with
+    | exception Parser.Parse_error _ -> ()
+    | exception Lexer.Lex_error _ -> ()
+    | _ -> Alcotest.fail (Printf.sprintf "%S should not parse" input)
+  in
+  expect_parse_error "P(x";
+  expect_parse_error "P(x))";
+  expect_parse_error "exists . P(x)";
+  expect_parse_error "P(x) /\\";
+  expect_parse_error "@";
+  expect_parse_error "exists2 Q. Q(x)"
+
+let test_comments_whitespace () =
+  let got = Parser.formula "  P(a)   # trailing comment" in
+  check Support.formula_testable "comment ignored"
+    (Formula.Atom ("P", [ Term.const "a" ]))
+    got
+
+(* Round-trip: parse (print f) = f on random formulas. Free variables
+   of the printed formula must be re-declared to the parser. *)
+let roundtrip =
+  QCheck2.Test.make ~count:500 ~name:"pretty/parse round-trip"
+    ~print:Support.print_db_sentence Support.gen_db_and_sentence
+    (fun (_, sentence) ->
+      let printed = Pretty.formula_to_string sentence in
+      let reparsed = Parser.formula printed in
+      Formula.equal sentence reparsed)
+
+let roundtrip_query =
+  QCheck2.Test.make ~count:300 ~name:"query round-trip"
+    ~print:(fun (db, q) -> Support.print_db_query (db, q))
+    (Support.gen_db_and_query ~arity:2)
+    (fun (_, q) ->
+      let printed = Pretty.query_to_string q in
+      Query.equal q (Parser.query printed))
+
+let suite =
+  [
+    Alcotest.test_case "atoms" `Quick test_atoms;
+    Alcotest.test_case "equalities" `Quick test_equalities;
+    Alcotest.test_case "numeric constants" `Quick test_numeric_constants;
+    Alcotest.test_case "precedence" `Quick test_connective_precedence;
+    Alcotest.test_case "quantifiers" `Quick test_quantifiers;
+    Alcotest.test_case "second order" `Quick test_second_order;
+    Alcotest.test_case "query heads" `Quick test_query_heads;
+    Alcotest.test_case "paper query" `Quick test_paper_query;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "comments" `Quick test_comments_whitespace;
+    Support.qcheck_case roundtrip;
+    Support.qcheck_case roundtrip_query;
+  ]

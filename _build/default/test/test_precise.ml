@@ -1,0 +1,93 @@
+(* Tests for the Theorem 3 precise simulation: Q(LB) = Q′(Ph₂(LB)),
+   on deliberately tiny databases (the construction quantifies over
+   all binary relations on the domain). *)
+
+open Logicaldb
+
+let check = Alcotest.check
+let check_bool = Alcotest.(check bool)
+
+(* Two constants, one unary predicate, no uniqueness axioms: the
+   smallest database with a genuine unknown. *)
+let tiny_open () =
+  database ~predicates:[ ("P", 1) ] ~constants:[ "a"; "b" ]
+    ~facts:[ ("P", [ "a" ]) ]
+    ()
+
+let tiny_closed () = Cw_database.fully_specify (tiny_open ())
+
+let q s = Parser.query s
+
+let test_query_construction () =
+  let db = tiny_open () in
+  let q' =
+    Precise_simulation.query' (Cw_database.vocabulary db) (q "(x). P(x)")
+  in
+  check Alcotest.int "head arity preserved" 1 (Query.arity q');
+  check_bool "second order" true (not (Query.is_first_order q'));
+  (* The quantifier prefix is universal second-order. *)
+  (match Query.body q' with
+  | Formula.Forall2 (h, 2, Formula.Forall2 (_, 1, _)) ->
+    check Alcotest.string "H quantified first" (Precise_simulation.prefix ^ "H") h
+  | _ -> Alcotest.fail "unexpected prefix shape");
+  (* Rejects queries already mentioning sim$ atoms. *)
+  (match
+     Precise_simulation.query' (Cw_database.vocabulary db)
+       (Query.boolean (Formula.Atom (Precise_simulation.prefix ^ "H", [])))
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument")
+
+let queries_to_check =
+  [
+    "(x). P(x)";
+    "(x). ~P(x)";
+    "(). exists x. P(x)";
+    "(). forall x. P(x)";
+    "(). P(b) \\/ ~P(b)";
+    "(x). x = a";
+    "(x). x != a";
+    "(). a != b";
+  ]
+
+let agree_on db name =
+  List.iter
+    (fun qs ->
+      let query = q qs in
+      let exact = Certain.answer db query in
+      let simulated = Precise_simulation.answer db query in
+      check Support.relation_testable
+        (Printf.sprintf "%s: %s" name qs)
+        exact simulated)
+    queries_to_check
+
+let test_theorem3_open () = agree_on (tiny_open ()) "open"
+let test_theorem3_closed () = agree_on (tiny_closed ()) "closed"
+
+(* A 3-constant instance with a binary predicate — the largest size
+   that stays fast (H ranges over 2^9 relations). *)
+let test_theorem3_binary () =
+  let db =
+    database
+      ~predicates:[ ("R", 2) ]
+      ~constants:[ "a"; "b"; "c" ]
+      ~facts:[ ("R", [ "a"; "b" ]) ]
+      ~distinct:[ ("a", "b") ]
+      ()
+  in
+  List.iter
+    (fun qs ->
+      let query = q qs in
+      check Support.relation_testable qs (Certain.answer db query)
+        (Precise_simulation.answer db query))
+    [ "(). exists x. R(x, b)"; "(). ~R(b, a)"; "(). R(c, b)" ]
+
+let suite =
+  [
+    Alcotest.test_case "construction shape" `Quick test_query_construction;
+    Alcotest.test_case "theorem 3 (open db)" `Slow test_theorem3_open;
+    Alcotest.test_case "theorem 3 (fully specified db)" `Slow
+      test_theorem3_closed;
+    Alcotest.test_case "theorem 3 (binary predicate)" `Slow
+      test_theorem3_binary;
+  ]

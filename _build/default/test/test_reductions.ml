@@ -1,0 +1,330 @@
+(* Tests for the hardness reductions (Theorems 5, 7, 9) against
+   independent baseline solvers. *)
+
+open Logicaldb
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- graphs and the coloring baseline --- *)
+
+let test_graph_basics () =
+  let g = Graph.make ~vertices:3 ~edges:[ (0, 1); (1, 0); (1, 2) ] in
+  check_int "mirrored edges collapse" 2 (List.length (Graph.edges g));
+  check_bool "has edge" true (Graph.has_edge g 1 0);
+  check_bool "no edge" false (Graph.has_edge g 0 2);
+  Alcotest.(check (list int)) "neighbours" [ 0; 2 ] (Graph.neighbours g 1)
+
+let test_coloring_solver () =
+  check_bool "K3 is 3-colorable" true (Graph.colorable 3 (Graph.complete 3));
+  check_bool "K4 is not 3-colorable" false (Graph.colorable 3 (Graph.complete 4));
+  check_bool "odd cycle needs 3" false (Graph.colorable 2 (Graph.cycle 5));
+  check_bool "odd cycle 3-colorable" true (Graph.colorable 3 (Graph.cycle 5));
+  check_bool "even cycle 2-colorable" true (Graph.colorable 2 (Graph.cycle 6));
+  check_bool "petersen 3-colorable" true (Graph.colorable 3 (Graph.petersen ()));
+  check_bool "petersen not 2-colorable" false
+    (Graph.colorable 2 (Graph.petersen ()));
+  check_bool "self-loop uncolorable" false
+    (Graph.colorable 3 (Graph.make ~vertices:1 ~edges:[ (0, 0) ]))
+
+let test_coloring_witness () =
+  match Graph.coloring 3 (Graph.petersen ()) with
+  | None -> Alcotest.fail "petersen should be colorable"
+  | Some witness ->
+    check_bool "witness proper" true
+      (Graph.is_proper_coloring (Graph.petersen ()) witness)
+
+(* --- Theorem 5 --- *)
+
+let test_three_col_database_shape () =
+  let g = Graph.cycle 3 in
+  let db = Three_col.database g in
+  check_int "constants: 3 colors + 3 vertices" 6
+    (List.length (Cw_database.constants db));
+  check_int "facts: 3 M + 3 R" 6 (List.length (Cw_database.facts db));
+  check_int "uniqueness: 3 pairs" 3
+    (List.length (Cw_database.distinct_pairs db));
+  check_bool "not fully specified" false (Cw_database.is_fully_specified db)
+
+let test_three_col_known_graphs () =
+  let cases =
+    [
+      ("K3", Graph.complete 3, true);
+      ("K4", Graph.complete 4, false);
+      ("C5", Graph.cycle 5, true);
+      ("C4", Graph.cycle 4, true);
+      ("triangle+apex", Graph.make ~vertices:4
+         ~edges:[ (0, 1); (1, 2); (0, 2); (0, 3); (1, 3); (2, 3) ], false);
+      ("empty", Graph.make ~vertices:2 ~edges:[], true);
+      ("self-loop", Graph.make ~vertices:2 ~edges:[ (0, 0) ], false);
+    ]
+  in
+  List.iter
+    (fun (name, g, expected) ->
+      check_bool name expected (Three_col.colorable_via_certain g))
+    cases
+
+let test_three_col_witness_extraction () =
+  (* Small graph: the witness search enumerates all |C|^|C| mappings. *)
+  let g = Graph.cycle 3 in
+  let db = Three_col.database g in
+  (* Find a countermodel mapping and extract a coloring from it. *)
+  let witness =
+    Seq.find_map
+      (fun h ->
+        if Eval.satisfies (Mapping.image_db h) (Query.body Three_col.query)
+        then None
+        else Three_col.coloring_of_mapping g h)
+      (Mapping.all_respecting db)
+  in
+  match witness with
+  | None -> Alcotest.fail "expected a coloring witness"
+  | Some coloring ->
+    check_bool "extracted coloring proper" true
+      (Graph.is_proper_coloring g coloring)
+
+let three_col_agrees_with_solver =
+  QCheck2.Test.make ~count:40 ~name:"theorem 5 reduction = solver"
+    ~print:(fun (n, p, seed) -> Printf.sprintf "n=%d p=%.2f seed=%d" n p seed)
+    QCheck2.Gen.(
+      triple (int_range 1 5) (oneofl [ 0.2; 0.5; 0.8 ]) (int_bound 1000))
+    (fun (n, p, seed) ->
+      let g = Graph.random ~vertices:n ~edge_probability:p ~seed in
+      Three_col.colorable_via_certain g = Graph.colorable 3 g)
+
+(* --- QBF --- *)
+
+let qvar b i = { Qbf.block = b; index = i }
+let pos b i = { Qbf.positive = true; var = qvar b i }
+let neg b i = { Qbf.positive = false; var = qvar b i }
+
+let test_qbf_eval_basics () =
+  (* ∀x. x ∨ ¬x *)
+  let t1 =
+    Qbf.make ~blocks:[ 1 ] ~matrix:(Qbf.Or (Qbf.Lit (pos 1 1), Qbf.Lit (neg 1 1)))
+  in
+  check_bool "tautology" true (Qbf.eval t1);
+  (* ∀x. x *)
+  let t2 = Qbf.make ~blocks:[ 1 ] ~matrix:(Qbf.Lit (pos 1 1)) in
+  check_bool "forall x. x" false (Qbf.eval t2);
+  (* ∀x ∃y. x ↔ y  encoded as (x∧y)∨(¬x∧¬y) *)
+  let t3 =
+    Qbf.make ~blocks:[ 1; 1 ]
+      ~matrix:
+        (Qbf.Or
+           ( Qbf.And (Qbf.Lit (pos 1 1), Qbf.Lit (pos 2 1)),
+             Qbf.And (Qbf.Lit (neg 1 1), Qbf.Lit (neg 2 1)) ))
+  in
+  check_bool "forall exists iff" true (Qbf.eval t3);
+  (* ∀x ∀y. x ↔ y *)
+  let t4 =
+    Qbf.make ~blocks:[ 2 ]
+      ~matrix:
+        (Qbf.Or
+           ( Qbf.And (Qbf.Lit (pos 1 1), Qbf.Lit (pos 1 2)),
+             Qbf.And (Qbf.Lit (neg 1 1), Qbf.Lit (neg 1 2)) ))
+  in
+  check_bool "forall forall iff" false (Qbf.eval t4)
+
+let test_qbf_cnf3 () =
+  let clauses = [ (pos 1 1, neg 1 1, pos 1 1) ] in
+  let t = Qbf.of_cnf3 ~blocks:[ 1 ] clauses in
+  check_bool "cnf tautology" true (Qbf.eval t);
+  match Qbf.cnf3_clauses t with
+  | Some [ _ ] -> ()
+  | _ -> Alcotest.fail "clause recovery failed"
+
+let test_qbf_blocks () =
+  let t = Qbf.make ~blocks:[ 1; 2; 1 ] ~matrix:(Qbf.Lit (pos 1 1)) in
+  check_int "block count" 3 (Qbf.block_count t);
+  check_bool "block 1 universal" true (Qbf.universal_block t 1);
+  check_bool "block 2 existential" false (Qbf.universal_block t 2);
+  check_bool "block 3 universal" true (Qbf.universal_block t 3)
+
+(* --- Theorem 7 --- *)
+
+let test_qbf_fo_fixed_cases () =
+  (* ∀x (x ∨ ¬x): true. *)
+  let t1 =
+    Qbf.make ~blocks:[ 1 ] ~matrix:(Qbf.Or (Qbf.Lit (pos 1 1), Qbf.Lit (neg 1 1)))
+  in
+  check_bool "B1 tautology via reduction" true (Qbf_fo.eval_via_certain t1);
+  (* ∀x. x: false. *)
+  let t2 = Qbf.make ~blocks:[ 1 ] ~matrix:(Qbf.Lit (pos 1 1)) in
+  check_bool "B1 contradiction via reduction" false (Qbf_fo.eval_via_certain t2);
+  (* ∀x ∃y. x ↔ y: true — exercises the FO existential block. *)
+  let t3 =
+    Qbf.make ~blocks:[ 1; 1 ]
+      ~matrix:
+        (Qbf.Or
+           ( Qbf.And (Qbf.Lit (pos 1 1), Qbf.Lit (pos 2 1)),
+             Qbf.And (Qbf.Lit (neg 1 1), Qbf.Lit (neg 2 1)) ))
+  in
+  check_bool "B2 via reduction" true (Qbf_fo.eval_via_certain t3);
+  (* ∀x ∃y. y ∧ ¬x: false (fails for x = true). *)
+  let t4 =
+    Qbf.make ~blocks:[ 1; 1 ]
+      ~matrix:(Qbf.And (Qbf.Lit (pos 2 1), Qbf.Lit (neg 1 1)))
+  in
+  check_bool "B2 false via reduction" false (Qbf_fo.eval_via_certain t4)
+
+let test_qbf_fo_query_shape () =
+  let t =
+    Qbf.make ~blocks:[ 2; 1; 1 ] ~matrix:(Qbf.Lit (pos 1 1))
+  in
+  let query = Qbf_fo.query t in
+  check_bool "boolean" true (Query.is_boolean query);
+  (* prefix ∃y₂ ∀y₃ over a quantifier-free matrix: Σ₂ *)
+  Alcotest.(check (option int))
+    "sigma rank" (Some 2)
+    (Formula.fo_sigma_rank (Query.body query));
+  let db = Qbf_fo.database t in
+  check_int "constants 0,1,c1,c2" 4 (List.length (Cw_database.constants db));
+  check_int "uniqueness only 0 != 1" 1
+    (List.length (Cw_database.distinct_pairs db))
+
+let qbf_fo_agrees =
+  QCheck2.Test.make ~count:30 ~name:"theorem 7 reduction = direct QBF"
+    ~print:(fun (b, c, s) ->
+      Printf.sprintf "blocks=%s clauses=%d seed=%d"
+        (String.concat "," (List.map string_of_int b))
+        c s)
+    QCheck2.Gen.(
+      triple
+        (oneofl [ [ 2 ]; [ 1; 2 ]; [ 2; 1 ]; [ 2; 2 ]; [ 1; 1; 1 ] ])
+        (int_range 1 4) (int_bound 1000))
+    (fun (blocks, clauses, seed) ->
+      let qbf = Qbf.random_cnf3 ~blocks ~clauses ~seed in
+      Qbf_fo.eval_via_certain qbf = Qbf.eval qbf)
+
+(* --- Theorem 9 --- *)
+
+let test_qbf_so_fixed_cases () =
+  (* ∀x. x ∨ ¬x  (3-CNF with a repeated literal). *)
+  let t1 = Qbf.of_cnf3 ~blocks:[ 1 ] [ (pos 1 1, neg 1 1, pos 1 1) ] in
+  check_bool "B1 tautology via SO reduction" true (Qbf_so.eval_via_certain t1);
+  (* ∀x. x. *)
+  let t2 = Qbf.of_cnf3 ~blocks:[ 1 ] [ (pos 1 1, pos 1 1, pos 1 1) ] in
+  check_bool "B1 contradiction via SO reduction" false
+    (Qbf_so.eval_via_certain t2);
+  (* ∀x ∃y. (x ∨ y) ∧ (¬x ∨ ¬y): y = ¬x works — true. *)
+  let t3 =
+    Qbf.of_cnf3 ~blocks:[ 1; 1 ]
+      [
+        (pos 1 1, pos 2 1, pos 2 1);
+        (neg 1 1, neg 2 1, neg 2 1);
+      ]
+  in
+  check_bool "B2 via SO reduction" true (Qbf_so.eval_via_certain t3);
+  (* ∀x ∃y. y ∧ ¬x: false. *)
+  let t4 =
+    Qbf.of_cnf3 ~blocks:[ 1; 1 ]
+      [
+        (pos 2 1, pos 2 1, pos 2 1);
+        (neg 1 1, neg 1 1, neg 1 1);
+      ]
+  in
+  check_bool "B2 false via SO reduction" false (Qbf_so.eval_via_certain t4)
+
+let test_qbf_so_query_shape () =
+  let t =
+    Qbf.of_cnf3 ~blocks:[ 1; 1; 1 ] [ (pos 1 1, pos 2 1, pos 3 1) ]
+  in
+  let query = Qbf_so.query t in
+  check_bool "boolean" true (Query.is_boolean query);
+  (* Prefix ∃N₂ ∀N₃: Σ₂ in the second-order sense. *)
+  Alcotest.(check (option int))
+    "SO sigma rank" (Some 2)
+    (Formula.so_sigma_rank (Query.body query))
+
+let qbf_so_agrees =
+  QCheck2.Test.make ~count:15 ~name:"theorem 9 reduction = direct QBF"
+    ~print:(fun (b, c, s) ->
+      Printf.sprintf "blocks=%s clauses=%d seed=%d"
+        (String.concat "," (List.map string_of_int b))
+        c s)
+    QCheck2.Gen.(
+      triple
+        (oneofl [ [ 1; 1 ]; [ 2; 1 ]; [ 1; 2 ] ])
+        (int_range 1 3) (int_bound 1000))
+    (fun (blocks, clauses, seed) ->
+      let qbf = Qbf.random_cnf3 ~blocks ~clauses ~seed in
+      Qbf_so.eval_via_certain qbf = Qbf.eval qbf)
+
+(* --- deeper alternation (k = 4, 5) fixed cases --- *)
+
+let test_qbf_fo_deep_alternation () =
+  (* ∀x₁ ∃x₂ ∀x₃ ∃x₄ ((x₁↔x₂) ∧ (x₃↔x₄)): true — choose x₂ = x₁,
+     x₄ = x₃. Five-block variant adds ∀x₅ . (x₅ ∨ ¬x₅). *)
+  let iff_lit i j =
+    Qbf.Or
+      ( Qbf.And (Qbf.Lit (pos i 1), Qbf.Lit (pos j 1)),
+        Qbf.And (Qbf.Lit (neg i 1), Qbf.Lit (neg j 1)) )
+  in
+  let b4 =
+    Qbf.make ~blocks:[ 1; 1; 1; 1 ]
+      ~matrix:(Qbf.And (iff_lit 1 2, iff_lit 3 4))
+  in
+  check_bool "B4 true" true (Qbf.eval b4);
+  check_bool "B4 via reduction" true (Qbf_fo.eval_via_certain b4);
+  let b4_false =
+    (* ∀x₁ ∃x₂ ∀x₃ ∃x₄ ((x₁↔x₂) ∧ (x₃↔x₂)): false — x₂ is chosen
+       before x₃, so it cannot track it. *)
+    Qbf.make ~blocks:[ 1; 1; 1; 1 ]
+      ~matrix:(Qbf.And (iff_lit 1 2, iff_lit 3 2))
+  in
+  check_bool "B4 false" false (Qbf.eval b4_false);
+  check_bool "B4 false via reduction" false (Qbf_fo.eval_via_certain b4_false);
+  let b5 =
+    Qbf.make ~blocks:[ 1; 1; 1; 1; 1 ]
+      ~matrix:
+        (Qbf.And
+           ( Qbf.And (iff_lit 1 2, iff_lit 3 4),
+             Qbf.Or (Qbf.Lit (pos 5 1), Qbf.Lit (neg 5 1)) ))
+  in
+  check_bool "B5 via reduction" true (Qbf_fo.eval_via_certain b5);
+  (* The encoded query's prefix rank tracks k. *)
+  Alcotest.(check (option int))
+    "B5 rank" (Some 4)
+    (Formula.fo_sigma_rank (Query.body (Qbf_fo.query b5)))
+
+let test_three_col_corners () =
+  (* Isolated vertices never block colorability. *)
+  let g = Graph.make ~vertices:5 ~edges:[ (0, 1) ] in
+  check_bool "mostly isolated" true (Three_col.colorable_via_certain g);
+  (* A graph needing exactly 3 colors plus an isolated vertex. *)
+  let g2 = Graph.make ~vertices:4 ~edges:[ (0, 1); (1, 2); (0, 2) ] in
+  check_bool "triangle + isolated" true (Three_col.colorable_via_certain g2);
+  (* Merge-first and fresh-first orders agree on both outcomes. *)
+  List.iter
+    (fun g ->
+      check_bool "orders agree"
+        (Three_col.colorable_via_certain ~order:Certain.Fresh_first g)
+        (Three_col.colorable_via_certain ~order:Certain.Merge_first g))
+    [ Graph.complete 4; Graph.cycle 5 ]
+
+let suite =
+  [
+    Alcotest.test_case "graph basics" `Quick test_graph_basics;
+    Alcotest.test_case "coloring solver" `Quick test_coloring_solver;
+    Alcotest.test_case "coloring witness" `Quick test_coloring_witness;
+    Alcotest.test_case "theorem 5 database shape" `Quick
+      test_three_col_database_shape;
+    Alcotest.test_case "theorem 5 known graphs" `Slow
+      test_three_col_known_graphs;
+    Alcotest.test_case "theorem 5 witness extraction" `Quick
+      test_three_col_witness_extraction;
+    Support.qcheck_case three_col_agrees_with_solver;
+    Alcotest.test_case "qbf eval basics" `Quick test_qbf_eval_basics;
+    Alcotest.test_case "qbf cnf3" `Quick test_qbf_cnf3;
+    Alcotest.test_case "qbf blocks" `Quick test_qbf_blocks;
+    Alcotest.test_case "theorem 7 fixed cases" `Quick test_qbf_fo_fixed_cases;
+    Alcotest.test_case "theorem 7 query shape" `Quick test_qbf_fo_query_shape;
+    Support.qcheck_case qbf_fo_agrees;
+    Alcotest.test_case "deep alternation (B4/B5)" `Slow
+      test_qbf_fo_deep_alternation;
+    Alcotest.test_case "theorem 5 corners" `Quick test_three_col_corners;
+    Alcotest.test_case "theorem 9 fixed cases" `Quick test_qbf_so_fixed_cases;
+    Alcotest.test_case "theorem 9 query shape" `Quick test_qbf_so_query_shape;
+    Support.qcheck_case qbf_so_agrees;
+  ]

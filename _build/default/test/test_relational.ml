@@ -1,0 +1,305 @@
+(* Tests for relations, physical databases, the Tarskian evaluator and
+   the relational-algebra pipeline. *)
+
+open Logicaldb
+
+let check = Alcotest.check
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let r2 tuples = Relation.of_tuples 2 tuples
+let r1 tuples = Relation.of_tuples 1 tuples
+
+(* --- relations --- *)
+
+let test_relation_basics () =
+  let r = r2 [ [ "a"; "b" ]; [ "a"; "b" ]; [ "b"; "c" ] ] in
+  check_int "dedup" 2 (Relation.cardinal r);
+  check_bool "mem" true (Relation.mem [ "a"; "b" ] r);
+  check_bool "not mem" false (Relation.mem [ "b"; "a" ] r);
+  check_int "arity" 2 (Relation.arity r);
+  check_bool "empty relation is empty" true (Relation.is_empty (Relation.empty 3))
+
+let test_relation_arity_checks () =
+  Alcotest.check_raises "bad tuple arity"
+    (Invalid_argument "Relation: tuple (a) has arity 1, expected 2")
+    (fun () -> ignore (Relation.add [ "a" ] (Relation.empty 2)));
+  Alcotest.check_raises "union arity"
+    (Invalid_argument "Relation: arity mismatch (1 vs 2)")
+    (fun () -> ignore (Relation.union (Relation.empty 1) (Relation.empty 2)))
+
+let test_relation_set_ops () =
+  let a = r1 [ [ "x" ]; [ "y" ] ] and b = r1 [ [ "y" ]; [ "z" ] ] in
+  check_int "union" 3 (Relation.cardinal (Relation.union a b));
+  check_int "inter" 1 (Relation.cardinal (Relation.inter a b));
+  check_int "diff" 1 (Relation.cardinal (Relation.diff a b));
+  check_bool "subset" true (Relation.subset (Relation.inter a b) a)
+
+let test_relation_product_full () =
+  let a = r1 [ [ "x" ] ] and b = r2 [ [ "p"; "q" ] ] in
+  let p = Relation.product a b in
+  check_int "product arity" 3 (Relation.arity p);
+  check_bool "product tuple" true (Relation.mem [ "x"; "p"; "q" ] p);
+  let full = Relation.full ~domain:[ "a"; "b" ] 2 in
+  check_int "full size" 4 (Relation.cardinal full)
+
+let test_relation_subsets () =
+  let r = r1 [ [ "x" ]; [ "y" ] ] in
+  let subsets = List.of_seq (Relation.subsets r) in
+  check_int "2^2 subsets" 4 (List.length subsets);
+  check_bool "empty included" true
+    (List.exists Relation.is_empty subsets);
+  check_bool "full included" true (List.exists (Relation.equal r) subsets)
+
+(* --- databases --- *)
+
+let vocabulary =
+  Vocabulary.make ~constants:[ "a"; "b" ] ~predicates:[ ("P", 1); ("R", 2) ]
+
+let sample_db () =
+  Database.make ~vocabulary ~domain:[ "a"; "b"; "c" ]
+    ~constants:[ ("a", "a"); ("b", "b") ]
+    ~relations:[ ("P", r1 [ [ "a" ] ]); ("R", r2 [ [ "a"; "b" ]; [ "b"; "c" ] ]) ]
+
+let test_database_basics () =
+  let db = sample_db () in
+  check_int "domain size" 3 (Database.domain_size db);
+  check Alcotest.string "constant" "a" (Database.constant db "a");
+  check_int "relation size" 2 (Relation.cardinal (Database.relation db "R"));
+  check_int "total size" 3 (Database.size db)
+
+let test_database_validation () =
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid (fun () ->
+      Database.make ~vocabulary ~domain:[] ~constants:[] ~relations:[]);
+  expect_invalid (fun () ->
+      (* missing constant interpretation *)
+      Database.make ~vocabulary ~domain:[ "a" ] ~constants:[ ("a", "a") ]
+        ~relations:[]);
+  expect_invalid (fun () ->
+      (* tuple outside the domain *)
+      Database.make ~vocabulary ~domain:[ "a"; "b" ]
+        ~constants:[ ("a", "a"); ("b", "b") ]
+        ~relations:[ ("P", r1 [ [ "zzz" ] ]) ]);
+  expect_invalid (fun () ->
+      (* arity clash *)
+      Database.make ~vocabulary ~domain:[ "a"; "b" ]
+        ~constants:[ ("a", "a"); ("b", "b") ]
+        ~relations:[ ("P", r2 [] ) ])
+
+let test_database_missing_relation_defaults_empty () =
+  let db =
+    Database.make ~vocabulary ~domain:[ "a"; "b" ]
+      ~constants:[ ("a", "a"); ("b", "b") ]
+      ~relations:[]
+  in
+  check_bool "P empty" true (Relation.is_empty (Database.relation db "P"))
+
+let test_map_elements () =
+  let db = sample_db () in
+  let collapse e = if String.equal e "c" then "b" else e in
+  let db' = Database.map_elements collapse db in
+  check_int "collapsed domain" 2 (Database.domain_size db');
+  check_bool "R image" true (Relation.mem [ "b"; "b" ] (Database.relation db' "R"))
+
+let test_isomorphic () =
+  let v = Vocabulary.make ~constants:[ "a" ] ~predicates:[ ("P", 1) ] in
+  let d1 =
+    Database.make ~vocabulary:v ~domain:[ "a"; "x" ] ~constants:[ ("a", "a") ]
+      ~relations:[ ("P", r1 [ [ "x" ] ]) ]
+  in
+  let d2 =
+    Database.make ~vocabulary:v ~domain:[ "a"; "y" ] ~constants:[ ("a", "a") ]
+      ~relations:[ ("P", r1 [ [ "y" ] ]) ]
+  in
+  let d3 =
+    Database.make ~vocabulary:v ~domain:[ "a"; "y" ] ~constants:[ ("a", "a") ]
+      ~relations:[ ("P", r1 [ [ "a" ] ]) ]
+  in
+  check_bool "isomorphic" true (Database.isomorphic d1 d2);
+  check_bool "not isomorphic" false (Database.isomorphic d1 d3)
+
+(* --- evaluation --- *)
+
+let parse = Parser.formula
+
+let test_eval_atoms () =
+  let db = sample_db () in
+  check_bool "fact" true (Eval.satisfies db (parse "P(a)"));
+  check_bool "no fact" false (Eval.satisfies db (parse "P(b)"));
+  check_bool "eq" true (Eval.satisfies db (parse "a = a"));
+  check_bool "neq" true (Eval.satisfies db (parse "a != b"))
+
+let test_eval_quantifiers () =
+  let db = sample_db () in
+  check_bool "exists" true (Eval.satisfies db (parse "exists x. P(x)"));
+  check_bool "forall fails" false (Eval.satisfies db (parse "forall x. P(x)"));
+  (* c is in the domain but not a constant: reachable only through
+     quantification. *)
+  check_bool "chain" true
+    (Eval.satisfies db (parse "exists x, y. R(a, x) /\\ R(x, y)"))
+
+let test_eval_connectives () =
+  let db = sample_db () in
+  check_bool "implies" true (Eval.satisfies db (parse "P(b) -> P(a)"));
+  check_bool "iff" true (Eval.satisfies db (parse "P(a) <-> ~P(b)"));
+  check_bool "true" true (Eval.satisfies db Formula.True);
+  check_bool "false" false (Eval.satisfies db Formula.False)
+
+let test_eval_second_order () =
+  let db = sample_db () in
+  (* ∃Q ∀x Q(x): take Q = the whole domain. *)
+  check_bool "SO exists" true
+    (Eval.satisfies db (parse "exists2 Q/1. forall x. Q(x)"));
+  (* ∀Q ∃x Q(x) fails: Q = ∅. *)
+  check_bool "SO forall" false
+    (Eval.satisfies db (parse "forall2 Q/1. exists x. Q(x)"));
+  (* ∀Q (Q ⊇ P ∨ Q misses some P element) — tautology-ish sanity:
+     ∀Q ∃x (Q(x) \/ ~Q(x)). *)
+  check_bool "SO tautology" true
+    (Eval.satisfies db (parse "forall2 Q/1. forall x. Q(x) \\/ ~Q(x)"))
+
+let test_eval_errors () =
+  let db = sample_db () in
+  let expect_error f =
+    match f () with
+    | exception Eval.Eval_error _ -> ()
+    | _ -> Alcotest.fail "expected Eval_error"
+  in
+  expect_error (fun () -> Eval.satisfies db (parse "UNKNOWN(a)"));
+  expect_error (fun () -> Eval.satisfies db (parse "P(zzz)"));
+  expect_error (fun () -> Eval.satisfies db (Formula.Atom ("P", [ Term.var "x" ])))
+
+let test_eval_answer () =
+  let db = sample_db () in
+  let q = Parser.query "(x, y). R(x, y)" in
+  let ans = Eval.answer db q in
+  check Support.relation_testable "answer"
+    (r2 [ [ "a"; "b" ]; [ "b"; "c" ] ])
+    ans;
+  check_bool "member" true (Eval.member db q [ "a"; "b" ]);
+  check_bool "not member" false (Eval.member db q [ "b"; "a" ])
+
+let test_eval_virtuals () =
+  let db = sample_db () in
+  let virtuals name =
+    if String.equal name "GT" then
+      Some (function [ x; y ] -> String.compare x y > 0 | _ -> false)
+    else None
+  in
+  check_bool "virtual atom" true
+    (Eval.satisfies ~virtuals db (parse "GT(b, a)"));
+  check_bool "virtual atom false" false
+    (Eval.satisfies ~virtuals db (parse "GT(a, b)"))
+
+(* --- algebra --- *)
+
+let test_algebra_basics () =
+  let db = sample_db () in
+  let open Algebra in
+  check Support.relation_testable "base" (r2 [ [ "a"; "b" ]; [ "b"; "c" ] ])
+    (run db (Base "R"));
+  check Support.relation_testable "select"
+    (r2 [ [ "a"; "b" ] ])
+    (run db (Select (Col_eq_const (0, "a"), Base "R")));
+  check Support.relation_testable "project"
+    (r1 [ [ "b" ]; [ "c" ] ])
+    (run db (Project ([ 1 ], Base "R")));
+  check_int "product" 1 (Relation.cardinal (run db (Product (Base "P", Base "P"))));
+  check_int "domain" 3 (Relation.cardinal (run db Domain))
+
+let test_algebra_errors () =
+  let db = sample_db () in
+  let expect_error e =
+    match Algebra.run db e with
+    | exception Eval.Eval_error _ -> ()
+    | _ -> Alcotest.fail "expected Eval_error"
+  in
+  expect_error (Algebra.Base "NOPE");
+  expect_error (Algebra.Project ([ 5 ], Algebra.Base "R"));
+  expect_error (Algebra.Union (Algebra.Base "P", Algebra.Base "R"))
+
+let test_compile_simple () =
+  let db = sample_db () in
+  let q = Parser.query "(x). P(x)" in
+  check Support.relation_testable "compiled atom" (r1 [ [ "a" ] ])
+    (Compile.answer db q);
+  let q2 = Parser.query "(x). exists y. R(x, y)" in
+  check Support.relation_testable "compiled exists"
+    (r1 [ [ "a" ]; [ "b" ] ])
+    (Compile.answer db q2);
+  let q3 = Parser.query "(x). ~P(x)" in
+  check Support.relation_testable "compiled negation"
+    (r1 [ [ "b" ]; [ "c" ] ])
+    (Compile.answer db q3)
+
+let test_compile_tricky () =
+  let db = sample_db () in
+  (* Repeated variable in an atom. *)
+  let q = Parser.query "(x). R(x, x)" in
+  check Support.relation_testable "repeated var" (Relation.empty 1)
+    (Compile.answer db q);
+  (* Constant argument. *)
+  let q2 = Parser.query "(y). R(a, y)" in
+  check Support.relation_testable "constant arg" (r1 [ [ "b" ] ])
+    (Compile.answer db q2);
+  (* Head variable absent from the body column set. *)
+  let q3 = Parser.query "(x, y). P(x)" in
+  check_int "padding" 3 (Relation.cardinal (Compile.answer db q3));
+  (* Forall. *)
+  let q4 = Parser.query "(x). forall y. R(x, y) -> P(y)" in
+  (* R(a,b) with P(b) false: a out. R(b,c), P(c) false: b out. c has
+     no R edges: vacuous. *)
+  check Support.relation_testable "forall" (r1 [ [ "c" ] ])
+    (Compile.answer db q4)
+
+(* Property: compiled algebra agrees with the Tarskian evaluator on
+   random FO queries over Ph₁ of random CW databases. *)
+let algebra_agrees_with_eval =
+  QCheck2.Test.make ~count:300 ~name:"algebra = tarskian evaluation"
+    ~print:Support.print_db_query
+    (Support.gen_db_and_query ~arity:2)
+    (fun (db, q) ->
+      let pb = Ph.ph1 db in
+      Relation.equal (Eval.answer pb q) (Compile.answer pb q))
+
+let algebra_agrees_with_eval_boolean =
+  QCheck2.Test.make ~count:300 ~name:"algebra = evaluation (sentences)"
+    ~print:Support.print_db_sentence Support.gen_db_and_sentence
+    (fun (db, sentence) ->
+      let pb = Ph.ph1 db in
+      let q = Query.boolean sentence in
+      let compiled = not (Relation.is_empty (Compile.answer pb q)) in
+      compiled = Eval.satisfies pb sentence)
+
+let suite =
+  [
+    Alcotest.test_case "relation basics" `Quick test_relation_basics;
+    Alcotest.test_case "relation arity checks" `Quick test_relation_arity_checks;
+    Alcotest.test_case "relation set ops" `Quick test_relation_set_ops;
+    Alcotest.test_case "product and full" `Quick test_relation_product_full;
+    Alcotest.test_case "subsets" `Quick test_relation_subsets;
+    Alcotest.test_case "database basics" `Quick test_database_basics;
+    Alcotest.test_case "database validation" `Quick test_database_validation;
+    Alcotest.test_case "default empty relations" `Quick
+      test_database_missing_relation_defaults_empty;
+    Alcotest.test_case "map elements" `Quick test_map_elements;
+    Alcotest.test_case "isomorphism" `Quick test_isomorphic;
+    Alcotest.test_case "eval atoms" `Quick test_eval_atoms;
+    Alcotest.test_case "eval quantifiers" `Quick test_eval_quantifiers;
+    Alcotest.test_case "eval connectives" `Quick test_eval_connectives;
+    Alcotest.test_case "eval second order" `Quick test_eval_second_order;
+    Alcotest.test_case "eval errors" `Quick test_eval_errors;
+    Alcotest.test_case "eval answer" `Quick test_eval_answer;
+    Alcotest.test_case "eval virtuals" `Quick test_eval_virtuals;
+    Alcotest.test_case "algebra basics" `Quick test_algebra_basics;
+    Alcotest.test_case "algebra errors" `Quick test_algebra_errors;
+    Alcotest.test_case "compile simple" `Quick test_compile_simple;
+    Alcotest.test_case "compile tricky" `Quick test_compile_tricky;
+    Support.qcheck_case algebra_agrees_with_eval;
+    Support.qcheck_case algebra_agrees_with_eval_boolean;
+  ]

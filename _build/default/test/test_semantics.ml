@@ -1,0 +1,169 @@
+(* Ground-truth validation of the whole evaluation stack.
+
+   The paper DEFINES Q(LB) = { c : T ⊨f φ(c) }: a tuple is an answer
+   when φ(c) holds in EVERY finite model of the theory. All engines in
+   this library go through Theorem 1 (mappings/partitions). This suite
+   instead enumerates models directly — every physical database over
+   every subset of C, every constant interpretation, every relation
+   assignment, filtered by Axioms.is_model — and intersects. If
+   Theorem 1 (or its implementation) were wrong, this suite would
+   catch it.
+
+   Model space is astronomically large, so databases here are tiny:
+   two or three constants, a single unary predicate. *)
+
+open Logicaldb
+
+let check = Alcotest.check
+
+(* All sublists of a list. *)
+let rec sublists = function
+  | [] -> [ [] ]
+  | x :: rest ->
+    let without = sublists rest in
+    List.map (fun s -> x :: s) without @ without
+
+(* All functions from [domain] (a list) to [codomain], as assoc
+   lists. *)
+let rec functions domain codomain =
+  match domain with
+  | [] -> [ [] ]
+  | x :: rest ->
+    let tails = functions rest codomain in
+    List.concat_map
+      (fun y -> List.map (fun tail -> (x, y) :: tail) tails)
+      codomain
+
+(* Enumerate every physical database for the vocabulary of [lb] whose
+   domain is a nonempty subset of C. Relations range over all subsets
+   of D^k. *)
+let all_candidate_databases lb =
+  let vocabulary = Cw_database.vocabulary lb in
+  let constants = Cw_database.constants lb in
+  let domains =
+    List.filter (fun d -> d <> []) (sublists constants)
+  in
+  List.concat_map
+    (fun domain ->
+      let constant_maps = functions constants domain in
+      List.concat_map
+        (fun cmap ->
+          (* Fold over predicates, building all relation choices. *)
+          let rec choose = function
+            | [] -> [ [] ]
+            | (p, k) :: rest ->
+              let tails = choose rest in
+              let universe = Relation.full ~domain k in
+              List.of_seq
+                (Seq.concat_map
+                   (fun r -> List.to_seq (List.map (fun t -> (p, r) :: t) tails))
+                   (Relation.subsets universe))
+          in
+          List.map
+            (fun relations ->
+              Database.make ~vocabulary ~domain ~constants:cmap ~relations)
+            (choose (Vocabulary.predicates vocabulary)))
+        constant_maps)
+    domains
+
+let models lb =
+  List.filter (Axioms.is_model lb) (all_candidate_databases lb)
+
+(* The certain answer, straight from the definition. *)
+let certain_by_definition lb q =
+  let k = Query.arity q in
+  let candidates = Relation.full ~domain:(Cw_database.constants lb) k in
+  List.fold_left
+    (fun survivors model ->
+      Relation.filter
+        (fun tuple ->
+          (* φ(c) is a sentence; constants are interpreted by the
+             model. *)
+          Eval.satisfies model (Query.instantiate q tuple))
+        survivors)
+    candidates (models lb)
+
+let tiny_dbs =
+  [
+    ( "open pair",
+      database ~predicates:[ ("P", 1) ] ~constants:[ "a"; "b" ]
+        ~facts:[ ("P", [ "a" ]) ]
+        () );
+    ( "closed pair",
+      database ~predicates:[ ("P", 1) ] ~constants:[ "a"; "b" ]
+        ~facts:[ ("P", [ "a" ]) ]
+        ~distinct:[ ("a", "b") ]
+        () );
+    ( "three open",
+      database ~predicates:[ ("P", 1) ] ~constants:[ "a"; "b"; "c" ]
+        ~facts:[ ("P", [ "a" ]); ("P", [ "b" ]) ]
+        ~distinct:[ ("a", "b") ]
+        () );
+  ]
+
+let queries =
+  List.map Parser.query
+    [
+      "(x). P(x)";
+      "(x). ~P(x)";
+      "(x). x = a";
+      "(x). x != a";
+      "(). exists x. P(x)";
+      "(). forall x. P(x)";
+      "(). P(b) \\/ ~P(b)";
+      "(x). P(x) \\/ x = b";
+    ]
+
+let test_models_are_nonempty () =
+  List.iter
+    (fun (name, lb) ->
+      let count = List.length (models lb) in
+      Alcotest.(check bool) (name ^ " has models") true (count > 0))
+    tiny_dbs
+
+(* Sanity of the model enumeration itself: Ph1 must be among the
+   models, and any database violating a fact must not be. *)
+let test_ph1_among_models () =
+  List.iter
+    (fun (name, lb) ->
+      Alcotest.(check bool)
+        (name ^ ": Ph1 is a model")
+        true
+        (List.exists (Database.equal (Ph.ph1 lb)) (models lb)))
+    tiny_dbs
+
+let test_definition_matches_theorem1 () =
+  List.iter
+    (fun (name, lb) ->
+      List.iter
+        (fun q ->
+          check Support.relation_testable
+            (Printf.sprintf "%s / %s" name (Pretty.query_to_string q))
+            (certain_by_definition lb q)
+            (Certain.answer lb q))
+        queries)
+    tiny_dbs
+
+(* The approximation must be sound w.r.t. the definition too (a
+   Theorem 11 check that does not route through Theorem 1). *)
+let test_approx_sound_by_definition () =
+  List.iter
+    (fun (name, lb) ->
+      List.iter
+        (fun q ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s / %s" name (Pretty.query_to_string q))
+            true
+            (Relation.subset (Approx.answer lb q) (certain_by_definition lb q)))
+        queries)
+    tiny_dbs
+
+let suite =
+  [
+    Alcotest.test_case "models exist" `Quick test_models_are_nonempty;
+    Alcotest.test_case "Ph1 among models" `Quick test_ph1_among_models;
+    Alcotest.test_case "definition = theorem 1 engines" `Slow
+      test_definition_matches_theorem1;
+    Alcotest.test_case "approximation sound by definition" `Slow
+      test_approx_sound_by_definition;
+  ]

@@ -1,0 +1,135 @@
+(* Tests for general logical databases: arbitrary finite theories under
+   bounded-model finite implication. *)
+
+open Logicaldb
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let f = Parser.formula
+
+(* --- construction --- *)
+
+let test_make_validation () =
+  let v = Vocabulary.make ~constants:[ "a" ] ~predicates:[ ("P", 1) ] in
+  let expect_invalid axioms =
+    match Theory.make ~vocabulary:v ~axioms with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid [ f ~free_vars:[ "x" ] "P(x)" ];
+  expect_invalid [ f "Q(a)" ];
+  expect_invalid [ f "P(a, a)" ];
+  expect_invalid [ f "P(zzz)" ];
+  ignore (Theory.make ~vocabulary:v ~axioms:[ f "P(a)" ])
+
+(* --- model enumeration over an unconstrained vocabulary --- *)
+
+let test_model_counts () =
+  (* One unary predicate, one constant. Models of the empty theory with
+     domain bound 2: n=1: 1 cmap x 2 relations; n=2: 2 cmaps x 4
+     relations = 8. Total 10. *)
+  let v = Vocabulary.make ~constants:[ "a" ] ~predicates:[ ("P", 1) ] in
+  let t = Theory.make ~vocabulary:v ~axioms:[] in
+  check_int "empty theory models" 10
+    (List.length (List.of_seq (Theory.models ~max_domain:2 t)));
+  (* Adding P(a) as an axiom halves each relation choice set. *)
+  let t' = Theory.make ~vocabulary:v ~axioms:[ f "P(a)" ] in
+  check_int "with one fact" 5
+    (List.length (List.of_seq (Theory.models ~max_domain:2 t')))
+
+let test_satisfiability () =
+  let v = Vocabulary.make ~constants:[ "a" ] ~predicates:[ ("R", 2) ] in
+  (* An irreflexive relation with an edge needs 2 elements. *)
+  let needs_two =
+    Theory.make ~vocabulary:v
+      ~axioms:[ f "exists x, y. R(x, y)"; f "forall x. ~R(x, x)" ]
+  in
+  check_bool "unsat at bound 1" false (Theory.satisfiable ~max_domain:1 needs_two);
+  check_bool "sat at bound 2" true (Theory.satisfiable ~max_domain:2 needs_two);
+  (* A plainly inconsistent theory. *)
+  let inconsistent =
+    Theory.make ~vocabulary:v ~axioms:[ f "R(a, a)"; f "~R(a, a)" ]
+  in
+  check_bool "inconsistent" false (Theory.satisfiable ~max_domain:2 inconsistent)
+
+let test_entailment () =
+  let v = Vocabulary.make ~constants:[ "a" ] ~predicates:[ ("R", 2) ] in
+  let t =
+    Theory.make ~vocabulary:v
+      ~axioms:[ f "exists x, y. R(x, y)"; f "forall x. ~R(x, x)" ]
+  in
+  (* Any edge in an irreflexive graph joins two distinct elements. *)
+  check_bool "entailed" true
+    (Theory.entails ~max_domain:3 t (f "exists x, y. R(x, y) /\\ x != y"));
+  check_bool "not entailed" false
+    (Theory.entails ~max_domain:3 t (f "R(a, a)"));
+  (* Entailment rejects free variables. *)
+  match Theory.entails ~max_domain:2 t (f ~free_vars:[ "x" ] "R(x, x)") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* --- agreement with the CW engines --- *)
+
+(* For a CW database, domain closure bounds models by |C|, so bounded
+   entailment at |C| is exactly certain evaluation. Tiny unary-only
+   databases keep the model space manageable. *)
+let gen_tiny_unary_db : Cw_database.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let constants = [ "a"; "b"; "c" ] in
+  let* facts =
+    list_size (int_bound 2) (map (fun c -> ("P", [ c ])) (oneofl constants))
+  in
+  let* distinct =
+    List.fold_left
+      (fun acc pair ->
+        let* acc = acc in
+        let* keep = bool in
+        return (if keep then pair :: acc else acc))
+      (return [])
+      [ ("a", "b"); ("a", "c"); ("b", "c") ]
+  in
+  return (database ~predicates:[ ("P", 1) ] ~constants ~facts ~distinct ())
+
+let tiny_sentences =
+  List.map Parser.formula
+    [
+      "P(a)";
+      "~P(b)";
+      "exists x. P(x)";
+      "forall x. P(x)";
+      "a != b";
+      "P(a) \\/ ~P(a)";
+      "forall x. P(x) -> x = a";
+    ]
+
+let cw_agreement =
+  QCheck2.Test.make ~count:40 ~name:"bounded entailment = certain evaluation"
+    ~print:Support.print_db gen_tiny_unary_db
+    (fun db ->
+      let t = Theory.of_cw db in
+      let bound = List.length (Cw_database.constants db) in
+      List.for_all
+        (fun sentence ->
+          Theory.entails ~max_domain:bound t sentence
+          = Certain.certain_boolean db (Query.boolean sentence))
+        tiny_sentences)
+
+let test_certain_answers_cw () =
+  let db = Support.socrates_db () in
+  let t = Theory.of_cw db in
+  let q = Parser.query "(x). exists y. TEACHES(x, y)" in
+  Alcotest.check Support.relation_testable "theory = engine"
+    (Certain.answer db q)
+    (Theory.certain_answers ~max_domain:3 t q)
+
+let suite =
+  [
+    Alcotest.test_case "make validation" `Quick test_make_validation;
+    Alcotest.test_case "model counts" `Quick test_model_counts;
+    Alcotest.test_case "satisfiability" `Quick test_satisfiability;
+    Alcotest.test_case "entailment" `Quick test_entailment;
+    Support.qcheck_case cw_agreement;
+    Alcotest.test_case "certain answers (socrates)" `Slow
+      test_certain_answers_cw;
+  ]

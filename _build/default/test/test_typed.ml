@@ -1,0 +1,420 @@
+(* Tests for the typed layer (Reiter's extended relational theories
+   with types, which the paper omits "for simplicity"). *)
+
+open Logicaldb
+
+let check = Alcotest.check
+let check_bool = Alcotest.(check bool)
+
+(* A university database: people enroll in courses; the instructor of
+   databases is recorded under a placeholder whose identity is open
+   between the known staff. *)
+let vocabulary () =
+  Ty_vocabulary.make
+    ~types:[ "person"; "course" ]
+    ~constants:
+      [
+        ("alice", "person");
+        ("bob", "person");
+        ("db_teacher", "person");
+        ("databases", "course");
+        ("logic", "course");
+      ]
+    ~predicates:
+      [ ("ENROLLED", [ "person"; "course" ]); ("TEACHES", [ "person"; "course" ]) ]
+
+let db () =
+  Ty_database.make ~vocabulary:(vocabulary ())
+    ~facts:
+      [
+        ("ENROLLED", [ "alice"; "databases" ]);
+        ("ENROLLED", [ "bob"; "logic" ]);
+        ("TEACHES", [ "db_teacher"; "databases" ]);
+      ]
+      (* alice and bob are known distinct; the teacher placeholder may
+         be alice or bob (or neither). *)
+    ~distinct:[ ("alice", "bob") ]
+
+let tvar = Term.var
+let tconst = Term.const
+
+(* --- vocabulary validation --- *)
+
+let test_vocabulary_validation () =
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid (fun () ->
+      Ty_vocabulary.make ~types:[ "t" ] ~constants:[ ("c", "nope") ]
+        ~predicates:[]);
+  expect_invalid (fun () ->
+      Ty_vocabulary.make ~types:[ "t" ] ~constants:[]
+        ~predicates:[ ("P", [ "nope" ]) ]);
+  expect_invalid (fun () ->
+      (* conflicting redeclaration *)
+      Ty_vocabulary.make ~types:[ "s"; "t" ]
+        ~constants:[ ("c", "t"); ("c", "s") ]
+        ~predicates:[]);
+  expect_invalid (fun () ->
+      (* reserved prefix *)
+      Ty_vocabulary.make ~types:[ "ty$bad" ] ~constants:[] ~predicates:[]);
+  (* consistent redeclaration is fine *)
+  ignore
+    (Ty_vocabulary.make ~types:[ "t" ]
+       ~constants:[ ("c", "t"); ("c", "t") ]
+       ~predicates:[]);
+  check
+    Alcotest.(list string)
+    "constants of type" [ "alice"; "bob"; "db_teacher" ]
+    (Ty_vocabulary.constants_of_type (vocabulary ()) "person")
+
+let test_database_validation () =
+  let v = vocabulary () in
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  (* wrong argument type *)
+  expect_invalid (fun () ->
+      Ty_database.make ~vocabulary:v
+        ~facts:[ ("ENROLLED", [ "databases"; "alice" ]) ]
+        ~distinct:[]);
+  (* wrong arity *)
+  expect_invalid (fun () ->
+      Ty_database.make ~vocabulary:v ~facts:[ ("ENROLLED", [ "alice" ]) ]
+        ~distinct:[]);
+  (* cross-type distinct pairs are tolerated (and dropped as redundant) *)
+  let db =
+    Ty_database.make ~vocabulary:v ~facts:[]
+      ~distinct:[ ("alice", "databases") ]
+  in
+  check_bool "cross-type pair dropped" false
+    (Ty_database.is_fully_specified db)
+
+(* --- typechecking --- *)
+
+let test_typecheck () =
+  let v = vocabulary () in
+  let ok f = Ty_formula.typecheck v ~env:[] f in
+  let bad f =
+    match Ty_formula.typecheck v ~env:[] f with
+    | exception Ty_formula.Type_error _ -> ()
+    | () -> Alcotest.fail "expected Type_error"
+  in
+  ok
+    (Ty_formula.Exists
+       ( "x",
+         "person",
+         Ty_formula.Atom ("ENROLLED", [ tvar "x"; tconst "databases" ]) ));
+  (* wrong argument type *)
+  bad
+    (Ty_formula.Exists
+       ( "x",
+         "course",
+         Ty_formula.Atom ("ENROLLED", [ tvar "x"; tconst "databases" ]) ));
+  (* cross-type equality *)
+  bad (Ty_formula.Eq (tconst "alice", tconst "databases"));
+  (* unbound variable *)
+  bad (Ty_formula.Atom ("ENROLLED", [ tvar "x"; tconst "databases" ]));
+  (* SO variable with signature *)
+  ok
+    (Ty_formula.Exists2
+       ( "Q",
+         [ "person" ],
+         Ty_formula.Forall
+           ( "x",
+             "person",
+             Ty_formula.Implies
+               (Ty_formula.Atom ("Q", [ tvar "x" ]), Ty_formula.Atom ("Q", [ tvar "x" ]))
+           ) ));
+  bad
+    (Ty_formula.Exists2
+       ("Q", [ "person" ], Ty_formula.Atom ("Q", [ tconst "databases" ])))
+
+(* --- elaboration semantics --- *)
+
+let test_elaborated_database () =
+  let cw = Ty_database.to_cw (db ()) in
+  (* type facts present *)
+  check_bool "ty$person fact" true
+    (List.exists
+       (fun f ->
+         String.equal f.Cw_database.pred "ty$person"
+         && List.equal String.equal f.args [ "alice" ])
+       (Cw_database.facts cw));
+  (* cross-type pairs automatically distinct *)
+  check_bool "cross-type distinct" true
+    (Cw_database.are_distinct cw "alice" "databases");
+  (* same-type open pair stays open *)
+  check_bool "same-type open" false
+    (Cw_database.are_distinct cw "alice" "db_teacher")
+
+let test_typed_queries () =
+  let db = db () in
+  (* Who certainly studies something? Typed quantifier over courses. *)
+  let studies =
+    Ty_query.make
+      [ ("x", "person") ]
+      (Ty_formula.Exists
+         ("c", "course", Ty_formula.Atom ("ENROLLED", [ tvar "x"; Term.var "c" ])))
+  in
+  check Support.relation_testable "certain students"
+    (Relation.of_tuples 1 [ [ "alice" ]; [ "bob" ] ])
+    (Ty_query.certain_answer db studies);
+  (* Quantify over persons only: every person is enrolled or teaches?
+     Not certain — db_teacher's enrollment is unknown... actually
+     db_teacher teaches. Check a true universal. *)
+  let all_busy =
+    Ty_query.boolean
+      (Ty_formula.Forall
+         ( "p",
+           "person",
+           Ty_formula.Or
+             ( Ty_formula.Exists
+                 ( "c",
+                   "course",
+                   Ty_formula.Atom ("ENROLLED", [ tvar "p"; tvar "c" ]) ),
+               Ty_formula.Exists
+                 ( "c",
+                   "course",
+                   Ty_formula.Atom ("TEACHES", [ tvar "p"; tvar "c" ]) ) ) ))
+  in
+  check_bool "everyone busy (certain)" true (Ty_query.certain_boolean db all_busy);
+  (* The teacher's identity is open: not certainly alice, possibly
+     alice. *)
+  let teacher_is q_const =
+    Ty_query.boolean (Ty_formula.Eq (tconst "db_teacher", tconst q_const))
+  in
+  check_bool "teacher not certainly alice" false
+    (Ty_query.certain_boolean db (teacher_is "alice"));
+  let not_alice =
+    Ty_query.boolean
+      (Ty_formula.Not (Ty_formula.Eq (tconst "db_teacher", tconst "alice")))
+  in
+  check_bool "possibly alice" true
+    (not (Ty_query.certain_boolean db not_alice))
+
+(* --- typed concrete syntax --- *)
+
+let test_typed_parser () =
+  let q =
+    Ty_parser.query
+      "(x : person). exists c : course. ENROLLED(x, c) /\\ ~TEACHES(x, c)"
+  in
+  check
+    Alcotest.(list (pair string string))
+    "typed head"
+    [ ("x", "person") ]
+    q.Ty_query.head;
+  Ty_query.typecheck (vocabulary ()) q;
+  (* Signature-carrying second-order binders. *)
+  let f =
+    Ty_parser.formula
+      "exists2 Q : (person, course). forall x : person, c : course. Q(x, c) \
+       -> ENROLLED(x, c)"
+  in
+  Ty_formula.typecheck (vocabulary ()) ~env:[] f;
+  (* Malformed: missing type annotation. *)
+  (match Ty_parser.query "(x). ENROLLED(x, databases)" with
+  | exception Ty_parser.Parse_error _ -> ()
+  | _ -> Alcotest.fail "untyped head must be rejected")
+
+let test_typed_parser_roundtrip () =
+  let formulas =
+    [
+      "exists x : person. ENROLLED(x, databases)";
+      "forall x : person, c : course. ENROLLED(x, c) -> ~TEACHES(x, c)";
+      "exists2 Q : (person). forall x : person. Q(x) \\/ ~Q(x)";
+      "alice != bob /\\ (TEACHES(alice, logic) <-> false)";
+    ]
+  in
+  List.iter
+    (fun text ->
+      let f = Ty_parser.formula text in
+      let printed = Fmt.str "%a" Ty_parser.pp_formula f in
+      let reparsed = Ty_parser.formula printed in
+      check_bool (Printf.sprintf "round-trip %s" text) true (f = reparsed))
+    formulas;
+  let q = Ty_parser.query "(x : person, c : course). ENROLLED(x, c)" in
+  let printed = Fmt.str "%a" Ty_parser.pp_query q in
+  check_bool "query round-trip" true (q = Ty_parser.query printed)
+
+let test_typed_evaluation_via_parser () =
+  let db = db () in
+  let q =
+    Ty_parser.query "(x : person). exists c : course. ENROLLED(x, c)"
+  in
+  check Support.relation_testable "parsed typed query evaluates"
+    (Relation.of_tuples 1 [ [ "alice" ]; [ "bob" ] ])
+    (Ty_query.certain_answer db q)
+
+(* --- the .tldb format --- *)
+
+let sample_tldb =
+  {|# typed sample
+type person course
+constant alice bob db_teacher : person
+constant databases logic : course
+predicate ENROLLED(person, course)
+predicate TEACHES(person, course)
+fact ENROLLED(alice, databases)
+fact TEACHES(db_teacher, databases)
+distinct alice bob
+|}
+
+let ty_db_same a b =
+  Cw_database.equal (Ty_database.to_cw a) (Ty_database.to_cw b)
+
+let test_tldb_parse () =
+  let db = Tldb_format.parse sample_tldb in
+  let vocabulary = Ty_database.vocabulary db in
+  check Alcotest.(list string) "types" [ "course"; "person" ]
+    (Ty_vocabulary.types vocabulary);
+  check Alcotest.string "constant type" "course"
+    (Ty_vocabulary.constant_type vocabulary "logic");
+  check_bool "same-type distinct" false (Ty_database.is_fully_specified db);
+  (* unknown: db_teacher (and alice/bob are distinct from each other
+     but not from db_teacher). *)
+  check_bool "db_teacher unknown" true
+    (List.mem "db_teacher" (Ty_database.unknown_values db))
+
+let test_tldb_roundtrip () =
+  let db = Tldb_format.parse sample_tldb in
+  check_bool "print/parse round-trip" true
+    (ty_db_same db (Tldb_format.parse (Tldb_format.print db)));
+  let full = Ty_database.fully_specify db in
+  check_bool "fully specified round-trip" true
+    (ty_db_same full (Tldb_format.parse (Tldb_format.print full)))
+
+let test_tldb_errors () =
+  let expect_error text =
+    match Tldb_format.parse text with
+    | exception Tldb_format.Syntax_error _ -> ()
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail (Printf.sprintf "%S should be rejected" text)
+  in
+  expect_error "constant a b\n";                     (* missing type *)
+  expect_error "type t\nconstant a : t : t\n";       (* double colon *)
+  expect_error "type t\npredicate P(t\n";            (* unclosed paren *)
+  expect_error "type t\nconstant a : u\n";           (* undeclared type *)
+  expect_error "type t\nconstant a : t\nfact P(a)\n" (* undeclared pred *)
+
+(* --- random typed databases for property tests --- *)
+
+let gen_typed_db : Ty_database.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let people = [ "p0"; "p1"; "p2" ] in
+  let courses = [ "c0"; "c1" ] in
+  let vocabulary =
+    Ty_vocabulary.make
+      ~types:[ "person"; "course" ]
+      ~constants:
+        (List.map (fun p -> (p, "person")) people
+        @ List.map (fun c -> (c, "course")) courses)
+      ~predicates:[ ("LIKES", [ "person"; "course" ]); ("SMART", [ "person" ]) ]
+  in
+  let* likes =
+    list_size (int_bound 3)
+      (map2 (fun p c -> ("LIKES", [ p; c ])) (oneofl people) (oneofl courses))
+  in
+  let* smart = list_size (int_bound 2) (map (fun p -> ("SMART", [ p ])) (oneofl people)) in
+  let all_same_type_pairs =
+    let rec pairs = function
+      | [] -> []
+      | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+    in
+    pairs people @ pairs courses
+  in
+  let* distinct =
+    List.fold_left
+      (fun acc pair ->
+        let* acc = acc in
+        let* keep = bool in
+        return (if keep then pair :: acc else acc))
+      (return []) all_same_type_pairs
+  in
+  return (Ty_database.make ~vocabulary ~facts:(likes @ smart) ~distinct)
+
+let typed_queries =
+  let v = Term.var in
+  [
+    Ty_query.make
+      [ ("x", "person") ]
+      (Ty_formula.Exists
+         ("c", "course", Ty_formula.Atom ("LIKES", [ v "x"; v "c" ])));
+    Ty_query.make
+      [ ("x", "person") ]
+      (Ty_formula.Not (Ty_formula.Atom ("SMART", [ v "x" ])));
+    Ty_query.make
+      [ ("x", "course") ]
+      (Ty_formula.Forall
+         ( "p",
+           "person",
+           Ty_formula.Implies
+             ( Ty_formula.Atom ("SMART", [ v "p" ]),
+               Ty_formula.Atom ("LIKES", [ v "p"; v "x" ]) ) ));
+  ]
+
+let print_typed_db db = Fmt.str "%a" Ty_database.pp db
+
+(* Answers land inside the head's declared types. *)
+let typed_answers_well_typed =
+  QCheck2.Test.make ~count:100 ~name:"typed answers respect head types"
+    ~print:print_typed_db gen_typed_db
+    (fun db ->
+      let vocabulary = Ty_database.vocabulary db in
+      List.for_all
+        (fun q ->
+          let expected_types = List.map snd q.Ty_query.head in
+          Relation.for_all
+            (fun tuple ->
+              List.for_all2
+                (fun tau c ->
+                  String.equal (Ty_vocabulary.constant_type vocabulary c) tau)
+                expected_types tuple)
+            (Ty_query.certain_answer db q))
+        typed_queries)
+
+(* Soundness of the approximation survives the elaboration. *)
+let typed_approx_sound =
+  QCheck2.Test.make ~count:100 ~name:"typed approximation sound"
+    ~print:print_typed_db gen_typed_db
+    (fun db ->
+      List.for_all
+        (fun q ->
+          Relation.subset (Ty_query.approx_answer db q)
+            (Ty_query.certain_answer db q))
+        typed_queries)
+
+(* Typed full specification coincides with the elaboration's notion. *)
+let typed_fully_specified_coherent =
+  QCheck2.Test.make ~count:100 ~name:"typed full specification coherent"
+    ~print:print_typed_db gen_typed_db
+    (fun db ->
+      Ty_database.is_fully_specified db
+      = Cw_database.is_fully_specified (Ty_database.to_cw db)
+      && Cw_database.is_fully_specified
+           (Ty_database.to_cw (Ty_database.fully_specify db)))
+
+let suite =
+  [
+    Alcotest.test_case "vocabulary validation" `Quick test_vocabulary_validation;
+    Alcotest.test_case "database validation" `Quick test_database_validation;
+    Alcotest.test_case "typechecking" `Quick test_typecheck;
+    Alcotest.test_case "elaborated database" `Quick test_elaborated_database;
+    Alcotest.test_case "typed queries" `Quick test_typed_queries;
+    Alcotest.test_case "typed parser" `Quick test_typed_parser;
+    Alcotest.test_case "typed parser round-trip" `Quick
+      test_typed_parser_roundtrip;
+    Alcotest.test_case "typed evaluation via parser" `Quick
+      test_typed_evaluation_via_parser;
+    Alcotest.test_case "tldb parse" `Quick test_tldb_parse;
+    Alcotest.test_case "tldb round-trip" `Quick test_tldb_roundtrip;
+    Alcotest.test_case "tldb errors" `Quick test_tldb_errors;
+    Support.qcheck_case typed_answers_well_typed;
+    Support.qcheck_case typed_approx_sound;
+    Support.qcheck_case typed_fully_specified_coherent;
+  ]
