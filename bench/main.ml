@@ -49,6 +49,10 @@ let micro_tests () =
   [
     Test.make ~name:"e1/exact-vs-unknowns"
       (stage (fun () -> Certain.answer db_small q));
+    Test.make ~name:"e1/exact-medium"
+      (stage (fun () -> Certain.answer db_medium q));
+    Test.make ~name:"e1/exact-medium-par4"
+      (stage (fun () -> Certain.answer ~domains:4 db_medium q));
     Test.make ~name:"e2/precise-simulation"
       (stage (fun () -> Precise.answer db_tiny Workloads.positive_query));
     Test.make ~name:"e3/three-colorability"

@@ -138,6 +138,27 @@ let backend_arg =
     & opt (enum [ ("direct", Approx.Direct); ("algebra", Approx.Algebra) ]) Approx.Direct
     & info [ "backend" ] ~docv:"BACKEND" ~doc)
 
+let domains_arg =
+  let doc =
+    "Worker domains for the exact/possible engines (1 = sequential)."
+  in
+  Arg.(value & opt int 1 & info [ "domains"; "j" ] ~docv:"N" ~doc)
+
+let stats_arg =
+  let doc =
+    "Print structure/evaluation counters, pruning and wall time after the \
+     answer."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let print_stats stats =
+  Fmt.pr
+    "structures: %d  evaluations: %d  early exit: %b  pruned candidates: %d  \
+     wall: %.1f ms@."
+    stats.Certain.structures stats.Certain.evaluations
+    stats.Certain.early_exit stats.Certain.pruned_candidates
+    (Int64.to_float stats.Certain.wall_ns /. 1e6)
+
 let print_relation answer =
   Relation.iter
     (fun tuple -> Fmt.pr "%s@." (String.concat ", " tuple))
@@ -178,29 +199,45 @@ let run_typed_query tdb query_text engine =
     print_relation answer
 
 let query_cmd =
-  let run path query_text engine algorithm backend =
+  let run path query_text engine algorithm backend domains stats =
     handle (fun () ->
         match load_any path with
         | Typed tdb -> run_typed_query tdb query_text engine
         | Untyped db ->
         let q = Parser.query query_text in
         if Query.is_boolean q then begin
-          let verdict =
+          let verdict, counters =
             match engine with
-            | Exact -> Certain.certain_boolean ~algorithm db q
-            | Approximate -> Approx.boolean db q
-            | Possible -> Certain.possible_boolean ~algorithm db q
+            | Exact ->
+              let v, s =
+                Certain.certain_boolean_stats ~algorithm ~domains db q
+              in
+              (v, Some s)
+            | Approximate -> (Approx.boolean db q, None)
+            | Possible ->
+              let v, s =
+                Certain.possible_boolean_stats ~algorithm ~domains db q
+              in
+              (v, Some s)
           in
-          Fmt.pr "%b@." verdict
+          Fmt.pr "%b@." verdict;
+          if stats then Option.iter print_stats counters
         end
         else begin
-          let answer =
+          let answer, counters =
             match engine with
-            | Exact -> Certain.answer ~algorithm db q
-            | Approximate -> Approx.answer ~backend db q
-            | Possible -> Certain.possible_answer ~algorithm db q
+            | Exact ->
+              let r, s = Certain.answer_stats ~algorithm ~domains db q in
+              (r, Some s)
+            | Approximate -> (Approx.answer ~backend db q, None)
+            | Possible ->
+              let r, s =
+                Certain.possible_answer_stats ~algorithm ~domains db q
+              in
+              (r, Some s)
           in
-          print_relation answer
+          print_relation answer;
+          if stats then Option.iter print_stats counters
         end;
         if engine = Approximate then
           match Approx.completeness db q with
@@ -214,7 +251,9 @@ let query_cmd =
   let doc = "Evaluate a query over a logical database." in
   Cmd.v
     (Cmd.info "query" ~doc)
-    Cterm.(const run $ db_arg $ query_arg $ engine_arg $ algorithm_arg $ backend_arg)
+    Cterm.(
+      const run $ db_arg $ query_arg $ engine_arg $ algorithm_arg
+      $ backend_arg $ domains_arg $ stats_arg)
 
 (* --- compile --- *)
 

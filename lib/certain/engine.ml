@@ -2,10 +2,14 @@ module Formula = Vardi_logic.Formula
 module Query = Vardi_logic.Query
 module Vocabulary = Vardi_logic.Vocabulary
 module Relation = Vardi_relational.Relation
+module Database = Vardi_relational.Database
 module Eval = Vardi_relational.Eval
+module Algebra = Vardi_relational.Algebra
+module Compile = Vardi_relational.Compile
 module Cw_database = Vardi_cwdb.Cw_database
 module Mapping = Vardi_cwdb.Mapping
 module Partition = Vardi_cwdb.Partition
+module Ph = Vardi_cwdb.Ph
 
 type algorithm =
   | Naive_mappings
@@ -18,10 +22,15 @@ type order = Vardi_cwdb.Partition.order =
 type stats = {
   structures : int;
   evaluations : int;
+  early_exit : bool;
+  pruned_candidates : int;
+  wall_ns : int64;
 }
 
 let validate = Vardi_cwdb.Query_check.validate
 let validate_tuple = Vardi_cwdb.Query_check.validate_tuple
+
+let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
 
 (* Every examined structure is an image database together with the
    element renaming that produced it, so a candidate tuple [c] over [C]
@@ -31,113 +40,317 @@ type structure = {
   rename : string -> string;
 }
 
-let structures algorithm order lb =
+(* The structure stream is handed out as construction thunks: the
+   enumeration step (next partition / next mapping) runs in the
+   scheduler's critical section, while the quotient / image-database
+   construction — the expensive part — runs in whichever worker domain
+   claimed the item. *)
+let structure_thunks algorithm order lb =
   match algorithm with
   | Naive_mappings ->
     Seq.map
-      (fun h -> { image = Mapping.image_db h; rename = Mapping.apply h })
+      (fun h () -> { image = Mapping.image_db h; rename = Mapping.apply h })
       (Mapping.all_respecting lb)
   | Kernel_partitions ->
     Seq.map
-      (fun p ->
+      (fun p () ->
         { image = Partition.quotient p; rename = Partition.representative p })
       (Partition.all_valid ~order lb)
 
-let member_in q structure tuple =
-  Eval.member structure.image q (List.map structure.rename tuple)
+let discrete_structure lb =
+  (* The discrete partition's quotient is Ph₁ itself (the identity
+     renaming), so no partition machinery is needed to build it. *)
+  { image = Ph.ph1 lb; rename = Fun.id }
 
-(* Universal quantification over structures, with early exit and work
-   counting. [check] receives one structure and says whether the tuple
-   (or sentence) survives it. *)
-let for_all_structures algorithm order lb check =
-  let examined = ref 0 in
-  let ok =
-    Seq.for_all
-      (fun s ->
-        incr examined;
-        check s)
-      (structures algorithm order lb)
-  in
-  (ok, { structures = !examined; evaluations = !examined })
+(* With [Fresh_first] kernel enumeration the discrete partition is the
+   stream's first element; entry points that evaluate it separately as
+   a pruning seed drop it from the stream instead of paying for it
+   twice. Other algorithm/order combinations revisit it somewhere in
+   the middle of the stream, which is sound (its filter is a no-op) and
+   costs one extra evaluation. *)
+let rest_after_discrete algorithm order thunks =
+  match (algorithm, order) with
+  | Kernel_partitions, Fresh_first -> Seq.drop 1 thunks
+  | Kernel_partitions, Merge_first | Naive_mappings, _ -> thunks
 
-let exists_structure algorithm order lb check =
-  let examined = ref 0 in
-  let ok =
-    Seq.exists
-      (fun s ->
-        incr examined;
-        check s)
-      (structures algorithm order lb)
+(* --- parallel scheduler ------------------------------------------- *)
+
+(* Worker-domain count: the caller's [?domains] is a cap on
+   [Domain.recommended_domain_count]. An explicit request above 1 is
+   always honored with at least two real domains so the parallel path
+   stays exercised (and testable) on single-core hosts. *)
+let worker_count requested =
+  if requested <= 1 then 1
+  else min requested (max 2 (Domain.recommended_domain_count ()))
+
+let chunk_size = 8
+
+type 'a puller = {
+  lock : Mutex.t;
+  mutable source : 'a Seq.t;
+}
+
+let puller seq = { lock = Mutex.create (); source = seq }
+
+(* Claim up to [chunk_size] items (order within a chunk is
+   irrelevant — every consumer is commutative). Forcing the sequence
+   happens only here, under the lock, so the enumerator state is never
+   raced. *)
+let next_chunk p =
+  Mutex.lock p.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock p.lock)
+    (fun () ->
+      let rec take n acc seq =
+        if n = 0 then (acc, seq)
+        else
+          match seq () with
+          | Seq.Nil -> (acc, Seq.empty)
+          | Seq.Cons (x, rest) -> take (n - 1) (x :: acc) rest
+      in
+      let chunk, rest = take chunk_size [] p.source in
+      p.source <- rest;
+      chunk)
+
+(* Drive [consume] over every thunk of [thunks] across worker domains,
+   stopping as soon as [stop] reports the computation decided. Returns
+   the number of structures examined. The first worker exception is
+   re-raised in the calling domain. *)
+let drive ~domains ~stop consume thunks =
+  let workers = worker_count domains in
+  let examined = Atomic.make 0 in
+  let failure = Atomic.make None in
+  let p = puller thunks in
+  let halted () = stop () || Atomic.get failure <> None in
+  let rec drain () =
+    if not (halted ()) then
+      match next_chunk p with
+      | [] -> ()
+      | chunk ->
+        List.iter
+          (fun thunk ->
+            if not (halted ()) then begin
+              Atomic.incr examined;
+              consume (thunk ())
+            end)
+          chunk;
+        drain ()
   in
-  (ok, { structures = !examined; evaluations = !examined })
+  let guarded () =
+    try drain ()
+    with e -> ignore (Atomic.compare_and_set failure None (Some e))
+  in
+  let spawned = List.init (workers - 1) (fun _ -> Domain.spawn guarded) in
+  guarded ();
+  List.iter Domain.join spawned;
+  (match Atomic.get failure with Some e -> raise e | None -> ());
+  Atomic.get examined
+
+(* Quantification over structures: search for one whose [check] equals
+   [target] ([target = false] refutes a universal, [target = true]
+   witnesses an existential), with an atomic early-exit flag shared by
+   all workers. *)
+let search ~domains ~target thunks check =
+  let started = now_ns () in
+  let found = Atomic.make false in
+  let examined =
+    drive ~domains
+      ~stop:(fun () -> Atomic.get found)
+      (fun s -> if Bool.equal (check s) target then Atomic.set found true)
+      thunks
+  in
+  let found = Atomic.get found in
+  ( found,
+    {
+      structures = examined;
+      evaluations = examined;
+      early_exit = found;
+      pruned_candidates = 0;
+      wall_ns = Int64.sub (now_ns ()) started;
+    } )
+
+let for_all_structures ~domains thunks check =
+  let refuted, stats = search ~domains ~target:false thunks check in
+  (not refuted, stats)
+
+let exists_structure ~domains thunks check =
+  search ~domains ~target:true thunks check
+
+(* --- decision entry points ---------------------------------------- *)
 
 let certain_member_stats ?(algorithm = Kernel_partitions)
-    ?(order = Fresh_first) lb q tuple =
+    ?(order = Fresh_first) ?(domains = 1) lb q tuple =
   validate lb q;
   validate_tuple lb q tuple;
   if Query.is_boolean q then
     invalid_arg "Certain.certain_member: Boolean query; use certain_boolean";
-  for_all_structures algorithm order lb (fun s -> member_in q s tuple)
+  for_all_structures ~domains
+    (structure_thunks algorithm order lb)
+    (fun s -> Eval.member s.image q (List.map s.rename tuple))
 
-let certain_member ?algorithm ?order lb q tuple =
-  fst (certain_member_stats ?algorithm ?order lb q tuple)
+let certain_member ?algorithm ?order ?domains lb q tuple =
+  fst (certain_member_stats ?algorithm ?order ?domains lb q tuple)
 
 let certain_boolean_stats ?(algorithm = Kernel_partitions)
-    ?(order = Fresh_first) lb q =
+    ?(order = Fresh_first) ?(domains = 1) lb q =
   validate lb q;
   if not (Query.is_boolean q) then
     invalid_arg "Certain.certain_boolean: the query has answer variables";
-  for_all_structures algorithm order lb (fun s ->
-      Eval.satisfies s.image (Query.body q))
+  let body = Query.body q in
+  for_all_structures ~domains
+    (structure_thunks algorithm order lb)
+    (fun s -> Eval.satisfies s.image body)
 
-let certain_boolean ?algorithm ?order lb q =
-  fst (certain_boolean_stats ?algorithm ?order lb q)
+let certain_boolean ?algorithm ?order ?domains lb q =
+  fst (certain_boolean_stats ?algorithm ?order ?domains lb q)
 
-let possible_member ?(algorithm = Kernel_partitions) ?(order = Fresh_first) lb
-    q tuple =
+let possible_member_stats ?(algorithm = Kernel_partitions)
+    ?(order = Fresh_first) ?(domains = 1) lb q tuple =
   validate lb q;
   validate_tuple lb q tuple;
   if Query.is_boolean q then
     invalid_arg "Certain.possible_member: Boolean query; use possible_boolean";
-  fst (exists_structure algorithm order lb (fun s -> member_in q s tuple))
+  exists_structure ~domains
+    (structure_thunks algorithm order lb)
+    (fun s -> Eval.member s.image q (List.map s.rename tuple))
 
-let possible_boolean ?(algorithm = Kernel_partitions) ?(order = Fresh_first)
-    lb q =
+let possible_member ?algorithm ?order ?domains lb q tuple =
+  fst (possible_member_stats ?algorithm ?order ?domains lb q tuple)
+
+let possible_boolean_stats ?(algorithm = Kernel_partitions)
+    ?(order = Fresh_first) ?(domains = 1) lb q =
   validate lb q;
   if not (Query.is_boolean q) then
     invalid_arg "Certain.possible_boolean: the query has answer variables";
-  fst
-    (exists_structure algorithm order lb (fun s ->
-         Eval.satisfies s.image (Query.body q)))
+  let body = Query.body q in
+  exists_structure ~domains
+    (structure_thunks algorithm order lb)
+    (fun s -> Eval.satisfies s.image body)
+
+let possible_boolean ?algorithm ?order ?domains lb q =
+  fst (possible_boolean_stats ?algorithm ?order ?domains lb q)
+
+(* --- whole-answer entry points ------------------------------------ *)
+
+(* Per-query work hoisted out of the per-structure loop: one NNF pass,
+   one compilation to relational algebra, one optimizer pass. The plan
+   resolves base relations and constant symbols at run time, so it is
+   evaluated against every image database without recompilation.
+   Queries outside the algebra (second-order quantifiers) fall back to
+   direct Tarskian evaluation — still hoisting everything there is to
+   hoist, since [Eval.answer] keeps no per-query state. *)
+let prepare_answer lb q =
+  match Compile.prepared (Ph.ph1 lb) q with
+  | Some plan -> fun s -> Algebra.run s.image plan
+  | None -> fun s -> Eval.answer s.image q
+
+(* [|C|^k], saturating at [max_int] — only used for the
+   pruned-candidates counter, never for enumeration. *)
+let candidate_count lb k =
+  let n = List.length (Cw_database.constants lb) in
+  let rec go acc i =
+    if i = 0 then acc
+    else if n <> 0 && acc > max_int / n then max_int
+    else go (acc * n) (i - 1)
+  in
+  go 1 k
+
+let answer_stats ?(algorithm = Kernel_partitions) ?(order = Fresh_first)
+    ?(domains = 1) lb q =
+  validate lb q;
+  let started = now_ns () in
+  let image_answer = prepare_answer lb q in
+  (* Pruning: the certain answer is contained in the answer over every
+     structure, in particular the discrete one (Ph₁ under the identity
+     renaming — always a valid structure). Seeding the survivor set
+     from it replaces the full |C|^k candidate relation. *)
+  let seed = image_answer (discrete_structure lb) in
+  let pruned = candidate_count lb (Query.arity q) - Relation.cardinal seed in
+  let survivors = Atomic.make seed in
+  let remove doomed =
+    let rec loop () =
+      let cur = Atomic.get survivors in
+      let next = Relation.diff cur doomed in
+      if not (Atomic.compare_and_set survivors cur next) then loop ()
+    in
+    loop ()
+  in
+  let consume s =
+    let ia = image_answer s in
+    let snapshot = Atomic.get survivors in
+    let doomed =
+      Relation.filter
+        (fun tuple -> not (Relation.mem (List.map s.rename tuple) ia))
+        snapshot
+    in
+    if not (Relation.is_empty doomed) then remove doomed
+  in
+  let examined =
+    drive ~domains
+      ~stop:(fun () -> Relation.is_empty (Atomic.get survivors))
+      consume
+      (rest_after_discrete algorithm order (structure_thunks algorithm order lb))
+  in
+  let result = Atomic.get survivors in
+  ( result,
+    {
+      structures = examined + 1;
+      evaluations = examined + 1;
+      early_exit = Relation.is_empty result;
+      pruned_candidates = pruned;
+      wall_ns = Int64.sub (now_ns ()) started;
+    } )
+
+let answer ?algorithm ?order ?domains lb q =
+  fst (answer_stats ?algorithm ?order ?domains lb q)
 
 let candidates lb k =
   Relation.full ~domain:(Cw_database.constants lb) k
 
-(* For whole answers, evaluate the query once per structure and filter
-   the surviving candidates, instead of re-running the per-tuple
-   decision |C|^k times. *)
-let answer ?(algorithm = Kernel_partitions) ?(order = Fresh_first) lb q =
+let possible_answer_stats ?(algorithm = Kernel_partitions)
+    ?(order = Fresh_first) ?(domains = 1) lb q =
   validate lb q;
-  let k = Query.arity q in
-  Seq.fold_left
-    (fun survivors s ->
-      if Relation.is_empty survivors then survivors
-      else
-        let image_answer = Eval.answer s.image q in
-        Relation.filter
-          (fun tuple -> Relation.mem (List.map s.rename tuple) image_answer)
-          survivors)
-    (candidates lb k) (structures algorithm order lb)
+  let started = now_ns () in
+  let image_answer = prepare_answer lb q in
+  (* The candidate relation is built once (not per structure); the
+     discrete structure seeds the found set — every tuple it answers is
+     witnessed and needs no further search. *)
+  let all_candidates = candidates lb (Query.arity q) in
+  let total = Relation.cardinal all_candidates in
+  let seed = image_answer (discrete_structure lb) in
+  let found = Atomic.make seed in
+  let saturated () = Relation.cardinal (Atomic.get found) >= total in
+  let add gained =
+    let rec loop () =
+      let cur = Atomic.get found in
+      let next = Relation.union cur gained in
+      if not (Atomic.compare_and_set found cur next) then loop ()
+    in
+    loop ()
+  in
+  let consume s =
+    let ia = image_answer s in
+    let remaining = Relation.diff all_candidates (Atomic.get found) in
+    let gained =
+      Relation.filter
+        (fun tuple -> Relation.mem (List.map s.rename tuple) ia)
+        remaining
+    in
+    if not (Relation.is_empty gained) then add gained
+  in
+  let examined =
+    drive ~domains ~stop:saturated consume
+      (rest_after_discrete algorithm order (structure_thunks algorithm order lb))
+  in
+  let result = Atomic.get found in
+  ( result,
+    {
+      structures = examined + 1;
+      evaluations = examined + 1;
+      early_exit = Relation.cardinal result >= total;
+      pruned_candidates = Relation.cardinal seed;
+      wall_ns = Int64.sub (now_ns ()) started;
+    } )
 
-let possible_answer ?(algorithm = Kernel_partitions) ?(order = Fresh_first) lb
-    q =
-  validate lb q;
-  let k = Query.arity q in
-  Seq.fold_left
-    (fun found s ->
-      let image_answer = Eval.answer s.image q in
-      Relation.union found
-        (Relation.filter
-           (fun tuple -> Relation.mem (List.map s.rename tuple) image_answer)
-           (candidates lb k)))
-    (Relation.empty k) (structures algorithm order lb)
+let possible_answer ?algorithm ?order ?domains lb q =
+  fst (possible_answer_stats ?algorithm ?order ?domains lb q)

@@ -15,7 +15,27 @@
 
     Both are exponential in general — necessarily so, since Theorem 5
     shows the problem co-NP-complete — which is the paper's motivation
-    for the {!Vardi_approx} approximation. *)
+    for the {!Vardi_approx} approximation. The engine makes the
+    exponential sweep as cheap as it can be:
+
+    - {e Parallelism}: every entry point takes [?domains] (default
+      [1]); with [domains > 1] the structure stream is chunked across
+      OCaml 5 [Domain.spawn] workers sharing an atomic early-exit
+      flag, so one refuting (or witnessing) structure stops all
+      workers. The worker count is [Domain.recommended_domain_count]
+      capped by [?domains] (an explicit request above 1 always gets at
+      least two domains, so the parallel path is exercised even on
+      single-core hosts). Results are identical to the sequential
+      engine for every entry point.
+    - {e Pruning}: {!answer} seeds its survivor set from the discrete
+      structure's answer (the Ph₁ image) instead of the full [|C|^k]
+      candidate relation — sound because the certain answer is
+      contained in every structure's answer; {!possible_answer} seeds
+      its found set the same way and stops as soon as it saturates.
+    - {e Plan reuse}: per-query work (NNF, compilation to relational
+      algebra via {!Vardi_relational.Compile.prepared}, optimization)
+      runs once per query, outside the per-structure loop; each
+      structure pays only plan evaluation. *)
 
 type algorithm =
   | Naive_mappings
@@ -30,15 +50,28 @@ type order = Vardi_cwdb.Partition.order =
   | Fresh_first
   | Merge_first
 
-(** Work counters for the complexity experiments. *)
+(** Work counters for the complexity experiments and the CLI. *)
 type stats = {
   structures : int;
     (** image databases examined (mappings or partitions) *)
   evaluations : int;  (** query evaluations performed *)
+  early_exit : bool;
+    (** the scan was decided before exhausting the structure space: a
+        countermodel refuted a universal, a witness settled an
+        existential, the survivor set emptied, or the possible answer
+        saturated. Deterministic — it depends only on the verdict, not
+        on scheduling. *)
+  pruned_candidates : int;
+    (** for {!answer_stats}: candidate tuples eliminated by the
+        discrete-image seed without per-structure work ([|C|^k] minus
+        the seed size, saturating); for {!possible_answer_stats}:
+        candidates witnessed by the seed alone; [0] for the
+        per-tuple/Boolean deciders *)
+  wall_ns : int64;  (** wall-clock nanoseconds for the whole call *)
 }
 
-(** [certain_member ?algorithm lb q c] decides [c ∈ Q(LB)], with early
-    exit on the first countermodel.
+(** [certain_member ?algorithm ?order ?domains lb q c] decides
+    [c ∈ Q(LB)], with early exit on the first countermodel.
 
     @raise Invalid_argument when [c]'s length differs from the query
     arity, when a member of [c] is not a constant of [LB], when the
@@ -47,6 +80,7 @@ type stats = {
 val certain_member :
   ?algorithm:algorithm ->
   ?order:order ->
+  ?domains:int ->
   Vardi_cwdb.Cw_database.t ->
   Vardi_logic.Query.t ->
   string list ->
@@ -55,18 +89,21 @@ val certain_member :
 val certain_member_stats :
   ?algorithm:algorithm ->
   ?order:order ->
+  ?domains:int ->
   Vardi_cwdb.Cw_database.t ->
   Vardi_logic.Query.t ->
   string list ->
   bool * stats
 
-(** [certain_boolean ?algorithm lb q] decides [T ⊨f φ] for a Boolean
-    query [(). φ] — [LAS(Q)] membership for Boolean queries.
+(** [certain_boolean ?algorithm ?order ?domains lb q] decides
+    [T ⊨f φ] for a Boolean query [(). φ] — [LAS(Q)] membership for
+    Boolean queries.
     @raise Invalid_argument if the query is not Boolean or mentions
     symbols outside the vocabulary. *)
 val certain_boolean :
   ?algorithm:algorithm ->
   ?order:order ->
+  ?domains:int ->
   Vardi_cwdb.Cw_database.t ->
   Vardi_logic.Query.t ->
   bool
@@ -74,20 +111,31 @@ val certain_boolean :
 val certain_boolean_stats :
   ?algorithm:algorithm ->
   ?order:order ->
+  ?domains:int ->
   Vardi_cwdb.Cw_database.t ->
   Vardi_logic.Query.t ->
   bool * stats
 
-(** [answer ?algorithm lb q] is the full certain answer [Q(LB)], a
-    relation over the constant set [C]. Computed by filtering [C^k]
-    through each examined structure, so each structure is evaluated
-    once regardless of the candidate count. *)
+(** [answer ?algorithm ?order ?domains lb q] is the full certain answer
+    [Q(LB)], a relation over the constant set [C]. The survivor set is
+    seeded from the discrete structure's answer (never the full [C^k]
+    relation) and each further structure pays one evaluation of the
+    pre-compiled plan; the scan stops once the survivor set empties. *)
 val answer :
   ?algorithm:algorithm ->
   ?order:order ->
+  ?domains:int ->
   Vardi_cwdb.Cw_database.t ->
   Vardi_logic.Query.t ->
   Vardi_relational.Relation.t
+
+val answer_stats :
+  ?algorithm:algorithm ->
+  ?order:order ->
+  ?domains:int ->
+  Vardi_cwdb.Cw_database.t ->
+  Vardi_logic.Query.t ->
+  Vardi_relational.Relation.t * stats
 
 (** {1 The dual modality}
 
@@ -102,24 +150,58 @@ val answer :
 val possible_member :
   ?algorithm:algorithm ->
   ?order:order ->
+  ?domains:int ->
   Vardi_cwdb.Cw_database.t ->
   Vardi_logic.Query.t ->
   string list ->
   bool
 
+val possible_member_stats :
+  ?algorithm:algorithm ->
+  ?order:order ->
+  ?domains:int ->
+  Vardi_cwdb.Cw_database.t ->
+  Vardi_logic.Query.t ->
+  string list ->
+  bool * stats
+
 val possible_boolean :
   ?algorithm:algorithm ->
   ?order:order ->
+  ?domains:int ->
   Vardi_cwdb.Cw_database.t ->
   Vardi_logic.Query.t ->
   bool
 
+val possible_boolean_stats :
+  ?algorithm:algorithm ->
+  ?order:order ->
+  ?domains:int ->
+  Vardi_cwdb.Cw_database.t ->
+  Vardi_logic.Query.t ->
+  bool * stats
+
+(** [possible_answer ?algorithm ?order ?domains lb q] is the union over
+    all structures of the admitted tuples. The candidate relation is
+    materialized once (guarded by {!Vardi_relational.Relation.full}'s
+    enumeration cap), the found set is seeded from the discrete
+    structure, and the scan stops as soon as every candidate is
+    found. *)
 val possible_answer :
   ?algorithm:algorithm ->
   ?order:order ->
+  ?domains:int ->
   Vardi_cwdb.Cw_database.t ->
   Vardi_logic.Query.t ->
   Vardi_relational.Relation.t
+
+val possible_answer_stats :
+  ?algorithm:algorithm ->
+  ?order:order ->
+  ?domains:int ->
+  Vardi_cwdb.Cw_database.t ->
+  Vardi_logic.Query.t ->
+  Vardi_relational.Relation.t * stats
 
 (** [validate lb q] performs the vocabulary/arity checks shared by all
     entry points.

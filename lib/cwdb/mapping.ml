@@ -9,18 +9,26 @@ type t = {
 let of_assoc db pairs =
   let constants = Cw_database.constants db in
   let is_constant c = List.mem c constants in
-  List.iter
-    (fun (c, d) ->
-      if not (is_constant c && is_constant d) then
-        invalid_arg
-          (Printf.sprintf "Mapping.of_assoc: %s -> %s mentions a non-constant" c
-             d))
-    pairs;
+  (* A second binding for [c] would be silently shadowed by an assoc
+     lookup; reject the contradiction instead. *)
+  let bound =
+    List.fold_left
+      (fun acc (c, d) ->
+        if not (is_constant c && is_constant d) then
+          invalid_arg
+            (Printf.sprintf "Mapping.of_assoc: %s -> %s mentions a non-constant"
+               c d);
+        if String_map.mem c acc then
+          invalid_arg
+            (Printf.sprintf "Mapping.of_assoc: duplicate binding for %s" c);
+        String_map.add c d acc)
+      String_map.empty pairs
+  in
   let map =
     List.fold_left
       (fun acc c ->
         let target =
-          match List.assoc_opt c pairs with Some d -> d | None -> c
+          match String_map.find_opt c bound with Some d -> d | None -> c
         in
         String_map.add c target acc)
       String_map.empty constants
@@ -43,31 +51,57 @@ let respects h =
 
 let image_db h = Database.map_elements (apply h) (Ph.ph1 h.db)
 
+let enumeration_cap = 1 lsl 24
+
+(* [n^n] in overflow-checked integer arithmetic, saturating at
+   [max_int]. Exact whenever the true value fits in an [int]; the old
+   float-based [n ** n] silently lost precision once [n^n] crossed
+   2^53. *)
 let count_all db =
-  let n = Float.of_int (List.length (Cw_database.constants db)) in
-  n ** n
+  let n = List.length (Cw_database.constants db) in
+  if n = 0 then 1
+  else
+    let rec go acc i =
+      if i = 0 then acc
+      else if acc > max_int / n then max_int
+      else go (acc * n) (i - 1)
+    in
+    go 1 n
 
 let all db =
   let constants = Array.of_list (Cw_database.constants db) in
   let n = Array.length constants in
-  if count_all db > Float.of_int (1 lsl 24) then
-    invalid_arg
-      (Printf.sprintf "Mapping.all: %d^%d mappings exceeds the enumeration cap"
-         n n);
-  (* Enumerate base-n counters of n digits; digit i gives h(c_i). *)
-  let total =
-    int_of_float (count_all db)
-  in
-  let of_index index =
-    let rec digits i value acc =
-      if i >= n then acc
-      else
-        digits (i + 1) (value / n)
-          (String_map.add constants.(i) constants.(value mod n) acc)
+  if n = 0 then
+    (* 0^0 = 1: the unique (empty) mapping. Unreachable through
+       [Cw_database.make], which requires a constant, but kept explicit
+       rather than papered over with a [max total 1] hack. *)
+    Seq.return { db; map = String_map.empty }
+  else begin
+    (* Check the cap with integers before any counter arithmetic, so
+       the error fires exactly when n^n > cap — no float rounding. *)
+    let total =
+      let rec go acc i =
+        if i = 0 then acc
+        else if acc > enumeration_cap / n then
+          invalid_arg
+            (Printf.sprintf
+               "Mapping.all: %d^%d mappings exceeds the enumeration cap" n n)
+        else go (acc * n) (i - 1)
+      in
+      go 1 n
     in
-    { db; map = digits 0 index String_map.empty }
-  in
-  Seq.map of_index (Seq.init (max total 1) Fun.id)
+    (* Enumerate base-n counters of n digits; digit i gives h(c_i). *)
+    let of_index index =
+      let rec digits i value acc =
+        if i >= n then acc
+        else
+          digits (i + 1) (value / n)
+            (String_map.add constants.(i) constants.(value mod n) acc)
+      in
+      { db; map = digits 0 index String_map.empty }
+    in
+    Seq.map of_index (Seq.init total Fun.id)
+  end
 
 let all_respecting db = Seq.filter respects (all db)
 

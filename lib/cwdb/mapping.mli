@@ -9,7 +9,8 @@ type t
 (** [of_assoc db pairs] builds a mapping over the constants of [db];
     constants missing from [pairs] map to themselves.
     @raise Invalid_argument if a pair mentions a non-constant on either
-    side. *)
+    side, or if the same constant is bound twice (even to the same
+    target). *)
 val of_assoc : Cw_database.t -> (string * string) list -> t
 
 val identity : Cw_database.t -> t
@@ -29,7 +30,9 @@ val respects : t -> bool
 val image_db : t -> Vardi_relational.Database.t
 
 (** [all db] enumerates every mapping [h : C → C] — all [|C|^|C|] of
-    them, lazily.
+    them, lazily. The cap is checked with exact integer arithmetic, so
+    the error fires precisely when [|C|^|C| > 2^24] — never a silent
+    float truncation.
     @raise Invalid_argument when [|C|^|C|] exceeds [2^24] (use the
     kernel-partition engine instead at that size). *)
 val all : Cw_database.t -> t Seq.t
@@ -37,10 +40,15 @@ val all : Cw_database.t -> t Seq.t
 (** [all_respecting db] is [all db] filtered by {!respects}. *)
 val all_respecting : Cw_database.t -> t Seq.t
 
-(** [count_all db] is [|C|^|C|] (as a float, to survive overflow) —
-    the search-space measure reported in the paper's discussion of
-    expression complexity ("k is exponential in the size of LB"). *)
-val count_all : Cw_database.t -> float
+(** [count_all db] is [|C|^|C|] — the search-space measure reported in
+    the paper's discussion of expression complexity ("k is exponential
+    in the size of LB"). Computed with overflow-checked integer
+    arithmetic, saturating at [max_int] (exact for [|C| <= 15] on
+    64-bit). *)
+val count_all : Cw_database.t -> int
+
+(** The enumeration cap of {!all}: [2^24]. *)
+val enumeration_cap : int
 
 val equal : t -> t -> bool
 val pp : t Fmt.t

@@ -123,7 +123,11 @@ let all_valid ?(order = Fresh_first) db =
           blocks
         |> List.filter_map Fun.id
       in
-      let join_seq = List.fold_left Seq.append Seq.empty joins in
+      (* [Seq.concat] keeps the branch list right-nested; a
+         [fold_left Seq.append] here left-nests it, making every
+         traversal step re-walk all earlier branches — quadratic in the
+         number of join branches. *)
+      let join_seq = Seq.concat (List.to_seq joins) in
       (match order with
       | Fresh_first -> Seq.append fresh join_seq ()
       | Merge_first -> Seq.append join_seq fresh ())

@@ -17,7 +17,7 @@ let a1 () =
            their whole structure space (no early exit), making the
            'visited' columns comparable. *)
         let q = Vardi_logic.Parser.query "(). exists x, y. R(x, y)" in
-        let mappings = int_of_float (Mapping.count_all db) in
+        let mappings = Mapping.count_all db in
         let partitions = Partition.count_valid db in
         let (naive, naive_stats), naive_ms =
           Table.time (fun () ->

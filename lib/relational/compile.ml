@@ -41,19 +41,22 @@ let rec compile db vars f =
       (Algebra.Inter (cf, cg), Algebra.Inter (Algebra.Diff (full, cf), Algebra.Diff (full, cg)))
   | Formula.Exists (x, f) ->
     (* Rename a shadowed binder so the extended column list stays
-       duplicate-free. *)
+       duplicate-free. The candidate must avoid [vars] too, not just
+       the body's variables: with binders nested under the same name,
+       a fixed number of retries can land on a column introduced by an
+       enclosing rename, silently aliasing two quantifiers. *)
     let x', f' =
       if List.mem x vars then begin
-        let x' = Formula.fresh_var ~base:x [ f ] in
-        let x'' =
-          if List.mem x' vars then
-            Formula.fresh_var ~base:(x' ^ "_c") [ f ]
-          else x'
+        let rec pick base =
+          let candidate = Formula.fresh_var ~base [ f ] in
+          if List.mem candidate vars then pick (candidate ^ "'")
+          else candidate
         in
-        (x'', Formula.substitute
-                (fun y ->
-                  if String.equal y x then Some (Term.Var x'') else None)
-                f)
+        let x' = pick x in
+        (x', Formula.substitute
+               (fun y ->
+                 if String.equal y x then Some (Term.Var x') else None)
+               f)
       end
       else (x, f)
     in
@@ -145,5 +148,13 @@ let formula db ~vars f =
   compile db vars f
 
 let query db q = formula db ~vars:(Query.head q) (Query.body q)
+
+let prepared db q =
+  let normalized =
+    Query.make (Query.head q) (Vardi_logic.Nnf.transform (Query.body q))
+  in
+  match query db normalized with
+  | plan -> Some (Optimizer.optimize db plan)
+  | exception Unsupported _ -> None
 
 let answer ?virtuals db q = Algebra.run ?virtuals db (query db q)

@@ -26,6 +26,16 @@ val formula :
 (** [query db q] compiles a whole query; columns follow the head. *)
 val query : Database.t -> Vardi_logic.Query.t -> Algebra.t
 
+(** [prepared db q] is a reusable evaluation plan: the query is pushed
+    to negation normal form once, compiled once, and optimized once.
+    Base relations and constant symbols are resolved at {e run} time,
+    so the same plan can be executed against any database sharing
+    [db]'s vocabulary — in particular against every image database
+    [h(Ph₁(LB))] of the certain-answer engine, where the constant
+    interpretation varies with [h]. [None] when the query falls outside
+    the algebra (second-order quantifiers). *)
+val prepared : Database.t -> Vardi_logic.Query.t -> Algebra.t option
+
 (** [answer ?virtuals db q] compiles and runs [q] — the end-to-end
     "DBMS" pipeline used by the ablation bench. *)
 val answer :

@@ -101,7 +101,7 @@ let test_mapping_errors () =
 
 let test_mapping_count () =
   let db = Support.socrates_db () in
-  check_bool "3^3" true (Mapping.count_all db = 27.0)
+  check_bool "3^3" true (Mapping.count_all db = 27)
 
 (* --- axioms helpers --- *)
 

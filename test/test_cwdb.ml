@@ -147,6 +147,50 @@ let test_mapping_image () =
      (paper, proof of Theorem 1). *)
   check_bool "image is a model" true (Axioms.is_model socrates image)
 
+let contains_substring haystack needle =
+  let h = String.length haystack and n = String.length needle in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_mapping_duplicate_bindings () =
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument msg ->
+      check_bool "message names the constant" true
+        (contains_substring msg "mystery")
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  (* Contradictory duplicate: the old assoc lookup silently kept the
+     first binding. *)
+  expect_invalid (fun () ->
+      Mapping.of_assoc socrates
+        [ ("mystery", "socrates"); ("mystery", "plato") ]);
+  (* Even a consistent duplicate is rejected. *)
+  expect_invalid (fun () ->
+      Mapping.of_assoc socrates
+        [ ("mystery", "socrates"); ("mystery", "socrates") ])
+
+let test_mapping_counting_exact () =
+  (* 13^13 = 302875106592253 does not round-trip through the old
+     float-based counter's [int_of_float]-under-cap path; the integer
+     counter is exact and the cap error fires before any enumeration. *)
+  let db13 = database ~constants:(List.init 13 (Printf.sprintf "c%d")) () in
+  check_bool "13^13 exact" true (Mapping.count_all db13 = 302875106592253);
+  (* The cap check runs before the sequence is built, so the error is
+     raised by the [Mapping.all] call itself, not by forcing. *)
+  (match ignore (Mapping.all db13 : Mapping.t Seq.t) with
+  | exception Invalid_argument msg ->
+    check_bool "cap error mentions the size" true
+      (contains_substring msg "13^13")
+  | () -> Alcotest.fail "expected the enumeration cap to fire");
+  (* Below the cap the enumeration is exhaustive: 2^2 = 4. *)
+  let db2 = database ~constants:[ "a"; "b" ] () in
+  check_int "2^2 enumerated" 4 (List.length (List.of_seq (Mapping.all db2)));
+  check_bool "count_all saturates instead of overflowing" true
+    (Mapping.count_all
+       (database ~constants:(List.init 30 (Printf.sprintf "c%d")) ())
+    = max_int)
+
 let test_mapping_enumeration () =
   let all = List.of_seq (Mapping.all socrates) in
   check_int "3^3 mappings" 27 (List.length all);
@@ -223,6 +267,22 @@ let test_partition_orders () =
   | first :: _ ->
     check Alcotest.int "discrete first" 3 (List.length (Partition.blocks first))
   | [] -> Alcotest.fail "no partitions"
+
+let test_partition_enumeration_large () =
+  (* Regression for the left-nested [Seq.append] in [all_valid]: with
+     |C| = 10 and no distinct pairs every partition is valid, so the
+     stream has Bell(10) = 115975 elements. The quadratic nesting made
+     this walk take minutes; the right-nested stream finishes in well
+     under the budget. *)
+  let db = database ~constants:(List.init 10 (Printf.sprintf "c%d")) () in
+  let started = Unix.gettimeofday () in
+  let count = Seq.fold_left (fun n _ -> n + 1) 0 (Partition.all_valid db) in
+  let elapsed = Unix.gettimeofday () -. started in
+  check_int "Bell(10) partitions" 115975 count;
+  check_int "count_valid agrees" 115975 (Partition.count_valid db);
+  check_bool
+    (Printf.sprintf "enumeration under 30s budget (took %.1fs)" elapsed)
+    true (elapsed < 30.0)
 
 let test_partition_quotient_is_model () =
   List.iter
@@ -333,11 +393,17 @@ let suite =
     Alcotest.test_case "Ph2 construction" `Quick test_ph2;
     Alcotest.test_case "mapping basics" `Quick test_mapping_basics;
     Alcotest.test_case "mapping image" `Quick test_mapping_image;
+    Alcotest.test_case "mapping duplicate bindings" `Quick
+      test_mapping_duplicate_bindings;
+    Alcotest.test_case "mapping counting exact" `Quick
+      test_mapping_counting_exact;
     Alcotest.test_case "mapping enumeration" `Quick test_mapping_enumeration;
     Alcotest.test_case "discrete partition" `Quick test_partition_discrete;
     Alcotest.test_case "partition of blocks" `Quick test_partition_of_blocks;
     Alcotest.test_case "partition enumeration" `Quick test_partition_enumeration;
     Alcotest.test_case "partition orders" `Quick test_partition_orders;
+    Alcotest.test_case "partition enumeration |C|=10" `Slow
+      test_partition_enumeration_large;
     Alcotest.test_case "quotients are models" `Quick
       test_partition_quotient_is_model;
     Support.qcheck_case partition_counts_match_mappings;

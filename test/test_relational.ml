@@ -257,6 +257,22 @@ let test_compile_tricky () =
   check Support.relation_testable "forall" (r1 [ [ "c" ] ])
     (Compile.answer db q4)
 
+let test_compile_shadowed_binders () =
+  let db = sample_db () in
+  (* Three binders named [x] nested under an in-scope [x]: the rename
+     of the innermost binder must avoid the columns introduced by the
+     outer renames, not just the names occurring in its own body.
+     Regression — a bounded retry here aliased the innermost column to
+     an enclosing one, turning the inner [y = x] into a comparison
+     against the forall-bound column and emptying the answer. *)
+  let q = Parser.query "(x). exists y, x. forall x. exists x. y = x" in
+  check Support.relation_testable "deep shadowing"
+    (Eval.answer db q) (Compile.answer db q);
+  check_int "body is a tautology" 3 (Relation.cardinal (Compile.answer db q));
+  let q2 = Parser.query "(x). exists x. forall x. exists x. P(x)" in
+  check Support.relation_testable "shadowed head variable"
+    (Eval.answer db q2) (Compile.answer db q2)
+
 (* Property: compiled algebra agrees with the Tarskian evaluator on
    random FO queries over Ph₁ of random CW databases. *)
 let algebra_agrees_with_eval =
@@ -300,6 +316,8 @@ let suite =
     Alcotest.test_case "algebra errors" `Quick test_algebra_errors;
     Alcotest.test_case "compile simple" `Quick test_compile_simple;
     Alcotest.test_case "compile tricky" `Quick test_compile_tricky;
+    Alcotest.test_case "compile shadowed binders" `Quick
+      test_compile_shadowed_binders;
     Support.qcheck_case algebra_agrees_with_eval;
     Support.qcheck_case algebra_agrees_with_eval_boolean;
   ]
