@@ -1,12 +1,16 @@
 (* The benchmark harness.
 
-   Part 1 re-runs every experiment (E1-E9 and the A1-A3 ablations) and
-   prints its result table — one table per theorem of the paper's
-   evaluation; EXPERIMENTS.md records a reference run.
+   Part 1 re-runs every experiment (E1-E12 and the A1-A4 ablations —
+   the full Experiments.Registry.all) and prints its result table — one
+   table per theorem of the paper's evaluation; EXPERIMENTS.md records
+   a reference run.
 
    Part 2 runs Bechamel micro-benchmarks, one Test.make per experiment,
    timing the representative operation behind each table with OLS
    regression over the monotonic clock.
+
+   Part 3 prints a per-phase breakdown of the E1-medium workload
+   through the Vardi_obs span layer, next to the Bechamel numbers.
 
    Run with: dune exec bench/main.exe
    (pass --tables-only or --micro-only to restrict) *)
@@ -99,6 +103,20 @@ let micro_tests () =
     Test.make ~name:"extra/explain"
       (stage (fun () ->
            Vardi_certain.Explain.boolean db_small Workloads.negative_sentence));
+    (* Observability overhead on the E1-medium hot path. The first
+       entry repeats e1/exact-medium under a different name: the engine
+       is instrumented unconditionally, so the delta between the two
+       identically-coded entries is the measurement noise floor, and
+       the disabled-sink cost must sit inside it (acceptance: < 3%).
+       The second entry installs an in-memory sink, showing what full
+       event collection costs. *)
+    Test.make ~name:"obs/e1-medium-nullsink"
+      (stage (fun () -> Certain.answer db_medium q));
+    Test.make ~name:"obs/e1-medium-memsink"
+      (stage (fun () ->
+           let buf = Logicaldb.Obs.buffer () in
+           Logicaldb.Obs.with_sink (Logicaldb.Obs.buffer_sink buf) (fun () ->
+               Certain.answer db_medium q)));
   ]
 
 let run_micro () =
@@ -136,10 +154,27 @@ let run_micro () =
         (Test.elements test))
     (micro_tests ())
 
+(* --- Part 3: per-phase breakdown through the observability layer --- *)
+
+let phase_breakdown () =
+  let module Obs = Logicaldb.Obs in
+  let module Certain = Vardi_certain.Engine in
+  Fmt.pr "@.=== E1-medium per-phase breakdown (Vardi_obs spans) ===@.";
+  let db_medium = Workloads.parametric_db ~constants:16 ~unknowns:2 ~seed:7 in
+  let q = Workloads.mixed_query in
+  ignore (Certain.answer db_medium q) (* warm-up: plan + minor heap *);
+  let buf = Obs.buffer () in
+  Obs.with_sink (Obs.buffer_sink buf) (fun () ->
+      ignore (Certain.answer ~domains:4 db_medium q));
+  let evs = Obs.events buf in
+  Obs.pp_spans Fmt.stdout evs;
+  Obs.pp_counters Fmt.stdout evs
+
 let () =
   let args = Array.to_list Sys.argv in
   let tables_only = List.mem "--tables-only" args in
   let micro_only = List.mem "--micro-only" args in
   if not micro_only then print_tables ();
   if not tables_only then run_micro ();
+  if (not tables_only) && not micro_only then phase_breakdown ();
   Fmt.pr "@.done.@."

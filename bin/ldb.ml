@@ -151,13 +151,71 @@ let stats_arg =
   in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Trace the evaluation through the observability layer. Plain $(b,--trace) \
+     prints a nested span tree (per-phase timings, per-domain counters) after \
+     the answer; $(b,--trace=json:FILE) appends one JSON object per event to \
+     FILE instead (JSON-lines)."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "console") (some string) None
+    & info [ "trace" ] ~docv:"console|json:FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Print the aggregated counter table (totals and per-domain breakdown) \
+     after the answer."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
 let print_stats stats =
   Fmt.pr
     "structures: %d  evaluations: %d  early exit: %b  pruned candidates: %d  \
-     wall: %.1f ms@."
+     wall: %.1f ms  domains: %d@."
     stats.Certain.structures stats.Certain.evaluations
     stats.Certain.early_exit stats.Certain.pruned_candidates
     (Int64.to_float stats.Certain.wall_ns /. 1e6)
+    stats.Certain.domains_used
+
+(* Run [f] with whatever sinks --trace / --metrics ask for, then render
+   the buffered output. The console trace already includes the counter
+   table, so --metrics adds its own buffer only when the trace is
+   absent or going to a JSON file. *)
+let with_observability ~trace ~metrics f =
+  let sinks = ref [] in
+  let finishers = ref [] in
+  (match trace with
+  | None -> ()
+  | Some "console" ->
+    sinks := Obs.console_sink Fmt.stdout :: !sinks
+  | Some spec when String.length spec > 5 && String.sub spec 0 5 = "json:" ->
+    let path = String.sub spec 5 (String.length spec - 5) in
+    let oc = open_out path in
+    sinks := Obs.jsonl_sink oc :: !sinks;
+    finishers :=
+      (fun () ->
+        close_out oc;
+        Fmt.pr "(trace written to %s)@." path)
+      :: !finishers
+  | Some spec ->
+    Fmt.epr "error: --trace expects no value or json:FILE, got %S@." spec;
+    exit 2);
+  if metrics && trace <> Some "console" then begin
+    let buf = Obs.buffer () in
+    sinks := Obs.buffer_sink buf :: !sinks;
+    finishers :=
+      (fun () -> Obs.pp_counters Fmt.stdout (Obs.events buf)) :: !finishers
+  end;
+  let result =
+    match !sinks with
+    | [] -> f ()
+    | [ sink ] -> Obs.with_sink sink f
+    | sinks -> Obs.with_sink (Obs.tee sinks) f
+  in
+  List.iter (fun finish -> finish ()) (List.rev !finishers);
+  result
 
 let print_relation answer =
   Relation.iter
@@ -199,8 +257,9 @@ let run_typed_query tdb query_text engine =
     print_relation answer
 
 let query_cmd =
-  let run path query_text engine algorithm backend domains stats =
+  let run path query_text engine algorithm backend domains stats trace metrics =
     handle (fun () ->
+        with_observability ~trace ~metrics (fun () ->
         match load_any path with
         | Typed tdb -> run_typed_query tdb query_text engine
         | Untyped db ->
@@ -246,14 +305,14 @@ let query_cmd =
           | Approx.Complete_positive ->
             Fmt.pr "(exact: positive query — Theorem 13)@."
           | Approx.Sound_only ->
-            Fmt.pr "(sound but possibly incomplete — Theorem 11)@.")
+            Fmt.pr "(sound but possibly incomplete — Theorem 11)@."))
   in
   let doc = "Evaluate a query over a logical database." in
   Cmd.v
     (Cmd.info "query" ~doc)
     Cterm.(
       const run $ db_arg $ query_arg $ engine_arg $ algorithm_arg
-      $ backend_arg $ domains_arg $ stats_arg)
+      $ backend_arg $ domains_arg $ stats_arg $ trace_arg $ metrics_arg)
 
 (* --- compile --- *)
 

@@ -63,8 +63,18 @@ let formula ~pred ~arity =
               ( Formula.Atom (Vardi_cwdb.Ph.ne_predicate, [ tu; tv ]),
                 connectivity ~nodes:(2 * arity) (tu, tv) ~edge ) ) )
   in
-  Formula.forall_many y_names
-    (Formula.Implies (Formula.Atom (pred, ys), witness))
+  let alpha =
+    Formula.forall_many y_names
+      (Formula.Implies (Formula.Atom (pred, ys), witness))
+  in
+  (* Size accounting for the Lemma-10 O(k log k) claim: one event per
+     alpha_P built, carrying the formula size (experiment E8 plots the
+     same quantity; the trace makes it visible inside real queries). *)
+  if Vardi_obs.Obs.enabled () then begin
+    Vardi_obs.Obs.count "alpha.instantiations" 1;
+    Vardi_obs.Obs.count "alpha.size" (Formula.size alpha)
+  end;
+  alpha
 
 let instantiated ~pred args =
   let arity = List.length args in

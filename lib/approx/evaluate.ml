@@ -1,3 +1,4 @@
+module Formula = Vardi_logic.Formula
 module Query = Vardi_logic.Query
 module Relation = Vardi_relational.Relation
 module Eval = Vardi_relational.Eval
@@ -5,6 +6,7 @@ module Compile = Vardi_relational.Compile
 module Cw_database = Vardi_cwdb.Cw_database
 module Query_check = Vardi_cwdb.Query_check
 module Ph = Vardi_cwdb.Ph
+module Obs = Vardi_obs.Obs
 
 type backend =
   | Direct
@@ -23,31 +25,53 @@ let completeness lb q =
 
 let virtuals = Disagree.virtuals
 
+(* The three pipeline stages of A(Q, LB) = Q-hat(Ph2(LB)), each under
+   its own span so the CLI/bench breakdown attributes cost to
+   translation vs storage vs evaluation. The hat-size counter records
+   the Lemma-10 blow-up (dramatic in Syntactic mode, nil in Semantic
+   mode where alpha_P stays virtual). *)
+let translate mode q =
+  Obs.span "approx.translate" (fun () ->
+      let hat = Translate.query mode q in
+      Obs.count "approx.query_size" (Formula.size (Query.body q));
+      Obs.count "approx.hat_size" (Formula.size (Query.body hat));
+      hat)
+
+let storage lb = Obs.span "approx.ph2" (fun () -> Ph.ph2 lb)
+
 let answer ?(mode = Translate.Semantic) ?(backend = Direct) lb q =
   Query_check.validate lb q;
-  let hat = Translate.query mode q in
-  let ph2 = Ph.ph2 lb in
-  let hooks = match mode with Semantic -> virtuals lb | Syntactic -> Eval.no_virtuals in
-  match backend with
-  | Direct -> Eval.answer ~virtuals:hooks ph2 hat
-  | Algebra -> Compile.answer ~virtuals:hooks ph2 hat
-  | Algebra_optimized ->
-    let plan = Vardi_relational.Optimizer.optimize ph2 (Compile.query ph2 hat) in
-    Vardi_relational.Algebra.run ~virtuals:hooks ph2 plan
+  Obs.span "approx.answer" (fun () ->
+      let hat = translate mode q in
+      let ph2 = storage lb in
+      let hooks = match mode with Semantic -> virtuals lb | Syntactic -> Eval.no_virtuals in
+      Obs.span "approx.evaluate" (fun () ->
+          match backend with
+          | Direct -> Eval.answer ~virtuals:hooks ph2 hat
+          | Algebra -> Compile.answer ~virtuals:hooks ph2 hat
+          | Algebra_optimized ->
+            let plan =
+              Vardi_relational.Optimizer.optimize ph2 (Compile.query ph2 hat)
+            in
+            Vardi_relational.Algebra.run ~virtuals:hooks ph2 plan))
 
 let member ?(mode = Translate.Semantic) lb q tuple =
   Query_check.validate lb q;
   Query_check.validate_tuple lb q tuple;
-  let hat = Translate.query mode q in
-  let ph2 = Ph.ph2 lb in
-  let hooks = match mode with Semantic -> virtuals lb | Syntactic -> Eval.no_virtuals in
-  Eval.member ~virtuals:hooks ph2 hat tuple
+  Obs.span "approx.member" (fun () ->
+      let hat = translate mode q in
+      let ph2 = storage lb in
+      let hooks = match mode with Semantic -> virtuals lb | Syntactic -> Eval.no_virtuals in
+      Obs.span "approx.evaluate" (fun () ->
+          Eval.member ~virtuals:hooks ph2 hat tuple))
 
 let boolean ?(mode = Translate.Semantic) lb q =
   Query_check.validate lb q;
   if not (Query.is_boolean q) then
     invalid_arg "Approx.boolean: the query has answer variables";
-  let hat = Translate.query mode q in
-  let ph2 = Ph.ph2 lb in
-  let hooks = match mode with Semantic -> virtuals lb | Syntactic -> Eval.no_virtuals in
-  Eval.satisfies ~virtuals:hooks ph2 (Query.body hat)
+  Obs.span "approx.boolean" (fun () ->
+      let hat = translate mode q in
+      let ph2 = storage lb in
+      let hooks = match mode with Semantic -> virtuals lb | Syntactic -> Eval.no_virtuals in
+      Obs.span "approx.evaluate" (fun () ->
+          Eval.satisfies ~virtuals:hooks ph2 (Query.body hat)))

@@ -10,6 +10,7 @@ module Cw_database = Vardi_cwdb.Cw_database
 module Mapping = Vardi_cwdb.Mapping
 module Partition = Vardi_cwdb.Partition
 module Ph = Vardi_cwdb.Ph
+module Obs = Vardi_obs.Obs
 
 type algorithm =
   | Naive_mappings
@@ -25,6 +26,7 @@ type stats = {
   early_exit : bool;
   pruned_candidates : int;
   wall_ns : int64;
+  domains_used : int;
 }
 
 let validate = Vardi_cwdb.Query_check.validate
@@ -121,19 +123,34 @@ let drive ~domains ~stop consume thunks =
   let examined = Atomic.make 0 in
   let failure = Atomic.make None in
   let p = puller thunks in
+  (* Captured on the calling domain so the chunk spans of spawned
+     workers (whose own span stack is empty) nest under the entry
+     point's span rather than floating as roots. *)
+  let scan_span = Obs.current_span_id () in
   let halted () = stop () || Atomic.get failure <> None in
   let rec drain () =
     if not (halted ()) then
       match next_chunk p with
       | [] -> ()
       | chunk ->
-        List.iter
-          (fun thunk ->
-            if not (halted ()) then begin
-              Atomic.incr examined;
-              consume (thunk ())
-            end)
-          chunk;
+        (* One span per claimed chunk, opened in the worker domain that
+           processes it; the per-chunk counters make the engine's work
+           attributable per domain without any hot-loop cost when no
+           sink is installed. *)
+        Obs.span ?parent:scan_span "certain.chunk" (fun () ->
+            let processed = ref 0 in
+            List.iter
+              (fun thunk ->
+                if not (halted ()) then begin
+                  Atomic.incr examined;
+                  incr processed;
+                  consume (thunk ())
+                end)
+              chunk;
+            if Obs.enabled () && !processed > 0 then begin
+              Obs.count "certain.structures" !processed;
+              Obs.count "certain.evaluations" !processed
+            end);
         drain ()
   in
   let guarded () =
@@ -160,6 +177,7 @@ let search ~domains ~target thunks check =
       thunks
   in
   let found = Atomic.get found in
+  Obs.count "certain.early_exit" (if found then 1 else 0);
   ( found,
     {
       structures = examined;
@@ -167,6 +185,7 @@ let search ~domains ~target thunks check =
       early_exit = found;
       pruned_candidates = 0;
       wall_ns = Int64.sub (now_ns ()) started;
+      domains_used = worker_count domains;
     } )
 
 let for_all_structures ~domains thunks check =
@@ -184,9 +203,10 @@ let certain_member_stats ?(algorithm = Kernel_partitions)
   validate_tuple lb q tuple;
   if Query.is_boolean q then
     invalid_arg "Certain.certain_member: Boolean query; use certain_boolean";
-  for_all_structures ~domains
-    (structure_thunks algorithm order lb)
-    (fun s -> Eval.member s.image q (List.map s.rename tuple))
+  Obs.span "certain.member" (fun () ->
+      for_all_structures ~domains
+        (structure_thunks algorithm order lb)
+        (fun s -> Eval.member s.image q (List.map s.rename tuple)))
 
 let certain_member ?algorithm ?order ?domains lb q tuple =
   fst (certain_member_stats ?algorithm ?order ?domains lb q tuple)
@@ -197,9 +217,10 @@ let certain_boolean_stats ?(algorithm = Kernel_partitions)
   if not (Query.is_boolean q) then
     invalid_arg "Certain.certain_boolean: the query has answer variables";
   let body = Query.body q in
-  for_all_structures ~domains
-    (structure_thunks algorithm order lb)
-    (fun s -> Eval.satisfies s.image body)
+  Obs.span "certain.boolean" (fun () ->
+      for_all_structures ~domains
+        (structure_thunks algorithm order lb)
+        (fun s -> Eval.satisfies s.image body))
 
 let certain_boolean ?algorithm ?order ?domains lb q =
   fst (certain_boolean_stats ?algorithm ?order ?domains lb q)
@@ -210,9 +231,10 @@ let possible_member_stats ?(algorithm = Kernel_partitions)
   validate_tuple lb q tuple;
   if Query.is_boolean q then
     invalid_arg "Certain.possible_member: Boolean query; use possible_boolean";
-  exists_structure ~domains
-    (structure_thunks algorithm order lb)
-    (fun s -> Eval.member s.image q (List.map s.rename tuple))
+  Obs.span "certain.possible_member" (fun () ->
+      exists_structure ~domains
+        (structure_thunks algorithm order lb)
+        (fun s -> Eval.member s.image q (List.map s.rename tuple)))
 
 let possible_member ?algorithm ?order ?domains lb q tuple =
   fst (possible_member_stats ?algorithm ?order ?domains lb q tuple)
@@ -223,9 +245,10 @@ let possible_boolean_stats ?(algorithm = Kernel_partitions)
   if not (Query.is_boolean q) then
     invalid_arg "Certain.possible_boolean: the query has answer variables";
   let body = Query.body q in
-  exists_structure ~domains
-    (structure_thunks algorithm order lb)
-    (fun s -> Eval.satisfies s.image body)
+  Obs.span "certain.possible_boolean" (fun () ->
+      exists_structure ~domains
+        (structure_thunks algorithm order lb)
+        (fun s -> Eval.satisfies s.image body))
 
 let possible_boolean ?algorithm ?order ?domains lb q =
   fst (possible_boolean_stats ?algorithm ?order ?domains lb q)
@@ -258,14 +281,24 @@ let candidate_count lb k =
 let answer_stats ?(algorithm = Kernel_partitions) ?(order = Fresh_first)
     ?(domains = 1) lb q =
   validate lb q;
+  Obs.span "certain.answer" (fun () ->
   let started = now_ns () in
-  let image_answer = prepare_answer lb q in
+  let image_answer =
+    Obs.span "certain.prepare" (fun () -> prepare_answer lb q)
+  in
   (* Pruning: the certain answer is contained in the answer over every
      structure, in particular the discrete one (Ph₁ under the identity
      renaming — always a valid structure). Seeding the survivor set
      from it replaces the full |C|^k candidate relation. *)
-  let seed = image_answer (discrete_structure lb) in
+  let seed =
+    Obs.span "certain.seed" (fun () ->
+        let seed = image_answer (discrete_structure lb) in
+        Obs.count "certain.structures" 1;
+        Obs.count "certain.evaluations" 1;
+        seed)
+  in
   let pruned = candidate_count lb (Query.arity q) - Relation.cardinal seed in
+  Obs.count "certain.pruned" pruned;
   let survivors = Atomic.make seed in
   let remove doomed =
     let rec loop () =
@@ -292,14 +325,17 @@ let answer_stats ?(algorithm = Kernel_partitions) ?(order = Fresh_first)
       (rest_after_discrete algorithm order (structure_thunks algorithm order lb))
   in
   let result = Atomic.get survivors in
+  let early = Relation.is_empty result in
+  Obs.count "certain.early_exit" (if early then 1 else 0);
   ( result,
     {
       structures = examined + 1;
       evaluations = examined + 1;
-      early_exit = Relation.is_empty result;
+      early_exit = early;
       pruned_candidates = pruned;
       wall_ns = Int64.sub (now_ns ()) started;
-    } )
+      domains_used = worker_count domains;
+    } ))
 
 let answer ?algorithm ?order ?domains lb q =
   fst (answer_stats ?algorithm ?order ?domains lb q)
@@ -310,14 +346,24 @@ let candidates lb k =
 let possible_answer_stats ?(algorithm = Kernel_partitions)
     ?(order = Fresh_first) ?(domains = 1) lb q =
   validate lb q;
+  Obs.span "certain.possible_answer" (fun () ->
   let started = now_ns () in
-  let image_answer = prepare_answer lb q in
+  let image_answer =
+    Obs.span "certain.prepare" (fun () -> prepare_answer lb q)
+  in
   (* The candidate relation is built once (not per structure); the
      discrete structure seeds the found set — every tuple it answers is
      witnessed and needs no further search. *)
   let all_candidates = candidates lb (Query.arity q) in
   let total = Relation.cardinal all_candidates in
-  let seed = image_answer (discrete_structure lb) in
+  let seed =
+    Obs.span "certain.seed" (fun () ->
+        let seed = image_answer (discrete_structure lb) in
+        Obs.count "certain.structures" 1;
+        Obs.count "certain.evaluations" 1;
+        seed)
+  in
+  Obs.count "certain.pruned" (Relation.cardinal seed);
   let found = Atomic.make seed in
   let saturated () = Relation.cardinal (Atomic.get found) >= total in
   let add gained =
@@ -343,14 +389,17 @@ let possible_answer_stats ?(algorithm = Kernel_partitions)
       (rest_after_discrete algorithm order (structure_thunks algorithm order lb))
   in
   let result = Atomic.get found in
+  let early = Relation.cardinal result >= total in
+  Obs.count "certain.early_exit" (if early then 1 else 0);
   ( result,
     {
       structures = examined + 1;
       evaluations = examined + 1;
-      early_exit = Relation.cardinal result >= total;
+      early_exit = early;
       pruned_candidates = Relation.cardinal seed;
       wall_ns = Int64.sub (now_ns ()) started;
-    } )
+      domains_used = worker_count domains;
+    } ))
 
 let possible_answer ?algorithm ?order ?domains lb q =
   fst (possible_answer_stats ?algorithm ?order ?domains lb q)

@@ -35,7 +35,21 @@
     - {e Plan reuse}: per-query work (NNF, compilation to relational
       algebra via {!Vardi_relational.Compile.prepared}, optimization)
       runs once per query, outside the per-structure loop; each
-      structure pays only plan evaluation. *)
+      structure pays only plan evaluation.
+
+    {2 Observability}
+
+    Every entry point is instrumented with {!Vardi_obs.Obs}: a span per
+    call ([certain.answer], [certain.boolean], ...), sub-spans for plan
+    preparation ([certain.prepare]), the discrete-structure seed
+    ([certain.seed]) and each chunk of the structure scan
+    ([certain.chunk], opened in the worker domain that claimed the
+    chunk), plus counters [certain.structures], [certain.evaluations],
+    [certain.pruned] and [certain.early_exit] attributed to the
+    emitting domain. With no sink installed (the default) each
+    instrumentation point costs one atomic load; the counters, summed
+    across domains, equal the corresponding {!stats} fields exactly —
+    the test suite enforces this for [domains = 4]. *)
 
 type algorithm =
   | Naive_mappings
@@ -68,6 +82,11 @@ type stats = {
         candidates witnessed by the seed alone; [0] for the
         per-tuple/Boolean deciders *)
   wall_ns : int64;  (** wall-clock nanoseconds for the whole call *)
+  domains_used : int;
+    (** worker domains the scan actually ran on: [1] for a sequential
+        call, otherwise [?domains] capped by
+        [Domain.recommended_domain_count] (but at least [2], so the
+        parallel path is exercised even on single-core hosts) *)
 }
 
 (** [certain_member ?algorithm ?order ?domains lb q c] decides

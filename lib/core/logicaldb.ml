@@ -17,6 +17,8 @@
       the Section 5 approximation algorithm;
     - {!Graph} / {!Qbf} / {!Three_col} / {!Qbf_fo} / {!Qbf_so} — the
       hardness reductions of Theorems 5, 7 and 9;
+    - {!Obs} — structured tracing and metrics across all engines
+      (spans, per-domain counters, console/JSON-lines sinks);
     - {!Ldb_format} — a text format for databases.
 
     {2 Quick start}
@@ -93,6 +95,9 @@ module Qbf_so = Vardi_reductions.Qbf_so
 
 (* General theories (bounded-model reference semantics) *)
 module Theory = Vardi_theory.Theory
+
+(* Observability: structured tracing + metrics (spans, counters, sinks) *)
+module Obs = Vardi_obs.Obs
 
 (* Persistence *)
 module Ldb_format = Ldb_format

@@ -1,4 +1,11 @@
+(* Each runner executes under an [experiment.<id>] span, so a trace of
+   a full report run shows per-experiment wall time with the engine
+   sub-spans nested beneath. *)
+let spanned (id, description, run) =
+  (id, description, fun () -> Vardi_obs.Obs.span ("experiment." ^ id) run)
+
 let all =
+  List.map spanned
   [
     ("E1", "exact cost vs unknowns (Thm 1 / Cor 2)", E_scaling.e1);
     ("E2", "precise second-order simulation (Thm 3)", E_precise.e2);

@@ -1,7 +1,10 @@
 (** The experiment registry: every table of the reproduction, in
     report order. *)
 
-(** [(id, description, runner)] triples, E1–E9 then A1–A3. *)
+(** [(id, description, runner)] triples: the experiments E1–E12, then
+    the ablations A1–A4. Each runner executes under a
+    [Vardi_obs.Obs.span] named [experiment.<id>], so tracing a report
+    run yields a per-experiment cost breakdown. *)
 val all : (string * string * (unit -> Table.t)) list
 
 (** [run_all ()] executes every experiment and returns the tables. *)

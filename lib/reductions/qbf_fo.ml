@@ -60,4 +60,12 @@ let database qbf =
     ~distinct:[ ("0", "1") ]
 
 let eval_via_certain ?algorithm qbf =
-  Vardi_certain.Engine.certain_boolean ?algorithm (database qbf) (query qbf)
+  let module Obs = Vardi_obs.Obs in
+  Obs.span "reduce.qbf_fo" (fun () ->
+      let db, q =
+        Obs.span "reduce.qbf_fo.encode" (fun () -> (database qbf, query qbf))
+      in
+      Obs.count "reduce.qbf_fo.query_size"
+        (Vardi_logic.Formula.size (Query.body q));
+      Obs.span "reduce.qbf_fo.decide" (fun () ->
+          Vardi_certain.Engine.certain_boolean ?algorithm db q))

@@ -117,4 +117,12 @@ let query qbf =
   Query.boolean (wrap 2)
 
 let eval_via_certain ?algorithm qbf =
-  Vardi_certain.Engine.certain_boolean ?algorithm (database qbf) (query qbf)
+  let module Obs = Vardi_obs.Obs in
+  Obs.span "reduce.qbf_so" (fun () ->
+      let db, q =
+        Obs.span "reduce.qbf_so.encode" (fun () -> (database qbf, query qbf))
+      in
+      Obs.count "reduce.qbf_so.query_size"
+        (Vardi_logic.Formula.size (Query.body q));
+      Obs.span "reduce.qbf_so.decide" (fun () ->
+          Vardi_certain.Engine.certain_boolean ?algorithm db q))

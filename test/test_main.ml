@@ -18,4 +18,5 @@ let () =
       ("explain-sampling", Test_explain_sampling.suite);
       ("theory", Test_theory.suite);
       ("coverage", Test_coverage.suite);
+      ("obs", Test_obs.suite);
     ]
