@@ -100,8 +100,16 @@ module Theory = Vardi_theory.Theory
 module Obs = Vardi_obs.Obs
 
 (* Persistence *)
-module Ldb_format = Ldb_format
-module Tldb_format = Tldb_format
+module Ldb_format = Vardi_format.Ldb_format
+module Tldb_format = Vardi_format.Tldb_format
+
+(* Property-based differential fuzzing of the engines *)
+module Fuzz = Vardi_fuzz.Driver
+module Fuzz_gen = Vardi_fuzz.Gen
+module Fuzz_oracle = Vardi_fuzz.Oracle
+module Fuzz_shrink = Vardi_fuzz.Shrink
+module Fuzz_corpus = Vardi_fuzz.Corpus
+module Fuzz_noise = Vardi_fuzz.Noise
 
 (** {1 Convenience constructors} *)
 

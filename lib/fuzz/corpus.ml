@@ -1,0 +1,105 @@
+module Query = Vardi_logic.Query
+module Parser = Vardi_logic.Parser
+module Pretty = Vardi_logic.Pretty
+module Cw_database = Vardi_cwdb.Cw_database
+module Ldb_format = Vardi_format.Ldb_format
+
+exception Corpus_error of string
+
+type case = {
+  oracle : string option;
+  query : Query.t;
+  db : Cw_database.t;
+}
+
+(* Header lines (oracle, query), a "==" separator, then the database in
+   .ldb concrete syntax. Line-oriented so the shrunk regressions under
+   test/corpus/ diff cleanly. *)
+
+let print { oracle; query; db } =
+  let buffer = Buffer.create 256 in
+  (match oracle with
+  | Some id -> Buffer.add_string buffer (Printf.sprintf "oracle %s\n" id)
+  | None -> ());
+  Buffer.add_string buffer
+    (Printf.sprintf "query %s\n" (Pretty.query_to_string query));
+  Buffer.add_string buffer "==\n";
+  Buffer.add_string buffer (Ldb_format.print db);
+  Buffer.contents buffer
+
+let strip_prefix ~prefix line =
+  if String.length line > String.length prefix
+     && String.equal (String.sub line 0 (String.length prefix)) prefix
+  then
+    Some
+      (String.trim
+         (String.sub line (String.length prefix)
+            (String.length line - String.length prefix)))
+  else None
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec header oracle query = function
+    | [] -> raise (Corpus_error "missing \"==\" separator")
+    | line :: rest -> (
+      match String.trim line with
+      | "" -> header oracle query rest
+      | "==" -> (
+        match query with
+        | None -> raise (Corpus_error "missing \"query\" line")
+        | Some q -> (oracle, q, String.concat "\n" rest))
+      | trimmed -> (
+        match strip_prefix ~prefix:"oracle " trimmed with
+        | Some id -> header (Some id) query rest
+        | None -> (
+          match strip_prefix ~prefix:"query " trimmed with
+          | Some text -> (
+            match Parser.query text with
+            | q -> header oracle (Some q) rest
+            | exception e ->
+              raise
+                (Corpus_error
+                   (Printf.sprintf "bad query %S: %s" text
+                      (Printexc.to_string e))))
+          | None ->
+            raise (Corpus_error (Printf.sprintf "unrecognized line %S" trimmed))
+          )))
+  in
+  let oracle, query, body = header None None lines in
+  let db =
+    match Ldb_format.parse body with
+    | db -> db
+    | exception Ldb_format.Syntax_error (line, message) ->
+      raise
+        (Corpus_error (Printf.sprintf "bad database, line %d: %s" line message))
+  in
+  { oracle; query; db }
+
+let save path case =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (print case))
+
+let load path =
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match parse text with
+  | case -> case
+  | exception Corpus_error message ->
+    raise (Corpus_error (Printf.sprintf "%s: %s" path message))
+
+let load_dir dir =
+  match Sys.readdir dir with
+  | entries ->
+    Array.sort String.compare entries;
+    Array.to_list entries
+    |> List.filter (fun name -> Filename.check_suffix name ".fuzz")
+    |> List.map (fun name ->
+           let path = Filename.concat dir name in
+           (path, load path))
+  | exception Sys_error _ -> []

@@ -1,0 +1,43 @@
+(** Replayable corpus files for shrunk fuzzing regressions.
+
+    A corpus case is one [(LB, Q)] pair plus the oracle it once
+    violated, stored as a small line-oriented text file (conventional
+    extension [.fuzz]):
+
+    {v
+    oracle approx-sound
+    query (x). ~P(x)
+    ==
+    predicate P/1
+    constant a b
+    fact P(a)
+    v}
+
+    Header lines [oracle <id>] (optional) and [query <text>], a [==]
+    separator, then the database in {!Vardi_format.Ldb_format} concrete
+    syntax. The test suite replays every file under [test/corpus/]
+    through the oracles on each [dune runtest]. *)
+
+exception Corpus_error of string
+
+type case = {
+  oracle : string option;
+      (** the oracle this case once violated, when recorded *)
+  query : Vardi_logic.Query.t;
+  db : Vardi_cwdb.Cw_database.t;
+}
+
+val print : case -> string
+
+(** @raise Corpus_error on malformed input. *)
+val parse : string -> case
+
+val save : string -> case -> unit
+
+(** @raise Corpus_error (with the path prefixed) on malformed input;
+    [Sys_error] on I/O failure. *)
+val load : string -> case
+
+(** [load_dir dir] loads every [*.fuzz] file under [dir], sorted by
+    name; an unreadable directory yields []. *)
+val load_dir : string -> (string * case) list

@@ -1,0 +1,263 @@
+module Vocabulary = Vardi_logic.Vocabulary
+module Generate = Vardi_logic.Generate
+module Formula = Vardi_logic.Formula
+module Term = Vardi_logic.Term
+module Query = Vardi_logic.Query
+module Cw_database = Vardi_cwdb.Cw_database
+module Ty_vocabulary = Vardi_typed.Ty_vocabulary
+module Ty_formula = Vardi_typed.Ty_formula
+module Ty_database = Vardi_typed.Ty_database
+module Ty_query = Vardi_typed.Ty_query
+
+type config = {
+  max_constants : int;
+  max_predicates : int;
+  max_arity : int;
+  max_facts : int;
+  unknown_density : float;
+  max_query_arity : int;
+  profile : Generate.profile;
+}
+
+let default =
+  {
+    max_constants = 4;
+    max_predicates = 3;
+    max_arity = 2;
+    max_facts = 6;
+    unknown_density = 0.5;
+    max_query_arity = 2;
+    profile = Generate.default_profile;
+  }
+
+let validate_config c =
+  if c.max_constants < 1 then
+    invalid_arg "Fuzz.Gen: max_constants must be at least 1";
+  if c.max_predicates < 1 then
+    invalid_arg "Fuzz.Gen: max_predicates must be at least 1";
+  if c.max_arity < 0 then invalid_arg "Fuzz.Gen: max_arity must be non-negative";
+  if c.max_facts < 0 then invalid_arg "Fuzz.Gen: max_facts must be non-negative";
+  if not (c.unknown_density >= 0.0 && c.unknown_density <= 1.0) then
+    invalid_arg "Fuzz.Gen: unknown_density must lie in [0, 1]";
+  if c.max_query_arity < 0 then
+    invalid_arg "Fuzz.Gen: max_query_arity must be non-negative"
+
+type instance = {
+  seed : int;
+  index : int;
+  db : Cw_database.t;
+  query : Query.t;
+}
+
+(* Every instance derives its own [Random.State.t] from [(seed, index)]
+   alone, so the stream is identical across runs, platforms and worker
+   counts, and any single instance can be regenerated without replaying
+   its predecessors. *)
+let state_of ~seed index = Random.State.make [| 0x1dbf; seed; index |]
+
+let pick state xs = List.nth xs (Random.State.int state (List.length xs))
+
+let all_pairs constants =
+  let rec go = function
+    | [] -> []
+    | c :: rest -> List.map (fun d -> (c, d)) rest @ go rest
+  in
+  go constants
+
+let database config ~state =
+  let vocabulary =
+    Generate.vocabulary ~max_constants:config.max_constants
+      ~max_predicates:config.max_predicates ~max_arity:config.max_arity ~state
+      ()
+  in
+  let constants = Vocabulary.constants vocabulary in
+  let predicates = Vocabulary.predicates vocabulary in
+  let n_facts = Random.State.int state (config.max_facts + 1) in
+  let facts =
+    List.init n_facts (fun _ ->
+        let p, k = pick state predicates in
+        {
+          Cw_database.pred = p;
+          args = List.init k (fun _ -> pick state constants);
+        })
+  in
+  let distinct =
+    List.filter
+      (fun _ -> Random.State.float state 1.0 >= config.unknown_density)
+      (all_pairs constants)
+  in
+  Cw_database.make ~vocabulary ~facts ~distinct
+
+let instance ?(config = default) ~seed index =
+  validate_config config;
+  let state = state_of ~seed index in
+  let db = database config ~state in
+  let arity = Random.State.int state (config.max_query_arity + 1) in
+  let query =
+    Generate.query ~profile:config.profile ~state
+      (Cw_database.vocabulary db)
+      ~arity
+  in
+  { seed; index; db; query }
+
+let stream ?(config = default) ~seed ~count () =
+  validate_config config;
+  Seq.init count (fun index -> instance ~config ~seed index)
+
+let pp_instance ppf i =
+  Fmt.pf ppf "@[<v>instance %d/%d@,%a@,query: %a@]" i.seed i.index
+    Cw_database.pp i.db Vardi_logic.Pretty.pp_query i.query
+
+(* ------------------------------------------------------------------ *)
+(* Typed instances (Reiter's extended relational theories).            *)
+
+type typed_instance = {
+  tseed : int;
+  tindex : int;
+  tdb : Ty_database.t;
+  tquery : Ty_query.t;
+}
+
+let typed_state_of ~seed index = Random.State.make [| 0x71db; seed; index |]
+
+(* A typed term of type [tau]: a variable of that type from [env] or a
+   constant of that type. [None] when the type is uninhabited. *)
+let typed_term state voc env tau =
+  let vars = List.filter (fun (_, t) -> String.equal t tau) env in
+  let consts = Ty_vocabulary.constants_of_type voc tau in
+  match vars, consts with
+  | [], [] -> None
+  | [], _ -> Some (Term.const (pick state consts))
+  | _, [] -> Some (Term.var (fst (pick state vars)))
+  | _, _ ->
+    Some
+      (if Random.State.bool state then Term.var (fst (pick state vars))
+       else Term.const (pick state consts))
+
+let typed_atom state voc env =
+  let inhabited_types =
+    List.filter
+      (fun tau -> typed_term state voc env tau <> None)
+      (Ty_vocabulary.types voc)
+  in
+  let equality () =
+    match inhabited_types with
+    | [] -> Ty_formula.True
+    | _ -> (
+      let tau = pick state inhabited_types in
+      match typed_term state voc env tau, typed_term state voc env tau with
+      | Some s, Some t -> Ty_formula.Eq (s, t)
+      | _ -> Ty_formula.True)
+  in
+  let applicable =
+    List.filter
+      (fun (_, signature) ->
+        List.for_all
+          (fun tau -> typed_term state voc env tau <> None)
+          signature)
+      (Ty_vocabulary.predicates voc)
+  in
+  if applicable = [] || Random.State.int state 4 = 0 then equality ()
+  else
+    let p, signature = pick state applicable in
+    Ty_formula.Atom
+      ( p,
+        List.map
+          (fun tau -> Option.get (typed_term state voc env tau))
+          signature )
+
+let typed_var_pool = [ "gx"; "gy"; "gz" ]
+
+let typed_formula ~profile ~state voc ~env =
+  let open Generate in
+  (* Rebinding a pool variable at another type must shadow the outer
+     binding, or atoms below could use it at its stale type. *)
+  let bind x tau env =
+    (x, tau) :: List.filter (fun (y, _) -> not (String.equal x y)) env
+  in
+  let rec go depth qdepth env =
+    if depth = 0 then typed_atom state voc env
+    else
+      let sub () = go (depth - 1) qdepth env in
+      let quantifiers_ok = profile.allow_quantifiers && qdepth > 0 in
+      match Random.State.int state 10 with
+      | 0 | 1 -> typed_atom state voc env
+      | 2 | 3 -> Ty_formula.And (sub (), sub ())
+      | 4 | 5 -> Ty_formula.Or (sub (), sub ())
+      | 6 when profile.allow_negation -> Ty_formula.Not (sub ())
+      | 7 when profile.allow_negation -> Ty_formula.Implies (sub (), sub ())
+      | 8 when quantifiers_ok ->
+        let x = pick state typed_var_pool in
+        let tau = pick state (Ty_vocabulary.types voc) in
+        Ty_formula.Exists (x, tau, go (depth - 1) (qdepth - 1) (bind x tau env))
+      | 9 when quantifiers_ok ->
+        let x = pick state typed_var_pool in
+        let tau = pick state (Ty_vocabulary.types voc) in
+        Ty_formula.Forall (x, tau, go (depth - 1) (qdepth - 1) (bind x tau env))
+      | _ -> typed_atom state voc env
+  in
+  go profile.depth profile.quantifier_depth env
+
+let type_pool = [ "s"; "t" ]
+
+let typed_instance ?(config = default) ~seed index =
+  validate_config config;
+  let state = typed_state_of ~seed index in
+  let types = List.filteri (fun i _ -> i <= Random.State.int state 2) type_pool in
+  let constant_names =
+    List.init
+      (1 + Random.State.int state config.max_constants)
+      (fun i ->
+        match List.nth_opt Generate.constant_pool i with
+        | Some name -> name
+        | None -> Printf.sprintf "c%d" i)
+  in
+  let constants =
+    List.map (fun c -> (c, pick state types)) constant_names
+  in
+  let predicates =
+    List.init
+      (1 + Random.State.int state config.max_predicates)
+      (fun i ->
+        let name =
+          match List.nth_opt Generate.predicate_pool i with
+          | Some name -> name
+          | None -> Printf.sprintf "P%d" i
+        in
+        let arity = Random.State.int state (config.max_arity + 1) in
+        (name, List.init arity (fun _ -> pick state types)))
+  in
+  let voc = Ty_vocabulary.make ~types ~constants ~predicates in
+  let n_facts = Random.State.int state (config.max_facts + 1) in
+  let facts =
+    List.filter_map
+      (fun _ ->
+        let p, signature = pick state predicates in
+        let args =
+          List.map (fun tau -> Ty_vocabulary.constants_of_type voc tau) signature
+        in
+        if List.exists (fun choices -> choices = []) args then None
+        else Some (p, List.map (pick state) args))
+      (List.init n_facts Fun.id)
+  in
+  let distinct =
+    List.filter
+      (fun (c, d) ->
+        String.equal
+          (Ty_vocabulary.constant_type voc c)
+          (Ty_vocabulary.constant_type voc d)
+        && Random.State.float state 1.0 >= config.unknown_density)
+      (all_pairs constant_names)
+  in
+  let tdb = Ty_database.make ~vocabulary:voc ~facts ~distinct in
+  let arity = Random.State.int state (config.max_query_arity + 1) in
+  let head =
+    List.init arity (fun i -> (Printf.sprintf "q%d" i, pick state types))
+  in
+  let body = typed_formula ~profile:config.profile ~state voc ~env:head in
+  let tquery = Ty_query.make head body in
+  { tseed = seed; tindex = index; tdb; tquery }
+
+let pp_typed_instance ppf i =
+  Fmt.pf ppf "@[<v>typed instance %d/%d@,%a@,query: %a@]" i.tseed i.tindex
+    Ty_database.pp i.tdb Ty_query.pp i.tquery

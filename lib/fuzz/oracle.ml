@@ -1,0 +1,310 @@
+module Formula = Vardi_logic.Formula
+module Query = Vardi_logic.Query
+module Parser = Vardi_logic.Parser
+module Pretty = Vardi_logic.Pretty
+module Relation = Vardi_relational.Relation
+module Cw_database = Vardi_cwdb.Cw_database
+module Certain = Vardi_certain.Engine
+module Approx = Vardi_approx.Evaluate
+module Naive_tables = Vardi_approx.Naive_tables
+module Ty_database = Vardi_typed.Ty_database
+module Ty_query = Vardi_typed.Ty_query
+module Ty_parser = Vardi_typed.Ty_parser
+module Ldb_format = Vardi_format.Ldb_format
+module Tldb_format = Vardi_format.Tldb_format
+module Obs = Vardi_obs.Obs
+
+type violation = {
+  oracle : string;
+  detail : string;
+}
+
+let pp_violation ppf v = Fmt.pf ppf "[%s] %s" v.oracle v.detail
+
+let oracle_ids =
+  [
+    "exact-reference";
+    "exact-merge-first";
+    "exact-naive-mappings";
+    "exact-parallel";
+    "approx-backend-algebra";
+    "approx-backend-optimized";
+    "approx-sound";
+    "approx-complete";
+    "naive-tables-positive";
+    "certain-subset-possible";
+    "possible-duality";
+    "member-consistency";
+    "query-roundtrip";
+    "ldb-roundtrip";
+    "typed-approx-sound";
+    "typed-query-roundtrip";
+    "tldb-roundtrip";
+  ]
+
+(* Enumeration budgets: the generated databases are tiny, but a caller
+   may fuzz bigger shapes; skip the reference algorithms (not the
+   default engine) when their search space explodes. *)
+let naive_mapping_budget = 5_000
+let member_budget = 1_000
+
+let pow_up_to cap base exponent =
+  let rec go acc n = if n = 0 || acc > cap then acc else go (acc * base) (n - 1) in
+  if base = 0 then if exponent = 0 then 1 else 0 else go 1 exponent
+
+type ctx = {
+  mutable violations : violation list;
+  mutable checks : int;
+}
+
+let add ctx oracle detail =
+  Obs.count "fuzz.violations" 1;
+  ctx.violations <- { oracle; detail } :: ctx.violations
+
+(* Run one engine call under an oracle's name: an exception from a
+   well-formed instance is itself a violation (crash oracle). *)
+let guard ctx oracle f =
+  ctx.checks <- ctx.checks + 1;
+  match f () with
+  | value -> Some value
+  | exception e ->
+    add ctx oracle (Printf.sprintf "raised %s" (Printexc.to_string e));
+    None
+
+let rel = Fmt.to_to_string Relation.pp
+
+let expect_equal_rel ctx oracle ~reference ~label f =
+  match guard ctx oracle f with
+  | None -> ()
+  | Some actual ->
+    if not (Relation.equal reference actual) then
+      add ctx oracle
+        (Printf.sprintf "%s disagrees: reference %s, got %s" label
+           (rel reference) (rel actual))
+
+let expect_equal_bool ctx oracle ~reference ~label f =
+  match guard ctx oracle f with
+  | None -> ()
+  | Some actual ->
+    if actual <> reference then
+      add ctx oracle
+        (Printf.sprintf "%s disagrees: reference %b, got %b" label reference
+           actual)
+
+(* --- shared round-trip oracles --- *)
+
+let check_query_roundtrip ctx q =
+  match
+    guard ctx "query-roundtrip" (fun () ->
+        Parser.query (Pretty.query_to_string q))
+  with
+  | None -> ()
+  | Some q' ->
+    if not (Query.equal q q') then
+      add ctx "query-roundtrip"
+        (Printf.sprintf "printed %S, reparsed as %S"
+           (Pretty.query_to_string q)
+           (Pretty.query_to_string q'))
+
+let check_ldb_roundtrip ctx db =
+  match
+    guard ctx "ldb-roundtrip" (fun () -> Ldb_format.parse (Ldb_format.print db))
+  with
+  | None -> ()
+  | Some db' ->
+    if not (Cw_database.equal db db') then
+      add ctx "ldb-roundtrip"
+        (Printf.sprintf "printed form reparses differently:\n%s"
+           (Ldb_format.print db))
+
+(* --- the differential engine oracles --- *)
+
+let check_boolean ctx ~domains db q =
+  match
+    guard ctx "exact-reference" (fun () ->
+        Certain.certain_boolean ~algorithm:Certain.Kernel_partitions
+          ~order:Certain.Fresh_first db q)
+  with
+  | None -> ()
+  | Some exact ->
+    expect_equal_bool ctx "exact-merge-first" ~reference:exact
+      ~label:"Merge_first order" (fun () ->
+        Certain.certain_boolean ~order:Certain.Merge_first db q);
+    let n = List.length (Cw_database.constants db) in
+    if pow_up_to naive_mapping_budget n n <= naive_mapping_budget then
+      expect_equal_bool ctx "exact-naive-mappings" ~reference:exact
+        ~label:"Naive_mappings algorithm" (fun () ->
+          Certain.certain_boolean ~algorithm:Certain.Naive_mappings db q);
+    expect_equal_bool ctx "exact-parallel" ~reference:exact
+      ~label:(Printf.sprintf "domains=%d" domains) (fun () ->
+        Certain.certain_boolean ~domains db q);
+    (match
+       guard ctx "approx-sound" (fun () -> Approx.boolean db q)
+     with
+    | None -> ()
+    | Some approx ->
+      if approx && not exact then
+        add ctx "approx-sound"
+          (Printf.sprintf "approximation affirms a non-certain sentence");
+      (match Approx.completeness db q with
+      | Approx.Sound_only -> ()
+      | Approx.Complete_fully_specified | Approx.Complete_positive ->
+        if approx <> exact then
+          add ctx "approx-complete"
+            (Printf.sprintf
+               "completeness theorem applies but approx %b <> exact %b" approx
+               exact)));
+    if Query.is_positive q then
+      expect_equal_bool ctx "naive-tables-positive" ~reference:exact
+        ~label:"naive tables on a positive query" (fun () ->
+          Naive_tables.boolean db q);
+    (match
+       guard ctx "possible-duality" (fun () -> Certain.possible_boolean db q)
+     with
+    | None -> ()
+    | Some possible ->
+      if exact && not possible then
+        add ctx "certain-subset-possible"
+          "certainly true but not even possibly true";
+      expect_equal_bool ctx "possible-duality" ~reference:possible
+        ~label:"possible = ~certain(~phi)" (fun () ->
+          not
+            (Certain.certain_boolean db
+               (Query.boolean (Formula.Not (Query.body q))))))
+
+let check_relational ctx ~domains db q =
+  match
+    guard ctx "exact-reference" (fun () ->
+        Certain.answer ~algorithm:Certain.Kernel_partitions
+          ~order:Certain.Fresh_first db q)
+  with
+  | None -> ()
+  | Some exact ->
+    expect_equal_rel ctx "exact-merge-first" ~reference:exact
+      ~label:"Merge_first order" (fun () ->
+        Certain.answer ~order:Certain.Merge_first db q);
+    let n = List.length (Cw_database.constants db) in
+    if pow_up_to naive_mapping_budget n n <= naive_mapping_budget then
+      expect_equal_rel ctx "exact-naive-mappings" ~reference:exact
+        ~label:"Naive_mappings algorithm" (fun () ->
+          Certain.answer ~algorithm:Certain.Naive_mappings db q);
+    expect_equal_rel ctx "exact-parallel" ~reference:exact
+      ~label:(Printf.sprintf "domains=%d" domains) (fun () ->
+        Certain.answer ~domains db q);
+    (match
+       guard ctx "approx-sound" (fun () -> Approx.answer db q)
+     with
+    | None -> ()
+    | Some approx ->
+      if not (Relation.subset approx exact) then
+        add ctx "approx-sound"
+          (Printf.sprintf "Theorem 11 violated: approx %s not within exact %s"
+             (rel approx) (rel exact));
+      (match Approx.completeness db q with
+      | Approx.Sound_only -> ()
+      | Approx.Complete_fully_specified | Approx.Complete_positive ->
+        if not (Relation.equal approx exact) then
+          add ctx "approx-complete"
+            (Printf.sprintf
+               "completeness theorem applies but approx %s <> exact %s"
+               (rel approx) (rel exact)));
+      expect_equal_rel ctx "approx-backend-algebra" ~reference:approx
+        ~label:"Algebra backend" (fun () ->
+          Approx.answer ~backend:Approx.Algebra db q);
+      expect_equal_rel ctx "approx-backend-optimized" ~reference:approx
+        ~label:"optimized Algebra backend" (fun () ->
+          Approx.answer ~backend:Approx.Algebra_optimized db q));
+    if Query.is_positive q then
+      expect_equal_rel ctx "naive-tables-positive" ~reference:exact
+        ~label:"naive tables on a positive query" (fun () ->
+          Naive_tables.answer db q);
+    (match
+       guard ctx "certain-subset-possible" (fun () ->
+           Certain.possible_answer db q)
+     with
+    | None -> ()
+    | Some possible ->
+      if not (Relation.subset exact possible) then
+        add ctx "certain-subset-possible"
+          (Printf.sprintf "certain %s not within possible %s" (rel exact)
+             (rel possible)));
+    let k = Query.arity q in
+    let constants = Cw_database.constants db in
+    if pow_up_to member_budget (List.length constants) k <= member_budget then
+      let rec tuples k =
+        if k = 0 then [ [] ]
+        else
+          List.concat_map
+            (fun tl -> List.map (fun c -> c :: tl) constants)
+            (tuples (k - 1))
+      in
+      List.iter
+        (fun tuple ->
+          expect_equal_bool ctx "member-consistency"
+            ~reference:(Relation.mem tuple exact)
+            ~label:
+              (Printf.sprintf "certain_member on (%s)"
+                 (String.concat ", " tuple))
+            (fun () -> Certain.certain_member db q tuple))
+        (tuples k)
+
+let check ?(domains = 2) db q =
+  let ctx = { violations = []; checks = 0 } in
+  Obs.span "fuzz.oracle" (fun () ->
+      check_query_roundtrip ctx q;
+      check_ldb_roundtrip ctx db;
+      if Query.is_boolean q then check_boolean ctx ~domains db q
+      else check_relational ctx ~domains db q;
+      Obs.count "fuzz.checks" ctx.checks);
+  List.rev ctx.violations
+
+(* --- typed oracles --- *)
+
+let ty_query_to_string = Fmt.to_to_string Ty_parser.pp_query
+
+let check_typed tdb tq =
+  let ctx = { violations = []; checks = 0 } in
+  Obs.span "fuzz.oracle_typed" (fun () ->
+      (match
+         guard ctx "typed-query-roundtrip" (fun () ->
+             Ty_parser.query (ty_query_to_string tq))
+       with
+      | None -> ()
+      | Some tq' ->
+        if
+          not
+            (String.equal (ty_query_to_string tq) (ty_query_to_string tq'))
+        then
+          add ctx "typed-query-roundtrip"
+            (Printf.sprintf "printed %S, reparsed as %S"
+               (ty_query_to_string tq) (ty_query_to_string tq')));
+      (match
+         guard ctx "tldb-roundtrip" (fun () ->
+             Tldb_format.parse (Tldb_format.print tdb))
+       with
+      | None -> ()
+      | Some tdb' ->
+        if
+          not
+            (Cw_database.equal (Ty_database.to_cw tdb)
+               (Ty_database.to_cw tdb'))
+        then
+          add ctx "tldb-roundtrip"
+            (Printf.sprintf "printed form describes a different database:\n%s"
+               (Tldb_format.print tdb)));
+      (match
+         ( guard ctx "typed-approx-sound" (fun () ->
+               Ty_query.approx_answer tdb tq),
+           guard ctx "typed-approx-sound" (fun () ->
+               Ty_query.certain_answer tdb tq) )
+       with
+      | Some approx, Some exact ->
+        if not (Relation.subset approx exact) then
+          add ctx "typed-approx-sound"
+            (Printf.sprintf
+               "Theorem 11 violated through the typed elaboration: approx %s \
+                not within exact %s"
+               (rel approx) (rel exact))
+      | _ -> ());
+      Obs.count "fuzz.checks" ctx.checks);
+  List.rev ctx.violations

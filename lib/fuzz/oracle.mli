@@ -1,0 +1,62 @@
+(** Theorem-level oracles for differential fuzzing.
+
+    Each oracle states a property the paper proves (or the
+    implementation documents) and checks it by running the same
+    [(LB, Q)] instance through independent code paths:
+
+    - [exact-merge-first], [exact-naive-mappings], [exact-parallel]:
+      the exact certain-answer engine agrees with itself across
+      structure orders, algorithms (Theorem 1's literal mapping
+      enumeration vs kernel partitions) and worker-domain counts;
+    - [approx-sound]: Theorem 11, [A(Q, LB) ⊆ Q(LB)];
+    - [approx-complete]: Theorems 12/13 — equality whenever
+      {!Vardi_approx.Evaluate.completeness} says a completeness
+      theorem applies;
+    - [approx-backend-algebra], [approx-backend-optimized]: the
+      Tarskian, algebra and optimized-algebra backends agree;
+    - [naive-tables-positive]: on positive queries the naive-tables
+      baseline equals the certain answer (Imielinski–Lipski);
+    - [certain-subset-possible], [possible-duality]: modal sanity —
+      certain ⊆ possible, and for sentences
+      [possible φ ⟺ ¬certain(¬φ)];
+    - [member-consistency]: [certain_member] agrees pointwise with the
+      materialized {!Vardi_certain.Engine.answer};
+    - [query-roundtrip], [ldb-roundtrip]: pretty-printed queries and
+      databases reparse to equal values;
+    - typed lane: [typed-approx-sound], [typed-query-roundtrip],
+      [tldb-roundtrip] — the same properties through the
+      {!Vardi_typed} elaboration.
+
+    An engine exception on a well-formed instance is reported as a
+    violation of the oracle whose check raised it (crash oracle), so
+    the driver never dies mid-stream.
+
+    The reference algorithms with exponential enumeration
+    ([Naive_mappings], the [member-consistency] tuple sweep) are
+    skipped when their search space exceeds a small internal budget;
+    the default engine paths are always checked. *)
+
+type violation = {
+  oracle : string;  (** oracle identifier, one of {!oracle_ids} *)
+  detail : string;  (** human-readable discrepancy description *)
+}
+
+val pp_violation : violation Fmt.t
+
+(** All oracle identifiers that can appear in {!violation.oracle}. *)
+val oracle_ids : string list
+
+(** [check ?domains db q] runs every applicable oracle and returns the
+    violations, in check order (empty means the instance passed).
+    [domains] (default 2) is the worker count for the parallel-engine
+    comparison. Emits a [fuzz.oracle] span and [fuzz.checks] /
+    [fuzz.violations] counters. *)
+val check :
+  ?domains:int ->
+  Vardi_cwdb.Cw_database.t ->
+  Vardi_logic.Query.t ->
+  violation list
+
+(** [check_typed tdb tq] runs the typed-lane oracles. *)
+val check_typed :
+  Vardi_typed.Ty_database.t -> Vardi_typed.Ty_query.t -> violation list

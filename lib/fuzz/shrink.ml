@@ -1,0 +1,188 @@
+module Formula = Vardi_logic.Formula
+module Term = Vardi_logic.Term
+module Query = Vardi_logic.Query
+module Vocabulary = Vardi_logic.Vocabulary
+module Cw_database = Vardi_cwdb.Cw_database
+module Obs = Vardi_obs.Obs
+
+type case = {
+  db : Cw_database.t;
+  query : Query.t;
+}
+
+(* Smaller is better. Unknown pairs weigh double so that closing an
+   unknown (adding a uniqueness axiom — which *grows* the axiom list)
+   still counts as progress: it removes more incompleteness than it
+   adds text. *)
+let cost { db; query } =
+  let constants = Cw_database.constants db in
+  let n = List.length constants in
+  let unknown_pairs = (n * (n - 1) / 2) - List.length (Cw_database.distinct_pairs db) in
+  Cw_database.size db + (2 * unknown_pairs)
+  + Formula.size (Query.body query)
+  + List.length (Query.head query)
+
+(* --- candidate moves, cheapest first --- *)
+
+let remove_nth n xs = List.filteri (fun i _ -> i <> n) xs
+
+let drop_fact { db; query } =
+  let facts = Cw_database.facts db in
+  List.init (List.length facts) (fun i ->
+      {
+        db =
+          Cw_database.make
+            ~vocabulary:(Cw_database.vocabulary db)
+            ~facts:(remove_nth i facts)
+            ~distinct:(Cw_database.distinct_pairs db);
+        query;
+      })
+
+(* Close an unknown identity: add the missing uniqueness axiom. *)
+let close_unknown { db; query } =
+  let constants = Cw_database.constants db in
+  let missing =
+    List.concat_map
+      (fun c ->
+        List.filter_map
+          (fun d ->
+            if String.compare c d < 0 && not (Cw_database.are_distinct db c d)
+            then Some (c, d)
+            else None)
+          constants)
+      constants
+  in
+  List.map
+    (fun (c, d) -> { db = Cw_database.add_distinct db c d; query })
+    missing
+
+(* Drop a constant nobody mentions (the vocabulary must keep >= 1). *)
+let drop_constant { db; query } =
+  let voc = Cw_database.vocabulary db in
+  let constants = Vocabulary.constants voc in
+  if List.length constants <= 1 then []
+  else
+    let used =
+      List.concat_map (fun f -> f.Cw_database.args) (Cw_database.facts db)
+      @ List.concat_map
+          (fun (c, d) -> [ c; d ])
+          (Cw_database.distinct_pairs db)
+      @ Formula.constants (Query.body query)
+    in
+    List.filter_map
+      (fun c ->
+        if List.mem c used then None
+        else
+          Some
+            {
+              db =
+                Cw_database.make
+                  ~vocabulary:
+                    (Vocabulary.make
+                       ~constants:(List.filter (fun d -> not (String.equal c d)) constants)
+                       ~predicates:(Vocabulary.predicates voc))
+                  ~facts:(Cw_database.facts db)
+                  ~distinct:(Cw_database.distinct_pairs db);
+              query;
+            })
+      constants
+
+(* Structurally smaller bodies: replace a subformula by one of its
+   children, or by True/False. *)
+let subformula_replacements f =
+  let open Formula in
+  let rec shrinks f =
+    let leaves = match f with True | False -> [] | _ -> [ True; False ] in
+    let local =
+      match f with
+      | True | False | Eq _ | Atom _ -> []
+      | Not g -> [ g ]
+      | And (g, h) | Or (g, h) | Implies (g, h) | Iff (g, h) -> [ g; h ]
+      | Exists (_, g) | Forall (_, g) -> [ g ]
+      | Exists2 (_, _, g) | Forall2 (_, _, g) -> [ g ]
+    in
+    let deeper =
+      match f with
+      | True | False | Eq _ | Atom _ -> []
+      | Not g -> List.map not_ (shrinks g)
+      | And (g, h) ->
+        List.map (fun g' -> And (g', h)) (shrinks g)
+        @ List.map (fun h' -> And (g, h')) (shrinks h)
+      | Or (g, h) ->
+        List.map (fun g' -> Or (g', h)) (shrinks g)
+        @ List.map (fun h' -> Or (g, h')) (shrinks h)
+      | Implies (g, h) ->
+        List.map (fun g' -> Implies (g', h)) (shrinks g)
+        @ List.map (fun h' -> Implies (g, h')) (shrinks h)
+      | Iff (g, h) ->
+        List.map (fun g' -> Iff (g', h)) (shrinks g)
+        @ List.map (fun h' -> Iff (g, h')) (shrinks h)
+      | Exists (x, g) -> List.map (fun g' -> Exists (x, g')) (shrinks g)
+      | Forall (x, g) -> List.map (fun g' -> Forall (x, g')) (shrinks g)
+      | Exists2 (p, k, g) -> List.map (fun g' -> Exists2 (p, k, g')) (shrinks g)
+      | Forall2 (p, k, g) -> List.map (fun g' -> Forall2 (p, k, g')) (shrinks g)
+    in
+    local @ leaves @ deeper
+  in
+  shrinks f
+
+let shrink_body { db; query } =
+  List.filter_map
+    (fun body ->
+      (* Query.make rejects bodies whose free variables escaped the
+         head; such replacements are simply not candidates. *)
+      match Query.make (Query.head query) body with
+      | query -> Some { db; query }
+      | exception Invalid_argument _ -> None)
+    (subformula_replacements (Query.body query))
+
+(* Drop head variables the body never mentions. *)
+let shrink_head { db; query } =
+  let free = Formula.free_vars (Query.body query) in
+  let head = Query.head query in
+  List.filter_map
+    (fun x ->
+      if List.mem x free then None
+      else
+        Some
+          {
+            db;
+            query =
+              Query.make
+                (List.filter (fun y -> not (String.equal x y)) head)
+                (Query.body query);
+          })
+    head
+
+let candidates case =
+  List.concat
+    [
+      shrink_body case;
+      drop_fact case;
+      close_unknown case;
+      shrink_head case;
+      drop_constant case;
+    ]
+
+let max_steps = 500
+
+let minimize ~still_failing case =
+  Obs.span "fuzz.shrink" (fun () ->
+      let rec go steps case =
+        if steps >= max_steps then case
+        else
+          let current = cost case in
+          let improvement =
+            List.find_opt
+              (fun candidate ->
+                cost candidate < current
+                && (try still_failing candidate with _ -> false))
+              (candidates case)
+          in
+          match improvement with
+          | None -> case
+          | Some smaller ->
+            Obs.count "fuzz.shrink_steps" 1;
+            go (steps + 1) smaller
+      in
+      go 0 case)

@@ -1,0 +1,33 @@
+(** Greedy shrinking of failing fuzz instances.
+
+    Given a case that violates an oracle, repeatedly try strictly
+    cost-reducing moves — replace a subformula by a child or by
+    [True]/[False], drop a fact, close an unknown identity (add the
+    missing uniqueness axiom), drop an unused head variable, drop an
+    unreferenced constant — keeping a move only when the caller's
+    predicate confirms the {e same} failure persists. First-improvement
+    greedy descent, capped at an internal step budget; the result is a
+    local minimum, typically a handful of facts and a one-connective
+    body. *)
+
+type case = {
+  db : Vardi_cwdb.Cw_database.t;
+  query : Vardi_logic.Query.t;
+}
+
+(** The metric minimized: database size plus formula size plus head
+    arity, with {e unknown} (axiom-less) constant pairs weighted double
+    — so closing an unknown counts as progress even though it adds an
+    axiom. Exposed for the test suite. *)
+val cost : case -> int
+
+(** All one-step shrink candidates of a case (not filtered by any
+    failure predicate). Exposed for the test suite. *)
+val candidates : case -> case list
+
+(** [minimize ~still_failing case] greedily descends while
+    [still_failing] holds on a cheaper candidate. [still_failing]
+    should re-run the violated oracle and check the {e same} oracle id
+    still fires (a predicate that raises is treated as [false]). Emits
+    a [fuzz.shrink] span and a [fuzz.shrink_steps] counter. *)
+val minimize : still_failing:(case -> bool) -> case -> case

@@ -1,10 +1,21 @@
 type profile = {
   depth : int;
+  quantifier_depth : int;
   allow_negation : bool;
   allow_quantifiers : bool;
+  var_pool : string list;
 }
 
-let default_profile = { depth = 3; allow_negation = true; allow_quantifiers = true }
+let default_var_pool = [ "gx"; "gy"; "gz" ]
+
+let default_profile =
+  {
+    depth = 3;
+    quantifier_depth = 2;
+    allow_negation = true;
+    allow_quantifiers = true;
+    var_pool = default_var_pool;
+  }
 
 let pick state xs = List.nth xs (Random.State.int state (List.length xs))
 
@@ -23,33 +34,36 @@ let gen_atom state vocabulary vars =
   let equality () =
     Formula.Eq (gen_term state vocabulary vars, gen_term state vocabulary vars)
   in
-  if predicates = [] || Random.State.int state 4 = 0 then
+  let can_equate = vars <> [] || Vocabulary.constants vocabulary <> [] in
+  if predicates = [] || (can_equate && Random.State.int state 4 = 0) then
     (* Equality needs at least one term source. *)
     equality ()
   else
     let p, k = pick state predicates in
     Formula.Atom (p, List.init k (fun _ -> gen_term state vocabulary vars))
 
-let var_pool = [ "gx"; "gy"; "gz" ]
-
 let formula ?(profile = default_profile) ~state vocabulary ~vars =
-  let rec go depth vars =
+  let var_pool =
+    if profile.var_pool = [] then default_var_pool else profile.var_pool
+  in
+  let rec go depth qdepth vars =
     if depth = 0 then gen_atom state vocabulary vars
     else
       let choice = Random.State.int state 10 in
-      let sub () = go (depth - 1) vars in
+      let sub () = go (depth - 1) qdepth vars in
+      let quantifiers_ok = profile.allow_quantifiers && qdepth > 0 in
       match choice with
       | 0 | 1 -> gen_atom state vocabulary vars
       | 2 | 3 -> Formula.And (sub (), sub ())
       | 4 | 5 -> Formula.Or (sub (), sub ())
       | 6 when profile.allow_negation -> Formula.Not (sub ())
       | 7 when profile.allow_negation -> Formula.Implies (sub (), sub ())
-      | 8 when profile.allow_quantifiers ->
+      | 8 when quantifiers_ok ->
         let x = pick state var_pool in
-        Formula.Exists (x, go (depth - 1) (x :: vars))
-      | 9 when profile.allow_quantifiers ->
+        Formula.Exists (x, go (depth - 1) (qdepth - 1) (x :: vars))
+      | 9 when quantifiers_ok ->
         let x = pick state var_pool in
-        Formula.Forall (x, go (depth - 1) (x :: vars))
+        Formula.Forall (x, go (depth - 1) (qdepth - 1) (x :: vars))
       | _ -> gen_atom state vocabulary vars
   in
   (* Ensure atoms are constructible. *)
@@ -58,7 +72,7 @@ let formula ?(profile = default_profile) ~state vocabulary ~vars =
     && Vocabulary.constants vocabulary = []
     && Vocabulary.predicates vocabulary = []
   then invalid_arg "Generate: empty vocabulary and no variables";
-  go profile.depth vars
+  go profile.depth profile.quantifier_depth vars
 
 let sentence ?profile ~state vocabulary =
   let f = formula ?profile ~state vocabulary ~vars:[] in
@@ -71,3 +85,36 @@ let query ?profile ~state vocabulary ~arity =
   let head = List.init arity (Printf.sprintf "q%d") in
   let f = formula ?profile ~state vocabulary ~vars:head in
   Query.make head f
+
+(* ------------------------------------------------------------------ *)
+(* Random vocabularies.                                                *)
+
+let constant_pool =
+  [ "a"; "b"; "c"; "d"; "e"; "f"; "g"; "h"; "i"; "j" ]
+
+let predicate_pool = [ "P"; "Q"; "R"; "S"; "T"; "W" ]
+
+let vocabulary ?(max_constants = 4) ?(max_predicates = 3) ?(max_arity = 2)
+    ~state () =
+  if max_constants < 1 then
+    invalid_arg "Generate.vocabulary: max_constants must be at least 1";
+  if max_predicates < 1 then
+    invalid_arg "Generate.vocabulary: max_predicates must be at least 1";
+  if max_arity < 0 then
+    invalid_arg "Generate.vocabulary: max_arity must be non-negative";
+  let take pool n base =
+    List.init n (fun i ->
+        match List.nth_opt pool i with
+        | Some name -> name
+        | None -> Printf.sprintf "%s%d" base i)
+  in
+  let constants =
+    take constant_pool
+      (1 + Random.State.int state max_constants)
+      "c"
+  in
+  let predicates =
+    take predicate_pool (1 + Random.State.int state max_predicates) "P"
+    |> List.map (fun p -> (p, Random.State.int state (max_arity + 1)))
+  in
+  Vocabulary.make ~constants ~predicates

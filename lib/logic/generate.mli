@@ -1,4 +1,5 @@
-(** Seeded random generation of formulas and queries — a fuzzing aid
+(** Seeded random generation of vocabularies, formulas and queries — the
+    substrate of the {!Vardi_fuzz} differential fuzzer and a fuzzing aid
     for engine implementors (the test suite's property-based tests use
     an equivalent QCheck generator; this one has no test-framework
     dependency and is part of the public API).
@@ -6,12 +7,21 @@
     All generation is deterministic in the [Random.State.t]. Generated
     formulas are well-formed over the given vocabulary: predicates are
     applied at their declared arity, constants are drawn from the
-    vocabulary, and quantified variables are drawn from a fixed pool. *)
+    vocabulary, and quantified variables are drawn from the profile's
+    variable pool. *)
 
 type profile = {
   depth : int;  (** maximum connective nesting (default 3) *)
-  allow_negation : bool;  (** include [¬], [→], [↔] (default true) *)
+  quantifier_depth : int;
+    (** maximum {e quantifier} nesting, bounded separately from [depth]
+        so the certain-answer engines' cost stays predictable
+        (default 2) *)
+  allow_negation : bool;  (** include [¬], [→] (default true) *)
   allow_quantifiers : bool;  (** include [∃]/[∀] (default true) *)
+  var_pool : string list;
+    (** names for quantified variables (default [gx]/[gy]/[gz]; keep
+        them disjoint from the vocabulary's constants, or the printed
+        concrete syntax becomes ambiguous) *)
 }
 
 val default_profile : profile
@@ -41,3 +51,26 @@ val query :
   Vocabulary.t ->
   arity:int ->
   Query.t
+
+(** Name pools the vocabulary generator draws from, in order:
+    constants [a], [b], ... and predicates [P], [Q], ... (overflow
+    falls back to [c<i>] / [P<i>]). Exposed so downstream generators
+    (e.g. {!Vardi_fuzz}) can build matching vocabularies. *)
+val constant_pool : string list
+
+val predicate_pool : string list
+
+(** [vocabulary ~state ()] generates a random vocabulary with
+    [1 .. max_constants] constants (names [a], [b], ...) and
+    [1 .. max_predicates] predicates (names [P], [Q], ...) of arity
+    [0 .. max_arity]. Defaults: 4 constants, 3 predicates, arity 2.
+    Constant and variable-pool names are disjoint by construction.
+    @raise Invalid_argument when [max_constants < 1],
+    [max_predicates < 1], or [max_arity < 0]. *)
+val vocabulary :
+  ?max_constants:int ->
+  ?max_predicates:int ->
+  ?max_arity:int ->
+  state:Random.State.t ->
+  unit ->
+  Vocabulary.t

@@ -68,7 +68,15 @@ let tokenize input =
           let k = go' j in
           scan k ({ token = IDENT (String.sub input i (k - i)); pos = i } :: acc)
         end
-        else scan j ({ token = INT (int_of_string lexeme); pos = i } :: acc)
+        else
+          (* Digit runs beyond [max_int] are identifier-like constants,
+             not lex errors: numerals are constant symbols anyway. *)
+          let token =
+            match int_of_string_opt lexeme with
+            | Some value -> INT value
+            | None -> IDENT lexeme
+          in
+          scan j ({ token; pos = i } :: acc)
       else if is_ident_start c then begin
         let rec go j =
           if j < n && is_ident_char input.[j] then go (j + 1) else j

@@ -58,97 +58,119 @@ let rec pred_binders st acc =
 let term_of_ident vars name =
   if String_set.mem name vars then Term.Var name else Term.Const name
 
-let rec parse_iff st vars =
-  let lhs = parse_implies st vars in
+(* Cap on syntactic nesting. Recursive descent uses the OCaml stack, so
+   without a bound adversarial input ("~~~~~...", "((((...") kills the
+   process with [Stack_overflow] instead of raising the documented
+   [Parse_error]. The cap is far above anything the pretty-printer or a
+   human produces, and low enough to stay well inside the stack. [d]
+   counts the nesting points where the stack genuinely grows: negation,
+   quantifier bodies, parenthesized groups and implication right-hand
+   sides (the one right-recursive binary case). *)
+let max_nesting = 10_000
+
+let check_nesting st d =
+  if d > max_nesting then
+    error (peek st)
+      (Fmt.str "formula nesting exceeds the maximum depth of %d" max_nesting)
+
+let rec parse_iff st d vars =
+  let lhs = parse_implies st d vars in
   match (peek st).Lexer.token with
   | Lexer.DARROW ->
     advance st;
-    let rhs = parse_implies st vars in
-    parse_iff_tail st vars (Formula.Iff (lhs, rhs))
+    let rhs = parse_implies st d vars in
+    parse_iff_tail st d vars (Formula.Iff (lhs, rhs))
   | _ -> lhs
 
-and parse_iff_tail st vars acc =
+and parse_iff_tail st d vars acc =
   match (peek st).Lexer.token with
   | Lexer.DARROW ->
     advance st;
-    let rhs = parse_implies st vars in
-    parse_iff_tail st vars (Formula.Iff (acc, rhs))
+    let rhs = parse_implies st d vars in
+    parse_iff_tail st d vars (Formula.Iff (acc, rhs))
   | _ -> acc
 
-and parse_implies st vars =
-  let lhs = parse_or st vars in
+and parse_implies st d vars =
+  let lhs = parse_or st d vars in
   match (peek st).Lexer.token with
   | Lexer.ARROW ->
     advance st;
-    let rhs = parse_implies st vars in
+    check_nesting st d;
+    let rhs = parse_implies st (d + 1) vars in
     Formula.Implies (lhs, rhs)
   | _ -> lhs
 
-and parse_or st vars =
-  let lhs = parse_and st vars in
-  parse_or_tail st vars lhs
+and parse_or st d vars =
+  let lhs = parse_and st d vars in
+  parse_or_tail st d vars lhs
 
-and parse_or_tail st vars acc =
+and parse_or_tail st d vars acc =
   match (peek st).Lexer.token with
   | Lexer.OR ->
     advance st;
-    let rhs = parse_and st vars in
-    parse_or_tail st vars (Formula.Or (acc, rhs))
+    let rhs = parse_and st d vars in
+    parse_or_tail st d vars (Formula.Or (acc, rhs))
   | _ -> acc
 
-and parse_and st vars =
-  let lhs = parse_unary st vars in
-  parse_and_tail st vars lhs
+and parse_and st d vars =
+  let lhs = parse_unary st d vars in
+  parse_and_tail st d vars lhs
 
-and parse_and_tail st vars acc =
+and parse_and_tail st d vars acc =
   match (peek st).Lexer.token with
   | Lexer.AND ->
     advance st;
-    let rhs = parse_unary st vars in
-    parse_and_tail st vars (Formula.And (acc, rhs))
+    let rhs = parse_unary st d vars in
+    parse_and_tail st d vars (Formula.And (acc, rhs))
   | _ -> acc
 
-and parse_unary st vars =
+and parse_unary st d vars =
   let t = peek st in
   match t.Lexer.token with
   | Lexer.NOT ->
     advance st;
-    Formula.Not (parse_unary st vars)
+    check_nesting st d;
+    Formula.Not (parse_unary st (d + 1) vars)
   | Lexer.EXISTS ->
     advance st;
     let xs = binders st [] in
     expect st Lexer.DOT "'.' after the quantified variables";
     let vars' = List.fold_left (fun s x -> String_set.add x s) vars xs in
-    let body = parse_iff st vars' in
+    check_nesting st d;
+    let body = parse_iff st (d + 1) vars' in
     Formula.exists_many xs body
   | Lexer.FORALL ->
     advance st;
     let xs = binders st [] in
     expect st Lexer.DOT "'.' after the quantified variables";
     let vars' = List.fold_left (fun s x -> String_set.add x s) vars xs in
-    let body = parse_iff st vars' in
+    check_nesting st d;
+    let body = parse_iff st (d + 1) vars' in
     Formula.forall_many xs body
   | Lexer.EXISTS2 ->
     advance st;
     let ps = pred_binders st [] in
     expect st Lexer.DOT "'.' after the quantified predicates";
-    let body = parse_iff st vars in
+    check_nesting st d;
+    let body = parse_iff st (d + 1) vars in
     List.fold_right (fun (p, k) f -> Formula.Exists2 (p, k, f)) ps body
   | Lexer.FORALL2 ->
     advance st;
     let ps = pred_binders st [] in
     expect st Lexer.DOT "'.' after the quantified predicates";
-    let body = parse_iff st vars in
+    check_nesting st d;
+    let body = parse_iff st (d + 1) vars in
     List.fold_right (fun (p, k) f -> Formula.Forall2 (p, k, f)) ps body
-  | _ -> parse_atomic st vars
+  | _ -> parse_atomic st d vars
 
-and parse_atomic st vars =
+and parse_atomic st d vars =
   let t = next st in
   match t.Lexer.token with
   | Lexer.TRUE -> Formula.True
   | Lexer.FALSE -> Formula.False
   | Lexer.LPAREN ->
-    let f = parse_iff st vars in
+    check_nesting st d;
+    let f = parse_iff st (d + 1) vars in
     expect st Lexer.RPAREN "')'";
     f
   | Lexer.IDENT name -> parse_after_name st vars name
@@ -206,7 +228,7 @@ let finish st what =
 let formula ?(free_vars = []) input =
   let st = make_state input in
   let vars = String_set.of_list free_vars in
-  let f = parse_iff st vars in
+  let f = parse_iff st 0 vars in
   finish st "the formula";
   f
 
@@ -221,7 +243,7 @@ let query input =
   expect st Lexer.RPAREN "')' closing the query head";
   expect st Lexer.DOT "'.' after the query head";
   let vars = String_set.of_list head in
-  let body = parse_iff st vars in
+  let body = parse_iff st 0 vars in
   finish st "the query";
   Query.make head body
 

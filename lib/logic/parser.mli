@@ -12,6 +12,14 @@ exception Parse_error of int * string
 
 (** [formula ~free_vars s] parses a formula; identifiers in [free_vars]
     are read as free variables.
+
+    Malformed input raises {!Parse_error} or {!Lexer.Lex_error} — never
+    [Stack_overflow] or an assertion failure: syntactic nesting is
+    capped (far above anything {!Pretty} prints), so adversarial input
+    like a megabyte of [~] or [(] is rejected with a positioned error.
+    A query whose head violates {!Query.make}'s well-formedness rules
+    (duplicate variables, a free body variable missing from the head)
+    raises [Invalid_argument] from {!Query.make}.
     @raise Parse_error or {!Lexer.Lex_error} on malformed input. *)
 val formula : ?free_vars:string list -> string -> Formula.t
 

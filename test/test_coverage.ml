@@ -253,7 +253,12 @@ let test_generate_profiles () =
     let s =
       Generate.formula
         ~profile:
-          { Generate.depth = 4; allow_negation = false; allow_quantifiers = false }
+          {
+            Generate.default_profile with
+            depth = 4;
+            allow_negation = false;
+            allow_quantifiers = false;
+          }
         ~state vocabulary ~vars:[ "x" ]
     in
     check_bool "negation-free profile is positive" true (Formula.is_positive s);

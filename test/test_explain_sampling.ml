@@ -111,9 +111,87 @@ let random_partitions_valid =
             (Cw_database.distinct_pairs db))
         (List.init 10 Fun.id))
 
+(* --- degenerate shapes: zero-arity relations, minimal domains,
+   vacuous heads --- *)
+
+(* A zero-arity predicate is propositional: its completion axiom
+   decides ~P() in every world. *)
+let test_explain_zero_arity () =
+  let db =
+    database ~predicates:[ ("P", 0) ] ~constants:[ "a" ] ()
+  in
+  (match Explain.boolean db (q "(). ~P()") with
+  | Explain.Certain -> ()
+  | Explain.Refuted_by p ->
+    Alcotest.failf "completion axiom refuted: %a" Partition.pp p);
+  let with_fact =
+    database ~predicates:[ ("P", 0) ] ~constants:[ "a" ]
+      ~facts:[ ("P", []) ] ()
+  in
+  match Explain.boolean with_fact (q "(). P()") with
+  | Explain.Certain -> ()
+  | Explain.Refuted_by p -> Alcotest.failf "fact axiom refuted: %a" Partition.pp p
+
+let test_sampling_zero_arity () =
+  let db =
+    database ~predicates:[ ("P", 0) ] ~constants:[ "a" ] ()
+  in
+  check_bool "propositional certainty survives sampling" true
+    (Sampling.boolean ~samples:1 ~seed:0 db (q "(). ~P()")
+    = Sampling.Probably_certain);
+  check_bool "propositional falsity is refuted by any sample" true
+    (Sampling.boolean ~samples:1 ~seed:0 db (q "(). P()")
+    = Sampling.Not_certain)
+
+(* One constant: the partition space is the single discrete world, so
+   explain and one-sample sampling are both exact. *)
+let test_single_constant_domain () =
+  let db =
+    database ~predicates:[ ("P", 1) ] ~constants:[ "a" ] ()
+  in
+  (match Explain.boolean db (q "(). P(a)") with
+  | Explain.Certain -> Alcotest.fail "P(a) has no supporting fact"
+  | Explain.Refuted_by p ->
+    check_bool "the refuting world is the only world" true
+      (String.equal (Partition.representative p "a") "a"));
+  check_bool "one sample decides a one-world database" true
+    (Sampling.boolean ~samples:1 ~seed:0 db (q "(). P(a)")
+    = Sampling.Not_certain);
+  check_bool "~P(a) is certain there" true
+    (Sampling.boolean ~samples:1 ~seed:0 db (q "(). ~P(a)")
+    = Sampling.Probably_certain)
+
+(* A head variable absent from the body ranges over the whole constant
+   set; the body [true] makes every constant a certain member. *)
+let test_vacuous_head_member () =
+  let db =
+    database ~predicates:[ ("P", 1) ] ~constants:[ "a"; "b" ] ()
+  in
+  let vacuous = q "(x). true" in
+  (match Explain.member db vacuous [ "a" ] with
+  | Explain.Certain -> ()
+  | Explain.Refuted_by p ->
+    Alcotest.failf "true refuted: %a" Partition.pp p);
+  check_bool "sampling agrees on the vacuous head" true
+    (Sampling.member ~samples:1 ~seed:0 db vacuous [ "b" ]
+    = Sampling.Probably_certain)
+
+let test_sampling_rejects_bad_sample_counts () =
+  Alcotest.check_raises "samples:0 is rejected"
+    (Invalid_argument "Sampling: need at least one sample")
+    (fun () ->
+      ignore (Sampling.boolean ~samples:0 ~seed:0 socrates (q "(). true")))
+
 let suite =
   [
     Alcotest.test_case "explain certain" `Quick test_explain_certain;
+    Alcotest.test_case "explain zero-arity" `Quick test_explain_zero_arity;
+    Alcotest.test_case "sampling zero-arity" `Quick test_sampling_zero_arity;
+    Alcotest.test_case "single-constant domain" `Quick
+      test_single_constant_domain;
+    Alcotest.test_case "vacuous head member" `Quick test_vacuous_head_member;
+    Alcotest.test_case "sampling rejects samples:0" `Quick
+      test_sampling_rejects_bad_sample_counts;
     Alcotest.test_case "explain refutation" `Quick
       test_explain_refutation_is_genuine;
     Alcotest.test_case "explain member" `Quick test_explain_member;

@@ -19,4 +19,5 @@ let () =
       ("theory", Test_theory.suite);
       ("coverage", Test_coverage.suite);
       ("obs", Test_obs.suite);
+      ("fuzz", Test_fuzz.suite);
     ]
