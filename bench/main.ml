@@ -117,6 +117,29 @@ let micro_tests () =
            let buf = Logicaldb.Obs.buffer () in
            Logicaldb.Obs.with_sink (Logicaldb.Obs.buffer_sink buf) (fun () ->
                Certain.answer db_medium q)));
+    (* Cancellation overhead on the same hot path. The first entry
+       threads a token whose generous limits never trip (but whose
+       deadline check runs per chunk and whose caps truncate the
+       stream positionally); the second goes through the full
+       Resilient layer with an equally generous budget. Both must sit
+       within the noise floor of e1/exact-medium (acceptance: < 3%,
+       recorded in EXPERIMENTS.md E13). *)
+    Test.make ~name:"resil/e1-medium-cancel"
+      (stage (fun () ->
+           let cancel =
+             Logicaldb.Cancel.create
+               ~deadline_ns:
+                 (Int64.add (Logicaldb.Obs.now_ns ()) 3_600_000_000_000L)
+               ~max_structures:max_int ~max_evaluations:max_int ()
+           in
+           Certain.answer ~cancel db_medium q));
+    Test.make ~name:"resil/e1-medium-resilient"
+      (stage (fun () ->
+           Logicaldb.Resilient.answer
+             ~budget:
+               (Logicaldb.Budget.make ~timeout:3600. ~max_structures:max_int
+                  ())
+             db_medium q));
   ]
 
 let run_micro () =

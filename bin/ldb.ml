@@ -5,7 +5,14 @@
    ldb query     DB.ldb "(x). P(x)"          evaluate a query
    ldb compile   DB.ldb "(x). ~P(x)"         show Q-hat and the algebra plan
    ldb worlds    DB.ldb                      enumerate possible-world shapes
-   ldb fuzz      --seed 42 --count 10000     differential fuzzing with oracles *)
+   ldb fuzz      --seed 42 --count 10000     differential fuzzing with oracles
+
+   Exit codes (documented in README.md, tested in test/test_cli.ml):
+     0    success — affirmative verdict / non-empty answer / clean fuzz run
+     1    refuted or empty — false verdict, empty relation, oracle violations
+     2    usage, file, parse or type errors
+     124  budget exhausted under --on-budget fail
+     130  interrupted (SIGINT) *)
 
 open Cmdliner
 module Cterm = Cmdliner.Term
@@ -158,6 +165,37 @@ let stats_arg =
   in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
+let timeout_arg =
+  let doc = "Budget: wall-clock limit for the exact scan, in seconds." in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECS" ~doc)
+
+let max_structures_arg =
+  let doc = "Budget: maximum structures the exact scan may examine." in
+  Arg.(value & opt (some int) None & info [ "max-structures" ] ~docv:"N" ~doc)
+
+let max_evaluations_arg =
+  let doc = "Budget: maximum query evaluations the exact scan may perform." in
+  Arg.(value & opt (some int) None & info [ "max-evaluations" ] ~docv:"N" ~doc)
+
+let policy_arg =
+  let doc =
+    "What to do when the budget trips: $(b,fail) (report exhaustion, exit \
+     124), $(b,partial) (print the interrupted scan's unrefuted survivors — \
+     an upper bound), or $(b,approx) (fall back to the Section 5 sound \
+     approximation — a lower bound)."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("fail", Resilient.Fail);
+             ("partial", Resilient.Partial);
+             ("approx", Resilient.Approx);
+           ])
+        Resilient.Fail
+    & info [ "on-budget" ] ~docv:"POLICY" ~doc)
+
 let trace_arg =
   let doc =
     "Trace the evaluation through the observability layer. Plain $(b,--trace) \
@@ -230,6 +268,11 @@ let print_relation answer =
     answer;
   Fmt.pr "(%d tuples)@." (Relation.cardinal answer)
 
+(* Exit-status side of the taxonomy: a false verdict or an empty answer
+   is "refuted" (1), anything affirmative is 0. *)
+let boolean_status v = if v then 0 else 1
+let relation_status r = if Relation.cardinal r = 0 then 1 else 0
+
 (* Typed query evaluation for .tldb databases: typed syntax, typed
    typechecking, then the untyped engines through the elaboration. *)
 let run_typed_query tdb query_text engine =
@@ -243,7 +286,7 @@ let run_typed_query tdb query_text engine =
    with Ty_formula.Type_error msg ->
      Fmt.epr "type error: %s@." msg;
      exit 2);
-  if q.Ty_query.head = [] then
+  if q.Ty_query.head = [] then begin
     let verdict =
       match engine with
       | Exact -> Ty_query.certain_boolean tdb q
@@ -253,24 +296,99 @@ let run_typed_query tdb query_text engine =
           (Ty_query.certain_boolean tdb
              (Ty_query.boolean (Ty_formula.Not q.Ty_query.body)))
     in
-    Fmt.pr "%b@." verdict
-  else
+    Fmt.pr "%b@." verdict;
+    boolean_status verdict
+  end
+  else begin
     let answer =
       match engine with
       | Exact -> Ty_query.certain_answer tdb q
       | Approximate -> Ty_query.approx_answer tdb q
       | Possible -> Ty_query.possible_answer tdb q
     in
-    print_relation answer
+    print_relation answer;
+    relation_status answer
+  end
+
+(* The resilient path: evaluate under a limited budget and render the
+   qualified result with its provenance. *)
+let print_qualified_note = function
+  | Resilient.Exact _ -> ()
+  | Resilient.Lower_bound _ ->
+    Fmt.pr "(lower bound: Theorem-11 sound approximation)@."
+  | Resilient.Upper_bound _ ->
+    Fmt.pr "(upper bound: unrefuted survivors of the interrupted scan)@."
+  | Resilient.Exhausted -> ()
+
+let run_resilient db q ~policy ~algorithm ~domains ~stats ~budget =
+  let exhausted () =
+    Fmt.epr "budget exhausted (%s)@." (Budget.to_string budget);
+    124
+  in
+  if Query.is_boolean q then begin
+    let result, rstats =
+      Resilient.boolean_stats ~policy ~algorithm ~domains ~budget db q
+    in
+    let status =
+      match result with
+      | Resilient.Exhausted -> exhausted ()
+      | Resilient.Exact v | Resilient.Lower_bound v | Resilient.Upper_bound v
+        ->
+        Fmt.pr "%b@." v;
+        print_qualified_note result;
+        boolean_status v
+    in
+    if stats then Fmt.pr "%a@." Resilient.pp_stats rstats;
+    status
+  end
+  else begin
+    let result, rstats =
+      Resilient.answer_stats ~policy ~algorithm ~domains ~budget db q
+    in
+    let status =
+      match result with
+      | Resilient.Exhausted -> exhausted ()
+      | Resilient.Exact r | Resilient.Lower_bound r | Resilient.Upper_bound r
+        ->
+        print_relation r;
+        print_qualified_note result;
+        relation_status r
+    in
+    if stats then Fmt.pr "%a@." Resilient.pp_stats rstats;
+    status
+  end
 
 let query_cmd =
-  let run path query_text engine algorithm backend domains stats trace metrics =
+  let run path query_text engine algorithm backend domains stats trace metrics
+      timeout max_structures max_evaluations policy =
+    let status = ref 0 in
     handle (fun () ->
+        let budget =
+          Budget.make ?timeout ?max_structures ?max_evaluations ()
+        in
         with_observability ~trace ~metrics (fun () ->
         match load_any path with
-        | Typed tdb -> run_typed_query tdb query_text engine
+        | Typed tdb ->
+          if not (Budget.is_unlimited budget) then begin
+            Fmt.epr
+              "error: budget options (--timeout, --max-structures, \
+               --max-evaluations) apply to untyped .ldb databases@.";
+            exit 2
+          end;
+          status := run_typed_query tdb query_text engine
         | Untyped db ->
         let q = Parser.query query_text in
+        if not (Budget.is_unlimited budget) then begin
+          if engine <> Exact then begin
+            Fmt.epr
+              "error: budget options require --engine exact (the approx and \
+               possible engines take no budget)@.";
+            exit 2
+          end;
+          status :=
+            run_resilient db q ~policy ~algorithm ~domains ~stats ~budget
+        end
+        else begin
         if Query.is_boolean q then begin
           let verdict, counters =
             match engine with
@@ -287,6 +405,7 @@ let query_cmd =
               (v, Some s)
           in
           Fmt.pr "%b@." verdict;
+          status := boolean_status verdict;
           if stats then Option.iter print_stats counters
         end
         else begin
@@ -303,6 +422,7 @@ let query_cmd =
               (r, Some s)
           in
           print_relation answer;
+          status := relation_status answer;
           if stats then Option.iter print_stats counters
         end;
         if engine = Approximate then
@@ -312,14 +432,21 @@ let query_cmd =
           | Approx.Complete_positive ->
             Fmt.pr "(exact: positive query — Theorem 13)@."
           | Approx.Sound_only ->
-            Fmt.pr "(sound but possibly incomplete — Theorem 11)@."))
+            Fmt.pr "(sound but possibly incomplete — Theorem 11)@."
+        end));
+    if !status <> 0 then exit !status
   in
-  let doc = "Evaluate a query over a logical database." in
+  let doc =
+    "Evaluate a query over a logical database, optionally under an \
+     evaluation budget (--timeout / --max-structures / --max-evaluations) \
+     with a degradation policy (--on-budget)."
+  in
   Cmd.v
     (Cmd.info "query" ~doc)
     Cterm.(
       const run $ db_arg $ query_arg $ engine_arg $ algorithm_arg
-      $ backend_arg $ domains_arg $ stats_arg $ trace_arg $ metrics_arg)
+      $ backend_arg $ domains_arg $ stats_arg $ trace_arg $ metrics_arg
+      $ timeout_arg $ max_structures_arg $ max_evaluations_arg $ policy_arg)
 
 (* --- compile --- *)
 
@@ -449,8 +576,17 @@ let fuzz_cmd =
     let doc = "Skip the typed-lane instances." in
     Arg.(value & flag & info [ "no-typed" ] ~doc)
   in
+  let faults_arg =
+    let doc =
+      "Arm seeded fault injection per instance (worker-chunk kills, raising \
+       observability sinks) and run the resilience-safety oracle: no \
+       injected exception may escape a degrading policy, and the \
+       qualified-answer bounds must hold under fire."
+    in
+    Arg.(value & flag & info [ "faults" ] ~doc)
+  in
   let run seed count max_depth unknown_density noise replay corpus_dir
-      no_shrink no_typed domains trace metrics =
+      no_shrink no_typed faults domains trace metrics =
     handle (fun () ->
         with_observability ~trace ~metrics (fun () ->
             match replay with
@@ -483,6 +619,7 @@ let fuzz_cmd =
                   noise;
                   typed = not no_typed;
                   shrink = not no_shrink;
+                  faults;
                   corpus_dir;
                   gen =
                     {
@@ -521,7 +658,7 @@ let fuzz_cmd =
     Cterm.(
       const run $ seed_arg $ count_arg $ max_depth_arg $ unknown_density_arg
       $ noise_arg $ replay_arg $ corpus_dir_arg $ no_shrink_arg $ no_typed_arg
-      $ domains_arg $ trace_arg $ metrics_arg)
+      $ faults_arg $ domains_arg $ trace_arg $ metrics_arg)
 
 (* --- repl --- *)
 
@@ -644,4 +781,21 @@ let main =
       repl_cmd;
     ]
 
-let () = exit (Cmd.eval main)
+(* Evaluate without cmdliner's exception catcher so the exit-code
+   taxonomy stays ours: cmdliner's default "internal error" code is
+   124, which would collide with budget exhaustion. Ctrl-C raises
+   Sys.Break (catch_break), which flushes any installed sink before
+   exiting 130; other escaped exceptions exit 125. *)
+let () =
+  Sys.catch_break true;
+  match Cmd.eval_value ~catch:false main with
+  | Ok (`Ok ()) | Ok `Help | Ok `Version -> exit 0
+  | Error (`Parse | `Term | `Exn) -> exit 2
+  | exception Sys.Break ->
+    Obs.uninstall ();
+    Fmt.epr "interrupted@.";
+    exit 130
+  | exception e ->
+    Obs.uninstall ();
+    Fmt.epr "fatal: %s@." (Printexc.to_string e);
+    exit 125

@@ -27,6 +27,7 @@ type stats = {
   pruned_candidates : int;
   wall_ns : int64;
   domains_used : int;
+  interrupted : Cancel.reason option;
 }
 
 let validate = Vardi_cwdb.Query_check.validate
@@ -75,6 +76,57 @@ let rest_after_discrete algorithm order thunks =
   | Kernel_partitions, Fresh_first -> Seq.drop 1 thunks
   | Kernel_partitions, Merge_first | Naive_mappings, _ -> thunks
 
+(* --- budget cooperation ------------------------------------------- *)
+
+(* The structure/evaluation caps of a cancellation token truncate the
+   structure stream *by position*: the scan admits exactly the first
+   [cap] structures of the enumeration order, in every schedule, and
+   the token trips only when the enumeration would have continued past
+   the cap. Cap trips therefore never halt the in-flight prefix — that
+   is what makes the capped verdict and the [structures] stat
+   deterministic across worker-domain counts (see Cancel). [spent] is
+   the work already charged to the budget before the scan starts (the
+   discrete-structure seed of the whole-answer entry points). *)
+let admit_within cancel ~structures ~evaluations thunks =
+  match cancel with
+  | None -> thunks
+  | Some token -> (
+    match Cancel.scan_cap token ~structures ~evaluations with
+    | None -> thunks
+    | Some (cap, reason) ->
+      let rec admit n seq () =
+        if n <= 0 then (
+          match seq () with
+          | Seq.Nil -> Seq.Nil
+          | Seq.Cons _ ->
+            (* Work remained beyond the cap: the budget genuinely
+               binds. The enumeration step just forced is cheap — the
+               expensive quotient lives in the unforced thunk. *)
+            Cancel.trip token reason;
+            Seq.Nil)
+        else
+          match seq () with
+          | Seq.Nil -> Seq.Nil
+          | Seq.Cons (x, rest) -> Seq.Cons (x, admit (n - 1) rest)
+      in
+      admit cap thunks)
+
+(* Deadline cooperation: checked before every structure in whichever
+   domain is about to pay for it, so all workers stop within one
+   structure evaluation of the deadline passing. Also the
+   fault-injection hook — Cancel.check runs the token's probe. *)
+let deadline_passed = function
+  | None -> false
+  | Some token -> Cancel.check token
+
+(* A trip is reported only when the scan was not decided: a decision
+   (countermodel, witness, emptied survivor set) reached inside the
+   admitted prefix is exact, whatever the token says. *)
+let interruption cancel ~decided =
+  match cancel with
+  | Some token when not decided -> Cancel.tripped token
+  | Some _ | None -> None
+
 (* --- parallel scheduler ------------------------------------------- *)
 
 (* Worker-domain count: the caller's [?domains] is a cap on
@@ -118,7 +170,7 @@ let next_chunk p =
    stopping as soon as [stop] reports the computation decided. Returns
    the number of structures examined. The first worker exception is
    re-raised in the calling domain. *)
-let drive ~domains ~stop consume thunks =
+let drive ~domains ~cancel ~stop consume thunks =
   let workers = worker_count domains in
   let examined = Atomic.make 0 in
   let failure = Atomic.make None in
@@ -127,7 +179,9 @@ let drive ~domains ~stop consume thunks =
      workers (whose own span stack is empty) nest under the entry
      point's span rather than floating as roots. *)
   let scan_span = Obs.current_span_id () in
-  let halted () = stop () || Atomic.get failure <> None in
+  let halted () =
+    stop () || Atomic.get failure <> None || deadline_passed cancel
+  in
   let rec drain () =
     if not (halted ()) then
       match next_chunk p with
@@ -167,14 +221,14 @@ let drive ~domains ~stop consume thunks =
    [target] ([target = false] refutes a universal, [target = true]
    witnesses an existential), with an atomic early-exit flag shared by
    all workers. *)
-let search ~domains ~target thunks check =
+let search ~domains ~cancel ~target thunks check =
   let started = now_ns () in
   let found = Atomic.make false in
   let examined =
-    drive ~domains
+    drive ~domains ~cancel
       ~stop:(fun () -> Atomic.get found)
       (fun s -> if Bool.equal (check s) target then Atomic.set found true)
-      thunks
+      (admit_within cancel ~structures:0 ~evaluations:0 thunks)
   in
   let found = Atomic.get found in
   Obs.count "certain.early_exit" (if found then 1 else 0);
@@ -186,72 +240,73 @@ let search ~domains ~target thunks check =
       pruned_candidates = 0;
       wall_ns = Int64.sub (now_ns ()) started;
       domains_used = worker_count domains;
+      interrupted = interruption cancel ~decided:found;
     } )
 
-let for_all_structures ~domains thunks check =
-  let refuted, stats = search ~domains ~target:false thunks check in
+let for_all_structures ~domains ~cancel thunks check =
+  let refuted, stats = search ~domains ~cancel ~target:false thunks check in
   (not refuted, stats)
 
-let exists_structure ~domains thunks check =
-  search ~domains ~target:true thunks check
+let exists_structure ~domains ~cancel thunks check =
+  search ~domains ~cancel ~target:true thunks check
 
 (* --- decision entry points ---------------------------------------- *)
 
 let certain_member_stats ?(algorithm = Kernel_partitions)
-    ?(order = Fresh_first) ?(domains = 1) lb q tuple =
+    ?(order = Fresh_first) ?(domains = 1) ?cancel lb q tuple =
   validate lb q;
   validate_tuple lb q tuple;
   if Query.is_boolean q then
     invalid_arg "Certain.certain_member: Boolean query; use certain_boolean";
   Obs.span "certain.member" (fun () ->
-      for_all_structures ~domains
+      for_all_structures ~domains ~cancel
         (structure_thunks algorithm order lb)
         (fun s -> Eval.member s.image q (List.map s.rename tuple)))
 
-let certain_member ?algorithm ?order ?domains lb q tuple =
-  fst (certain_member_stats ?algorithm ?order ?domains lb q tuple)
+let certain_member ?algorithm ?order ?domains ?cancel lb q tuple =
+  fst (certain_member_stats ?algorithm ?order ?domains ?cancel lb q tuple)
 
 let certain_boolean_stats ?(algorithm = Kernel_partitions)
-    ?(order = Fresh_first) ?(domains = 1) lb q =
+    ?(order = Fresh_first) ?(domains = 1) ?cancel lb q =
   validate lb q;
   if not (Query.is_boolean q) then
     invalid_arg "Certain.certain_boolean: the query has answer variables";
   let body = Query.body q in
   Obs.span "certain.boolean" (fun () ->
-      for_all_structures ~domains
+      for_all_structures ~domains ~cancel
         (structure_thunks algorithm order lb)
         (fun s -> Eval.satisfies s.image body))
 
-let certain_boolean ?algorithm ?order ?domains lb q =
-  fst (certain_boolean_stats ?algorithm ?order ?domains lb q)
+let certain_boolean ?algorithm ?order ?domains ?cancel lb q =
+  fst (certain_boolean_stats ?algorithm ?order ?domains ?cancel lb q)
 
 let possible_member_stats ?(algorithm = Kernel_partitions)
-    ?(order = Fresh_first) ?(domains = 1) lb q tuple =
+    ?(order = Fresh_first) ?(domains = 1) ?cancel lb q tuple =
   validate lb q;
   validate_tuple lb q tuple;
   if Query.is_boolean q then
     invalid_arg "Certain.possible_member: Boolean query; use possible_boolean";
   Obs.span "certain.possible_member" (fun () ->
-      exists_structure ~domains
+      exists_structure ~domains ~cancel
         (structure_thunks algorithm order lb)
         (fun s -> Eval.member s.image q (List.map s.rename tuple)))
 
-let possible_member ?algorithm ?order ?domains lb q tuple =
-  fst (possible_member_stats ?algorithm ?order ?domains lb q tuple)
+let possible_member ?algorithm ?order ?domains ?cancel lb q tuple =
+  fst (possible_member_stats ?algorithm ?order ?domains ?cancel lb q tuple)
 
 let possible_boolean_stats ?(algorithm = Kernel_partitions)
-    ?(order = Fresh_first) ?(domains = 1) lb q =
+    ?(order = Fresh_first) ?(domains = 1) ?cancel lb q =
   validate lb q;
   if not (Query.is_boolean q) then
     invalid_arg "Certain.possible_boolean: the query has answer variables";
   let body = Query.body q in
   Obs.span "certain.possible_boolean" (fun () ->
-      exists_structure ~domains
+      exists_structure ~domains ~cancel
         (structure_thunks algorithm order lb)
         (fun s -> Eval.satisfies s.image body))
 
-let possible_boolean ?algorithm ?order ?domains lb q =
-  fst (possible_boolean_stats ?algorithm ?order ?domains lb q)
+let possible_boolean ?algorithm ?order ?domains ?cancel lb q =
+  fst (possible_boolean_stats ?algorithm ?order ?domains ?cancel lb q)
 
 (* --- whole-answer entry points ------------------------------------ *)
 
@@ -279,7 +334,7 @@ let candidate_count lb k =
   go 1 k
 
 let answer_stats ?(algorithm = Kernel_partitions) ?(order = Fresh_first)
-    ?(domains = 1) lb q =
+    ?(domains = 1) ?cancel lb q =
   validate lb q;
   Obs.span "certain.answer" (fun () ->
   let started = now_ns () in
@@ -319,10 +374,12 @@ let answer_stats ?(algorithm = Kernel_partitions) ?(order = Fresh_first)
     if not (Relation.is_empty doomed) then remove doomed
   in
   let examined =
-    drive ~domains
+    drive ~domains ~cancel
       ~stop:(fun () -> Relation.is_empty (Atomic.get survivors))
       consume
-      (rest_after_discrete algorithm order (structure_thunks algorithm order lb))
+      (admit_within cancel ~structures:1 ~evaluations:1
+         (rest_after_discrete algorithm order
+            (structure_thunks algorithm order lb)))
   in
   let result = Atomic.get survivors in
   let early = Relation.is_empty result in
@@ -335,16 +392,17 @@ let answer_stats ?(algorithm = Kernel_partitions) ?(order = Fresh_first)
       pruned_candidates = pruned;
       wall_ns = Int64.sub (now_ns ()) started;
       domains_used = worker_count domains;
+      interrupted = interruption cancel ~decided:early;
     } ))
 
-let answer ?algorithm ?order ?domains lb q =
-  fst (answer_stats ?algorithm ?order ?domains lb q)
+let answer ?algorithm ?order ?domains ?cancel lb q =
+  fst (answer_stats ?algorithm ?order ?domains ?cancel lb q)
 
 let candidates lb k =
   Relation.full ~domain:(Cw_database.constants lb) k
 
 let possible_answer_stats ?(algorithm = Kernel_partitions)
-    ?(order = Fresh_first) ?(domains = 1) lb q =
+    ?(order = Fresh_first) ?(domains = 1) ?cancel lb q =
   validate lb q;
   Obs.span "certain.possible_answer" (fun () ->
   let started = now_ns () in
@@ -385,8 +443,10 @@ let possible_answer_stats ?(algorithm = Kernel_partitions)
     if not (Relation.is_empty gained) then add gained
   in
   let examined =
-    drive ~domains ~stop:saturated consume
-      (rest_after_discrete algorithm order (structure_thunks algorithm order lb))
+    drive ~domains ~cancel ~stop:saturated consume
+      (admit_within cancel ~structures:1 ~evaluations:1
+         (rest_after_discrete algorithm order
+            (structure_thunks algorithm order lb)))
   in
   let result = Atomic.get found in
   let early = Relation.cardinal result >= total in
@@ -399,7 +459,8 @@ let possible_answer_stats ?(algorithm = Kernel_partitions)
       pruned_candidates = Relation.cardinal seed;
       wall_ns = Int64.sub (now_ns ()) started;
       domains_used = worker_count domains;
+      interrupted = interruption cancel ~decided:early;
     } ))
 
-let possible_answer ?algorithm ?order ?domains lb q =
-  fst (possible_answer_stats ?algorithm ?order ?domains lb q)
+let possible_answer ?algorithm ?order ?domains ?cancel lb q =
+  fst (possible_answer_stats ?algorithm ?order ?domains ?cancel lb q)

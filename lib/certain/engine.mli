@@ -37,6 +37,19 @@
       runs once per query, outside the per-structure loop; each
       structure pays only plan evaluation.
 
+    {2 Budgets}
+
+    Every entry point takes [?cancel], a {!Cancel} token carrying a
+    wall-clock deadline and structure/evaluation caps. Caps truncate
+    the structure stream by position, so capped runs are deterministic
+    across worker-domain counts; the deadline is checked cooperatively
+    before each structure in every worker domain. When the budget
+    trips before a decision, the call still returns promptly and
+    normally, with {!stats.interrupted} naming the tripped dimension —
+    the raw partial value is one-sided (see the field doc), and
+    [Vardi_resilience.Resilient] is the layer that degrades it into an
+    honestly-qualified answer.
+
     {2 Observability}
 
     Every entry point is instrumented with {!Vardi_obs.Obs}: a span per
@@ -87,6 +100,18 @@ type stats = {
         call, otherwise [?domains] capped by
         [Domain.recommended_domain_count] (but at least [2], so the
         parallel path is exercised even on single-core hosts) *)
+  interrupted : Cancel.reason option;
+    (** [Some reason] when the [?cancel] budget tripped before the scan
+        was decided — the returned value then reflects only the
+        structures actually examined and {e must not} be read as the
+        exact semantics: for the universal entry points
+        ([certain_*], {!answer}) it is an over-approximation (nothing
+        in the admitted prefix refuted it), for the existential ones
+        ([possible_*]) an under-approximation. [None] means the result
+        is exact, even if the token also tripped — a decision reached
+        inside the admitted prefix is a decision. See {!Cancel} for the
+        determinism contract and [Vardi_resilience.Resilient] for the
+        layer that turns interrupted scans into qualified answers. *)
 }
 
 (** [certain_member ?algorithm ?order ?domains lb q c] decides
@@ -100,6 +125,7 @@ val certain_member :
   ?algorithm:algorithm ->
   ?order:order ->
   ?domains:int ->
+  ?cancel:Cancel.t ->
   Vardi_cwdb.Cw_database.t ->
   Vardi_logic.Query.t ->
   string list ->
@@ -109,6 +135,7 @@ val certain_member_stats :
   ?algorithm:algorithm ->
   ?order:order ->
   ?domains:int ->
+  ?cancel:Cancel.t ->
   Vardi_cwdb.Cw_database.t ->
   Vardi_logic.Query.t ->
   string list ->
@@ -123,6 +150,7 @@ val certain_boolean :
   ?algorithm:algorithm ->
   ?order:order ->
   ?domains:int ->
+  ?cancel:Cancel.t ->
   Vardi_cwdb.Cw_database.t ->
   Vardi_logic.Query.t ->
   bool
@@ -131,6 +159,7 @@ val certain_boolean_stats :
   ?algorithm:algorithm ->
   ?order:order ->
   ?domains:int ->
+  ?cancel:Cancel.t ->
   Vardi_cwdb.Cw_database.t ->
   Vardi_logic.Query.t ->
   bool * stats
@@ -144,6 +173,7 @@ val answer :
   ?algorithm:algorithm ->
   ?order:order ->
   ?domains:int ->
+  ?cancel:Cancel.t ->
   Vardi_cwdb.Cw_database.t ->
   Vardi_logic.Query.t ->
   Vardi_relational.Relation.t
@@ -152,6 +182,7 @@ val answer_stats :
   ?algorithm:algorithm ->
   ?order:order ->
   ?domains:int ->
+  ?cancel:Cancel.t ->
   Vardi_cwdb.Cw_database.t ->
   Vardi_logic.Query.t ->
   Vardi_relational.Relation.t * stats
@@ -170,6 +201,7 @@ val possible_member :
   ?algorithm:algorithm ->
   ?order:order ->
   ?domains:int ->
+  ?cancel:Cancel.t ->
   Vardi_cwdb.Cw_database.t ->
   Vardi_logic.Query.t ->
   string list ->
@@ -179,6 +211,7 @@ val possible_member_stats :
   ?algorithm:algorithm ->
   ?order:order ->
   ?domains:int ->
+  ?cancel:Cancel.t ->
   Vardi_cwdb.Cw_database.t ->
   Vardi_logic.Query.t ->
   string list ->
@@ -188,6 +221,7 @@ val possible_boolean :
   ?algorithm:algorithm ->
   ?order:order ->
   ?domains:int ->
+  ?cancel:Cancel.t ->
   Vardi_cwdb.Cw_database.t ->
   Vardi_logic.Query.t ->
   bool
@@ -196,6 +230,7 @@ val possible_boolean_stats :
   ?algorithm:algorithm ->
   ?order:order ->
   ?domains:int ->
+  ?cancel:Cancel.t ->
   Vardi_cwdb.Cw_database.t ->
   Vardi_logic.Query.t ->
   bool * stats
@@ -210,6 +245,7 @@ val possible_answer :
   ?algorithm:algorithm ->
   ?order:order ->
   ?domains:int ->
+  ?cancel:Cancel.t ->
   Vardi_cwdb.Cw_database.t ->
   Vardi_logic.Query.t ->
   Vardi_relational.Relation.t
@@ -218,6 +254,7 @@ val possible_answer_stats :
   ?algorithm:algorithm ->
   ?order:order ->
   ?domains:int ->
+  ?cancel:Cancel.t ->
   Vardi_cwdb.Cw_database.t ->
   Vardi_logic.Query.t ->
   Vardi_relational.Relation.t * stats

@@ -69,6 +69,7 @@ module Query_check = Vardi_cwdb.Query_check
 
 (* Engines *)
 module Certain = Vardi_certain.Engine
+module Cancel = Vardi_certain.Cancel
 module Explain = Vardi_certain.Explain
 module Sampling = Vardi_certain.Sampling
 module Approx = Vardi_approx.Evaluate
@@ -98,6 +99,13 @@ module Theory = Vardi_theory.Theory
 
 (* Observability: structured tracing + metrics (spans, counters, sinks) *)
 module Obs = Vardi_obs.Obs
+
+(* Resilience: budgets, cooperative cancellation, graceful degradation
+   from the exact engine to the Theorem-11 sound approximation, and
+   seeded fault injection *)
+module Budget = Vardi_resilience.Budget
+module Resilient = Vardi_resilience.Resilient
+module Faults = Vardi_resilience.Faults
 
 (* Persistence *)
 module Ldb_format = Vardi_format.Ldb_format

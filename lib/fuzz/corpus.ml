@@ -82,6 +82,9 @@ let save path case =
     (fun () -> output_string oc (print case))
 
 let load path =
+  (* Fault surface: a failing file read, injectable by the resilience
+     fuzzer. Visits before the file is opened so a firing leaks no fd. *)
+  Vardi_resilience.Faults.point "corpus.read";
   let ic = open_in path in
   let text =
     Fun.protect

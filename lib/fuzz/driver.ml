@@ -11,6 +11,7 @@ type config = {
   typed : bool;
   noise : int;
   shrink : bool;
+  faults : bool;
   corpus_dir : string option;
   progress : (int -> unit) option;
 }
@@ -24,9 +25,18 @@ let default =
     typed = true;
     noise = 0;
     shrink = true;
+    faults = false;
     corpus_dir = None;
     progress = None;
   }
+
+(* Per-instance fault seed: derived from the campaign seed and the
+   instance index so a failure report's coordinates replay the same
+   injection decisions, yet neighboring instances draw different
+   faults. *)
+let faults_seed config index =
+  if config.faults then Some (Hashtbl.hash (config.seed, index, "faults"))
+  else None
 
 type failure = {
   index : int;
@@ -45,12 +55,14 @@ type outcome = {
 let clean outcome = outcome.failures = [] && outcome.crashes = []
 
 (* An instance is minimized against the oracle that fired: a candidate
-   counts as still failing only when the *same* oracle id recurs. *)
-let shrink_failure config violation case =
+   counts as still failing only when the *same* oracle id recurs. The
+   instance's own fault seed is kept so fault-dependent failures stay
+   reproducible while shrinking. *)
+let shrink_failure config ?faults_seed violation case =
   let still_failing (candidate : Shrink.case) =
     List.exists
       (fun (v : Oracle.violation) -> String.equal v.oracle violation.Oracle.oracle)
-      (Oracle.check ~domains:config.domains candidate.Shrink.db
+      (Oracle.check ~domains:config.domains ?faults_seed candidate.Shrink.db
          candidate.Shrink.query)
   in
   Shrink.minimize ~still_failing case
@@ -67,13 +79,15 @@ let save_failure dir index failure =
   path
 
 let check_case ~domains ~index (case : Shrink.case) config =
-  match Oracle.check ~domains case.Shrink.db case.Shrink.query with
+  let faults_seed = faults_seed config index in
+  match Oracle.check ~domains ?faults_seed case.Shrink.db case.Shrink.query with
   | [] -> []
   | violations ->
     List.map
       (fun violation ->
         let shrunk =
-          if config.shrink then Some (shrink_failure config violation case)
+          if config.shrink then
+            Some (shrink_failure config ?faults_seed violation case)
           else None
         in
         { index; violation; case; shrunk })

@@ -21,6 +21,10 @@ type config = {
   noise : int;  (** parser noise-fuzz inputs to run after the stream
                     (default 0 = skip) *)
   shrink : bool;  (** minimize failures before reporting (default true) *)
+  faults : bool;
+      (** run the [resilient-fault-safety] oracle per instance under a
+          fault plan whose seed derives from [(seed, index)]
+          (default false) *)
   corpus_dir : string option;
       (** when set, write each (shrunk) failure as a [.fuzz] file here *)
   progress : (int -> unit) option;

@@ -13,6 +13,9 @@ module Ty_parser = Vardi_typed.Ty_parser
 module Ldb_format = Vardi_format.Ldb_format
 module Tldb_format = Vardi_format.Tldb_format
 module Obs = Vardi_obs.Obs
+module Resilient = Vardi_resilience.Resilient
+module Budget = Vardi_resilience.Budget
+module Faults = Vardi_resilience.Faults
 
 type violation = {
   oracle : string;
@@ -35,6 +38,9 @@ let oracle_ids =
     "certain-subset-possible";
     "possible-duality";
     "member-consistency";
+    "resilient-qualified";
+    "resilient-stats-honest";
+    "resilient-fault-safety";
     "query-roundtrip";
     "ldb-roundtrip";
     "typed-approx-sound";
@@ -62,11 +68,14 @@ let add ctx oracle detail =
   ctx.violations <- { oracle; detail } :: ctx.violations
 
 (* Run one engine call under an oracle's name: an exception from a
-   well-formed instance is itself a violation (crash oracle). *)
+   well-formed instance is itself a violation (crash oracle).
+   Sys.Break is an async interrupt, not a crash — it must propagate or
+   Ctrl-C could not stop a fuzz campaign. *)
 let guard ctx oracle f =
   ctx.checks <- ctx.checks + 1;
   match f () with
   | value -> Some value
+  | exception Sys.Break -> raise Sys.Break
   | exception e ->
     add ctx oracle (Printf.sprintf "raised %s" (Printexc.to_string e));
     None
@@ -248,13 +257,222 @@ let check_relational ctx ~domains db q =
             (fun () -> Certain.certain_member db q tuple))
         (tuples k)
 
-let check ?(domains = 2) db q =
+(* --- resilience oracles ---
+
+   [resilient-qualified] is the qualified-answer lattice, checked
+   differentially: whatever the policy and however tight the budget,
+   [Lower_bound a ⊆ Q(LB) ⊆ Upper_bound a] and [Exact a = Q(LB)],
+   against an exact answer computed by the raw engine outside any
+   budget. [resilient-stats-honest] pins the provenance contract: the
+   stats never claim more than the result delivers. With a fault seed,
+   [resilient-fault-safety] re-checks both under an armed fault plan
+   and additionally proves no injected exception leaks through a
+   degrading policy nor through a hardened Obs sink. *)
+
+let qualified_bounds ctx ~policy_name ~exact ~subset ~equal ~show result =
+  let claim fmt = Printf.ksprintf (add ctx "resilient-qualified") fmt in
+  match result with
+  | Resilient.Exact v ->
+    if not (equal v exact) then
+      claim "[%s] Exact %s but the exact answer is %s" policy_name (show v)
+        (show exact)
+  | Resilient.Lower_bound v ->
+    if not (subset v exact) then
+      claim "[%s] Lower_bound %s not within exact %s" policy_name (show v)
+        (show exact)
+  | Resilient.Upper_bound v ->
+    if not (subset exact v) then
+      claim "[%s] Upper_bound %s does not contain exact %s" policy_name
+        (show v) (show exact)
+  | Resilient.Exhausted ->
+    if policy_name <> "Fail" then
+      claim "[%s] Exhausted outside the Fail policy" policy_name
+
+let stats_honest ctx ~policy_name result (stats : Resilient.stats) =
+  let expect cond fmt =
+    Printf.ksprintf
+      (fun msg ->
+        if not cond then
+          add ctx "resilient-stats-honest"
+            (Printf.sprintf "[%s] %s" policy_name msg))
+      fmt
+  in
+  let source_matches =
+    match (result, stats.Resilient.source) with
+    | Resilient.Exact _, Resilient.Exact_scan
+    | Resilient.Upper_bound _, Resilient.Partial_scan
+    | Resilient.Lower_bound _, Resilient.Approx_fallback
+    | Resilient.Exhausted, Resilient.No_answer ->
+      true
+    | _ -> false
+  in
+  expect source_matches "source %S does not match the result constructor"
+    (Resilient.source_to_string stats.Resilient.source);
+  match result with
+  | Resilient.Exact _ ->
+    expect
+      (stats.Resilient.tripped = None && stats.Resilient.scan_failure = None)
+      "Exact result but a degradation cause is recorded";
+    expect (stats.Resilient.scan <> None) "Exact result without scan stats"
+  | Resilient.Exhausted | Resilient.Upper_bound _ ->
+    expect (stats.Resilient.tripped <> None)
+      "degraded result without a tripped budget dimension"
+  | Resilient.Lower_bound _ ->
+    expect
+      (stats.Resilient.tripped <> None || stats.Resilient.scan_failure <> None)
+      "fallback taken without a recorded cause"
+
+let policies =
+  [
+    (Resilient.Fail, "Fail");
+    (Resilient.Partial, "Partial");
+    (Resilient.Approx, "Approx");
+  ]
+
+(* One structure is never enough for the generated instances unless the
+   scan decides on the seed structure itself, so this budget makes the
+   degradation paths fire on most instances while still exercising the
+   decided-within-budget corner on the rest. *)
+let trip_budget = Budget.make ~max_structures:1 ()
+
+let check_resilient_bool ctx db q =
+  match
+    guard ctx "resilient-qualified" (fun () -> Certain.certain_boolean db q)
+  with
+  | None -> ()
+  | Some exact ->
+    let subset a b = (not a) || b in
+    let check_one ~policy_name run =
+      match guard ctx "resilient-qualified" run with
+      | None -> ()
+      | Some (result, stats) ->
+        qualified_bounds ctx ~policy_name ~exact ~subset ~equal:Bool.equal
+          ~show:string_of_bool result;
+        stats_honest ctx ~policy_name result stats
+    in
+    check_one ~policy_name:"Fail" (fun () ->
+        match Resilient.boolean_stats db q with
+        | (Resilient.Exact _, _) as r -> r
+        | other, stats ->
+          add ctx "resilient-qualified"
+            (Fmt.str "unlimited budget degraded to %a"
+               (Resilient.pp_qualified Fmt.bool) other);
+          (other, stats));
+    List.iter
+      (fun (policy, policy_name) ->
+        check_one ~policy_name (fun () ->
+            Resilient.boolean_stats ~policy ~budget:trip_budget db q))
+      policies
+
+let check_resilient_rel ctx db q =
+  match guard ctx "resilient-qualified" (fun () -> Certain.answer db q) with
+  | None -> ()
+  | Some exact ->
+    let check_one ~policy_name run =
+      match guard ctx "resilient-qualified" run with
+      | None -> ()
+      | Some (result, stats) ->
+        qualified_bounds ctx ~policy_name ~exact ~subset:Relation.subset
+          ~equal:Relation.equal ~show:rel result;
+        stats_honest ctx ~policy_name result stats
+    in
+    check_one ~policy_name:"Fail" (fun () ->
+        match Resilient.answer_stats db q with
+        | (Resilient.Exact _, _) as r -> r
+        | other, stats ->
+          add ctx "resilient-qualified"
+            (Fmt.str "unlimited budget degraded to %a"
+               (Resilient.pp_qualified Relation.pp) other);
+          (other, stats));
+    List.iter
+      (fun (policy, policy_name) ->
+        check_one ~policy_name (fun () ->
+            Resilient.answer_stats ~policy ~budget:trip_budget db q))
+      policies
+
+let check_fault_safety ctx ~domains ~seed db q =
+  let boolean = Query.is_boolean q in
+  (* Degrading policies must contain an armed fault plan: whatever the
+     injection kills, no exception escapes and the bound still holds.
+     The raw engine computes the exact reference without a token, so no
+     fault point sits on its path even while the plan is armed. *)
+  List.iter
+    (fun (policy, policy_name) ->
+      match
+        guard ctx "resilient-fault-safety" (fun () ->
+            Faults.with_faults ~seed ~rate:0.2 (fun () ->
+                if boolean then (
+                  let result, stats =
+                    Resilient.boolean_stats ~policy ~budget:trip_budget db q
+                  in
+                  let exact = Certain.certain_boolean db q in
+                  qualified_bounds ctx ~policy_name ~exact
+                    ~subset:(fun a b -> (not a) || b)
+                    ~equal:Bool.equal ~show:string_of_bool result;
+                  stats_honest ctx ~policy_name result stats)
+                else
+                  let result, stats =
+                    Resilient.answer_stats ~policy ~budget:trip_budget db q
+                  in
+                  let exact = Certain.answer db q in
+                  qualified_bounds ctx ~policy_name ~exact
+                    ~subset:Relation.subset ~equal:Relation.equal ~show:rel
+                    result;
+                  stats_honest ctx ~policy_name result stats))
+      with
+      | Some () | None -> ())
+    [ (Resilient.Partial, "Partial"); (Resilient.Approx, "Approx") ];
+  (* A raising Obs sink must be caught, counted and disabled without
+     perturbing the engine's verdict — skipped when the caller already
+     has a real sink installed (we must not clobber their trace). *)
+  if not (Obs.enabled ()) then begin
+    let errors_before = Obs.sink_errors () in
+    (match
+       guard ctx "resilient-fault-safety" (fun () ->
+           let reference =
+             if boolean then `Bool (Certain.certain_boolean db q)
+             else `Rel (Certain.answer db q)
+           in
+           let under_sink =
+             Obs.with_sink
+               (Faults.raising_sink ())
+               (fun () ->
+                 if boolean then `Bool (Certain.certain_boolean ~domains db q)
+                 else `Rel (Certain.answer ~domains db q))
+           in
+           (reference, under_sink))
+     with
+    | None -> ()
+    | Some (reference, under_sink) ->
+      let agrees =
+        match (reference, under_sink) with
+        | `Bool a, `Bool b -> Bool.equal a b
+        | `Rel a, `Rel b -> Relation.equal a b
+        | _ -> false
+      in
+      if not agrees then
+        add ctx "resilient-fault-safety"
+          "a raising Obs sink changed the engine's verdict";
+      if Obs.sink_errors () <= errors_before then
+        add ctx "resilient-fault-safety"
+          "a raising Obs sink was never caught or counted";
+      if Obs.enabled () then
+        add ctx "resilient-fault-safety"
+          "a raising Obs sink was left installed")
+  end
+
+let check ?(domains = 2) ?faults_seed db q =
   let ctx = { violations = []; checks = 0 } in
   Obs.span "fuzz.oracle" (fun () ->
       check_query_roundtrip ctx q;
       check_ldb_roundtrip ctx db;
       if Query.is_boolean q then check_boolean ctx ~domains db q
       else check_relational ctx ~domains db q;
+      if Query.is_boolean q then check_resilient_bool ctx db q
+      else check_resilient_rel ctx db q;
+      (match faults_seed with
+      | Some seed -> check_fault_safety ctx ~domains ~seed db q
+      | None -> ());
       Obs.count "fuzz.checks" ctx.checks);
   List.rev ctx.violations
 

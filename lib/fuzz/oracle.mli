@@ -21,6 +21,18 @@
       [possible φ ⟺ ¬certain(¬φ)];
     - [member-consistency]: [certain_member] agrees pointwise with the
       materialized {!Vardi_certain.Engine.answer};
+    - [resilient-qualified]: the {!Vardi_resilience.Resilient}
+      qualified-answer lattice — under every policy and a
+      one-structure budget, [Lower_bound a ⊆ Q(LB) ⊆ Upper_bound a]
+      and [Exact a = Q(LB)], against the raw engine's exact answer;
+    - [resilient-stats-honest]: resilience stats never claim more than
+      the result delivers ([source] matches the constructor, every
+      degradation records its cause, [Exact] records none);
+    - [resilient-fault-safety] (only with [faults_seed]): under an
+      armed {!Vardi_resilience.Faults} plan, no injected exception
+      escapes a degrading policy, the lattice bounds still hold, and a
+      raising Obs sink is caught, counted and disabled without
+      changing the engine's verdict;
     - [query-roundtrip], [ldb-roundtrip]: pretty-printed queries and
       databases reparse to equal values;
     - typed lane: [typed-approx-sound], [typed-query-roundtrip],
@@ -46,13 +58,17 @@ val pp_violation : violation Fmt.t
 (** All oracle identifiers that can appear in {!violation.oracle}. *)
 val oracle_ids : string list
 
-(** [check ?domains db q] runs every applicable oracle and returns the
-    violations, in check order (empty means the instance passed).
-    [domains] (default 2) is the worker count for the parallel-engine
-    comparison. Emits a [fuzz.oracle] span and [fuzz.checks] /
-    [fuzz.violations] counters. *)
+(** [check ?domains ?faults_seed db q] runs every applicable oracle and
+    returns the violations, in check order (empty means the instance
+    passed). [domains] (default 2) is the worker count for the
+    parallel-engine comparison. [faults_seed] additionally runs the
+    [resilient-fault-safety] oracle under a fault plan armed with that
+    seed (rate 0.2) — omitted by default because injection perturbs
+    timing, not correctness. Emits a [fuzz.oracle] span and
+    [fuzz.checks] / [fuzz.violations] counters. *)
 val check :
   ?domains:int ->
+  ?faults_seed:int ->
   Vardi_cwdb.Cw_database.t ->
   Vardi_logic.Query.t ->
   violation list

@@ -60,12 +60,26 @@ let tee sinks =
 
 let current : sink option Atomic.t = Atomic.make None
 let enabled () = Atomic.get current <> None
+
+(* Sink hardening: an exception escaping a user-installed sink must
+   never crash or deadlock an engine — emission happens inside worker
+   domains and inside Fun.protect finalizers. The first escape counts
+   the error and disables the offending sink (the CAS only removes the
+   sink that failed, never one installed concurrently since); later
+   instrumentation points see no sink and fall back to the null path. *)
+let sink_error_total = Atomic.make 0
+let sink_errors () = Atomic.get sink_error_total
+
+let disable_failed cur =
+  Atomic.incr sink_error_total;
+  ignore (Atomic.compare_and_set current cur None)
+
 let install s = Atomic.set current (Some s)
 
 let uninstall () =
   match Atomic.exchange current None with
   | None -> ()
-  | Some s -> s.flush ()
+  | Some s -> ( try s.flush () with _ -> Atomic.incr sink_error_total)
 
 let with_sink s f =
   install s;
@@ -89,7 +103,14 @@ let current_span () =
 let current_span_id = current_span
 
 let emit ev =
-  match Atomic.get current with None -> () | Some s -> s.emit ev
+  match Atomic.get current with
+  | None -> ()
+  | Some s as cur -> (
+    (* Sys.Break is the user's interrupt arriving during the emit, not
+       a sink bug: let it propagate instead of disabling the sink. *)
+    try s.emit ev with
+    | Sys.Break -> raise Sys.Break
+    | _ -> disable_failed cur)
 
 let span ?parent name f =
   if not (enabled ()) then f ()
@@ -123,10 +144,8 @@ let span ?parent name f =
   end
 
 let count name value =
-  match Atomic.get current with
-  | None -> ()
-  | Some s ->
-    s.emit (Count { name; span = current_span (); domain = domain_id (); value })
+  if enabled () then
+    emit (Count { name; span = current_span (); domain = domain_id (); value })
 
 (* --- in-memory ring buffer ------------------------------------------ *)
 

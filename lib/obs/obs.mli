@@ -74,7 +74,14 @@ type event =
 (** A sink consumes events. [emit] must be thread-safe — the engines
     call it concurrently from worker domains; [flush] is called by
     {!uninstall} and should make buffered output durable (write the
-    console report, flush the channel, ...). *)
+    console report, flush the channel, ...).
+
+    Sinks are {e hardened}: an exception escaping [emit] never reaches
+    the instrumented engine. The first escape disables the offending
+    sink (subsequent instrumentation points take the null path) and is
+    counted in {!sink_errors}; an exception from [flush] is likewise
+    swallowed and counted. A sink composed with {!tee} is disabled as a
+    whole — the tee cannot know which branch is healthy. *)
 type sink = { emit : event -> unit; flush : unit -> unit }
 
 (** The sink that discards everything. Installing it is equivalent to —
@@ -102,6 +109,12 @@ val install : sink -> unit
 
 (** [uninstall ()] removes the ambient sink, if any, and flushes it. *)
 val uninstall : unit -> unit
+
+(** [sink_errors ()] is the process-lifetime count of exceptions caught
+    escaping a sink's [emit] or [flush] (the [obs.sink_errors] counter;
+    each error also disabled the sink that raised). Regression suites
+    read the delta around a run; a healthy run leaves it unchanged. *)
+val sink_errors : unit -> int
 
 (** [with_sink s f] runs [f] with [s] installed, then uninstalls and
     flushes it — also on exception. *)

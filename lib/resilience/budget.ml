@@ -1,0 +1,49 @@
+module Cancel = Vardi_certain.Cancel
+module Obs = Vardi_obs.Obs
+
+type t = {
+  timeout : float option;
+  max_structures : int option;
+  max_evaluations : int option;
+}
+
+let unlimited = { timeout = None; max_structures = None; max_evaluations = None }
+
+let make ?timeout ?max_structures ?max_evaluations () =
+  (match timeout with
+  | Some s when not (Float.is_finite s && s > 0.) ->
+    invalid_arg "Budget.make: timeout must be finite and positive"
+  | _ -> ());
+  let positive name = function
+    | Some n when n < 1 ->
+      invalid_arg (Printf.sprintf "Budget.make: %s must be positive" name)
+    | _ -> ()
+  in
+  positive "max_structures" max_structures;
+  positive "max_evaluations" max_evaluations;
+  { timeout; max_structures; max_evaluations }
+
+let is_unlimited b =
+  b.timeout = None && b.max_structures = None && b.max_evaluations = None
+
+let start ?probe b =
+  let deadline_ns =
+    Option.map
+      (fun s -> Int64.add (Obs.now_ns ()) (Int64.of_float (s *. 1e9)))
+      b.timeout
+  in
+  Cancel.create ?deadline_ns ?max_structures:b.max_structures
+    ?max_evaluations:b.max_evaluations ?probe ()
+
+let to_string b =
+  if is_unlimited b then "unlimited"
+  else
+    String.concat " "
+      (List.filter_map Fun.id
+         [
+           Option.map (Printf.sprintf "timeout=%gs") b.timeout;
+           Option.map (Printf.sprintf "structures<=%d") b.max_structures;
+           Option.map (Printf.sprintf "evaluations<=%d") b.max_evaluations;
+         ])
+
+let pp ppf b = Format.pp_print_string ppf (to_string b)

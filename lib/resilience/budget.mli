@@ -1,0 +1,42 @@
+(** Evaluation budgets — the declarative face of
+    {!Vardi_certain.Cancel}.
+
+    A budget says how much an exact certain-answer scan may cost before
+    it must give up: wall-clock time, structures examined, query
+    evaluations performed. {!start} turns it into a live cancellation
+    token (fixing the deadline as "now + timeout") that the
+    {!Vardi_certain.Engine} entry points honor cooperatively; the
+    {!Resilient} layer does this wiring for you and adds the
+    degradation policy. *)
+
+type t = {
+  timeout : float option;  (** wall-clock limit in seconds *)
+  max_structures : int option;
+      (** cap on structures examined, seed included *)
+  max_evaluations : int option;
+      (** cap on query evaluations, seed included *)
+}
+
+(** No limits: {!Resilient} entry points behave exactly like the raw
+    engine under this budget. *)
+val unlimited : t
+
+(** [make ()] builds a budget from whichever limits are given.
+    @raise Invalid_argument when [timeout] is not finite and positive,
+    or a cap is not positive. *)
+val make :
+  ?timeout:float -> ?max_structures:int -> ?max_evaluations:int -> unit -> t
+
+val is_unlimited : t -> bool
+
+(** [start budget] arms the budget: a fresh single-use token whose
+    deadline is [now + timeout] on the {!Vardi_obs.Obs.now_ns} clock.
+    [?probe] is threaded through to {!Vardi_certain.Cancel.create} —
+    the fault-injection hook. *)
+val start : ?probe:(unit -> unit) -> t -> Vardi_certain.Cancel.t
+
+(** Prints like ["timeout=2.0s structures<=500"]; ["unlimited"] when no
+    limit is set. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

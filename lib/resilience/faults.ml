@@ -1,0 +1,50 @@
+exception Injected of string
+
+type plan = { seed : int; rate : float }
+
+let current : plan option Atomic.t = Atomic.make None
+let visits = Atomic.make 0
+
+let arm ~seed ?(rate = 0.05) () =
+  let rate = Float.max 0. (Float.min 1. rate) in
+  Atomic.set current (Some { seed; rate });
+  Atomic.set visits 0
+
+let disarm () = Atomic.set current None
+let armed () = Atomic.get current <> None
+
+let with_faults ~seed ?rate f =
+  let saved = Atomic.get current in
+  arm ~seed ?rate ();
+  Fun.protect ~finally:(fun () -> Atomic.set current saved) f
+
+(* splitmix64-style finalizer: the firing decision for one visit
+   depends only on (seed, visit index, point name), so a given plan
+   replays the same decisions for the same visit order. *)
+let mix seed visit name =
+  let z = ref (Int64.of_int (seed lxor (visit * 0x9E3779B9) lxor Hashtbl.hash name)) in
+  z := Int64.mul (Int64.logxor !z (Int64.shift_right_logical !z 30)) 0xBF58476D1CE4E5B9L;
+  z := Int64.mul (Int64.logxor !z (Int64.shift_right_logical !z 27)) 0x94D049BB133111EBL;
+  Int64.logxor !z (Int64.shift_right_logical !z 31)
+
+let fires plan visit name =
+  let h = Int64.to_int (Int64.logand (mix plan.seed visit name) 0xFFFFFFL) in
+  float_of_int h < plan.rate *. float_of_int 0x1000000
+
+let point name =
+  match Atomic.get current with
+  | None -> ()
+  | Some plan ->
+    let visit = Atomic.fetch_and_add visits 1 in
+    if fires plan visit name then raise (Injected name)
+
+let probe () = point "scan.worker"
+
+let raising_sink ?(after = 0) () =
+  let seen = Atomic.make 0 in
+  {
+    Vardi_obs.Obs.emit =
+      (fun _ ->
+        if Atomic.fetch_and_add seen 1 >= after then raise (Injected "obs.sink"));
+    flush = (fun () -> raise (Injected "obs.sink"));
+  }

@@ -20,4 +20,6 @@ let () =
       ("coverage", Test_coverage.suite);
       ("obs", Test_obs.suite);
       ("fuzz", Test_fuzz.suite);
+      ("resilience", Test_resilience.suite);
+      ("cli", Test_cli.suite);
     ]

@@ -378,6 +378,42 @@ let test_parallel_equals_sequential_under_trace () =
   let traced, _, _ = collect (fun () -> Certain.answer ~domains:4 db q) in
   Alcotest.(check bool) "same answer" true (Relation.equal bare traced)
 
+(* --- sink hardening ------------------------------------------------- *)
+
+let test_raising_sink_is_contained () =
+  (* A sink whose emit raises from worker domains must be caught,
+     counted and disabled — the parallel engine's verdict unchanged. *)
+  let db = regression_db () in
+  let q = query "(x). exists y. R(x, y)" in
+  let bare = Certain.answer db q in
+  let errors_before = Obs.sink_errors () in
+  let result, disabled_mid_run =
+    Obs.with_sink
+      (Faults.raising_sink ())
+      (fun () ->
+        let r = Certain.answer ~domains:4 db q in
+        (r, not (Obs.enabled ())))
+  in
+  Alcotest.(check bool) "same answer under a raising sink" true
+    (Relation.equal bare result);
+  Alcotest.(check bool) "failed sink was disabled in place" true
+    disabled_mid_run;
+  Alcotest.(check bool) "errors were counted" true
+    (Obs.sink_errors () > errors_before)
+
+let test_raising_flush_is_contained () =
+  (* after:max_int — emit stays healthy, only the uninstall flush
+     raises; with_sink must still return normally. *)
+  let errors_before = Obs.sink_errors () in
+  let result =
+    Obs.with_sink
+      (Faults.raising_sink ~after:max_int ())
+      (fun () -> Obs.span "quiet" (fun () -> 7))
+  in
+  Alcotest.(check int) "result survives a raising flush" 7 result;
+  Alcotest.(check bool) "flush error counted" true
+    (Obs.sink_errors () > errors_before)
+
 let suite =
   [
     Alcotest.test_case "span nesting and close order" `Quick test_span_nesting;
@@ -393,4 +429,8 @@ let suite =
       `Quick test_stats_match_trace_counters;
     Alcotest.test_case "tracing does not change answers" `Quick
       test_parallel_equals_sequential_under_trace;
+    Alcotest.test_case "raising sink under domains=4 is contained" `Quick
+      test_raising_sink_is_contained;
+    Alcotest.test_case "raising flush is contained" `Quick
+      test_raising_flush_is_contained;
   ]
