@@ -13,7 +13,11 @@
    through the Vardi_obs span layer, next to the Bechamel numbers.
 
    Run with: dune exec bench/main.exe
-   (pass --tables-only or --micro-only to restrict) *)
+   (pass --tables-only or --micro-only to restrict;
+    --json FILE additionally writes the micro-benchmark estimates as
+    JSON — BENCH_<pr>.json files are reference snapshots of it;
+    --e1-sanity [--kernel interned|strings] is the CI smoke gate: one
+    verified E1-medium run on the selected kernel) *)
 
 open Bechamel
 open Toolkit
@@ -55,6 +59,10 @@ let micro_tests () =
       (stage (fun () -> Certain.answer db_small q));
     Test.make ~name:"e1/exact-medium"
       (stage (fun () -> Certain.answer db_medium q));
+    (* The same scan on the string-keyed reference kernel: the gap to
+       e1/exact-medium is the interned kernel's speedup (E15). *)
+    Test.make ~name:"e1/exact-medium-strings"
+      (stage (fun () -> Certain.answer ~kernel:Certain.Strings db_medium q));
     Test.make ~name:"e1/exact-medium-par4"
       (stage (fun () -> Certain.answer ~domains:4 db_medium q));
     Test.make ~name:"e2/precise-simulation"
@@ -142,17 +150,20 @@ let micro_tests () =
              db_medium q));
   ]
 
+let quota_seconds = 0.3
+
 let run_micro () =
   Fmt.pr "@.=== Bechamel micro-benchmarks (OLS on the monotonic clock) ===@.";
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) ~stabilize:true ()
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota_seconds) ~stabilize:true
+      ()
   in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
-  List.iter
+  List.concat_map
     (fun test ->
-      List.iter
+      List.map
         (fun elt ->
           let raw = Benchmark.run cfg [ Instance.monotonic_clock ] elt in
           let result = Analyze.one ols Instance.monotonic_clock raw in
@@ -161,10 +172,9 @@ let run_micro () =
             | Some (e :: _) -> e
             | Some [] | None -> Float.nan
           in
-          let r2 =
-            match Analyze.OLS.r_square result with
-            | Some r -> Printf.sprintf "%.4f" r
-            | None -> "-"
+          let r2 = Analyze.OLS.r_square result in
+          let r2_text =
+            match r2 with Some r -> Printf.sprintf "%.4f" r | None -> "-"
           in
           let human ns =
             if ns >= 1e9 then Printf.sprintf "%8.2f s " (ns /. 1e9)
@@ -173,9 +183,96 @@ let run_micro () =
             else Printf.sprintf "%8.0f ns" ns
           in
           Fmt.pr "  %-24s %s   (r2 = %s)@." (Test.Elt.name elt)
-            (human estimate) r2)
+            (human estimate) r2_text;
+          (Test.Elt.name elt, estimate, r2))
         (Test.elements test))
     (micro_tests ())
+
+(* --- machine-readable results (--json FILE) ---
+
+   Schema "vardi-bench/1", documented in EXPERIMENTS.md: one object per
+   micro-benchmark with the OLS nanoseconds-per-run estimate and its
+   r². Written by hand — the repo deliberately has no JSON
+   dependency. *)
+
+let json_escape s =
+  let buffer = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.contents buffer
+
+let json_float f =
+  if Float.is_nan f then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.6g" f
+
+let write_json path results =
+  let out = open_out path in
+  let benchmarks =
+    List.map
+      (fun (name, ns, r2) ->
+        Printf.sprintf
+          "    { \"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s }"
+          (json_escape name) (json_float ns)
+          (match r2 with Some r -> json_float r | None -> "null"))
+      results
+  in
+  Printf.fprintf out
+    "{\n\
+    \  \"schema\": \"vardi-bench/1\",\n\
+    \  \"quota_s\": %s,\n\
+    \  \"benchmarks\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    (json_float quota_seconds)
+    (String.concat ",\n" benchmarks);
+  close_out out;
+  Fmt.pr "@.wrote %s (%d benchmarks)@." path (List.length results)
+
+(* --- CI sanity gate (--e1-sanity --kernel interned|strings) ---
+
+   One timed run of the E1-medium workload on the selected kernel,
+   verified against the other kernel's answer. Exits non-zero on
+   disagreement, so the CI kernel-smoke job fails loudly if the
+   kernels ever diverge. *)
+
+let e1_sanity kernel_name =
+  let module Certain = Vardi_certain.Engine in
+  let kernel, other =
+    match kernel_name with
+    | "interned" -> (Certain.Interned, Certain.Strings)
+    | "strings" -> (Certain.Strings, Certain.Interned)
+    | v ->
+      Fmt.epr "unknown --kernel %S (expected interned or strings)@." v;
+      exit 2
+  in
+  let db = Workloads.parametric_db ~constants:16 ~unknowns:2 ~seed:7 in
+  let q = Workloads.mixed_query in
+  ignore (Certain.answer ~kernel db q) (* warm-up *);
+  let t0 = Logicaldb.Obs.now_ns () in
+  let answer = Certain.answer ~kernel db q in
+  let elapsed_ms =
+    Int64.to_float (Int64.sub (Logicaldb.Obs.now_ns ()) t0) /. 1e6
+  in
+  let reference = Certain.answer ~kernel:other db q in
+  if not (Vardi_relational.Relation.equal answer reference) then begin
+    Fmt.epr "e1-sanity: kernel %s disagrees with %s on E1-medium@."
+      kernel_name
+      (match kernel_name with "interned" -> "strings" | _ -> "interned");
+    exit 1
+  end;
+  Fmt.pr "e1-sanity: kernel %-8s E1-medium %.2f ms, answers agree@."
+    kernel_name elapsed_ms
 
 (* --- Part 3: per-phase breakdown through the observability layer --- *)
 
@@ -193,11 +290,25 @@ let phase_breakdown () =
   Obs.pp_spans Fmt.stdout evs;
   Obs.pp_counters Fmt.stdout evs
 
+(* [value_of flag args] is the argument following [flag], if any. *)
+let rec value_of flag = function
+  | [] | [ _ ] -> None
+  | a :: value :: _ when String.equal a flag -> Some value
+  | _ :: rest -> value_of flag rest
+
 let () =
   let args = Array.to_list Sys.argv in
-  let tables_only = List.mem "--tables-only" args in
-  let micro_only = List.mem "--micro-only" args in
-  if not micro_only then print_tables ();
-  if not tables_only then run_micro ();
-  if (not tables_only) && not micro_only then phase_breakdown ();
-  Fmt.pr "@.done.@."
+  if List.mem "--e1-sanity" args then
+    e1_sanity (Option.value ~default:"interned" (value_of "--kernel" args))
+  else begin
+    let tables_only = List.mem "--tables-only" args in
+    let micro_only = List.mem "--micro-only" args in
+    let json = value_of "--json" args in
+    if not micro_only then print_tables ();
+    if not tables_only then begin
+      let results = run_micro () in
+      Option.iter (fun path -> write_json path results) json
+    end;
+    if (not tables_only) && not micro_only then phase_breakdown ();
+    Fmt.pr "@.done.@."
+  end

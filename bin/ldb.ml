@@ -145,6 +145,20 @@ let algorithm_arg =
         Certain.Kernel_partitions
     & info [ "algorithm" ] ~docv:"ALGO" ~doc)
 
+let kernel_arg =
+  let doc =
+    "Evaluation kernel for the exact/possible engines: $(b,interned) \
+     (integer-coded constants, array tuples, incremental quotients — the \
+     default) or $(b,strings) (the original string-keyed path, kept as the \
+     differential-testing reference)."
+  in
+  Arg.(
+    value
+    & opt
+        (enum [ ("interned", Certain.Interned); ("strings", Certain.Strings) ])
+        Certain.Interned
+    & info [ "kernel" ] ~docv:"KERNEL" ~doc)
+
 let backend_arg =
   let doc = "Approximation back end: $(b,direct) or $(b,algebra)." in
   Arg.(
@@ -320,14 +334,14 @@ let print_qualified_note = function
     Fmt.pr "(upper bound: unrefuted survivors of the interrupted scan)@."
   | Resilient.Exhausted -> ()
 
-let run_resilient db q ~policy ~algorithm ~domains ~stats ~budget =
+let run_resilient db q ~policy ~algorithm ~domains ~kernel ~stats ~budget =
   let exhausted () =
     Fmt.epr "budget exhausted (%s)@." (Budget.to_string budget);
     124
   in
   if Query.is_boolean q then begin
     let result, rstats =
-      Resilient.boolean_stats ~policy ~algorithm ~domains ~budget db q
+      Resilient.boolean_stats ~policy ~algorithm ~domains ~kernel ~budget db q
     in
     let status =
       match result with
@@ -343,7 +357,7 @@ let run_resilient db q ~policy ~algorithm ~domains ~stats ~budget =
   end
   else begin
     let result, rstats =
-      Resilient.answer_stats ~policy ~algorithm ~domains ~budget db q
+      Resilient.answer_stats ~policy ~algorithm ~domains ~kernel ~budget db q
     in
     let status =
       match result with
@@ -359,8 +373,8 @@ let run_resilient db q ~policy ~algorithm ~domains ~stats ~budget =
   end
 
 let query_cmd =
-  let run path query_text engine algorithm backend domains stats trace metrics
-      timeout max_structures max_evaluations policy =
+  let run path query_text engine algorithm kernel backend domains stats trace
+      metrics timeout max_structures max_evaluations policy =
     let status = ref 0 in
     handle (fun () ->
         let budget =
@@ -386,7 +400,8 @@ let query_cmd =
             exit 2
           end;
           status :=
-            run_resilient db q ~policy ~algorithm ~domains ~stats ~budget
+            run_resilient db q ~policy ~algorithm ~domains ~kernel ~stats
+              ~budget
         end
         else begin
         if Query.is_boolean q then begin
@@ -394,13 +409,14 @@ let query_cmd =
             match engine with
             | Exact ->
               let v, s =
-                Certain.certain_boolean_stats ~algorithm ~domains db q
+                Certain.certain_boolean_stats ~algorithm ~domains ~kernel db q
               in
               (v, Some s)
             | Approximate -> (Approx.boolean db q, None)
             | Possible ->
               let v, s =
-                Certain.possible_boolean_stats ~algorithm ~domains db q
+                Certain.possible_boolean_stats ~algorithm ~domains ~kernel db
+                  q
               in
               (v, Some s)
           in
@@ -412,12 +428,14 @@ let query_cmd =
           let answer, counters =
             match engine with
             | Exact ->
-              let r, s = Certain.answer_stats ~algorithm ~domains db q in
+              let r, s =
+                Certain.answer_stats ~algorithm ~domains ~kernel db q
+              in
               (r, Some s)
             | Approximate -> (Approx.answer ~backend db q, None)
             | Possible ->
               let r, s =
-                Certain.possible_answer_stats ~algorithm ~domains db q
+                Certain.possible_answer_stats ~algorithm ~domains ~kernel db q
               in
               (r, Some s)
           in
@@ -445,8 +463,9 @@ let query_cmd =
     (Cmd.info "query" ~doc)
     Cterm.(
       const run $ db_arg $ query_arg $ engine_arg $ algorithm_arg
-      $ backend_arg $ domains_arg $ stats_arg $ trace_arg $ metrics_arg
-      $ timeout_arg $ max_structures_arg $ max_evaluations_arg $ policy_arg)
+      $ kernel_arg $ backend_arg $ domains_arg $ stats_arg $ trace_arg
+      $ metrics_arg $ timeout_arg $ max_structures_arg $ max_evaluations_arg
+      $ policy_arg)
 
 (* --- compile --- *)
 

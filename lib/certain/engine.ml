@@ -11,10 +11,19 @@ module Mapping = Vardi_cwdb.Mapping
 module Partition = Vardi_cwdb.Partition
 module Ph = Vardi_cwdb.Ph
 module Obs = Vardi_obs.Obs
+module Symtab = Vardi_interned.Symtab
+module Irel = Vardi_interned.Irel
+module Iplan = Vardi_interned.Iplan
+module Ieval = Vardi_interned.Ieval
+module Iscan = Vardi_interned.Iscan
 
 type algorithm =
   | Naive_mappings
   | Kernel_partitions
+
+type kernel =
+  | Strings
+  | Interned
 
 type order = Vardi_cwdb.Partition.order =
   | Fresh_first
@@ -33,7 +42,10 @@ type stats = {
 let validate = Vardi_cwdb.Query_check.validate
 let validate_tuple = Vardi_cwdb.Query_check.validate_tuple
 
-let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+(* The process-monotonic clock Obs maintains (gettimeofday clamped to
+   be non-decreasing), so [wall_ns] intervals can never go negative
+   under clock adjustment. *)
+let now_ns = Obs.now_ns
 
 (* Every examined structure is an image database together with the
    element renaming that produced it, so a candidate tuple [c] over [C]
@@ -64,6 +76,16 @@ let discrete_structure lb =
   (* The discrete partition's quotient is Ph₁ itself (the identity
      renaming), so no partition machinery is needed to build it. *)
   { image = Ph.ph1 lb; rename = Fun.id }
+
+(* The interned mirror of [structure_thunks]: same enumeration orders,
+   same deferred-construction split (see Iscan). *)
+let interned_thunks algorithm order plan =
+  match algorithm with
+  | Naive_mappings -> Iscan.mapping_thunks plan
+  | Kernel_partitions -> Iscan.structure_thunks ~order plan
+
+let rename_row (rename : int array) (row : int array) =
+  Array.map (fun c -> Array.unsafe_get rename c) row
 
 (* With [Fresh_first] kernel enumeration the discrete partition is the
    stream's first element; entry points that evaluate it separately as
@@ -207,13 +229,45 @@ let drive ~domains ~cancel ~stop consume thunks =
             end);
         drain ()
   in
-  let guarded () =
-    try drain ()
-    with e -> ignore (Atomic.compare_and_set failure None (Some e))
+  (* An interrupt must win over a parked worker fault (Ctrl-C is never
+     mistaken for a scan failure), and any other exception only fills
+     an empty slot so the first fault is the one re-raised. *)
+  let park = function
+    | Sys.Break -> Atomic.set failure (Some Sys.Break)
+    | e -> ignore (Atomic.compare_and_set failure None (Some e))
   in
-  let spawned = List.init (workers - 1) (fun _ -> Domain.spawn guarded) in
-  guarded ();
-  List.iter Domain.join spawned;
+  let guarded () = try drain () with e -> park e in
+  (* Spawning and joining must not be interrupted: a [Sys.Break]
+     raised inside [Domain.spawn] (domain created, handle not yet
+     captured) or between two joins orphans a running domain, and a
+     process that then exits 130 tears the runtime down under it — a
+     segfault instead of an interrupt. SIGINT is masked across those
+     two edges (workers inherit the mask, so the signal is only ever
+     delivered once this domain lifts it); the drain in between stays
+     interruptible, and any exception is parked, which flips [halted]
+     so workers stop at their next poll and the joins are short. *)
+  let with_sigint_masked f =
+    let saved =
+      try Some (Unix.sigprocmask Unix.SIG_BLOCK [ Sys.sigint ])
+      with Invalid_argument _ -> None
+    in
+    (try f () with e -> park e);
+    match saved with
+    | None -> ()
+    | Some mask -> ignore (Unix.sigprocmask Unix.SIG_SETMASK mask)
+  in
+  let spawned = ref [] in
+  (try
+     if workers > 1 then
+       with_sigint_masked (fun () ->
+           for _ = 2 to workers do
+             spawned := Domain.spawn guarded :: !spawned
+           done);
+     guarded ()
+   with e -> park e);
+  if !spawned <> [] then
+    with_sigint_masked (fun () ->
+        List.iter (fun d -> try Domain.join d with e -> park e) !spawned);
   (match Atomic.get failure with Some e -> raise e | None -> ());
   Atomic.get examined
 
@@ -243,70 +297,104 @@ let search ~domains ~cancel ~target thunks check =
       interrupted = interruption cancel ~decided:found;
     } )
 
-let for_all_structures ~domains ~cancel thunks check =
-  let refuted, stats = search ~domains ~cancel ~target:false thunks check in
-  (not refuted, stats)
-
-let exists_structure ~domains ~cancel thunks check =
-  search ~domains ~cancel ~target:true thunks check
-
 (* --- decision entry points ---------------------------------------- *)
 
+(* Per-tuple and Boolean deciders: quantify [check] over the structure
+   stream of the selected kernel. The two kernels enumerate structures
+   in the same order, so stats (and capped verdicts) agree. *)
+(* [search] is instantiated at a different structure type per kernel,
+   so the dispatch happens here rather than via a first-class
+   quantifier argument (which would force one monomorphic type). *)
+let decide_member ~target ~algorithm ~order ~domains ~cancel ~kernel lb q
+    tuple =
+  match kernel with
+  | Strings ->
+    search ~domains ~cancel ~target
+      (structure_thunks algorithm order lb)
+      (fun s -> Eval.member s.image q (List.map s.rename tuple))
+  | Interned ->
+    let plan = Iscan.prepare lb in
+    let codes = Symtab.code_tuple (Iscan.symtab plan) tuple in
+    search ~domains ~cancel ~target
+      (interned_thunks algorithm order plan)
+      (fun (s : Iscan.structure) ->
+        Ieval.member s.idb q (rename_row s.rename codes))
+
+let decide_boolean ~target ~algorithm ~order ~domains ~cancel ~kernel lb body =
+  match kernel with
+  | Strings ->
+    search ~domains ~cancel ~target
+      (structure_thunks algorithm order lb)
+      (fun s -> Eval.satisfies s.image body)
+  | Interned ->
+    let plan = Iscan.prepare lb in
+    search ~domains ~cancel ~target
+      (interned_thunks algorithm order plan)
+      (fun (s : Iscan.structure) -> Ieval.satisfies s.idb body)
+
 let certain_member_stats ?(algorithm = Kernel_partitions)
-    ?(order = Fresh_first) ?(domains = 1) ?cancel lb q tuple =
+    ?(order = Fresh_first) ?(domains = 1) ?cancel ?(kernel = Interned) lb q
+    tuple =
   validate lb q;
   validate_tuple lb q tuple;
   if Query.is_boolean q then
     invalid_arg "Certain.certain_member: Boolean query; use certain_boolean";
   Obs.span "certain.member" (fun () ->
-      for_all_structures ~domains ~cancel
-        (structure_thunks algorithm order lb)
-        (fun s -> Eval.member s.image q (List.map s.rename tuple)))
+      let refuted, stats =
+        decide_member ~target:false ~algorithm ~order ~domains ~cancel ~kernel
+          lb q tuple
+      in
+      (not refuted, stats))
 
-let certain_member ?algorithm ?order ?domains ?cancel lb q tuple =
-  fst (certain_member_stats ?algorithm ?order ?domains ?cancel lb q tuple)
+let certain_member ?algorithm ?order ?domains ?cancel ?kernel lb q tuple =
+  fst
+    (certain_member_stats ?algorithm ?order ?domains ?cancel ?kernel lb q
+       tuple)
 
 let certain_boolean_stats ?(algorithm = Kernel_partitions)
-    ?(order = Fresh_first) ?(domains = 1) ?cancel lb q =
+    ?(order = Fresh_first) ?(domains = 1) ?cancel ?(kernel = Interned) lb q =
   validate lb q;
   if not (Query.is_boolean q) then
     invalid_arg "Certain.certain_boolean: the query has answer variables";
   let body = Query.body q in
   Obs.span "certain.boolean" (fun () ->
-      for_all_structures ~domains ~cancel
-        (structure_thunks algorithm order lb)
-        (fun s -> Eval.satisfies s.image body))
+      let refuted, stats =
+        decide_boolean ~target:false ~algorithm ~order ~domains ~cancel
+          ~kernel lb body
+      in
+      (not refuted, stats))
 
-let certain_boolean ?algorithm ?order ?domains ?cancel lb q =
-  fst (certain_boolean_stats ?algorithm ?order ?domains ?cancel lb q)
+let certain_boolean ?algorithm ?order ?domains ?cancel ?kernel lb q =
+  fst (certain_boolean_stats ?algorithm ?order ?domains ?cancel ?kernel lb q)
 
 let possible_member_stats ?(algorithm = Kernel_partitions)
-    ?(order = Fresh_first) ?(domains = 1) ?cancel lb q tuple =
+    ?(order = Fresh_first) ?(domains = 1) ?cancel ?(kernel = Interned) lb q
+    tuple =
   validate lb q;
   validate_tuple lb q tuple;
   if Query.is_boolean q then
     invalid_arg "Certain.possible_member: Boolean query; use possible_boolean";
   Obs.span "certain.possible_member" (fun () ->
-      exists_structure ~domains ~cancel
-        (structure_thunks algorithm order lb)
-        (fun s -> Eval.member s.image q (List.map s.rename tuple)))
+      decide_member ~target:true ~algorithm ~order ~domains ~cancel ~kernel lb
+        q tuple)
 
-let possible_member ?algorithm ?order ?domains ?cancel lb q tuple =
-  fst (possible_member_stats ?algorithm ?order ?domains ?cancel lb q tuple)
+let possible_member ?algorithm ?order ?domains ?cancel ?kernel lb q tuple =
+  fst
+    (possible_member_stats ?algorithm ?order ?domains ?cancel ?kernel lb q
+       tuple)
 
 let possible_boolean_stats ?(algorithm = Kernel_partitions)
-    ?(order = Fresh_first) ?(domains = 1) ?cancel lb q =
+    ?(order = Fresh_first) ?(domains = 1) ?cancel ?(kernel = Interned) lb q =
   validate lb q;
   if not (Query.is_boolean q) then
     invalid_arg "Certain.possible_boolean: the query has answer variables";
   let body = Query.body q in
   Obs.span "certain.possible_boolean" (fun () ->
-      exists_structure ~domains ~cancel
-        (structure_thunks algorithm order lb)
-        (fun s -> Eval.satisfies s.image body))
+      decide_boolean ~target:true ~algorithm ~order ~domains ~cancel ~kernel
+        lb body)
 
-let possible_boolean ?algorithm ?order ?domains ?cancel lb q =
-  fst (possible_boolean_stats ?algorithm ?order ?domains ?cancel lb q)
+let possible_boolean ?algorithm ?order ?domains ?cancel ?kernel lb q =
+  fst (possible_boolean_stats ?algorithm ?order ?domains ?cancel ?kernel lb q)
 
 (* --- whole-answer entry points ------------------------------------ *)
 
@@ -333,10 +421,75 @@ let candidate_count lb k =
   in
   go 1 k
 
-let answer_stats ?(algorithm = Kernel_partitions) ?(order = Fresh_first)
-    ?(domains = 1) ?cancel lb q =
-  validate lb q;
-  Obs.span "certain.answer" (fun () ->
+(* Interned mirror of [prepare_answer]: the compiled plan is interned
+   once against the scan's symtab, so per-structure evaluation touches
+   no strings at all. Queries the algebra cannot express fall back to
+   the interned Tarskian evaluator. *)
+let prepare_answer_interned lb tab q =
+  match
+    Option.bind (Compile.prepared (Ph.ph1 lb) q) (Iplan.of_algebra tab)
+  with
+  | Some iplan -> fun (s : Iscan.structure) -> Iplan.run s.idb iplan
+  | None -> fun s -> Ieval.answer s.idb q
+
+let answer_stats_interned ~algorithm ~order ~domains ~cancel lb q =
+  let started = now_ns () in
+  let plan, image_answer =
+    Obs.span "certain.prepare" (fun () ->
+        let plan = Iscan.prepare lb in
+        (plan, prepare_answer_interned lb (Iscan.symtab plan) q))
+  in
+  let seed =
+    Obs.span "certain.seed" (fun () ->
+        let seed = image_answer (Iscan.discrete plan) in
+        Obs.count "certain.structures" 1;
+        Obs.count "certain.evaluations" 1;
+        seed)
+  in
+  let pruned = candidate_count lb (Query.arity q) - Irel.cardinal seed in
+  Obs.count "certain.pruned" pruned;
+  let survivors = Atomic.make seed in
+  let remove doomed =
+    let rec loop () =
+      let cur = Atomic.get survivors in
+      let next = Irel.diff cur doomed in
+      if not (Atomic.compare_and_set survivors cur next) then loop ()
+    in
+    loop ()
+  in
+  let consume (s : Iscan.structure) =
+    let ia = image_answer s in
+    let snapshot = Atomic.get survivors in
+    let doomed =
+      Irel.filter
+        (fun row -> not (Irel.mem (rename_row s.rename row) ia))
+        snapshot
+    in
+    if not (Irel.is_empty doomed) then remove doomed
+  in
+  let examined =
+    drive ~domains ~cancel
+      ~stop:(fun () -> Irel.is_empty (Atomic.get survivors))
+      consume
+      (admit_within cancel ~structures:1 ~evaluations:1
+         (rest_after_discrete algorithm order
+            (interned_thunks algorithm order plan)))
+  in
+  let result = Atomic.get survivors in
+  let early = Irel.is_empty result in
+  Obs.count "certain.early_exit" (if early then 1 else 0);
+  ( Irel.to_relation (Iscan.symtab plan) result,
+    {
+      structures = examined + 1;
+      evaluations = examined + 1;
+      early_exit = early;
+      pruned_candidates = pruned;
+      wall_ns = Int64.sub (now_ns ()) started;
+      domains_used = worker_count domains;
+      interrupted = interruption cancel ~decided:early;
+    } )
+
+let answer_stats_strings ~algorithm ~order ~domains ~cancel lb q =
   let started = now_ns () in
   let image_answer =
     Obs.span "certain.prepare" (fun () -> prepare_answer lb q)
@@ -393,18 +546,83 @@ let answer_stats ?(algorithm = Kernel_partitions) ?(order = Fresh_first)
       wall_ns = Int64.sub (now_ns ()) started;
       domains_used = worker_count domains;
       interrupted = interruption cancel ~decided:early;
-    } ))
+    } )
 
-let answer ?algorithm ?order ?domains ?cancel lb q =
-  fst (answer_stats ?algorithm ?order ?domains ?cancel lb q)
+let answer_stats ?(algorithm = Kernel_partitions) ?(order = Fresh_first)
+    ?(domains = 1) ?cancel ?(kernel = Interned) lb q =
+  validate lb q;
+  Obs.span "certain.answer" (fun () ->
+      match kernel with
+      | Strings -> answer_stats_strings ~algorithm ~order ~domains ~cancel lb q
+      | Interned ->
+        answer_stats_interned ~algorithm ~order ~domains ~cancel lb q)
+
+let answer ?algorithm ?order ?domains ?cancel ?kernel lb q =
+  fst (answer_stats ?algorithm ?order ?domains ?cancel ?kernel lb q)
 
 let candidates lb k =
   Relation.full ~domain:(Cw_database.constants lb) k
 
-let possible_answer_stats ?(algorithm = Kernel_partitions)
-    ?(order = Fresh_first) ?(domains = 1) ?cancel lb q =
-  validate lb q;
-  Obs.span "certain.possible_answer" (fun () ->
+let possible_answer_stats_interned ~algorithm ~order ~domains ~cancel lb q =
+  let started = now_ns () in
+  let plan, image_answer =
+    Obs.span "certain.prepare" (fun () ->
+        let plan = Iscan.prepare lb in
+        (plan, prepare_answer_interned lb (Iscan.symtab plan) q))
+  in
+  let tab = Iscan.symtab plan in
+  (* Same cap, same message as [candidates] on the string side. *)
+  let all_candidates =
+    Irel.full ~domain:(Array.init (Symtab.size tab) Fun.id) (Query.arity q)
+  in
+  let total = Irel.cardinal all_candidates in
+  let seed =
+    Obs.span "certain.seed" (fun () ->
+        let seed = image_answer (Iscan.discrete plan) in
+        Obs.count "certain.structures" 1;
+        Obs.count "certain.evaluations" 1;
+        seed)
+  in
+  Obs.count "certain.pruned" (Irel.cardinal seed);
+  let found = Atomic.make seed in
+  let saturated () = Irel.cardinal (Atomic.get found) >= total in
+  let add gained =
+    let rec loop () =
+      let cur = Atomic.get found in
+      let next = Irel.union cur gained in
+      if not (Atomic.compare_and_set found cur next) then loop ()
+    in
+    loop ()
+  in
+  let consume (s : Iscan.structure) =
+    let ia = image_answer s in
+    let remaining = Irel.diff all_candidates (Atomic.get found) in
+    let gained =
+      Irel.filter (fun row -> Irel.mem (rename_row s.rename row) ia) remaining
+    in
+    if not (Irel.is_empty gained) then add gained
+  in
+  let examined =
+    drive ~domains ~cancel ~stop:saturated consume
+      (admit_within cancel ~structures:1 ~evaluations:1
+         (rest_after_discrete algorithm order
+            (interned_thunks algorithm order plan)))
+  in
+  let result = Atomic.get found in
+  let early = Irel.cardinal result >= total in
+  Obs.count "certain.early_exit" (if early then 1 else 0);
+  ( Irel.to_relation tab result,
+    {
+      structures = examined + 1;
+      evaluations = examined + 1;
+      early_exit = early;
+      pruned_candidates = Irel.cardinal seed;
+      wall_ns = Int64.sub (now_ns ()) started;
+      domains_used = worker_count domains;
+      interrupted = interruption cancel ~decided:early;
+    } )
+
+let possible_answer_stats_strings ~algorithm ~order ~domains ~cancel lb q =
   let started = now_ns () in
   let image_answer =
     Obs.span "certain.prepare" (fun () -> prepare_answer lb q)
@@ -460,7 +678,17 @@ let possible_answer_stats ?(algorithm = Kernel_partitions)
       wall_ns = Int64.sub (now_ns ()) started;
       domains_used = worker_count domains;
       interrupted = interruption cancel ~decided:early;
-    } ))
+    } )
 
-let possible_answer ?algorithm ?order ?domains ?cancel lb q =
-  fst (possible_answer_stats ?algorithm ?order ?domains ?cancel lb q)
+let possible_answer_stats ?(algorithm = Kernel_partitions)
+    ?(order = Fresh_first) ?(domains = 1) ?cancel ?(kernel = Interned) lb q =
+  validate lb q;
+  Obs.span "certain.possible_answer" (fun () ->
+      match kernel with
+      | Strings ->
+        possible_answer_stats_strings ~algorithm ~order ~domains ~cancel lb q
+      | Interned ->
+        possible_answer_stats_interned ~algorithm ~order ~domains ~cancel lb q)
+
+let possible_answer ?algorithm ?order ?domains ?cancel ?kernel lb q =
+  fst (possible_answer_stats ?algorithm ?order ?domains ?cancel ?kernel lb q)

@@ -77,6 +77,23 @@ type order = Vardi_cwdb.Partition.order =
   | Fresh_first
   | Merge_first
 
+(** Evaluation kernel for the structure scan. {!Interned} (the
+    default) runs the whole scan on integer codes: constants are
+    interned once per call into a dense symtab
+    ({!Vardi_interned.Symtab}), tuples are [int array]s in sorted
+    array-backed relations ({!Vardi_interned.Irel}), compiled plans
+    execute entirely on codes ({!Vardi_interned.Iplan}), and quotient
+    images are built incrementally along the partition-enumeration
+    tree, sharing unchanged relations with the parent node
+    ({!Vardi_interned.Iscan}). Strings reappear only in the returned
+    relation. {!Strings} is the original string-keyed path, kept as
+    the differential-testing reference — both kernels enumerate
+    structures in the same order, so results, stats and positional
+    budget caps agree bit-for-bit. *)
+type kernel =
+  | Strings
+  | Interned
+
 (** Work counters for the complexity experiments and the CLI. *)
 type stats = {
   structures : int;
@@ -126,6 +143,7 @@ val certain_member :
   ?order:order ->
   ?domains:int ->
   ?cancel:Cancel.t ->
+  ?kernel:kernel ->
   Vardi_cwdb.Cw_database.t ->
   Vardi_logic.Query.t ->
   string list ->
@@ -136,6 +154,7 @@ val certain_member_stats :
   ?order:order ->
   ?domains:int ->
   ?cancel:Cancel.t ->
+  ?kernel:kernel ->
   Vardi_cwdb.Cw_database.t ->
   Vardi_logic.Query.t ->
   string list ->
@@ -151,6 +170,7 @@ val certain_boolean :
   ?order:order ->
   ?domains:int ->
   ?cancel:Cancel.t ->
+  ?kernel:kernel ->
   Vardi_cwdb.Cw_database.t ->
   Vardi_logic.Query.t ->
   bool
@@ -160,6 +180,7 @@ val certain_boolean_stats :
   ?order:order ->
   ?domains:int ->
   ?cancel:Cancel.t ->
+  ?kernel:kernel ->
   Vardi_cwdb.Cw_database.t ->
   Vardi_logic.Query.t ->
   bool * stats
@@ -174,6 +195,7 @@ val answer :
   ?order:order ->
   ?domains:int ->
   ?cancel:Cancel.t ->
+  ?kernel:kernel ->
   Vardi_cwdb.Cw_database.t ->
   Vardi_logic.Query.t ->
   Vardi_relational.Relation.t
@@ -183,6 +205,7 @@ val answer_stats :
   ?order:order ->
   ?domains:int ->
   ?cancel:Cancel.t ->
+  ?kernel:kernel ->
   Vardi_cwdb.Cw_database.t ->
   Vardi_logic.Query.t ->
   Vardi_relational.Relation.t * stats
@@ -202,6 +225,7 @@ val possible_member :
   ?order:order ->
   ?domains:int ->
   ?cancel:Cancel.t ->
+  ?kernel:kernel ->
   Vardi_cwdb.Cw_database.t ->
   Vardi_logic.Query.t ->
   string list ->
@@ -212,6 +236,7 @@ val possible_member_stats :
   ?order:order ->
   ?domains:int ->
   ?cancel:Cancel.t ->
+  ?kernel:kernel ->
   Vardi_cwdb.Cw_database.t ->
   Vardi_logic.Query.t ->
   string list ->
@@ -222,6 +247,7 @@ val possible_boolean :
   ?order:order ->
   ?domains:int ->
   ?cancel:Cancel.t ->
+  ?kernel:kernel ->
   Vardi_cwdb.Cw_database.t ->
   Vardi_logic.Query.t ->
   bool
@@ -231,6 +257,7 @@ val possible_boolean_stats :
   ?order:order ->
   ?domains:int ->
   ?cancel:Cancel.t ->
+  ?kernel:kernel ->
   Vardi_cwdb.Cw_database.t ->
   Vardi_logic.Query.t ->
   bool * stats
@@ -246,6 +273,7 @@ val possible_answer :
   ?order:order ->
   ?domains:int ->
   ?cancel:Cancel.t ->
+  ?kernel:kernel ->
   Vardi_cwdb.Cw_database.t ->
   Vardi_logic.Query.t ->
   Vardi_relational.Relation.t
@@ -255,6 +283,7 @@ val possible_answer_stats :
   ?order:order ->
   ?domains:int ->
   ?cancel:Cancel.t ->
+  ?kernel:kernel ->
   Vardi_cwdb.Cw_database.t ->
   Vardi_logic.Query.t ->
   Vardi_relational.Relation.t * stats

@@ -30,6 +30,7 @@ let oracle_ids =
     "exact-merge-first";
     "exact-naive-mappings";
     "exact-parallel";
+    "kernel-parity";
     "approx-backend-algebra";
     "approx-backend-optimized";
     "approx-sound";
@@ -257,6 +258,80 @@ let check_relational ctx ~domains db q =
             (fun () -> Certain.certain_member db q tuple))
         (tuples k)
 
+(* --- the kernel-parity oracle ---
+
+   The interned kernel (integer codes, array tuples, shared-prefix
+   quotients) and the original string kernel must be observationally
+   identical: same answers on every entry point, under both algorithms,
+   both structure orders, sequential and parallel. The string side is
+   the reference — it is the simpler implementation — and the interned
+   side is the one on trial. *)
+
+let check_kernel_parity ctx db q =
+  let n = List.length (Cw_database.constants db) in
+  let algorithms =
+    (Certain.Kernel_partitions, "Kernel_partitions")
+    ::
+    (if pow_up_to naive_mapping_budget n n <= naive_mapping_budget then
+       [ (Certain.Naive_mappings, "Naive_mappings") ]
+     else [])
+  in
+  let orders =
+    [ (Certain.Fresh_first, "Fresh_first"); (Certain.Merge_first, "Merge_first") ]
+  in
+  let boolean = Query.is_boolean q in
+  List.iter
+    (fun (algorithm, alg_name) ->
+      List.iter
+        (fun (order, ord_name) ->
+          List.iter
+            (fun domains ->
+              let label what =
+                Printf.sprintf "%s under %s/%s/domains=%d" what alg_name
+                  ord_name domains
+              in
+              let certain ~kernel () =
+                if boolean then
+                  `Bool
+                    (Certain.certain_boolean ~kernel ~algorithm ~order ~domains
+                       db q)
+                else `Rel (Certain.answer ~kernel ~algorithm ~order ~domains db q)
+              and possible ~kernel () =
+                if boolean then
+                  `Bool
+                    (Certain.possible_boolean ~kernel ~algorithm ~order ~domains
+                       db q)
+                else
+                  `Rel
+                    (Certain.possible_answer ~kernel ~algorithm ~order ~domains
+                       db q)
+              in
+              List.iter
+                (fun (what, run) ->
+                  match guard ctx "kernel-parity" (run ~kernel:Certain.Strings)
+                  with
+                  | None -> ()
+                  | Some (`Bool reference) ->
+                    expect_equal_bool ctx "kernel-parity" ~reference
+                      ~label:(label what) (fun () ->
+                        match run ~kernel:Certain.Interned () with
+                        | `Bool b -> b
+                        | `Rel _ -> assert false)
+                  | Some (`Rel reference) ->
+                    expect_equal_rel ctx "kernel-parity" ~reference
+                      ~label:(label what) (fun () ->
+                        match run ~kernel:Certain.Interned () with
+                        | `Rel r -> r
+                        | `Bool _ -> assert false))
+                [
+                  ((if boolean then "certain_boolean" else "answer"), certain);
+                  ( (if boolean then "possible_boolean" else "possible_answer"),
+                    possible );
+                ])
+            [ 1; 4 ])
+        orders)
+    algorithms
+
 (* --- resilience oracles ---
 
    [resilient-qualified] is the qualified-answer lattice, checked
@@ -468,6 +543,7 @@ let check ?(domains = 2) ?faults_seed db q =
       check_ldb_roundtrip ctx db;
       if Query.is_boolean q then check_boolean ctx ~domains db q
       else check_relational ctx ~domains db q;
+      check_kernel_parity ctx db q;
       if Query.is_boolean q then check_resilient_bool ctx db q
       else check_resilient_rel ctx db q;
       (match faults_seed with

@@ -8,6 +8,11 @@
       the exact certain-answer engine agrees with itself across
       structure orders, algorithms (Theorem 1's literal mapping
       enumeration vs kernel partitions) and worker-domain counts;
+    - [kernel-parity]: the interned evaluation kernel
+      ({!Vardi_interned}) agrees with the string-keyed reference kernel
+      on [answer]/[certain_boolean] and
+      [possible_answer]/[possible_boolean], under both algorithms, both
+      structure orders, and [domains ∈ {1, 4}];
     - [approx-sound]: Theorem 11, [A(Q, LB) ⊆ Q(LB)];
     - [approx-complete]: Theorems 12/13 — equality whenever
       {!Vardi_approx.Evaluate.completeness} says a completeness

@@ -1,0 +1,14 @@
+type t = {
+  tab : Symtab.t;
+  interp : int array;  (* constant code -> element code *)
+  universe : int array;  (* ascending element codes *)
+  rels : Irel.t array;  (* indexed by symtab slot *)
+}
+
+let tab t = t.tab
+let universe t = t.universe
+let interp t code = t.interp.(code)
+let relation t slot = t.rels.(slot)
+
+let relation_opt t p =
+  Option.map (fun slot -> t.rels.(slot)) (Symtab.rel_slot t.tab p)

@@ -1,0 +1,20 @@
+(** An interned image database: the integer-coded counterpart of
+    {!Vardi_relational.Database} for one structure of the scan.
+
+    Elements are constant codes (the renaming maps codes to
+    representative codes, so the universe is a subset of the symtab's
+    code range); the constant interpretation is a dense array — for an
+    image under renaming [h], [interp c = h(c)]. *)
+
+type t = {
+  tab : Symtab.t;
+  interp : int array;  (** constant code -> element code *)
+  universe : int array;  (** ascending element codes *)
+  rels : Irel.t array;  (** indexed by symtab slot *)
+}
+
+val tab : t -> Symtab.t
+val universe : t -> int array
+val interp : t -> int -> int
+val relation : t -> int -> Irel.t
+val relation_opt : t -> string -> Irel.t option

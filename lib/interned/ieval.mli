@@ -1,0 +1,18 @@
+(** Interned Tarskian evaluation — the integer-coded mirror of
+    {!Vardi_relational.Eval}, over an {!Idb.t}.
+
+    Used by the engine's decision entry points ([member]/[satisfies])
+    and as the fallback for whole-answer evaluation when a query falls
+    outside the relational algebra (second-order quantifiers). Raises
+    {!Vardi_relational.Eval.Eval_error} with messages identical to the
+    string evaluator. *)
+
+val holds : Idb.t -> (string * int) list -> Vardi_logic.Formula.t -> bool
+
+val satisfies : Idb.t -> Vardi_logic.Formula.t -> bool
+
+(** [member idb q row] — [row] holds element codes, already renamed by
+    the structure's mapping. *)
+val member : Idb.t -> Vardi_logic.Query.t -> int array -> bool
+
+val answer : Idb.t -> Vardi_logic.Query.t -> Irel.t

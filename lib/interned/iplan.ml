@@ -1,0 +1,117 @@
+module Algebra = Vardi_relational.Algebra
+
+type selection =
+  | Cols_eq of int * int
+  | Cols_neq of int * int
+  | Col_eq_const of int * int  (* column, constant code *)
+  | Col_neq_const of int * int
+  | Consts_eq of int * int  (* constant codes *)
+  | Consts_neq of int * int
+
+type t =
+  | Base of int  (* symtab slot *)
+  | Domain
+  | Empty of int
+  | Select of selection * t
+  | Project of int array * t
+  | Product of t * t
+  | Union of t * t
+  | Inter of t * t
+  | Diff of t * t
+
+(* Symbol resolution happens once, here: base relations become slots
+   and constant symbols become codes, so [run] never touches a string.
+   [None] on anything the interned runner cannot execute — virtual
+   relations, or symbols outside the symtab (neither occurs for plans
+   compiled from a validated query over Ph1, but the fallback to the
+   interned Tarskian evaluator keeps this total). *)
+let of_algebra tab expr =
+  let slot p = Symtab.rel_slot tab p in
+  let code c = Symtab.code_opt tab c in
+  let ( let* ) = Option.bind in
+  let selection = function
+    | Algebra.Cols_eq (i, j) -> Some (Cols_eq (i, j))
+    | Algebra.Cols_neq (i, j) -> Some (Cols_neq (i, j))
+    | Algebra.Col_eq_const (i, c) ->
+      let* c = code c in
+      Some (Col_eq_const (i, c))
+    | Algebra.Col_neq_const (i, c) ->
+      let* c = code c in
+      Some (Col_neq_const (i, c))
+    | Algebra.Consts_eq (c, d) ->
+      let* c = code c in
+      let* d = code d in
+      Some (Consts_eq (c, d))
+    | Algebra.Consts_neq (c, d) ->
+      let* c = code c in
+      let* d = code d in
+      Some (Consts_neq (c, d))
+  in
+  let rec go = function
+    | Algebra.Base p ->
+      let* s = slot p in
+      Some (Base s)
+    | Algebra.Virtual _ -> None
+    | Algebra.Domain -> Some Domain
+    | Algebra.Empty k -> Some (Empty k)
+    | Algebra.Select (sel, e) ->
+      let* sel = selection sel in
+      let* e = go e in
+      Some (Select (sel, e))
+    | Algebra.Project (cols, e) ->
+      let* e = go e in
+      Some (Project (Array.of_list cols, e))
+    | Algebra.Product (a, b) ->
+      let* a = go a in
+      let* b = go b in
+      Some (Product (a, b))
+    | Algebra.Union (a, b) ->
+      let* a = go a in
+      let* b = go b in
+      Some (Union (a, b))
+    | Algebra.Inter (a, b) ->
+      let* a = go a in
+      let* b = go b in
+      Some (Inter (a, b))
+    | Algebra.Diff (a, b) ->
+      let* a = go a in
+      let* b = go b in
+      Some (Diff (a, b))
+  in
+  go expr
+
+(* No per-run validation: the plan was validated symbolically when the
+   string-side compiler built it, and interning cannot introduce arity
+   errors. This is part of the speedup — [Algebra.run] re-walks the
+   tree computing arities on every structure. *)
+let rec run idb plan =
+  match plan with
+  | Base slot -> Idb.relation idb slot
+  | Domain ->
+    Irel.of_row_array 1 (Array.map (fun e -> [| e |]) (Idb.universe idb))
+  | Empty k -> Irel.empty k
+  | Select (sel, e) ->
+    let r = run idb e in
+    let keep =
+      match sel with
+      | Cols_eq (i, j) -> fun (row : int array) -> row.(i) = row.(j)
+      | Cols_neq (i, j) -> fun row -> row.(i) <> row.(j)
+      | Col_eq_const (i, c) ->
+        let e = Idb.interp idb c in
+        fun row -> row.(i) = e
+      | Col_neq_const (i, c) ->
+        let e = Idb.interp idb c in
+        fun row -> row.(i) <> e
+      | Consts_eq (c, d) ->
+        let b = Idb.interp idb c = Idb.interp idb d in
+        fun _ -> b
+      | Consts_neq (c, d) ->
+        let b = Idb.interp idb c <> Idb.interp idb d in
+        fun _ -> b
+    in
+    Irel.filter keep r
+  | Project (cols, e) -> Irel.project cols (run idb e)
+  | Product (a, b) -> Irel.product (run idb a) (run idb b)
+  | Union (a, b) -> Irel.union (run idb a) (run idb b)
+  | Inter (a, b) -> Irel.inter (run idb a) (run idb b)
+  | Diff (a, b) -> Irel.diff (run idb a) (run idb b)

@@ -1,0 +1,244 @@
+module Cw_database = Vardi_cwdb.Cw_database
+module Partition = Vardi_cwdb.Partition
+
+type structure = {
+  idb : Idb.t;
+  rename : int array;  (* constant code -> representative code *)
+}
+
+type plan = {
+  tab : Symtab.t;
+  n : int;
+  (* Root relations: empty except for nullary facts, which no renaming
+     can touch. *)
+  base : Irel.t array;
+  (* Per-depth fact buckets, grouped by relation slot: the facts whose
+     maximum argument code is [d] become final the moment constant [d]
+     is assigned a representative, and are folded into the image
+     exactly once, at that depth of the enumeration tree. *)
+  pending : (int * int array list) list array;
+  (* All facts as (slot, arg codes), for paths that build whole images
+     at once (the discrete seed and the naive-mapping algorithm). *)
+  facts_by_slot : int array list array;
+}
+
+let mapping_cap = 1 lsl 24
+
+let prepare db =
+  let tab = Symtab.make db in
+  let n = Symtab.size tab in
+  let k = Symtab.rel_count tab in
+  let base = Array.init k (fun s -> Irel.empty (Symtab.rel_arity tab s)) in
+  let raw_pending = Array.make (max n 1) [] in
+  let facts_by_slot = Array.make k [] in
+  List.iter
+    (fun { Cw_database.pred; args } ->
+      let slot =
+        match Symtab.rel_slot tab pred with
+        | Some s -> s
+        | None -> assert false (* facts are checked against the vocabulary *)
+      in
+      let codes = Symtab.code_tuple tab args in
+      facts_by_slot.(slot) <- codes :: facts_by_slot.(slot);
+      let d = Array.fold_left max (-1) codes in
+      if d < 0 then base.(slot) <- Irel.add_rows base.(slot) [ codes ]
+      else raw_pending.(d) <- (slot, codes) :: raw_pending.(d))
+    (Cw_database.facts db);
+  (* Group each bucket by slot once, here, so [extend] touches each
+     affected relation exactly once with a ready-made batch. *)
+  let pending =
+    Array.map
+      (fun bucket ->
+        List.fold_left
+          (fun groups (slot, codes) ->
+            match List.assoc_opt slot groups with
+            | Some rows ->
+              (slot, codes :: rows) :: List.remove_assoc slot groups
+            | None -> (slot, [ codes ]) :: groups)
+          [] bucket)
+      raw_pending
+  in
+  { tab; n; base; pending; facts_by_slot }
+
+let symtab plan = plan.tab
+
+(* --- the kernel-partition stream ----------------------------------- *)
+
+(* One node of the restricted-growth enumeration tree: constants
+   [0 .. depth-1] have representatives; [blocks] mirrors
+   [Partition.all_valid]'s block list exactly (newest block first,
+   members in descending insertion order) so the two streams visit
+   partitions in the same order — the positional budget-cap contract
+   depends on it. [rels] is the interned image of the facts finalized
+   so far; extending a node copies only the relation slots its depth's
+   fact bucket touches, sharing every other slot with the parent. *)
+type node = {
+  depth : int;
+  repr : int array;
+  blocks : (int * int list) list;  (* (representative, members) *)
+  rels : Irel.t array;
+}
+
+type choice =
+  | Fresh
+  | Join of int
+
+let root plan =
+  {
+    depth = 0;
+    repr = Array.make (max plan.n 1) (-1);
+    blocks = [];
+    rels = plan.base;
+  }
+
+let extend plan node choice =
+  let c = node.depth in
+  let repr = Array.copy node.repr in
+  let blocks =
+    match choice with
+    | Fresh ->
+      repr.(c) <- c;
+      (c, [ c ]) :: node.blocks
+    | Join i ->
+      let r, _ = List.nth node.blocks i in
+      repr.(c) <- r;
+      List.mapi
+        (fun j (br, ms) -> if j = i then (br, c :: ms) else (br, ms))
+        node.blocks
+  in
+  let rels =
+    match plan.pending.(c) with
+    | [] -> node.rels
+    | groups ->
+      let rels = Array.copy node.rels in
+      List.iter
+        (fun (slot, argss) ->
+          let rows =
+            List.map
+              (fun args ->
+                Array.map (fun a -> Array.unsafe_get repr a) args)
+              argss
+          in
+          rels.(slot) <- Irel.add_rows rels.(slot) rows)
+        groups;
+      rels
+  in
+  { depth = c + 1; repr; blocks; rels }
+
+(* Blocks are created with strictly increasing representatives (a fresh
+   block's representative is the current constant), and the list is
+   newest-first, so reversing it yields the universe already sorted. *)
+let finish plan node =
+  let universe = Array.of_list (List.rev_map fst node.blocks) in
+  let idb =
+    { Idb.tab = plan.tab; interp = node.repr; universe; rels = node.rels }
+  in
+  { idb; rename = node.repr }
+
+(* The enumeration step (node extension bookkeeping) runs wherever the
+   sequence is forced — the scheduler's critical section — while the
+   last extension and [finish] are deferred into the returned thunk, so
+   the per-leaf relation work lands on whichever worker domain claimed
+   the structure. Branches are eta-expanded: nothing about a sibling
+   subtree is computed until the stream actually reaches it. *)
+let structure_thunks ?(order = Partition.Fresh_first) plan =
+  let n = plan.n in
+  if n = 0 then Seq.return (fun () -> finish plan (root plan))
+  else
+    let rec expand node () =
+      let c = node.depth in
+      let child choice : (unit -> structure) Seq.t =
+        if c = n - 1 then
+          Seq.return (fun () -> finish plan (extend plan node choice))
+        else fun () -> expand (extend plan node choice) ()
+      in
+      let fresh = child Fresh in
+      let joins =
+        List.mapi
+          (fun i (_, members) ->
+            if
+              List.for_all
+                (fun d -> not (Symtab.distinct plan.tab c d))
+                members
+            then Some (child (Join i))
+            else None)
+          node.blocks
+        |> List.filter_map Fun.id
+      in
+      let join_seq = Seq.concat (List.to_seq joins) in
+      match order with
+      | Partition.Fresh_first -> Seq.append fresh join_seq ()
+      | Partition.Merge_first -> Seq.append join_seq fresh ()
+    in
+    expand (root plan)
+
+(* --- whole images --------------------------------------------------- *)
+
+let image plan map =
+  let tab = plan.tab in
+  let n = plan.n in
+  let seen = Array.make (max n 1) false in
+  Array.iter (fun e -> seen.(e) <- true) map;
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    if seen.(i) then incr count
+  done;
+  let universe = Array.make !count 0 in
+  let w = ref 0 in
+  for i = 0 to n - 1 do
+    if seen.(i) then begin
+      universe.(!w) <- i;
+      incr w
+    end
+  done;
+  let rels =
+    Array.init (Symtab.rel_count tab) (fun slot ->
+        Irel.of_rows
+          (Symtab.rel_arity tab slot)
+          (List.map
+             (fun args -> Array.map (fun a -> Array.unsafe_get map a) args)
+             plan.facts_by_slot.(slot)))
+  in
+  { idb = { Idb.tab; interp = map; universe; rels }; rename = map }
+
+let discrete plan = image plan (Array.init (max plan.n 1) Fun.id)
+
+(* --- the naive-mapping stream --------------------------------------- *)
+
+(* Mirrors [Mapping.all_respecting]: base-[n] counters enumerated in
+   index order (digit [i] of the counter gives [h(c_i)]), filtered by
+   the uniqueness axioms, with the cap checked in the same integer
+   arithmetic and raising the same message. The respecting filter runs
+   during enumeration; image construction is deferred to the thunk. *)
+let mapping_thunks plan =
+  let n = plan.n in
+  if n = 0 then Seq.return (fun () -> discrete plan)
+  else begin
+    let total =
+      let rec go acc i =
+        if i = 0 then acc
+        else if acc > mapping_cap / n then
+          invalid_arg
+            (Printf.sprintf
+               "Mapping.all: %d^%d mappings exceeds the enumeration cap" n n)
+        else go (acc * n) (i - 1)
+      in
+      go 1 n
+    in
+    let distinct = Symtab.distinct_pairs plan.tab in
+    let of_index index =
+      let map = Array.make n 0 in
+      let v = ref index in
+      for i = 0 to n - 1 do
+        map.(i) <- !v mod n;
+        v := !v / n
+      done;
+      map
+    in
+    let respects map =
+      Array.for_all (fun (i, j) -> map.(i) <> map.(j)) distinct
+    in
+    Seq.init total of_index
+    |> Seq.filter respects
+    |> Seq.map (fun map () -> image plan map)
+  end

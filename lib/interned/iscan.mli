@@ -1,0 +1,42 @@
+(** The interned structure stream: Theorem 1's scan over
+    uniqueness-respecting renamings, evaluated entirely on codes.
+
+    {!prepare} interns the database once; {!structure_thunks} then
+    yields the kernel-partition stream in {e exactly} the order of
+    [Partition.all_valid] — same restricted-growth branch order, same
+    [Fresh_first]/[Merge_first] choice points — so positional budget
+    caps truncate both kernels at the same structure. Unlike the string
+    path, which rebuilds every quotient from scratch through
+    [Mapping.image_db], the interned stream is incremental: a tree node
+    extends its parent by assigning one constant, copying only the
+    relation slots touched by the facts that become final at that
+    depth and sharing everything else ({e copy-on-extend}).
+
+    {!mapping_thunks} is the interned [Naive_mappings] mirror, with
+    [Mapping.all]'s enumeration order, cap and error message.
+
+    Both streams defer the expensive per-structure work (the leaf
+    extension, or the whole image) into the returned thunks, matching
+    the engine's scheduler contract: enumeration under the puller lock,
+    construction in the claiming worker domain. *)
+
+type structure = {
+  idb : Idb.t;
+  rename : int array;  (** constant code -> representative code *)
+}
+
+type plan
+
+(** Intern the database: build the symtab, code every fact, and bucket
+    facts by the depth at which they become final. *)
+val prepare : Vardi_cwdb.Cw_database.t -> plan
+
+val symtab : plan -> Symtab.t
+
+(** The discrete structure (identity renaming — Ph₁ itself). *)
+val discrete : plan -> structure
+
+val structure_thunks :
+  ?order:Vardi_cwdb.Partition.order -> plan -> (unit -> structure) Seq.t
+
+val mapping_thunks : plan -> (unit -> structure) Seq.t

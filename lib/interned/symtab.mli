@@ -1,0 +1,45 @@
+(** Per-scan constant interning.
+
+    A symtab is built once per certain-answer scan from the CW database
+    and maps every constant of [C] to a dense code — its index in the
+    sorted constant list, so code order coincides with name order and
+    interned relations sort identically to their string counterparts.
+    The uniqueness axioms become a boolean matrix over codes, and
+    predicates become dense relation slots in vocabulary order.
+
+    The table is immutable after {!make}; its lifetime is one scan, so
+    codes are never shared across databases. *)
+
+type t
+
+(** [make db] interns the constants, uniqueness axioms and predicate
+    schema of [db]. Codes follow [Cw_database.constants db] (sorted);
+    slots follow [Vocabulary.predicates] (sorted). *)
+val make : Vardi_cwdb.Cw_database.t -> t
+
+(** Number of constants (codes are [0 .. size - 1]). *)
+val size : t -> int
+
+val name : t -> int -> string
+val code : t -> string -> int
+
+(** [None] when the string is not a constant of the database. *)
+val code_opt : t -> string -> int option
+
+(** [distinct t i j] iff the constants coded [i] and [j] carry a
+    uniqueness axiom. *)
+val distinct : t -> int -> int -> bool
+
+(** The uniqueness axioms as code pairs, in
+    [Cw_database.distinct_pairs] order. *)
+val distinct_pairs : t -> (int * int) array
+
+val rel_count : t -> int
+val rel_name : t -> int -> string
+val rel_arity : t -> int -> int
+val rel_slot : t -> string -> int option
+
+(** Boundary conversions between string tuples and code rows. *)
+val code_tuple : t -> string list -> int array
+
+val name_tuple : t -> int array -> string list

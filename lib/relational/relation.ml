@@ -84,8 +84,22 @@ let product a b =
 let full ~domain k =
   if k < 0 then invalid_arg "Relation.full: negative arity";
   let n = List.length domain in
-  let count = Float.of_int n ** Float.of_int k in
-  if count > Float.of_int max_enumeration then
+  (* Exact integer cap check, mirroring the Mapping.count_all fix:
+     [acc > cap / n] implies [acc * n > cap], and the product never
+     overflows below the cap — the old [Float.of_int n ** Float.of_int
+     k] comparison lost precision past 2^53 and could misjudge the
+     boundary. *)
+  let over_cap =
+    k > 0 && n > 0
+    &&
+    let rec go acc i =
+      if i = 0 then false
+      else if acc > max_enumeration / n then true
+      else go (acc * n) (i - 1)
+    in
+    go 1 k
+  in
+  if over_cap then
     invalid_arg
       (Printf.sprintf "Relation.full: %d^%d tuples exceeds the enumeration cap"
          n k);

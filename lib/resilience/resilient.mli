@@ -83,7 +83,8 @@ type stats = {
 (** [answer ~budget lb q] evaluates the certain answer [Q(LB)] under
     [budget] and degrades per [policy] (default [Fail]).
 
-    [?algorithm], [?order], [?domains] are passed to the exact engine.
+    [?algorithm], [?order], [?domains], [?kernel] are passed to the
+    exact engine.
     Emits a [resilience.answer] span and, when degradation happens,
     [resilience.budget_trip] / [resilience.scan_failure] /
     [resilience.fallback] counters.
@@ -99,6 +100,7 @@ val answer :
   ?algorithm:Vardi_certain.Engine.algorithm ->
   ?order:Vardi_certain.Engine.order ->
   ?domains:int ->
+  ?kernel:Vardi_certain.Engine.kernel ->
   ?budget:Budget.t ->
   Vardi_cwdb.Cw_database.t ->
   Vardi_logic.Query.t ->
@@ -109,6 +111,7 @@ val answer_stats :
   ?algorithm:Vardi_certain.Engine.algorithm ->
   ?order:Vardi_certain.Engine.order ->
   ?domains:int ->
+  ?kernel:Vardi_certain.Engine.kernel ->
   ?budget:Budget.t ->
   Vardi_cwdb.Cw_database.t ->
   Vardi_logic.Query.t ->
@@ -121,6 +124,7 @@ val boolean :
   ?algorithm:Vardi_certain.Engine.algorithm ->
   ?order:Vardi_certain.Engine.order ->
   ?domains:int ->
+  ?kernel:Vardi_certain.Engine.kernel ->
   ?budget:Budget.t ->
   Vardi_cwdb.Cw_database.t ->
   Vardi_logic.Query.t ->
@@ -131,6 +135,7 @@ val boolean_stats :
   ?algorithm:Vardi_certain.Engine.algorithm ->
   ?order:Vardi_certain.Engine.order ->
   ?domains:int ->
+  ?kernel:Vardi_certain.Engine.kernel ->
   ?budget:Budget.t ->
   Vardi_cwdb.Cw_database.t ->
   Vardi_logic.Query.t ->

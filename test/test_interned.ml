@@ -1,0 +1,391 @@
+(* Tests for the interned evaluation kernel: Irel set algebra against a
+   list model, enumeration-order parity with Partition.all_valid,
+   Iplan/Ieval against the string evaluators, end-to-end kernel parity
+   (including stats and positional budget caps), and the shared
+   enumeration-cap contracts. *)
+
+open Logicaldb
+
+let check = Alcotest.check
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let socrates = Support.socrates_db ()
+let personnel = Support.personnel_db ()
+let ripper = Support.ripper_db ()
+
+let q s = Parser.query s
+
+(* --- Irel against a sorted-list model ------------------------------- *)
+
+let to_model t =
+  Array.to_list (Array.map Array.to_list (Irel.rows t))
+
+let norm rows = List.sort_uniq compare (List.map Array.to_list rows)
+
+let strictly_sorted t =
+  let rows = Irel.rows t in
+  let ok = ref true in
+  for i = 1 to Array.length rows - 1 do
+    if Irel.compare_rows rows.(i - 1) rows.(i) >= 0 then ok := false
+  done;
+  !ok
+
+let model_testable = Alcotest.(list (list int))
+
+let gen_rows =
+  QCheck2.Gen.(list_size (0 -- 12) (array_repeat 2 (0 -- 4)))
+
+let irel_matches_list_model =
+  QCheck2.Test.make ~count:300 ~name:"Irel ops = sorted-list model"
+    ~print:(fun (a, b) ->
+      Printf.sprintf "a = %s\nb = %s"
+        (String.concat " " (List.map (fun r -> Fmt.str "%a" Fmt.(Dump.list int) (Array.to_list r)) a))
+        (String.concat " " (List.map (fun r -> Fmt.str "%a" Fmt.(Dump.list int) (Array.to_list r)) b)))
+    QCheck2.Gen.(pair gen_rows gen_rows)
+    (fun (rows_a, rows_b) ->
+      let a = Irel.of_rows 2 rows_a and b = Irel.of_rows 2 rows_b in
+      let ma = norm rows_a and mb = norm rows_b in
+      to_model a = ma
+      && to_model (Irel.union a b) = List.sort_uniq compare (ma @ mb)
+      && to_model (Irel.inter a b) = List.filter (fun r -> List.mem r mb) ma
+      && to_model (Irel.diff a b)
+         = List.filter (fun r -> not (List.mem r mb)) ma
+      && Irel.subset a b = List.for_all (fun r -> List.mem r mb) ma
+      && Irel.equal a b = (ma = mb)
+      && List.for_all
+           (fun r -> Irel.mem (Array.of_list r) a = List.mem r ma)
+           (List.sort_uniq compare (ma @ mb @ [ [ 0; 0 ]; [ 4; 4 ] ]))
+      && to_model (Irel.filter (fun r -> r.(0) mod 2 = 0) a)
+         = List.filter (fun r -> List.nth r 0 mod 2 = 0) ma
+      && to_model (Irel.project [| 1; 0 |] a)
+         = List.sort_uniq compare (List.map List.rev ma)
+      && to_model (Irel.product a b)
+         = List.sort_uniq compare
+             (List.concat_map (fun ra -> List.map (fun rb -> ra @ rb) mb) ma)
+      && strictly_sorted (Irel.union a b)
+      && strictly_sorted (Irel.product a b)
+      && strictly_sorted (Irel.project [| 1; 0 |] a))
+
+let test_irel_full_and_subsets () =
+  let full = Irel.full ~domain:[| 0; 2 |] 3 in
+  check_int "full cardinality" 8 (Irel.cardinal full);
+  check_bool "full is sorted" true (strictly_sorted full);
+  check model_testable "full enumerates in lexicographic order"
+    [
+      [ 0; 0; 0 ]; [ 0; 0; 2 ]; [ 0; 2; 0 ]; [ 0; 2; 2 ];
+      [ 2; 0; 0 ]; [ 2; 0; 2 ]; [ 2; 2; 0 ]; [ 2; 2; 2 ];
+    ]
+    (to_model full);
+  check model_testable "nullary full is the unit relation" [ [] ]
+    (to_model (Irel.full ~domain:[||] 0));
+  check_bool "empty domain, positive arity" true
+    (Irel.is_empty (Irel.full ~domain:[||] 2));
+  let two = Irel.of_rows 1 [ [| 3 |]; [| 7 |] ] in
+  let subsets = List.of_seq (Irel.subsets two) in
+  check_int "2^2 subsets" 4 (List.length subsets);
+  check model_testable "subset mask order" []
+    (to_model (List.nth subsets 0));
+  check model_testable "last subset is the whole relation"
+    [ [ 3 ]; [ 7 ] ]
+    (to_model (List.nth subsets 3))
+
+(* The caps must trip on exactly the same inputs with exactly the same
+   messages as the string-side Relation, since the fuzz oracles compare
+   raised exceptions across kernels. *)
+let test_irel_cap_parity () =
+  let boundary = Irel.full ~domain:(Array.init 1024 Fun.id) 2 in
+  check_int "1024^2 = 2^20 sits exactly at the cap" (1024 * 1024)
+    (Irel.cardinal boundary);
+  (match Irel.full ~domain:(Array.init 1025 Fun.id) 2 with
+  | _ -> Alcotest.fail "1025^2 must exceed the cap"
+  | exception Invalid_argument msg ->
+    check Alcotest.string "cap message matches Relation.full"
+      "Relation.full: 1025^2 tuples exceeds the enumeration cap" msg);
+  (* 3^45 overflows a naive 63-bit product; the saturating check must
+     still raise cleanly rather than wrap around. *)
+  (match Irel.full ~domain:[| 0; 1; 2 |] 45 with
+  | _ -> Alcotest.fail "3^45 must exceed the cap"
+  | exception Invalid_argument _ -> ())
+
+(* --- Symtab: dense codes in sorted-name order ------------------------ *)
+
+let test_symtab_codes () =
+  let tab = Symtab.make ripper in
+  let constants = Cw_database.constants ripper in
+  check_int "one code per constant" (List.length constants) (Symtab.size tab);
+  List.iteri
+    (fun i c ->
+      check_int (Printf.sprintf "code of %s is its sorted index" c) i
+        (Symtab.code tab c);
+      check Alcotest.string "name round-trips" c (Symtab.name tab i))
+    constants;
+  check Alcotest.(option int) "unknown constant has no code" None
+    (Symtab.code_opt tab "not-a-constant");
+  List.iter
+    (fun (c, d) ->
+      check_bool
+        (Printf.sprintf "distinct %s %s" c d)
+        true
+        (Symtab.distinct tab (Symtab.code tab c) (Symtab.code tab d)))
+    (Cw_database.distinct_pairs ripper)
+
+(* --- enumeration-order parity with Partition.all_valid --------------- *)
+
+(* The positional budget-cap contract requires the interned stream to
+   visit renamings in exactly [Partition.all_valid]'s order, for both
+   orders. Compare the full sequence of representative maps. *)
+let renames_of_partitions db order =
+  let constants = Cw_database.constants db in
+  Partition.all_valid ~order db
+  |> Seq.map (fun p -> List.map (Partition.representative p) constants)
+  |> List.of_seq
+
+let renames_of_iscan db order =
+  let plan = Iscan.prepare db in
+  let tab = Iscan.symtab plan in
+  let constants = Cw_database.constants db in
+  Iscan.structure_thunks ~order plan
+  |> Seq.map (fun thunk ->
+         let s = (thunk ()).Iscan.rename in
+         List.map (fun c -> Symtab.name tab s.(Symtab.code tab c)) constants)
+  |> List.of_seq
+
+let test_stream_order_parity () =
+  List.iter
+    (fun (db, db_name) ->
+      List.iter
+        (fun (order, order_name) ->
+          check
+            Alcotest.(list (list string))
+            (Printf.sprintf "%s/%s stream order" db_name order_name)
+            (renames_of_partitions db order)
+            (renames_of_iscan db order))
+        [ (Partition.Fresh_first, "Fresh_first");
+          (Partition.Merge_first, "Merge_first") ])
+    [ (socrates, "socrates"); (personnel, "personnel"); (ripper, "ripper") ]
+
+let test_mapping_stream_parity () =
+  (* The naive stream mirrors Mapping.all_respecting: same count, and
+     the discrete renaming appears exactly once. *)
+  let plan = Iscan.prepare socrates in
+  let n = Symtab.size (Iscan.symtab plan) in
+  let identity = Array.init n Fun.id in
+  let renames =
+    Iscan.mapping_thunks plan
+    |> Seq.map (fun thunk -> (thunk ()).Iscan.rename)
+    |> List.of_seq
+  in
+  check_int "respecting-mapping count"
+    (List.length (List.of_seq (Mapping.all_respecting socrates)))
+    (List.length renames);
+  check_int "identity appears once" 1
+    (List.length (List.filter (fun r -> r = identity) renames))
+
+(* --- Iplan / Ieval against the string evaluators --------------------- *)
+
+let queries_for db =
+  ignore db;
+  [
+    "(x). exists y. TEACHES(x, y)";
+    "(x). ~(exists y. TEACHES(x, y))";
+    "(x, y). TEACHES(x, y) \\/ TEACHES(y, x)";
+    "(). exists x. TEACHES(x, plato)";
+  ]
+
+let test_iplan_matches_algebra () =
+  let db = socrates in
+  let ph1 = Ph.ph1 db in
+  let plan = Iscan.prepare db in
+  let tab = Iscan.symtab plan in
+  let idb = (Iscan.discrete plan).Iscan.idb in
+  List.iter
+    (fun text ->
+      let query = q text in
+      match Compile.prepared ph1 query with
+      | None -> Alcotest.fail ("query did not compile: " ^ text)
+      | Some algebra ->
+        (match Iplan.of_algebra tab algebra with
+        | None -> Alcotest.fail ("plan did not intern: " ^ text)
+        | Some iplan ->
+          check Support.relation_testable
+            (Printf.sprintf "Iplan.run = Algebra.run on %s" text)
+            (Algebra.run ph1 algebra)
+            (Irel.to_relation tab (Iplan.run idb iplan))))
+    (queries_for db)
+
+let test_ieval_matches_eval () =
+  (* Second-order quantifiers fall outside the algebra, so they reach
+     the Ieval fallback — compare it against the string Eval on the
+     discrete structure. *)
+  let db = socrates in
+  let ph1 = Ph.ph1 db in
+  let plan = Iscan.prepare db in
+  let tab = Iscan.symtab plan in
+  let idb = (Iscan.discrete plan).Iscan.idb in
+  List.iter
+    (fun text ->
+      let query = q text in
+      check Support.relation_testable
+        (Printf.sprintf "Ieval.answer = Eval.answer on %s" text)
+        (Eval.answer ph1 query)
+        (Irel.to_relation tab (Ieval.answer idb query)))
+    ("(x). exists2 Q/1. Q(x) /\\ exists y. TEACHES(x, y)"
+    :: queries_for db)
+
+(* --- end-to-end kernel parity (results and stats) -------------------- *)
+
+let stats_signature (s : Certain.stats) =
+  (s.structures, s.evaluations, s.early_exit, s.pruned_candidates,
+   s.interrupted = None)
+
+let test_kernel_parity_exhaustive () =
+  let cases =
+    [
+      (socrates, "(x). exists y. TEACHES(x, y)");
+      (socrates, "(x). ~(exists y. TEACHES(x, y))");
+      (personnel, "(x). ~(exists y. EMP_DEPT(x, y))");
+      (ripper, "(). exists x. MURDERER(x) /\\ POLITICIAN(x)");
+      (ripper, "(x). MURDERER(x) -> x != victoria");
+    ]
+  in
+  List.iter
+    (fun (db, text) ->
+      let query = q text in
+      List.iter
+        (fun algorithm ->
+          List.iter
+            (fun order ->
+              List.iter
+                (fun domains ->
+                  let run kernel =
+                    if Query.is_boolean query then
+                      let v, s =
+                        Certain.certain_boolean_stats ~kernel ~algorithm ~order
+                          ~domains db query
+                      in
+                      (`Bool v, s)
+                    else
+                      let v, s =
+                        Certain.answer_stats ~kernel ~algorithm ~order ~domains
+                          db query
+                      in
+                      (`Rel v, s)
+                  in
+                  let label what =
+                    Printf.sprintf "%s on %s (domains=%d)" what text domains
+                  in
+                  let v_i, s_i = run Certain.Interned in
+                  let v_s, s_s = run Certain.Strings in
+                  (match (v_i, v_s) with
+                  | `Bool a, `Bool b -> check_bool (label "verdict") b a
+                  | `Rel a, `Rel b ->
+                    check Support.relation_testable (label "answer") b a
+                  | _ -> assert false);
+                  (* Parallel schedules may stop different numbers of
+                     structures after an early exit; the stats contract
+                     is exact only sequentially. *)
+                  if domains = 1 then
+                    check
+                      Alcotest.(
+                        pair
+                          (pair int int)
+                          (pair (pair bool int) bool))
+                      (label "stats")
+                      (let a, b, c, d, e = stats_signature s_s in
+                       ((a, b), ((c, d), e)))
+                      (let a, b, c, d, e = stats_signature s_i in
+                       ((a, b), ((c, d), e))))
+                [ 1; 3 ])
+            [ Certain.Fresh_first; Certain.Merge_first ])
+        [ Certain.Kernel_partitions; Certain.Naive_mappings ])
+    cases
+
+let test_possible_parity () =
+  List.iter
+    (fun (db, text) ->
+      let query = q text in
+      check Support.relation_testable text
+        (Certain.possible_answer ~kernel:Certain.Strings db query)
+        (Certain.possible_answer ~kernel:Certain.Interned db query))
+    [
+      (socrates, "(x). exists y. TEACHES(x, y)");
+      (ripper, "(x). MURDERER(x) /\\ POLITICIAN(x)");
+    ]
+
+(* --- positional budget caps are kernel-independent ------------------- *)
+
+let test_budget_positional_parity () =
+  let query = q "(x). ~(exists y. TEACHES(x, y))" in
+  List.iter
+    (fun cap ->
+      List.iter
+        (fun domains ->
+          let run kernel =
+            let cancel = Cancel.create ~max_structures:cap () in
+            Certain.answer_stats ~kernel ~domains ~cancel socrates query
+          in
+          let r_i, s_i = run Certain.Interned in
+          let r_s, s_s = run Certain.Strings in
+          let label what =
+            Printf.sprintf "%s under cap %d, domains %d" what cap domains
+          in
+          check Support.relation_testable (label "capped answer") r_s r_i;
+          check_int (label "structures") s_s.Certain.structures
+            s_i.Certain.structures;
+          check_bool (label "interrupted agrees") true
+            (s_i.Certain.interrupted = s_s.Certain.interrupted))
+        [ 1; 4 ])
+    [ 1; 2; 3; 5; 8 ]
+
+(* --- the naive-mapping cap trips identically across kernels ---------- *)
+
+let test_mapping_cap_parity () =
+  (* 9 constants: 9^9 ≈ 3.9·10^8 exceeds the 2^24 mapping cap, so the
+     Naive_mappings algorithm must refuse — with the same exception and
+     message from both kernels. *)
+  let db =
+    database
+      ~constants:
+        [ "c0"; "c1"; "c2"; "c3"; "c4"; "c5"; "c6"; "c7"; "c8" ]
+      ~predicates:[ ("P", 1) ]
+      ~facts:[ ("P", [ "c0" ]) ]
+      ()
+  in
+  let query = q "(). exists x. P(x)" in
+  let trip kernel =
+    match
+      Certain.certain_boolean ~kernel ~algorithm:Certain.Naive_mappings db
+        query
+    with
+    | _ -> Alcotest.fail "9^9 mappings must exceed the enumeration cap"
+    | exception Invalid_argument msg -> msg
+  in
+  check Alcotest.string "cap messages agree" (trip Certain.Strings)
+    (trip Certain.Interned)
+
+let suite =
+  [
+    Support.qcheck_case irel_matches_list_model;
+    Alcotest.test_case "Irel full and subsets" `Quick
+      test_irel_full_and_subsets;
+    Alcotest.test_case "Irel enumeration-cap parity" `Quick
+      test_irel_cap_parity;
+    Alcotest.test_case "Symtab dense codes" `Quick test_symtab_codes;
+    Alcotest.test_case "partition-stream order parity" `Quick
+      test_stream_order_parity;
+    Alcotest.test_case "naive-mapping stream parity" `Quick
+      test_mapping_stream_parity;
+    Alcotest.test_case "Iplan matches Algebra.run" `Quick
+      test_iplan_matches_algebra;
+    Alcotest.test_case "Ieval matches Eval.answer" `Quick
+      test_ieval_matches_eval;
+    Alcotest.test_case "kernel parity: results and stats" `Quick
+      test_kernel_parity_exhaustive;
+    Alcotest.test_case "kernel parity: possible answers" `Quick
+      test_possible_parity;
+    Alcotest.test_case "budget caps are kernel-positional" `Quick
+      test_budget_positional_parity;
+    Alcotest.test_case "naive-mapping cap parity" `Quick
+      test_mapping_cap_parity;
+  ]

@@ -6,6 +6,7 @@ let () =
       ("relational", Test_relational.suite);
       ("cwdb", Test_cwdb.suite);
       ("certain", Test_certain.suite);
+      ("interned", Test_interned.suite);
       ("approx", Test_approx.suite);
       ("reiter", Test_reiter.suite);
       ("typed", Test_typed.suite);

@@ -43,6 +43,39 @@ let test_relation_product_full () =
   let full = Relation.full ~domain:[ "a"; "b" ] 2 in
   check_int "full size" 4 (Relation.cardinal full)
 
+(* Regression for the enumeration-cap arithmetic: the cap check is
+   exact saturating integer arithmetic, so the boundary is judged
+   precisely and huge [n^k] products cannot overflow into a false
+   pass. *)
+let test_relation_full_cap_boundary () =
+  let domain n = List.init n (Printf.sprintf "c%d") in
+  let expect_cap n k =
+    match Relation.full ~domain:(domain n) k with
+    | _ -> Alcotest.failf "%d^%d must exceed the enumeration cap" n k
+    | exception Invalid_argument msg ->
+      check Alcotest.string "cap message"
+        (Printf.sprintf
+           "Relation.full: %d^%d tuples exceeds the enumeration cap" n k)
+        msg
+  in
+  (* Just over the 2^20 cap. *)
+  expect_cap 1025 2;
+  (* 3^45 ≈ 3·10^21 and 2000^7 ≈ 10^23 overflow a naive 63-bit
+     accumulator; the saturating check must refuse cleanly, not wrap
+     around into a false pass. *)
+  expect_cap 3 45;
+  expect_cap 2000 7;
+  (* Degenerate shapes stay exempt from the cap: an empty domain or a
+     nullary head never enumerates more than one tuple. *)
+  check_int "k = 0 is the unit relation" 1
+    (Relation.cardinal (Relation.full ~domain:(domain 2000) 0));
+  let none = Relation.full ~domain:[] 3 in
+  check_int "empty domain" 0 (Relation.cardinal none);
+  check_int "empty domain keeps the arity" 3 (Relation.arity none);
+  (* A large in-cap instance still builds. *)
+  check_int "100^2 under the cap" 10_000
+    (Relation.cardinal (Relation.full ~domain:(domain 100) 2))
+
 let test_relation_subsets () =
   let r = r1 [ [ "x" ]; [ "y" ] ] in
   let subsets = List.of_seq (Relation.subsets r) in
@@ -298,6 +331,8 @@ let suite =
     Alcotest.test_case "relation arity checks" `Quick test_relation_arity_checks;
     Alcotest.test_case "relation set ops" `Quick test_relation_set_ops;
     Alcotest.test_case "product and full" `Quick test_relation_product_full;
+    Alcotest.test_case "full cap boundary" `Quick
+      test_relation_full_cap_boundary;
     Alcotest.test_case "subsets" `Quick test_relation_subsets;
     Alcotest.test_case "database basics" `Quick test_database_basics;
     Alcotest.test_case "database validation" `Quick test_database_validation;

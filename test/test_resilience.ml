@@ -296,6 +296,23 @@ let test_fault_point_corpus_read () =
       Alcotest.check Support.query_testable "disarmed read works" case.query
         roundtripped.Fuzz_corpus.query)
 
+(* [Engine.now_ns] is the monotonic [Obs.now_ns] clock, so recorded
+   scan durations can never be negative — unlike the wall-clock time it
+   replaced, which could step backwards under clock adjustment. *)
+let test_wall_ns_monotonic () =
+  let db = big_db () and q = certain_query () in
+  let _, stats = Certain.answer_stats db q in
+  Alcotest.(check bool) "raw scan wall_ns >= 0" true
+    (Int64.compare stats.Certain.wall_ns 0L >= 0);
+  let _, rstats =
+    Resilient.answer_stats ~policy:Resilient.Partial ~budget:tight db q
+  in
+  match rstats.Resilient.scan with
+  | Some scan ->
+    Alcotest.(check bool) "budgeted scan wall_ns >= 0" true
+      (Int64.compare scan.Certain.wall_ns 0L >= 0)
+  | None -> Alcotest.fail "scan stats missing"
+
 (* The acceptance oracle: the resilient-* invariants hold over a
    seeded instance stream with fault injection enabled (the full >= 1k
    run is CI's fault-smoke job; this keeps a fast regression here). *)
@@ -342,6 +359,8 @@ let suite =
       test_fault_determinism;
     Alcotest.test_case "corpus read is an injectable fault point" `Quick
       test_fault_point_corpus_read;
+    Alcotest.test_case "scan durations come from the monotonic clock" `Quick
+      test_wall_ns_monotonic;
     Alcotest.test_case "fuzz oracles hold under fault injection" `Quick
       test_fuzz_oracle_with_faults;
   ]
