@@ -296,9 +296,238 @@ let rec value_of flag = function
   | a :: value :: _ when String.equal a flag -> Some value
   | _ :: rest -> value_of flag rest
 
+(* --- Part 4: the serve load generator (--serve) ---
+
+   Drives [ldb serve] with N concurrent clients and records per-request
+   latency, so "the daemon handles heavy traffic" is a measured claim
+   (EXPERIMENTS.md E16, BENCH_6.json). Two modes: with --socket PATH it
+   drives an already-running external server (the CI smoke job); with
+   no --socket it hosts the server in-process on a private socket and
+   tears it down afterwards. --mixed salts the load with one malformed
+   line and one budget-exhausted request per run, asserting the
+   protocol's error codes under concurrency; any unexpected code fails
+   the run. *)
+
+let serve_bench args =
+  let module Serve = Logicaldb.Serve in
+  let module Client = Logicaldb.Serve_client in
+  let module Json = Logicaldb.Serve_json in
+  let module Obs = Logicaldb.Obs in
+  let int_arg flag default =
+    match value_of flag args with
+    | None -> default
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some n when n > 0 -> n
+      | _ ->
+        Fmt.epr "%s expects a positive integer, got %S@." flag v;
+        exit 2)
+  in
+  let clients = int_arg "--clients" 8 in
+  let per_client = int_arg "--requests" 25 in
+  let workers = int_arg "--workers" 2 in
+  let queue_capacity = int_arg "--queue" 64 in
+  let mixed = List.mem "--mixed" args in
+  let json_path = value_of "--json" args in
+  let external_socket = value_of "--socket" args in
+  let shutdown_after = external_socket = None || List.mem "--shutdown" args in
+  (* The workload database: medium-sized, so each request does real
+     scan work but a single run stays in seconds. *)
+  let db = Workloads.parametric_db ~constants:12 ~unknowns:2 ~seed:7 in
+  let db_path = Filename.temp_file "serve_bench" ".ldb" in
+  let oc = open_out db_path in
+  output_string oc (Logicaldb.Ldb_format.print db);
+  close_out oc;
+  let query_mix =
+    [|
+      `Query "(x). (exists y. R(x, y)) /\\ ~P(x)";
+      `Query "(x). exists y. R(x, y) /\\ P(y)";
+      `Query "(x). ~P(x)";
+      `Boolean "(). exists x. ~P(x) /\\ (exists y. R(x, y))";
+    |]
+  in
+  let socket_path, server_thread =
+    match external_socket with
+    | Some path -> (path, None)
+    | None ->
+      let path = Filename.temp_file "serve_bench" ".sock" in
+      let thread =
+        Thread.create
+          (fun () ->
+            Serve.run
+              {
+                Serve.socket_path = path;
+                workers;
+                queue_capacity;
+                debug_sleep = false;
+                preload = [];
+              })
+          ()
+      in
+      (path, Some thread)
+  in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove db_path with Sys_error _ -> ())
+    (fun () ->
+      let setup = Client.connect_retry socket_path in
+      let load_resp =
+        Client.request setup
+          (Json.Obj
+             [
+               ("op", Json.Str "load");
+               ("db", Json.Str "bench");
+               ("path", Json.Str db_path);
+             ])
+      in
+      (match Json.str_field "code" load_resp with
+      | Some "ok" -> ()
+      | _ ->
+        Fmt.epr "serve-bench: load failed: %s@." (Json.to_string load_resp);
+        exit 1);
+      (* One warm-up pass per query shape, so the measured section sees
+         the plan cache hot — the steady state a resident server is
+         for. The cold misses are still visible in the cache counters
+         below. *)
+      Array.iter
+        (fun shape ->
+          let op, text =
+            match shape with
+            | `Query t -> ("query", t)
+            | `Boolean t -> ("boolean", t)
+          in
+          ignore
+            (Client.request setup
+               (Json.Obj
+                  [
+                    ("op", Json.Str op);
+                    ("db", Json.Str "bench");
+                    ("query", Json.Str text);
+                  ])))
+        query_mix;
+      let unexpected = Atomic.make 0 in
+      let latencies = Array.make clients [||] in
+      let client_thread idx () =
+        let c = Client.connect_retry socket_path in
+        Fun.protect
+          ~finally:(fun () -> Client.close c)
+          (fun () ->
+            let lat = Array.make per_client 0. in
+            for i = 0 to per_client - 1 do
+              let expect_code, send =
+                if mixed && idx = 0 && i = 0 then
+                  ("parse_error", fun () -> Client.request_line c "not json")
+                else if mixed && idx = 0 && i = 1 then
+                  ( "exhausted",
+                    fun () ->
+                      Client.request c
+                        (Json.Obj
+                           [
+                             ("op", Json.Str "query");
+                             ("db", Json.Str "bench");
+                             ( "query",
+                               Json.Str "(x). (exists y. R(x, y)) /\\ ~P(x)"
+                             );
+                             ("max_structures", Json.Num 1.);
+                           ]) )
+                else
+                  let op, text =
+                    match query_mix.((idx + i) mod Array.length query_mix) with
+                    | `Query t -> ("query", t)
+                    | `Boolean t -> ("boolean", t)
+                  in
+                  ( "ok",
+                    fun () ->
+                      Client.request c
+                        (Json.Obj
+                           [
+                             ("op", Json.Str op);
+                             ("db", Json.Str "bench");
+                             ("query", Json.Str text);
+                           ]) )
+              in
+              let t0 = Obs.now_ns () in
+              let resp = send () in
+              lat.(i) <- Int64.to_float (Int64.sub (Obs.now_ns ()) t0) /. 1e6;
+              match Json.str_field "code" resp with
+              | Some code when code = expect_code -> ()
+              | _ ->
+                Atomic.incr unexpected;
+                Fmt.epr "serve-bench: client %d expected %s, got %s@." idx
+                  expect_code (Json.to_string resp)
+            done;
+            latencies.(idx) <- lat)
+      in
+      let threads = List.init clients (fun i -> Thread.create (client_thread i) ()) in
+      List.iter Thread.join threads;
+      let stats_resp =
+        Client.request setup (Json.Obj [ ("op", Json.Str "stats") ])
+      in
+      if shutdown_after then
+        ignore (Client.request setup (Json.Obj [ ("op", Json.Str "shutdown") ]));
+      Client.close setup;
+      Option.iter Thread.join server_thread;
+      let all = Array.concat (Array.to_list latencies) in
+      Array.sort compare all;
+      let n = Array.length all in
+      let percentile q =
+        if n = 0 then Float.nan
+        else all.(min (n - 1) (int_of_float (Float.round (q *. float_of_int (n - 1)))))
+      in
+      let mean =
+        if n = 0 then Float.nan
+        else Array.fold_left ( +. ) 0. all /. float_of_int n
+      in
+      let p50 = percentile 0.50
+      and p90 = percentile 0.90
+      and p99 = percentile 0.99
+      and p_max = if n = 0 then Float.nan else all.(n - 1) in
+      Fmt.pr
+        "serve-bench: %d clients x %d requests (workers=%d queue=%d%s)@."
+        clients per_client workers queue_capacity
+        (if mixed then ", mixed load" else "");
+      Fmt.pr
+        "  latency ms: p50 %.3f  p90 %.3f  p99 %.3f  max %.3f  mean %.3f@."
+        p50 p90 p99 p_max mean;
+      let cache_field name =
+        Option.bind (Json.member "plan_cache" stats_resp) (Json.num_field name)
+      in
+      (match (cache_field "hits", cache_field "misses") with
+      | Some h, Some m -> Fmt.pr "  plan cache: %.0f hits, %.0f misses@." h m
+      | _ -> ());
+      Option.iter
+        (fun path ->
+          let out = open_out path in
+          Printf.fprintf out
+            "{\n\
+            \  \"schema\": \"vardi-serve-bench/1\",\n\
+            \  \"clients\": %d,\n\
+            \  \"requests_per_client\": %d,\n\
+            \  \"workers\": %d,\n\
+            \  \"queue_capacity\": %d,\n\
+            \  \"mixed\": %b,\n\
+            \  \"total_requests\": %d,\n\
+            \  \"latency_ms\": { \"p50\": %s, \"p90\": %s, \"p99\": %s, \
+             \"max\": %s, \"mean\": %s },\n\
+            \  \"server_stats\": %s\n\
+             }\n"
+            clients per_client workers queue_capacity mixed n (json_float p50)
+            (json_float p90) (json_float p99) (json_float p_max)
+            (json_float mean)
+            (Json.to_string stats_resp);
+          close_out out;
+          Fmt.pr "wrote %s@." path)
+        json_path;
+      if Atomic.get unexpected > 0 then begin
+        Fmt.epr "serve-bench: %d unexpected response codes@."
+          (Atomic.get unexpected);
+        exit 1
+      end;
+      Fmt.pr "serve-bench: all %d responses carried their expected codes@." n)
+
 let () =
   let args = Array.to_list Sys.argv in
-  if List.mem "--e1-sanity" args then
+  if List.mem "--serve" args then serve_bench args
+  else if List.mem "--e1-sanity" args then
     e1_sanity (Option.value ~default:"interned" (value_of "--kernel" args))
   else begin
     let tables_only = List.mem "--tables-only" args in

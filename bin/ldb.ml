@@ -241,7 +241,16 @@ let print_stats stats =
 (* Run [f] with whatever sinks --trace / --metrics ask for, then render
    the buffered output. The console trace already includes the counter
    table, so --metrics adds its own buffer only when the trace is
-   absent or going to a JSON file. *)
+   absent or going to a JSON file.
+
+   Teardown must survive every exit path. [exit] inside [f] (the error
+   helpers, a non-zero status) bypasses Fun.protect, and Stdlib.exit
+   flushes only the std channels — a --trace=json:FILE channel would
+   silently lose its buffered tail. So the single idempotent [finish]
+   (uninstall-and-flush the sink, then close the file) is both the
+   Fun.protect finalizer and an at_exit handler; whichever fires first
+   wins, and an exception after a partial trace write still leaves a
+   complete, closed JSON-lines file. *)
 let with_observability ~trace ~metrics f =
   let sinks = ref [] in
   let finishers = ref [] in
@@ -255,7 +264,7 @@ let with_observability ~trace ~metrics f =
     sinks := Obs.jsonl_sink oc :: !sinks;
     finishers :=
       (fun () ->
-        close_out oc;
+        close_out_noerr oc;
         Fmt.pr "(trace written to %s)@." path)
       :: !finishers
   | Some spec ->
@@ -267,14 +276,22 @@ let with_observability ~trace ~metrics f =
     finishers :=
       (fun () -> Obs.pp_counters Fmt.stdout (Obs.events buf)) :: !finishers
   end;
-  let result =
-    match !sinks with
-    | [] -> f ()
-    | [ sink ] -> Obs.with_sink sink f
-    | sinks -> Obs.with_sink (Obs.tee sinks) f
+  let finished = ref false in
+  let finish () =
+    if not !finished then begin
+      finished := true;
+      (* Uninstall flushes the sink (and so the trace channel) before
+         the close below; with no sink installed it is a no-op. *)
+      Obs.uninstall ();
+      List.iter (fun g -> g ()) (List.rev !finishers)
+    end
   in
-  List.iter (fun finish -> finish ()) (List.rev !finishers);
-  result
+  at_exit finish;
+  (match !sinks with
+  | [] -> ()
+  | [ sink ] -> Obs.install sink
+  | sinks -> Obs.install (Obs.tee sinks));
+  Fun.protect ~finally:finish f
 
 let print_relation answer =
   Relation.iter
@@ -785,6 +802,79 @@ let repl_cmd =
   let doc = "Interactive query session over a logical database." in
   Cmd.v (Cmd.info "repl" ~doc) Cterm.(const run $ db_arg)
 
+(* --- serve --- *)
+
+let serve_cmd =
+  let socket_arg =
+    let doc = "Unix-domain socket path to listen on." in
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket"; "s" ] ~docv:"PATH" ~doc)
+  in
+  let workers_arg =
+    let doc = "Worker domains in the shared evaluation pool." in
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let queue_arg =
+    let doc =
+      "Waiting requests admitted before new ones are rejected with the \
+       $(b,busy) code (admission control)."
+    in
+    Arg.(value & opt int 16 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let preload_arg =
+    let doc =
+      "Load $(docv) at startup and keep it resident; repeatable. Example: \
+       --db g=graph.ldb"
+    in
+    Arg.(value & opt_all string [] & info [ "db" ] ~docv:"NAME=PATH" ~doc)
+  in
+  let debug_sleep_arg =
+    let doc =
+      "Accept the $(b,sleep) debug op (tests use it to hold workers busy and \
+       observe backpressure deterministically)."
+    in
+    Arg.(value & flag & info [ "debug-sleep" ] ~doc)
+  in
+  let parse_preload spec =
+    match String.index_opt spec '=' with
+    | Some i when i > 0 && i < String.length spec - 1 ->
+      ( String.sub spec 0 i,
+        String.sub spec (i + 1) (String.length spec - i - 1) )
+    | _ ->
+      Fmt.epr "error: --db expects NAME=PATH, got %S@." spec;
+      exit 2
+  in
+  let run socket workers queue preload debug_sleep trace metrics =
+    handle (fun () ->
+        let preload = List.map parse_preload preload in
+        with_observability ~trace ~metrics (fun () ->
+            Serve.run
+              {
+                Serve.socket_path = socket;
+                workers;
+                queue_capacity = queue;
+                debug_sleep;
+                preload;
+              };
+            Fmt.pr "serve: clean shutdown@."))
+  in
+  let doc =
+    "Run a resident query server on a Unix-domain socket: line-delimited \
+     JSON requests (op: load/query/boolean/stats/close/shutdown), loaded \
+     databases and compiled plans cached across requests, in-flight queries \
+     multiplexed over a fixed pool of worker domains with a bounded queue \
+     (full queue => $(b,busy)). Per-request budgets (timeout_ms, \
+     max_structures, max_evaluations) map budget exhaustion to the \
+     $(b,exhausted) code. See README for the protocol."
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Cterm.(
+      const run $ socket_arg $ workers_arg $ queue_arg $ preload_arg
+      $ debug_sleep_arg $ trace_arg $ metrics_arg)
+
 let main =
   let doc = "query closed-world logical databases (Vardi, PODS 1985)" in
   Cmd.group
@@ -798,6 +888,7 @@ let main =
       explain_cmd;
       fuzz_cmd;
       repl_cmd;
+      serve_cmd;
     ]
 
 (* Evaluate without cmdliner's exception catcher so the exit-code

@@ -1,0 +1,30 @@
+(* Spawning and joining must not be interrupted: a [Sys.Break] raised
+   inside [Domain.spawn] (domain created, handle not yet captured) or
+   between two joins orphans a running domain, and a process that then
+   exits 130 tears the runtime down under it — a segfault instead of an
+   interrupt. SIGINT is masked across those two edges (workers inherit
+   the mask, so the signal is only ever delivered once the spawning
+   domain lifts it); the work in between stays interruptible, and any
+   exception is parked so every domain is joined before it re-raises. *)
+
+let masked ~park f =
+  let saved =
+    try Some (Unix.sigprocmask Unix.SIG_BLOCK [ Sys.sigint ])
+    with Invalid_argument _ -> None
+  in
+  (try f () with e -> park e);
+  match saved with
+  | None -> ()
+  | Some mask -> ignore (Unix.sigprocmask Unix.SIG_SETMASK mask)
+
+let spawn_list ~park n worker =
+  let spawned = ref [] in
+  masked ~park (fun () ->
+      for _ = 1 to n do
+        spawned := Domain.spawn worker :: !spawned
+      done);
+  !spawned
+
+let join_list ~park domains =
+  masked ~park (fun () ->
+      List.iter (fun d -> try Domain.join d with e -> park e) domains)

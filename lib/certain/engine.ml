@@ -237,37 +237,16 @@ let drive ~domains ~cancel ~stop consume thunks =
     | e -> ignore (Atomic.compare_and_set failure None (Some e))
   in
   let guarded () = try drain () with e -> park e in
-  (* Spawning and joining must not be interrupted: a [Sys.Break]
-     raised inside [Domain.spawn] (domain created, handle not yet
-     captured) or between two joins orphans a running domain, and a
-     process that then exits 130 tears the runtime down under it — a
-     segfault instead of an interrupt. SIGINT is masked across those
-     two edges (workers inherit the mask, so the signal is only ever
-     delivered once this domain lifts it); the drain in between stays
-     interruptible, and any exception is parked, which flips [halted]
-     so workers stop at their next poll and the joins are short. *)
-  let with_sigint_masked f =
-    let saved =
-      try Some (Unix.sigprocmask Unix.SIG_BLOCK [ Sys.sigint ])
-      with Invalid_argument _ -> None
-    in
-    (try f () with e -> park e);
-    match saved with
-    | None -> ()
-    | Some mask -> ignore (Unix.sigprocmask Unix.SIG_SETMASK mask)
+  (* Spawn/join edges go through the shared SIGINT-masked helper
+     (Domain_guard): the drain in between stays interruptible, and any
+     exception is parked, which flips [halted] so workers stop at
+     their next poll and the joins are short. *)
+  let spawned =
+    if workers > 1 then Domain_guard.spawn_list ~park (workers - 1) guarded
+    else []
   in
-  let spawned = ref [] in
-  (try
-     if workers > 1 then
-       with_sigint_masked (fun () ->
-           for _ = 2 to workers do
-             spawned := Domain.spawn guarded :: !spawned
-           done);
-     guarded ()
-   with e -> park e);
-  if !spawned <> [] then
-    with_sigint_masked (fun () ->
-        List.iter (fun d -> try Domain.join d with e -> park e) !spawned);
+  (try guarded () with e -> park e);
+  if spawned <> [] then Domain_guard.join_list ~park spawned;
   (match Atomic.get failure with Some e -> raise e | None -> ());
   Atomic.get examined
 
@@ -305,29 +284,36 @@ let search ~domains ~cancel ~target thunks check =
 (* [search] is instantiated at a different structure type per kernel,
    so the dispatch happens here rather than via a first-class
    quantifier argument (which would force one monomorphic type). *)
-let decide_member ~target ~algorithm ~order ~domains ~cancel ~kernel lb q
-    tuple =
+(* [?plan] lets a prepared query (see the plan-cache API below) reuse
+   the interned database instead of re-interning it on every call. *)
+let decide_member ~target ~algorithm ~order ~domains ~cancel ~kernel ?plan lb
+    q tuple =
   match kernel with
   | Strings ->
     search ~domains ~cancel ~target
       (structure_thunks algorithm order lb)
       (fun s -> Eval.member s.image q (List.map s.rename tuple))
   | Interned ->
-    let plan = Iscan.prepare lb in
+    let plan =
+      match plan with Some plan -> plan | None -> Iscan.prepare lb
+    in
     let codes = Symtab.code_tuple (Iscan.symtab plan) tuple in
     search ~domains ~cancel ~target
       (interned_thunks algorithm order plan)
       (fun (s : Iscan.structure) ->
         Ieval.member s.idb q (rename_row s.rename codes))
 
-let decide_boolean ~target ~algorithm ~order ~domains ~cancel ~kernel lb body =
+let decide_boolean ~target ~algorithm ~order ~domains ~cancel ~kernel ?plan lb
+    body =
   match kernel with
   | Strings ->
     search ~domains ~cancel ~target
       (structure_thunks algorithm order lb)
       (fun s -> Eval.satisfies s.image body)
   | Interned ->
-    let plan = Iscan.prepare lb in
+    let plan =
+      match plan with Some plan -> plan | None -> Iscan.prepare lb
+    in
     search ~domains ~cancel ~target
       (interned_thunks algorithm order plan)
       (fun (s : Iscan.structure) -> Ieval.satisfies s.idb body)
@@ -432,12 +418,15 @@ let prepare_answer_interned lb tab q =
   | Some iplan -> fun (s : Iscan.structure) -> Iplan.run s.idb iplan
   | None -> fun s -> Ieval.answer s.idb q
 
-let answer_stats_interned ~algorithm ~order ~domains ~cancel lb q =
+let answer_stats_interned ~algorithm ~order ~domains ~cancel ?prep lb q =
   let started = now_ns () in
   let plan, image_answer =
     Obs.span "certain.prepare" (fun () ->
-        let plan = Iscan.prepare lb in
-        (plan, prepare_answer_interned lb (Iscan.symtab plan) q))
+        match prep with
+        | Some prep -> prep
+        | None ->
+          let plan = Iscan.prepare lb in
+          (plan, prepare_answer_interned lb (Iscan.symtab plan) q))
   in
   let seed =
     Obs.span "certain.seed" (fun () ->
@@ -489,10 +478,11 @@ let answer_stats_interned ~algorithm ~order ~domains ~cancel lb q =
       interrupted = interruption cancel ~decided:early;
     } )
 
-let answer_stats_strings ~algorithm ~order ~domains ~cancel lb q =
+let answer_stats_strings ~algorithm ~order ~domains ~cancel ?prep lb q =
   let started = now_ns () in
   let image_answer =
-    Obs.span "certain.prepare" (fun () -> prepare_answer lb q)
+    Obs.span "certain.prepare" (fun () ->
+        match prep with Some f -> f | None -> prepare_answer lb q)
   in
   (* Pruning: the certain answer is contained in the answer over every
      structure, in particular the discrete one (Ph₁ under the identity
@@ -563,12 +553,16 @@ let answer ?algorithm ?order ?domains ?cancel ?kernel lb q =
 let candidates lb k =
   Relation.full ~domain:(Cw_database.constants lb) k
 
-let possible_answer_stats_interned ~algorithm ~order ~domains ~cancel lb q =
+let possible_answer_stats_interned ~algorithm ~order ~domains ~cancel ?prep lb
+    q =
   let started = now_ns () in
   let plan, image_answer =
     Obs.span "certain.prepare" (fun () ->
-        let plan = Iscan.prepare lb in
-        (plan, prepare_answer_interned lb (Iscan.symtab plan) q))
+        match prep with
+        | Some prep -> prep
+        | None ->
+          let plan = Iscan.prepare lb in
+          (plan, prepare_answer_interned lb (Iscan.symtab plan) q))
   in
   let tab = Iscan.symtab plan in
   (* Same cap, same message as [candidates] on the string side. *)
@@ -622,10 +616,12 @@ let possible_answer_stats_interned ~algorithm ~order ~domains ~cancel lb q =
       interrupted = interruption cancel ~decided:early;
     } )
 
-let possible_answer_stats_strings ~algorithm ~order ~domains ~cancel lb q =
+let possible_answer_stats_strings ~algorithm ~order ~domains ~cancel ?prep lb
+    q =
   let started = now_ns () in
   let image_answer =
-    Obs.span "certain.prepare" (fun () -> prepare_answer lb q)
+    Obs.span "certain.prepare" (fun () ->
+        match prep with Some f -> f | None -> prepare_answer lb q)
   in
   (* The candidate relation is built once (not per structure); the
      discrete structure seeds the found set — every tuple it answers is
@@ -692,3 +688,111 @@ let possible_answer_stats ?(algorithm = Kernel_partitions)
 
 let possible_answer ?algorithm ?order ?domains ?cancel ?kernel lb q =
   fst (possible_answer_stats ?algorithm ?order ?domains ?cancel ?kernel lb q)
+
+(* --- prepared queries (the plan-cache contract) -------------------- *)
+
+(* A [prepared] bundles everything per-(database, query, kernel) that
+   the entry points above rebuild on every call: the interned database
+   ([Iscan.prepare] — symtab, coded facts, per-depth buckets) and, for
+   relational queries, the compiled image-answer plan. All pieces are
+   immutable after [prepare], so one prepared query can serve any
+   number of concurrent scans — the serve layer's plan cache counts on
+   it. Boolean queries skip the compile (the deciders evaluate the body
+   directly); [prepared_answer_stats] on a Boolean-headed query falls
+   back to compiling on the fly, exactly like the unprepared path. *)
+type prepared = {
+  p_lb : Cw_database.t;
+  p_query : Query.t;
+  p_kernel : kernel;
+  p_impl : prepared_impl;
+}
+
+and prepared_impl =
+  | Prepared_strings of (structure -> Relation.t) option
+  | Prepared_interned of Iscan.plan * (Iscan.structure -> Irel.t) option
+
+let prepare ?(kernel = Interned) lb q =
+  validate lb q;
+  Obs.span "certain.prepare" (fun () ->
+      let impl =
+        match kernel with
+        | Strings ->
+          Prepared_strings
+            (if Query.is_boolean q then None else Some (prepare_answer lb q))
+        | Interned ->
+          let plan = Iscan.prepare lb in
+          Prepared_interned
+            ( plan,
+              if Query.is_boolean q then None
+              else Some (prepare_answer_interned lb (Iscan.symtab plan) q) )
+      in
+      { p_lb = lb; p_query = q; p_kernel = kernel; p_impl = impl })
+
+let prepared_db p = p.p_lb
+let prepared_query p = p.p_query
+let prepared_kernel p = p.p_kernel
+
+let prepared_iscan p =
+  match p.p_impl with
+  | Prepared_strings _ -> None
+  | Prepared_interned (plan, _) -> Some plan
+
+let prepared_answer_stats ?(algorithm = Kernel_partitions)
+    ?(order = Fresh_first) ?(domains = 1) ?cancel p =
+  Obs.span "certain.answer" (fun () ->
+      match p.p_impl with
+      | Prepared_strings ia ->
+        let prep =
+          match ia with Some f -> f | None -> prepare_answer p.p_lb p.p_query
+        in
+        answer_stats_strings ~algorithm ~order ~domains ~cancel ~prep p.p_lb
+          p.p_query
+      | Prepared_interned (plan, ia) ->
+        let image_answer =
+          match ia with
+          | Some f -> f
+          | None ->
+            prepare_answer_interned p.p_lb (Iscan.symtab plan) p.p_query
+        in
+        answer_stats_interned ~algorithm ~order ~domains ~cancel
+          ~prep:(plan, image_answer) p.p_lb p.p_query)
+
+let prepared_possible_answer_stats ?(algorithm = Kernel_partitions)
+    ?(order = Fresh_first) ?(domains = 1) ?cancel p =
+  Obs.span "certain.possible_answer" (fun () ->
+      match p.p_impl with
+      | Prepared_strings ia ->
+        let prep =
+          match ia with Some f -> f | None -> prepare_answer p.p_lb p.p_query
+        in
+        possible_answer_stats_strings ~algorithm ~order ~domains ~cancel ~prep
+          p.p_lb p.p_query
+      | Prepared_interned (plan, ia) ->
+        let image_answer =
+          match ia with
+          | Some f -> f
+          | None ->
+            prepare_answer_interned p.p_lb (Iscan.symtab plan) p.p_query
+        in
+        possible_answer_stats_interned ~algorithm ~order ~domains ~cancel
+          ~prep:(plan, image_answer) p.p_lb p.p_query)
+
+let prepared_boolean_decide ~target ~span ~name ?(algorithm = Kernel_partitions)
+    ?(order = Fresh_first) ?(domains = 1) ?cancel p =
+  if not (Query.is_boolean p.p_query) then
+    invalid_arg (Printf.sprintf "Certain.%s: the query has answer variables" name);
+  let body = Query.body p.p_query in
+  Obs.span span (fun () ->
+      decide_boolean ~target ~algorithm ~order ~domains ~cancel
+        ~kernel:p.p_kernel ?plan:(prepared_iscan p) p.p_lb body)
+
+let prepared_certain_boolean_stats ?algorithm ?order ?domains ?cancel p =
+  let refuted, stats =
+    prepared_boolean_decide ~target:false ~span:"certain.boolean"
+      ~name:"prepared_certain_boolean" ?algorithm ?order ?domains ?cancel p
+  in
+  (not refuted, stats)
+
+let prepared_possible_boolean_stats ?algorithm ?order ?domains ?cancel p =
+  prepared_boolean_decide ~target:true ~span:"certain.possible_boolean"
+    ~name:"prepared_possible_boolean" ?algorithm ?order ?domains ?cancel p

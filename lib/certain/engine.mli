@@ -292,3 +292,69 @@ val possible_answer_stats :
     entry points.
     @raise Invalid_argument on failure. *)
 val validate : Vardi_cwdb.Cw_database.t -> Vardi_logic.Query.t -> unit
+
+(** {1 Prepared queries}
+
+    The entry points above redo per-(database, query) work on every
+    call: validation, interning the database ({!Vardi_interned.Iscan}),
+    NNF, compilation to relational algebra and the optimizer pass. A
+    {!prepared} pays all of that once, up front, and can then be
+    evaluated any number of times — the contract behind the serve
+    layer's plan cache ([Vardi_serve.Plan_cache]). Every piece inside a
+    prepared query is immutable, so a single value may be evaluated
+    concurrently from any number of domains. *)
+
+(** A query prepared against a specific database and kernel. *)
+type prepared
+
+(** [prepare ?kernel lb q] validates [q] against [lb] and performs all
+    per-query compilation under one [certain.prepare] span. For
+    relational queries the image-answer plan is compiled eagerly; for
+    Boolean queries there is no plan to compile (the deciders evaluate
+    the body directly).
+    @raise Invalid_argument as {!validate}. *)
+val prepare :
+  ?kernel:kernel -> Vardi_cwdb.Cw_database.t -> Vardi_logic.Query.t -> prepared
+
+val prepared_db : prepared -> Vardi_cwdb.Cw_database.t
+val prepared_query : prepared -> Vardi_logic.Query.t
+val prepared_kernel : prepared -> kernel
+
+(** [prepared_answer_stats p] is {!answer_stats} evaluated through the
+    prepared plan — same results, same stats, same spans, minus the
+    per-call preparation cost. The kernel is the one fixed at
+    {!prepare} time. *)
+val prepared_answer_stats :
+  ?algorithm:algorithm ->
+  ?order:order ->
+  ?domains:int ->
+  ?cancel:Cancel.t ->
+  prepared ->
+  Vardi_relational.Relation.t * stats
+
+val prepared_possible_answer_stats :
+  ?algorithm:algorithm ->
+  ?order:order ->
+  ?domains:int ->
+  ?cancel:Cancel.t ->
+  prepared ->
+  Vardi_relational.Relation.t * stats
+
+(** [prepared_certain_boolean_stats p] is {!certain_boolean_stats}
+    through the prepared plan.
+    @raise Invalid_argument if the prepared query is not Boolean. *)
+val prepared_certain_boolean_stats :
+  ?algorithm:algorithm ->
+  ?order:order ->
+  ?domains:int ->
+  ?cancel:Cancel.t ->
+  prepared ->
+  bool * stats
+
+val prepared_possible_boolean_stats :
+  ?algorithm:algorithm ->
+  ?order:order ->
+  ?domains:int ->
+  ?cancel:Cancel.t ->
+  prepared ->
+  bool * stats

@@ -22,6 +22,10 @@
       hardness reductions of Theorems 5, 7 and 9;
     - {!Obs} — structured tracing and metrics across all engines
       (spans, per-domain counters, console/JSON-lines sinks);
+    - {!Serve} / {!Serve_client} / {!Serve_protocol} / {!Plan_cache} /
+      {!Serve_pool} — the [ldb serve] daemon: resident databases, a
+      shared worker-domain pool with admission control, and a shared
+      plan cache behind a line-delimited JSON socket protocol;
     - {!Ldb_format} — a text format for databases.
 
     {2 Quick start}
@@ -117,6 +121,17 @@ module Obs = Vardi_obs.Obs
 module Budget = Vardi_resilience.Budget
 module Resilient = Vardi_resilience.Resilient
 module Faults = Vardi_resilience.Faults
+
+(* Serving: resident concurrent query server over a Unix-domain
+   socket — line-delimited JSON protocol, shared worker-domain pool
+   with bounded-queue admission control, shared plan cache *)
+module Serve = Vardi_serve.Server
+module Serve_client = Vardi_serve.Client
+module Serve_protocol = Vardi_serve.Protocol
+module Serve_json = Vardi_serve.Json
+module Serve_pool = Vardi_serve.Pool
+module Plan_cache = Vardi_serve.Plan_cache
+module Domain_guard = Vardi_certain.Domain_guard
 
 (* Persistence *)
 module Ldb_format = Vardi_format.Ldb_format

@@ -5,6 +5,7 @@ module Pretty = Vardi_logic.Pretty
 module Relation = Vardi_relational.Relation
 module Cw_database = Vardi_cwdb.Cw_database
 module Certain = Vardi_certain.Engine
+module Cancel = Vardi_certain.Cancel
 module Approx = Vardi_approx.Evaluate
 module Naive_tables = Vardi_approx.Naive_tables
 module Ty_database = Vardi_typed.Ty_database
@@ -42,6 +43,7 @@ let oracle_ids =
     "resilient-qualified";
     "resilient-stats-honest";
     "resilient-fault-safety";
+    "resilient-kernel-parity";
     "query-roundtrip";
     "ldb-roundtrip";
     "typed-approx-sound";
@@ -536,6 +538,86 @@ let check_fault_safety ctx ~domains ~seed db q =
           "a raising Obs sink was left installed")
   end
 
+(* --- the resilient kernel-parity oracle ---
+
+   Cancellation and fault provenance must not depend on the kernel.
+   The budget token is checked only by the shared scan scheduler —
+   never from inside [Ieval]'s bounded-SO fallback or the strings
+   evaluator — and the fault probe rides the same check, so a trip (or
+   an injected fault) observed by the strings kernel must be observed
+   at the same position by the interned kernel: same qualified
+   constructor and value, same [source]/[tripped]/[scan_failure]
+   provenance, same scan counters. Each kernel runs under its own
+   separately-armed fault plan with the same seed ([Faults.arm] resets
+   the visit counter), so both see identical injection decisions as
+   long as their probe sequences agree — which is exactly the parity
+   on trial. Wall-clock and [domains_used] are excluded; deadline
+   budgets are not used here (wall-clock trips are inherently
+   schedule-dependent). *)
+
+let resilient_summary ~show (result, (stats : Resilient.stats)) =
+  let reason = function
+    | None -> "-"
+    | Some r -> Cancel.reason_to_string r
+  in
+  let qualified =
+    match result with
+    | Resilient.Exact v -> "Exact " ^ show v
+    | Resilient.Lower_bound v -> "Lower_bound " ^ show v
+    | Resilient.Upper_bound v -> "Upper_bound " ^ show v
+    | Resilient.Exhausted -> "Exhausted"
+  in
+  let scan =
+    match stats.Resilient.scan with
+    | None -> "none"
+    | Some s ->
+      Printf.sprintf "{structures=%d evaluations=%d early_exit=%b tripped=%s}"
+        s.Certain.structures s.Certain.evaluations s.Certain.early_exit
+        (reason s.Certain.interrupted)
+  in
+  Printf.sprintf "%s source=%s tripped=%s failure=%s scan=%s" qualified
+    (Resilient.source_to_string stats.Resilient.source)
+    (reason stats.Resilient.tripped)
+    (Option.value stats.Resilient.scan_failure ~default:"-")
+    scan
+
+let check_resilient_kernel_parity ctx ~seed db q =
+  let boolean = Query.is_boolean q in
+  let summarize ~kernel ~policy () =
+    Faults.with_faults ~seed ~rate:0.2 (fun () ->
+        (* Under [Fail] an injected fault propagates by contract; that
+           raise is part of the observable behavior, so it goes into
+           the summary rather than through [guard]'s crash oracle —
+           both kernels must then raise the same exception. *)
+        match
+          if boolean then
+            resilient_summary ~show:string_of_bool
+              (Resilient.boolean_stats ~kernel ~policy ~budget:trip_budget db
+                 q)
+          else
+            resilient_summary ~show:rel
+              (Resilient.answer_stats ~kernel ~policy ~budget:trip_budget db q)
+        with
+        | summary -> summary
+        | exception Sys.Break -> raise Sys.Break
+        | exception e -> "raised " ^ Printexc.to_string e)
+  in
+  List.iter
+    (fun (policy, policy_name) ->
+      match
+        ( guard ctx "resilient-kernel-parity"
+            (summarize ~kernel:Certain.Strings ~policy),
+          guard ctx "resilient-kernel-parity"
+            (summarize ~kernel:Certain.Interned ~policy) )
+      with
+      | Some strings, Some interned ->
+        if not (String.equal strings interned) then
+          add ctx "resilient-kernel-parity"
+            (Printf.sprintf "[%s] kernels diverge under faults:\n  strings:  %s\n  interned: %s"
+               policy_name strings interned)
+      | _ -> ())
+    policies
+
 let check ?(domains = 2) ?faults_seed db q =
   let ctx = { violations = []; checks = 0 } in
   Obs.span "fuzz.oracle" (fun () ->
@@ -547,7 +629,9 @@ let check ?(domains = 2) ?faults_seed db q =
       if Query.is_boolean q then check_resilient_bool ctx db q
       else check_resilient_rel ctx db q;
       (match faults_seed with
-      | Some seed -> check_fault_safety ctx ~domains ~seed db q
+      | Some seed ->
+        check_fault_safety ctx ~domains ~seed db q;
+        check_resilient_kernel_parity ctx ~seed db q
       | None -> ());
       Obs.count "fuzz.checks" ctx.checks);
   List.rev ctx.violations

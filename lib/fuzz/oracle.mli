@@ -38,6 +38,12 @@
       escapes a degrading policy, the lattice bounds still hold, and a
       raising Obs sink is caught, counted and disabled without
       changing the engine's verdict;
+    - [resilient-kernel-parity] (only with [faults_seed]): under
+      separately-armed fault plans with the same seed, the strings and
+      interned kernels degrade identically — same qualified
+      constructor and value, same [source]/[tripped]/[scan_failure]
+      provenance, same scan counters (wall-clock excluded), and under
+      the [Fail] policy the same propagated fault;
     - [query-roundtrip], [ldb-roundtrip]: pretty-printed queries and
       databases reparse to equal values;
     - typed lane: [typed-approx-sound], [typed-query-roundtrip],
@@ -68,8 +74,9 @@ val oracle_ids : string list
     passed). [domains] (default 2) is the worker count for the
     parallel-engine comparison. [faults_seed] additionally runs the
     [resilient-fault-safety] oracle under a fault plan armed with that
-    seed (rate 0.2) — omitted by default because injection perturbs
-    timing, not correctness. Emits a [fuzz.oracle] span and
+    seed (rate 0.2), plus [resilient-kernel-parity] under the same
+    seed — omitted by default because injection perturbs timing, not
+    correctness. Emits a [fuzz.oracle] span and
     [fuzz.checks] / [fuzz.violations] counters. *)
 val check :
   ?domains:int ->

@@ -81,6 +81,11 @@ let uninstall () =
   | None -> ()
   | Some s -> ( try s.flush () with _ -> Atomic.incr sink_error_total)
 
+let flush () =
+  match Atomic.get current with
+  | None -> ()
+  | Some s -> ( try s.flush () with _ -> disable_failed (Some s))
+
 let with_sink s f =
   install s;
   Fun.protect ~finally:uninstall f
@@ -472,6 +477,8 @@ let jsonl_sink oc =
   in
   let flush () =
     Mutex.lock lock;
-    Fun.protect ~finally:(fun () -> Mutex.unlock lock) (fun () -> flush oc)
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock lock)
+      (fun () -> Stdlib.flush oc)
   in
   { emit; flush }

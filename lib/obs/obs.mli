@@ -110,6 +110,12 @@ val install : sink -> unit
 (** [uninstall ()] removes the ambient sink, if any, and flushes it. *)
 val uninstall : unit -> unit
 
+(** [flush ()] flushes the ambient sink, if any, without removing it.
+    Long-lived processes (the serve daemon) call this at request or
+    connection boundaries so a crash never strands buffered trace
+    lines. A sink whose [flush] raises is disabled, as with [emit]. *)
+val flush : unit -> unit
+
 (** [sink_errors ()] is the process-lifetime count of exceptions caught
     escaping a sink's [emit] or [flush] (the [obs.sink_errors] counter;
     each error also disabled the sink that raised). Regression suites

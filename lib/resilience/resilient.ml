@@ -105,6 +105,31 @@ let boolean_stats ?(policy = Fail) ?algorithm ?order ?domains ?kernel
 let boolean ?policy ?algorithm ?order ?domains ?kernel ?budget lb q =
   fst (boolean_stats ?policy ?algorithm ?order ?domains ?kernel ?budget lb q)
 
+(* Prepared variants: same contract, but the per-query compilation was
+   paid at [Certain.prepare] time — these are what the serve layer's
+   plan cache evaluates. Validation already ran inside [prepare]; the
+   approximation fallback recompiles from the stored (db, query), which
+   is acceptable because it only runs on degradation paths. *)
+
+let prepared_answer_stats ?(policy = Fail) ?algorithm ?order ?domains
+    ?(budget = Budget.unlimited) p =
+  evaluate ~span:"resilience.answer" ~policy ~budget
+    ~scan:(fun cancel ->
+      Certain.prepared_answer_stats ?algorithm ?order ?domains ~cancel p)
+    ~fallback:(fun () ->
+      Approximation.answer (Certain.prepared_db p) (Certain.prepared_query p))
+
+let prepared_boolean_stats ?(policy = Fail) ?algorithm ?order ?domains
+    ?(budget = Budget.unlimited) p =
+  if not (Query.is_boolean (Certain.prepared_query p)) then
+    invalid_arg "Resilient.prepared_boolean: the query has answer variables";
+  evaluate ~span:"resilience.boolean" ~policy ~budget
+    ~scan:(fun cancel ->
+      Certain.prepared_certain_boolean_stats ?algorithm ?order ?domains ~cancel
+        p)
+    ~fallback:(fun () ->
+      Approximation.boolean (Certain.prepared_db p) (Certain.prepared_query p))
+
 let pp_qualified pp_value ppf = function
   | Exact v -> Format.fprintf ppf "exact %a" pp_value v
   | Lower_bound v -> Format.fprintf ppf "lower bound %a" pp_value v

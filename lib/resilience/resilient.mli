@@ -141,6 +141,33 @@ val boolean_stats :
   Vardi_logic.Query.t ->
   bool qualified * stats
 
+(** [prepared_answer_stats p] is {!answer_stats} evaluated through a
+    {!Vardi_certain.Engine.prepared} query — per-query compilation was
+    paid once at prepare time (the serve layer's plan-cache path). The
+    kernel is the one fixed at prepare time; the approximation fallback
+    recompiles from the stored database and query, which only happens
+    on degradation paths. *)
+val prepared_answer_stats :
+  ?policy:policy ->
+  ?algorithm:Vardi_certain.Engine.algorithm ->
+  ?order:Vardi_certain.Engine.order ->
+  ?domains:int ->
+  ?budget:Budget.t ->
+  Vardi_certain.Engine.prepared ->
+  Vardi_relational.Relation.t qualified * stats
+
+(** [prepared_boolean_stats p] is {!boolean_stats} through a prepared
+    query.
+    @raise Invalid_argument if the prepared query is not Boolean. *)
+val prepared_boolean_stats :
+  ?policy:policy ->
+  ?algorithm:Vardi_certain.Engine.algorithm ->
+  ?order:Vardi_certain.Engine.order ->
+  ?domains:int ->
+  ?budget:Budget.t ->
+  Vardi_certain.Engine.prepared ->
+  bool qualified * stats
+
 val pp_qualified :
   (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a qualified -> unit
 

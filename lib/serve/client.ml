@@ -1,0 +1,35 @@
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () ->
+    { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+let connect_retry ?(attempts = 100) ?(delay = 0.05) path =
+  let rec go n =
+    match connect path with
+    | c -> c
+    | exception
+        Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when n > 1 ->
+      Unix.sleepf delay;
+      go (n - 1)
+  in
+  go attempts
+
+let request_line c line =
+  output_string c.oc line;
+  output_char c.oc '\n';
+  flush c.oc;
+  Json.parse (input_line c.ic)
+
+let request c j = request_line c (Json.to_string j)
+
+let close c =
+  (* [ic] and [oc] wrap the same descriptor; closing the output side
+     flushes and closes it for both. *)
+  close_out_noerr c.oc

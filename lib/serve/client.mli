@@ -1,0 +1,26 @@
+(** Minimal blocking client for the serve protocol — what the tests,
+    the [bench --serve] load generator and the CI smoke driver speak.
+    One request line out, one response line back, in order. *)
+
+type t
+
+(** [connect path] connects to the Unix-domain socket at [path].
+    @raise Unix.Unix_error when nothing is listening. *)
+val connect : string -> t
+
+(** [connect_retry ?attempts ?delay path] retries {!connect} while the
+    server is still starting up ([ENOENT]/[ECONNREFUSED]), sleeping
+    [delay] seconds (default [0.05]) between the [attempts] (default
+    [100]) tries. *)
+val connect_retry : ?attempts:int -> ?delay:float -> string -> t
+
+(** [request c j] sends one request and blocks for its response line.
+    @raise End_of_file if the server closed the connection first.
+    @raise Json.Parse_error on a malformed response (server bug). *)
+val request : t -> Json.t -> Json.t
+
+(** [request_line c line] sends a raw line — deliberately malformed
+    requests for protocol tests. *)
+val request_line : t -> string -> Json.t
+
+val close : t -> unit

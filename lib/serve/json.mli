@@ -1,0 +1,40 @@
+(** Minimal JSON for the serve protocol.
+
+    The wire format is line-delimited JSON and the toolchain has no
+    JSON library, so this is a small self-contained value type with a
+    recursive-descent parser and a printer. It covers exactly what the
+    protocol needs — objects, arrays, strings with the standard
+    escapes, numbers, booleans, null — and nothing more (no unicode
+    \u escapes beyond ASCII, no streaming). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(** [parse s] parses one JSON value, requiring it to consume all of
+    [s] (trailing whitespace allowed).
+    @raise Parse_error on malformed input. *)
+val parse : string -> t
+
+(** Compact one-line rendering — safe as a JSON-lines record. *)
+val to_string : t -> string
+
+(** {1 Accessors} — all total, returning [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+val to_str : t -> string option
+val to_num : t -> float option
+val to_bool : t -> bool option
+
+(** [str_field k o] / [num_field k o] / [bool_field k o] combine
+    {!member} with the coercion. *)
+val str_field : string -> t -> string option
+
+val num_field : string -> t -> float option
+val bool_field : string -> t -> bool option

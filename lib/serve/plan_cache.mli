@@ -1,0 +1,43 @@
+(** Shared plan cache: one {!Vardi_certain.Engine.prepared} per
+    (database, query text, kernel), reused across requests, clients
+    and worker domains.
+
+    The key is [(db name, generation, query, kernel)]. The generation
+    is bumped by the server every time a name is (re)loaded, so a
+    reload naturally invalidates every plan prepared against the old
+    vocabulary and data — stale entries are dropped lazily on the next
+    lookup miss sweep. Prepared values are immutable
+    ({!Vardi_certain.Engine.prepare}), so a cached plan may be
+    evaluated concurrently from any number of pool workers.
+
+    Hits and misses are counted and surfaced both through {!stats} (the
+    serve [stats] op) and as {!Vardi_obs.Obs} counters
+    [serve.plan_cache.hit] / [serve.plan_cache.miss]. *)
+
+type t
+
+(** [create ?capacity ()] — [capacity] (default [256]) bounds the
+    number of resident plans; on overflow the whole table is dropped
+    (plans are cheap to rebuild relative to scans, and the bound only
+    exists to keep a pathological client from growing the table
+    without limit). *)
+val create : ?capacity:int -> unit -> t
+
+(** [find_or_prepare cache ~db_name ~generation ~query_text ~kernel
+    lb q] returns the cached plan for the key, or prepares, caches and
+    returns a fresh one. The preparation itself runs outside the cache
+    lock — two racing misses on the same key may both prepare, and the
+    later insert wins; both plans are valid.
+    @raise Invalid_argument as {!Vardi_certain.Engine.prepare}. *)
+val find_or_prepare :
+  t ->
+  db_name:string ->
+  generation:int ->
+  query_text:string ->
+  kernel:Vardi_certain.Engine.kernel ->
+  Vardi_cwdb.Cw_database.t ->
+  Vardi_logic.Query.t ->
+  Vardi_certain.Engine.prepared * [ `Hit | `Miss ]
+
+(** [(hits, misses, entries)] since {!create}. *)
+val stats : t -> int * int * int

@@ -1,0 +1,498 @@
+module Certain = Vardi_certain.Engine
+module Cancel = Vardi_certain.Cancel
+module Domain_guard = Vardi_certain.Domain_guard
+module Resilient = Vardi_resilience.Resilient
+module Budget = Vardi_resilience.Budget
+module Obs = Vardi_obs.Obs
+module Query = Vardi_logic.Query
+module Parser = Vardi_logic.Parser
+module Lexer = Vardi_logic.Lexer
+module Relation = Vardi_relational.Relation
+module Cw_database = Vardi_cwdb.Cw_database
+module Ty_database = Vardi_typed.Ty_database
+module Ldb_format = Vardi_format.Ldb_format
+module Tldb_format = Vardi_format.Tldb_format
+
+type config = {
+  socket_path : string;
+  workers : int;
+  queue_capacity : int;
+  debug_sleep : bool;
+  preload : (string * string) list;
+}
+
+let default_config =
+  {
+    socket_path = "ldb.sock";
+    workers = 2;
+    queue_capacity = 16;
+    debug_sleep = false;
+    preload = [];
+  }
+
+(* --- one-shot synchronization between connection thread and worker - *)
+
+type ivar = {
+  iv_lock : Mutex.t;
+  iv_filled : Condition.t;
+  mutable iv_value : Json.t option;
+}
+
+let ivar () =
+  { iv_lock = Mutex.create (); iv_filled = Condition.create (); iv_value = None }
+
+let ivar_fill iv v =
+  Mutex.lock iv.iv_lock;
+  iv.iv_value <- Some v;
+  Condition.signal iv.iv_filled;
+  Mutex.unlock iv.iv_lock
+
+let ivar_await iv =
+  Mutex.lock iv.iv_lock;
+  while iv.iv_value = None do
+    Condition.wait iv.iv_filled iv.iv_lock
+  done;
+  let v = Option.get iv.iv_value in
+  Mutex.unlock iv.iv_lock;
+  v
+
+(* --- server state -------------------------------------------------- *)
+
+type db_entry = { db : Cw_database.t; generation : int }
+
+type state = {
+  config : config;
+  listener : Unix.file_descr;
+  pool : Pool.t;
+  cache : Plan_cache.t;
+  dbs : (string, db_entry) Hashtbl.t;
+  dbs_lock : Mutex.t;
+  next_generation : int Atomic.t;
+  requests : int Atomic.t;
+  code_counts : (Protocol.code * int Atomic.t) list;
+  stopping : bool Atomic.t;
+  torn_down : bool Atomic.t;
+  conns_lock : Mutex.t;
+  mutable conns : (Thread.t * Unix.file_descr) list;
+}
+
+let all_codes =
+  Protocol.
+    [ Ok; Parse_error; Semantic_error; Exhausted; Cancelled; Busy ]
+
+let count_response state (resp : Json.t) =
+  Atomic.incr state.requests;
+  Obs.count "serve.request" 1;
+  match Option.bind (Json.str_field "code" resp) Protocol.code_of_string with
+  | None -> ()
+  | Some code ->
+    Obs.count ("serve.code." ^ Protocol.code_to_string code) 1;
+    List.iter
+      (fun (c, n) -> if c = code then Atomic.incr n)
+      state.code_counts
+
+let lookup_db state name =
+  Mutex.lock state.dbs_lock;
+  let entry = Hashtbl.find_opt state.dbs name in
+  Mutex.unlock state.dbs_lock;
+  entry
+
+(* --- request handlers ---------------------------------------------- *)
+
+let do_load state ~name ~path =
+  match
+    if Filename.check_suffix path ".tldb" then
+      Ty_database.to_cw (Tldb_format.load path)
+    else Ldb_format.load path
+  with
+  | db ->
+    let generation = Atomic.fetch_and_add state.next_generation 1 in
+    Mutex.lock state.dbs_lock;
+    Hashtbl.replace state.dbs name { db; generation };
+    Mutex.unlock state.dbs_lock;
+    Protocol.ok
+      [
+        ("db", Json.Str name);
+        ("constants", Json.Num (float_of_int (List.length (Cw_database.constants db))));
+        ("facts", Json.Num (float_of_int (List.length (Cw_database.facts db))));
+      ]
+  | exception Ldb_format.Syntax_error (line, msg) ->
+    Protocol.error Protocol.Parse_error
+      (Printf.sprintf "%s: syntax error at line %d: %s" path line msg)
+  | exception Tldb_format.Syntax_error (line, msg) ->
+    Protocol.error Protocol.Parse_error
+      (Printf.sprintf "%s: syntax error at line %d: %s" path line msg)
+  | exception Sys_error msg -> Protocol.error Protocol.Semantic_error msg
+  | exception Invalid_argument msg ->
+    Protocol.error Protocol.Semantic_error msg
+
+let budget_of_options (opts : Protocol.eval_options) =
+  Budget.make ?timeout:opts.timeout ?max_structures:opts.max_structures
+    ?max_evaluations:opts.max_evaluations ()
+
+let resilient_fields (rstats : Resilient.stats) extra =
+  let base =
+    [
+      ("source", Json.Str (Resilient.source_to_string rstats.source));
+      ("wall_ms", Json.Num (Int64.to_float rstats.wall_ns /. 1e6));
+    ]
+  in
+  let tripped =
+    match rstats.tripped with
+    | Some r -> [ ("tripped", Json.Str (Cancel.reason_to_string r)) ]
+    | None -> []
+  in
+  let scan =
+    match rstats.scan with
+    | Some s ->
+      [
+        ("structures", Json.Num (float_of_int s.Certain.structures));
+        ("evaluations", Json.Num (float_of_int s.Certain.evaluations));
+      ]
+    | None -> []
+  in
+  base @ tripped @ scan @ extra
+
+let exhausted_response rstats =
+  match
+    Protocol.error Protocol.Exhausted "budget exhausted under policy fail"
+  with
+  | Json.Obj fields -> Json.Obj (fields @ resilient_fields rstats [])
+  | other -> other
+
+let rows_of_relation r =
+  Json.List
+    (List.map
+       (fun tuple -> Json.List (List.map (fun c -> Json.Str c) tuple))
+       (Relation.tuples r))
+
+(* The evaluation job proper — runs on a pool worker domain. Must not
+   raise: every outcome, including engine Invalid_argument, becomes a
+   protocol response. *)
+let evaluate state ~want_boolean ~(opts : Protocol.eval_options) entry ~db_name
+    ~query_text q =
+  Obs.span "serve.evaluate" (fun () ->
+      try
+        let prepared, cache_verdict =
+          Plan_cache.find_or_prepare state.cache ~db_name
+            ~generation:entry.generation ~query_text ~kernel:opts.kernel
+            entry.db q
+        in
+        let cache_field =
+          ( "cache",
+            Json.Str (match cache_verdict with `Hit -> "hit" | `Miss -> "miss")
+          )
+        in
+        let budget = budget_of_options opts in
+        let qualified_tag = function
+          | Resilient.Exact _ -> "exact"
+          | Resilient.Lower_bound _ -> "lower_bound"
+          | Resilient.Upper_bound _ -> "upper_bound"
+          | Resilient.Exhausted -> assert false
+        in
+        if want_boolean || Query.is_boolean q then begin
+          let qualified, rstats =
+            Resilient.prepared_boolean_stats ~policy:opts.policy
+              ~domains:opts.domains ~budget prepared
+          in
+          match qualified with
+          | Resilient.Exhausted -> exhausted_response rstats
+          | Resilient.Exact v | Resilient.Lower_bound v
+          | Resilient.Upper_bound v ->
+            Protocol.ok
+              (resilient_fields rstats
+                 [
+                   ("value", Json.Bool v);
+                   ("qualified", Json.Str (qualified_tag qualified));
+                   cache_field;
+                 ])
+        end
+        else begin
+          let qualified, rstats =
+            Resilient.prepared_answer_stats ~policy:opts.policy
+              ~domains:opts.domains ~budget prepared
+          in
+          match qualified with
+          | Resilient.Exhausted -> exhausted_response rstats
+          | Resilient.Exact r | Resilient.Lower_bound r
+          | Resilient.Upper_bound r ->
+            Protocol.ok
+              (resilient_fields rstats
+                 [
+                   ("rows", rows_of_relation r);
+                   ("cardinality", Json.Num (float_of_int (Relation.cardinal r)));
+                   ("qualified", Json.Str (qualified_tag qualified));
+                   cache_field;
+                 ])
+        end
+      with
+      | Invalid_argument msg -> Protocol.error Protocol.Semantic_error msg
+      | Sys.Break as e -> raise e
+      | e ->
+        Protocol.error Protocol.Semantic_error
+          ("internal error: " ^ Printexc.to_string e))
+
+(* Submit a job and wait for its response on this connection thread.
+   Worker domains multiplex across all in-flight requests; this thread
+   just parks on the ivar. *)
+let submit_and_wait state job =
+  let iv = ivar () in
+  match
+    Pool.submit state.pool (fun ~cancelled ->
+        let resp =
+          if cancelled then
+            Protocol.error Protocol.Cancelled "server shutting down"
+          else job ()
+        in
+        ivar_fill iv resp)
+  with
+  | `Accepted -> ivar_await iv
+  | `Busy -> Protocol.error Protocol.Busy "request queue full"
+  | `Stopping -> Protocol.error Protocol.Cancelled "server shutting down"
+
+let do_eval state ~want_boolean ~db_name ~query_text ~opts =
+  match lookup_db state db_name with
+  | None ->
+    Protocol.error Protocol.Semantic_error
+      (Printf.sprintf "unknown database %S (load it first)" db_name)
+  | Some entry -> (
+    match Parser.query query_text with
+    | exception Parser.Parse_error (pos, msg) ->
+      Protocol.error Protocol.Parse_error
+        (Printf.sprintf "query syntax error at offset %d: %s" pos msg)
+    | exception Lexer.Lex_error (pos, msg) ->
+      Protocol.error Protocol.Parse_error
+        (Printf.sprintf "query lexical error at offset %d: %s" pos msg)
+    | q ->
+      if want_boolean && not (Query.is_boolean q) then
+        Protocol.error Protocol.Semantic_error
+          "op \"boolean\" requires a Boolean query (empty head)"
+      else
+        submit_and_wait state (fun () ->
+            evaluate state ~want_boolean ~opts entry ~db_name ~query_text q))
+
+let do_stats state =
+  let hits, misses, entries = Plan_cache.stats state.cache in
+  Mutex.lock state.dbs_lock;
+  let names = Hashtbl.fold (fun name _ acc -> name :: acc) state.dbs [] in
+  Mutex.unlock state.dbs_lock;
+  Protocol.ok
+    [
+      ("requests", Json.Num (float_of_int (Atomic.get state.requests)));
+      ( "codes",
+        Json.Obj
+          (List.map
+             (fun (c, n) ->
+               ( Protocol.code_to_string c,
+                 Json.Num (float_of_int (Atomic.get n)) ))
+             state.code_counts) );
+      ( "plan_cache",
+        Json.Obj
+          [
+            ("hits", Json.Num (float_of_int hits));
+            ("misses", Json.Num (float_of_int misses));
+            ("entries", Json.Num (float_of_int entries));
+          ] );
+      ( "dbs",
+        Json.List
+          (List.map (fun n -> Json.Str n) (List.sort compare names)) );
+      ("workers", Json.Num (float_of_int (Pool.workers state.pool)));
+      ( "queue_capacity",
+        Json.Num (float_of_int (Pool.queue_capacity state.pool)) );
+    ]
+
+(* Shutdown only flips the flag: the accept loop polls it between
+   short [select] waits (closing the listener from this connection
+   thread would not reliably wake a thread already blocked in
+   [accept]). The loop exits, and the main thread runs the full
+   teardown — pool stop, connection drain, joins. *)
+let request_shutdown state = Atomic.set state.stopping true
+
+(* Returns (response, keep_connection_open). *)
+let process state line =
+  match Json.parse line with
+  | exception Json.Parse_error msg ->
+    (Protocol.error Protocol.Parse_error msg, true)
+  | j -> (
+    match Protocol.request_of_json j with
+    | Error (msg, code) -> (Protocol.error code msg, true)
+    | Ok (Protocol.Load { name; path }) -> (do_load state ~name ~path, true)
+    | Ok (Protocol.Query { db; query; opts }) ->
+      (do_eval state ~want_boolean:false ~db_name:db ~query_text:query ~opts, true)
+    | Ok (Protocol.Boolean { db; query; opts }) ->
+      (do_eval state ~want_boolean:true ~db_name:db ~query_text:query ~opts, true)
+    | Ok Protocol.Stats -> (do_stats state, true)
+    | Ok Protocol.Close -> (Protocol.ok [ ("closing", Json.Bool true) ], false)
+    | Ok Protocol.Shutdown ->
+      request_shutdown state;
+      (Protocol.ok [ ("shutting_down", Json.Bool true) ], false)
+    | Ok (Protocol.Sleep seconds) ->
+      if not state.config.debug_sleep then
+        ( Protocol.error Protocol.Semantic_error
+            "op \"sleep\" requires --debug-sleep",
+          true )
+      else
+        ( submit_and_wait state (fun () ->
+              Unix.sleepf seconds;
+              Protocol.ok [ ("slept_ms", Json.Num (seconds *. 1000.)) ]),
+          true ))
+
+(* --- connections --------------------------------------------------- *)
+
+let handle_connection state fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (* Teardown runs on every exit path — normal close, client vanishing
+     mid-line, a write hitting a closed peer, server shutdown cutting
+     the descriptor — and always flushes the ambient trace sink so a
+     long-lived daemon never strands buffered JSON-lines events. *)
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.flush ();
+      close_out_noerr oc)
+    (fun () ->
+      let rec loop () =
+        match input_line ic with
+        | exception (End_of_file | Sys_error _) -> ()
+        | line when String.trim line = "" -> loop ()
+        | line ->
+          let resp, keep_open = process state line in
+          count_response state resp;
+          (match
+             output_string oc (Json.to_string resp);
+             output_char oc '\n';
+             flush oc
+           with
+          | () -> Obs.flush (); if keep_open then loop ()
+          | exception Sys_error _ -> ())
+      in
+      loop ())
+
+(* Registration holds the lock across [Thread.create]: a handler that
+   finishes instantly blocks in its unregister until the entry exists,
+   so the list never leaks an entry for a thread that already died.
+
+   The thread is created under a SIGINT mask it then inherits: Ctrl-C
+   must only ever be delivered to the accept loop's thread, which owns
+   teardown. A [Sys.Break] raised inside a connection thread (or a
+   pool worker — {!Pool} masks the same way) would kill just that
+   thread and leave the server running with no one to interrupt. *)
+let register_connection state fd handler =
+  let parked = ref None in
+  Domain_guard.masked
+    ~park:(fun e -> if !parked = None then parked := Some e)
+    (fun () ->
+      Mutex.lock state.conns_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock state.conns_lock)
+        (fun () ->
+          let thread = Thread.create handler () in
+          state.conns <- (thread, fd) :: state.conns));
+  match !parked with Some e -> raise e | None -> ()
+
+let unregister_connection state fd =
+  Mutex.lock state.conns_lock;
+  state.conns <- List.filter (fun (_, fd') -> fd' <> fd) state.conns;
+  Mutex.unlock state.conns_lock
+
+(* --- lifecycle ----------------------------------------------------- *)
+
+let teardown state =
+  if not (Atomic.exchange state.torn_down true) then begin
+    Atomic.set state.stopping true;
+    (try Unix.close state.listener with Unix.Unix_error _ -> ());
+    (* Stop the pool first: queued jobs get their [cancelled]
+       responses, in-flight jobs finish, worker domains are joined —
+       after this no domain is alive. *)
+    Pool.stop state.pool;
+    (* Cut idle connections blocked in [input_line], then join every
+       connection thread so their teardown (flush + close) has run
+       before the process exits. *)
+    Mutex.lock state.conns_lock;
+    let conns = state.conns in
+    Mutex.unlock state.conns_lock;
+    List.iter
+      (fun (_, fd) ->
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      conns;
+    List.iter (fun (thread, _) -> Thread.join thread) conns;
+    (try Unix.unlink state.config.socket_path with Unix.Unix_error _ -> ());
+    Obs.flush ()
+  end
+
+let run config =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  if Sys.file_exists config.socket_path then Unix.unlink config.socket_path;
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let state =
+    match
+      Unix.bind listener (Unix.ADDR_UNIX config.socket_path);
+      Unix.listen listener 64
+    with
+    | () ->
+      {
+        config;
+        listener;
+        pool =
+          Pool.create ~workers:config.workers
+            ~queue_capacity:config.queue_capacity ();
+        cache = Plan_cache.create ();
+        dbs = Hashtbl.create 8;
+        dbs_lock = Mutex.create ();
+        next_generation = Atomic.make 0;
+        requests = Atomic.make 0;
+        code_counts = List.map (fun c -> (c, Atomic.make 0)) all_codes;
+        stopping = Atomic.make false;
+        torn_down = Atomic.make false;
+        conns_lock = Mutex.create ();
+        conns = [];
+      }
+    | exception e ->
+      (try Unix.close listener with Unix.Unix_error _ -> ());
+      raise e
+  in
+  Fun.protect
+    ~finally:(fun () -> teardown state)
+    (fun () ->
+      (* Preloads fail fast: a server that can't load its databases
+         should die at startup, through the CLI's usual error path. *)
+      List.iter
+        (fun (name, path) ->
+          match do_load state ~name ~path with
+          | Json.Obj fields when List.assoc_opt "error" fields <> None ->
+            let msg =
+              match List.assoc_opt "error" fields with
+              | Some (Json.Str m) -> m
+              | _ -> "preload failed"
+            in
+            invalid_arg (Printf.sprintf "--db %s=%s: %s" name path msg)
+          | _ -> ())
+        config.preload;
+      Obs.count "serve.start" 1;
+      (* [select] with a short timeout instead of a bare blocking
+         [accept]: a [shutdown] request arrives on a connection thread
+         and only flips [stopping], so the loop must wake on its own
+         to notice. [accept] after a readable [select] cannot block. *)
+      let rec accept_loop () =
+        if not (Atomic.get state.stopping) then
+          match Unix.select [ state.listener ] [] [] 0.1 with
+          | [], _, _ -> accept_loop ()
+          | _ :: _, _, _ -> (
+            match Unix.accept state.listener with
+            | fd, _ ->
+              if Atomic.get state.stopping then (
+                try Unix.close fd with Unix.Unix_error _ -> ())
+              else begin
+                register_connection state fd (fun () ->
+                    Fun.protect
+                      ~finally:(fun () -> unregister_connection state fd)
+                      (fun () -> handle_connection state fd));
+                accept_loop ()
+              end
+            | exception
+                Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+              accept_loop ())
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      in
+      accept_loop ())

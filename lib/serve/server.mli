@@ -1,0 +1,44 @@
+(** The [ldb serve] daemon: a Unix-domain-socket server that keeps CW
+    logical databases resident and answers line-delimited JSON
+    requests ({!Protocol}) over a shared worker-domain pool
+    ({!Pool}) with a shared plan cache ({!Plan_cache}).
+
+    Layering per connection: the accept loop (caller's thread) hands
+    each connection to a lightweight systhread that reads request
+    lines, decodes them, and submits evaluation jobs to the domain
+    pool; the connection thread blocks for its response while worker
+    domains multiplex across all in-flight requests. A full queue is
+    answered [busy] without blocking — admission control instead of
+    unbounded latency.
+
+    Per-request budgets ride the existing resilience machinery: the
+    request's [timeout_ms]/[max_structures]/[max_evaluations] become a
+    {!Vardi_resilience.Budget.t}, and a trip under policy [fail] is
+    answered with the [exhausted] code (exit 124's wire form).
+
+    Teardown discipline: every connection flushes the ambient
+    {!Vardi_obs.Obs} sink and closes its descriptor on every exit
+    path; {!run} returns only after the pool's worker domains are all
+    joined ({!Vardi_certain.Domain_guard}), also when it is leaving on
+    [Sys.Break] — so a Ctrl-C exit never orphans a domain. *)
+
+type config = {
+  socket_path : string;
+  workers : int;  (** domain-pool size, >= 1 *)
+  queue_capacity : int;  (** waiting requests admitted before [busy] *)
+  debug_sleep : bool;
+      (** accept the [sleep] op (tests use it to hold workers busy) *)
+  preload : (string * string) list;
+      (** [(name, path)] databases loaded before accepting clients *)
+}
+
+val default_config : config
+
+(** [run config] binds [config.socket_path] (replacing a stale socket
+    file), serves until a [shutdown] request arrives, then tears down
+    and returns. On [Sys.Break] it tears down identically (every
+    worker domain joined, socket file removed) and re-raises, so the
+    process exits through the CLI's 130 path.
+    @raise Unix.Unix_error when the socket cannot be bound.
+    @raise Invalid_argument on a nonsensical [config] (see {!Pool.create}). *)
+val run : config -> unit

@@ -22,5 +22,6 @@ let () =
       ("obs", Test_obs.suite);
       ("fuzz", Test_fuzz.suite);
       ("resilience", Test_resilience.suite);
+      ("serve", Test_serve.suite);
       ("cli", Test_cli.suite);
     ]

@@ -313,6 +313,48 @@ let test_wall_ns_monotonic () =
       (Int64.compare scan.Certain.wall_ns 0L >= 0)
   | None -> Alcotest.fail "scan stats missing"
 
+(* Both evaluation kernels must degrade identically: same qualified
+   constructor and value, same provenance, same scan counters
+   (wall-clock excluded). The fuzz-side twin is the
+   [resilient-kernel-parity] oracle, which additionally runs under
+   injected faults. *)
+let test_kernel_parity_under_budget () =
+  let db = big_db () in
+  List.iter
+    (fun q ->
+      List.iter
+        (fun policy ->
+          let run kernel =
+            Resilient.answer_stats ~policy ~kernel ~budget:tight db q
+          in
+          let r_s, s_s = run Certain.Strings in
+          let r_i, s_i = run Certain.Interned in
+          (match (r_s, r_i) with
+          | Resilient.Exact x, Resilient.Exact y
+          | Resilient.Lower_bound x, Resilient.Lower_bound y
+          | Resilient.Upper_bound x, Resilient.Upper_bound y ->
+            Alcotest.check relation "same qualified value" x y
+          | Resilient.Exhausted, Resilient.Exhausted -> ()
+          | _ -> Alcotest.fail "kernels disagree on the qualified constructor");
+          Alcotest.(check string)
+            "same source"
+            (Resilient.source_to_string s_s.Resilient.source)
+            (Resilient.source_to_string s_i.Resilient.source);
+          Alcotest.(check (option string))
+            "same trip provenance"
+            (Option.map Cancel.reason_to_string s_s.Resilient.tripped)
+            (Option.map Cancel.reason_to_string s_i.Resilient.tripped);
+          match (s_s.Resilient.scan, s_i.Resilient.scan) with
+          | Some a, Some b ->
+            Alcotest.(check (pair int int))
+              "same scan counters"
+              (a.Certain.structures, a.Certain.evaluations)
+              (b.Certain.structures, b.Certain.evaluations)
+          | None, None -> ()
+          | _ -> Alcotest.fail "kernels disagree on scan-stats presence")
+        [ Resilient.Fail; Resilient.Partial; Resilient.Approx ])
+    [ certain_query (); pruning_query () ]
+
 (* The acceptance oracle: the resilient-* invariants hold over a
    seeded instance stream with fault injection enabled (the full >= 1k
    run is CI's fault-smoke job; this keeps a fast regression here). *)
@@ -361,6 +403,8 @@ let suite =
       test_fault_point_corpus_read;
     Alcotest.test_case "scan durations come from the monotonic clock" `Quick
       test_wall_ns_monotonic;
+    Alcotest.test_case "kernels degrade identically under a budget" `Quick
+      test_kernel_parity_under_budget;
     Alcotest.test_case "fuzz oracles hold under fault injection" `Quick
       test_fuzz_oracle_with_faults;
   ]

@@ -1,0 +1,460 @@
+(* End-to-end tests for the ldb serve daemon: protocol round-trips,
+   concurrent-client parity with the engine and the one-shot CLI,
+   plan-cache counters, busy backpressure, per-request budgets, SIGINT
+   teardown, and trace-file integrity on error exit paths. The server
+   runs in-process (Serve.run on a systhread) except for the signal
+   test, which spawns ../bin/ldb.exe like test_cli does. *)
+
+open Logicaldb
+module J = Serve_json
+module Client = Serve_client
+
+let exe = "../bin/ldb.exe"
+
+(* Same harness as test_cli's run_ldb, duplicated so the suites stay
+   independent: stdin/stderr on /dev/null, stdout captured. *)
+let run_ldb args =
+  let out_file = Filename.temp_file "ldb_serve" ".out" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove out_file)
+    (fun () ->
+      let null_in = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+      let out =
+        Unix.openfile out_file [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600
+      in
+      let null_err = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+      let pid =
+        Unix.create_process exe (Array.of_list (exe :: args)) null_in out
+          null_err
+      in
+      Unix.close null_in;
+      Unix.close out;
+      Unix.close null_err;
+      let _, status = Unix.waitpid [] pid in
+      let code =
+        match status with
+        | Unix.WEXITED n -> n
+        | Unix.WSIGNALED n -> Alcotest.failf "killed by signal %d" n
+        | Unix.WSTOPPED n -> Alcotest.failf "stopped by signal %d" n
+      in
+      let ic = open_in out_file in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      (code, text))
+
+let with_db f =
+  let path = Filename.temp_file "ldb_serve" ".ldb" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc (Ldb_format.print (Support.socrates_db ()));
+      close_out oc;
+      f path)
+
+(* A fresh socket path: temp_file reserves a unique name, but the file
+   itself must not exist when the client first connects (connecting to
+   a regular file is ENOTSOCK, which connect_retry rightly does not
+   retry). *)
+let temp_socket () =
+  let path = Filename.temp_file "ldb_serve" ".sock" in
+  Sys.remove path;
+  path
+
+let with_server ?(workers = 2) ?(queue = 8) ?(debug_sleep = false) f =
+  let socket = temp_socket () in
+  let config =
+    {
+      Serve.default_config with
+      socket_path = socket;
+      workers;
+      queue_capacity = queue;
+      debug_sleep;
+    }
+  in
+  let server = Thread.create (fun () -> Serve.run config) () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         let c = Client.connect socket in
+         ignore (Client.request c (J.Obj [ ("op", J.Str "shutdown") ]));
+         Client.close c
+       with _ -> ());
+      Thread.join server;
+      if Sys.file_exists socket then Sys.remove socket)
+    (fun () -> f socket)
+
+let with_client socket f =
+  let c = Client.connect_retry socket in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+(* --- request/response helpers ------------------------------------- *)
+
+let rpc c fields = Client.request c (J.Obj fields)
+let op name rest = ("op", J.Str name) :: rest
+
+let code resp =
+  match J.str_field "code" resp with
+  | Some c -> c
+  | None -> Alcotest.failf "response without a code: %s" (J.to_string resp)
+
+let check_code msg expected resp =
+  Alcotest.(check string) msg expected (code resp)
+
+let load c name path =
+  rpc c (op "load" [ ("db", J.Str name); ("path", J.Str path) ])
+
+let query ?(extra = []) c db q =
+  rpc c (op "query" ([ ("db", J.Str db); ("query", J.Str q) ] @ extra))
+
+let boolean ?(extra = []) c db q =
+  rpc c (op "boolean" ([ ("db", J.Str db); ("query", J.Str q) ] @ extra))
+
+let rows resp =
+  match J.member "rows" resp with
+  | Some (J.List rs) ->
+    List.map
+      (function
+        | J.List cells -> List.filter_map J.to_str cells
+        | _ -> Alcotest.failf "malformed row in %s" (J.to_string resp))
+      rs
+    |> List.sort compare
+  | _ -> Alcotest.failf "response without rows: %s" (J.to_string resp)
+
+(* --- protocol round-trips ------------------------------------------ *)
+
+let test_roundtrip () =
+  with_db (fun db_path ->
+      with_server (fun socket ->
+          with_client socket (fun c ->
+              let r = load c "g" db_path in
+              check_code "load ok" "ok" r;
+              Alcotest.(check (option (float 0.)))
+                "constants counted" (Some 3.)
+                (J.num_field "constants" r);
+              let r = query c "g" "(x, y). TEACHES(x, y)" in
+              check_code "query ok" "ok" r;
+              Alcotest.(check (list (list string)))
+                "certain tuples"
+                [ [ "socrates"; "plato" ] ]
+                (rows r);
+              Alcotest.(check (option string))
+                "unbudgeted answer is exact" (Some "exact")
+                (J.str_field "qualified" r);
+              let r = boolean c "g" "(). TEACHES(socrates, plato)" in
+              check_code "boolean ok" "ok" r;
+              Alcotest.(check (option bool))
+                "affirmative verdict" (Some true) (J.bool_field "value" r);
+              (* the error taxonomy on the wire *)
+              check_code "unknown database" "semantic_error"
+                (query c "nope" "(x). TEACHES(x, x)");
+              check_code "query syntax error" "parse_error" (query c "g" "((");
+              check_code "vocabulary violation" "semantic_error"
+                (query c "g" "(x). UNKNOWN(x)");
+              check_code "non-boolean query under op boolean" "semantic_error"
+                (boolean c "g" "(x). TEACHES(x, x)");
+              check_code "malformed JSON line" "parse_error"
+                (Client.request_line c "this is not json");
+              check_code "unknown op" "parse_error" (rpc c (op "frobnicate" []));
+              check_code "sleep rejected without --debug-sleep" "semantic_error"
+                (rpc c (op "sleep" [ ("ms", J.Num 1.) ]));
+              (* close ends this connection, not the server *)
+              check_code "close ok" "ok" (rpc c (op "close" []));
+              (match rpc c (op "stats" []) with
+              | exception (End_of_file | Sys_error _) -> ()
+              | resp ->
+                Alcotest.failf "connection survived close: %s"
+                  (J.to_string resp));
+              with_client socket (fun c2 ->
+                  check_code "server still answering" "ok"
+                    (rpc c2 (op "stats" []))))))
+
+(* --- concurrent-client parity -------------------------------------- *)
+
+let parity_queries =
+  [
+    "(x, y). TEACHES(x, y)";
+    "(x). exists y. TEACHES(x, y)";
+    "(x). TEACHES(socrates, x)";
+  ]
+
+let test_concurrent_parity () =
+  with_db (fun db_path ->
+      with_server (fun socket ->
+          with_client socket (fun setup ->
+              check_code "load" "ok" (load setup "g" db_path));
+          let reference = Support.socrates_db () in
+          let expected q =
+            Certain.answer reference (Parser.query q)
+            |> Relation.tuples |> List.sort compare
+          in
+          let failures = Atomic.make 0 in
+          let client_thread k =
+            let c = Client.connect socket in
+            Fun.protect
+              ~finally:(fun () -> Client.close c)
+              (fun () ->
+                for i = 0 to 2 do
+                  List.iter
+                    (fun q ->
+                      let extra =
+                        if (k + i) mod 2 = 0 then []
+                        else [ ("kernel", J.Str "strings") ]
+                      in
+                      let r = query ~extra c "g" q in
+                      let good =
+                        code r = "ok"
+                        && J.member "rows" r <> None
+                        && rows r = expected q
+                      in
+                      if not good then Atomic.incr failures)
+                    parity_queries
+                done)
+          in
+          let threads = List.init 4 (fun k -> Thread.create client_thread k) in
+          List.iter Thread.join threads;
+          Alcotest.(check int)
+            "every concurrent answer equals the engine's" 0
+            (Atomic.get failures);
+          (* and the one-shot CLI on the same database file *)
+          let cli_code, out = run_ldb [ "query"; db_path; List.hd parity_queries ] in
+          Alcotest.(check int) "one-shot exit 0" 0 cli_code;
+          let cli_rows =
+            String.split_on_char '\n' out
+            |> List.filter (fun l -> l <> "" && l.[0] <> '(')
+            |> List.map (fun l ->
+                   String.split_on_char ',' l |> List.map String.trim)
+            |> List.sort compare
+          in
+          with_client socket (fun c ->
+              Alcotest.(check (list (list string)))
+                "served rows equal one-shot ldb query rows" cli_rows
+                (rows (query c "g" (List.hd parity_queries))))))
+
+(* --- plan-cache counters ------------------------------------------- *)
+
+let test_plan_cache () =
+  with_db (fun db_path ->
+      with_server (fun socket ->
+          with_client socket (fun c ->
+              check_code "load" "ok" (load c "g" db_path);
+              let q = "(x). exists y. TEACHES(x, y)" in
+              let cache r =
+                match J.str_field "cache" r with
+                | Some v -> v
+                | None ->
+                  Alcotest.failf "response without a cache field: %s"
+                    (J.to_string r)
+              in
+              Alcotest.(check string)
+                "first compile misses" "miss"
+                (cache (query c "g" q));
+              Alcotest.(check string)
+                "repeat hits" "hit"
+                (cache (query c "g" q));
+              Alcotest.(check string)
+                "other kernel is a distinct plan" "miss"
+                (cache (query ~extra:[ ("kernel", J.Str "strings") ] c "g" q));
+              check_code "reload" "ok" (load c "g" db_path);
+              Alcotest.(check string)
+                "reload bumps the generation and invalidates" "miss"
+                (cache (query c "g" q));
+              let stats = rpc c (op "stats" []) in
+              let counter k =
+                match J.member "plan_cache" stats with
+                | Some obj ->
+                  (match J.num_field k obj with
+                  | Some n -> int_of_float n
+                  | None -> Alcotest.failf "plan_cache without %s" k)
+                | None -> Alcotest.fail "stats without plan_cache"
+              in
+              Alcotest.(check int) "hits counted" 1 (counter "hits");
+              Alcotest.(check int) "misses counted" 3 (counter "misses");
+              Alcotest.(check int) "three plans resident" 3 (counter "entries"))))
+
+(* --- busy / backpressure ------------------------------------------- *)
+
+let test_busy_backpressure () =
+  with_server ~workers:1 ~queue:1 ~debug_sleep:true (fun socket ->
+      let sleep_req c ms = rpc c (op "sleep" [ ("ms", J.Num ms) ]) in
+      let c1 = Client.connect_retry socket in
+      let c2 = Client.connect_retry socket in
+      let c3 = Client.connect_retry socket in
+      Fun.protect
+        ~finally:(fun () -> List.iter Client.close [ c1; c2; c3 ])
+        (fun () ->
+          let r1 = ref J.Null and r2 = ref J.Null in
+          (* First request occupies the single worker, second fills the
+             one-slot queue, third must be rejected immediately. *)
+          let t1 = Thread.create (fun () -> r1 := sleep_req c1 800.) () in
+          Thread.delay 0.2;
+          let t2 = Thread.create (fun () -> r2 := sleep_req c2 800.) () in
+          Thread.delay 0.2;
+          check_code "full queue rejects with busy" "busy" (sleep_req c3 10.);
+          Thread.join t1;
+          Thread.join t2;
+          check_code "in-flight request still completed" "ok" !r1;
+          check_code "queued request still completed" "ok" !r2))
+
+(* --- per-request budgets ------------------------------------------- *)
+
+let test_budget_exhausted () =
+  with_db (fun db_path ->
+      with_server (fun socket ->
+          with_client socket (fun c ->
+              check_code "load" "ok" (load c "g" db_path);
+              (* Certainly true, so the countermodel search must visit
+                 every structure — a one-structure cap always trips. *)
+              let q = "(). TEACHES(socrates, plato)" in
+              let capped = [ ("max_structures", J.Num 1.) ] in
+              let r = boolean ~extra:capped c "g" q in
+              check_code "cap trips under the default fail policy"
+                "exhausted" r;
+              Alcotest.(check bool)
+                "trip records its cause" true
+                (J.str_field "tripped" r <> None);
+              let r =
+                boolean
+                  ~extra:(("policy", J.Str "partial") :: capped)
+                  c "g" q
+              in
+              check_code "partial degrades instead of failing" "ok" r;
+              (match J.str_field "qualified" r with
+              | Some ("lower_bound" | "upper_bound") -> ()
+              | other ->
+                Alcotest.failf "partial answer not qualified as a bound: %s"
+                  (Option.value ~default:"<none>" other));
+              (* an uncapped request on the same connection is unaffected *)
+              let r = boolean c "g" q in
+              check_code "next request runs unbudgeted" "ok" r;
+              Alcotest.(check (option string))
+                "and is exact again" (Some "exact")
+                (J.str_field "qualified" r))))
+
+(* --- trace-file integrity on error exit paths ---------------------- *)
+
+(* Every line of a --trace=json:FILE trace must parse as one JSON
+   object, also when the process left through a non-zero exit after
+   events were already buffered (the at_exit flush in bin/ldb). *)
+let check_trace_wellformed ?(expect_events = false) path =
+  let ic = open_in path in
+  let lines = ref 0 in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      try
+        while true do
+          let line = input_line ic in
+          if String.trim line <> "" then begin
+            incr lines;
+            match J.parse line with
+            | J.Obj _ -> ()
+            | _ -> Alcotest.failf "trace line is not an object: %s" line
+            | exception J.Parse_error msg ->
+              Alcotest.failf "unparseable trace line (%s): %s" msg line
+          end
+        done
+      with End_of_file -> ());
+  if expect_events then
+    Alcotest.(check bool) "trace recorded events" true (!lines > 0)
+
+let test_trace_flush_on_exit () =
+  with_db (fun db_path ->
+      let trace = Filename.temp_file "ldb_serve" ".trace" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove trace)
+        (fun () ->
+          (* exit 124: the budget trips after the resilience layer has
+             already emitted span and counter events *)
+          let cli_code, _ =
+            run_ldb
+              [
+                "query"; db_path; "(). TEACHES(socrates, plato)";
+                "--max-structures"; "1"; "--on-budget"; "fail";
+                "--trace"; "json:" ^ trace;
+              ]
+          in
+          Alcotest.(check int) "budget exit" 124 cli_code;
+          check_trace_wellformed ~expect_events:true trace;
+          (* exit 2: error path still leaves a well-formed (possibly
+             empty) closed trace *)
+          let cli_code, _ =
+            run_ldb [ "query"; db_path; "(("; "--trace"; "json:" ^ trace ]
+          in
+          Alcotest.(check int) "usage exit" 2 cli_code;
+          check_trace_wellformed trace))
+
+(* --- SIGINT: exit 130 with every domain joined --------------------- *)
+
+let test_serve_sigint () =
+  with_db (fun db_path ->
+      let socket = temp_socket () in
+      let trace = Filename.temp_file "ldb_serve" ".trace" in
+      let null_in = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+      let null_out = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+      let pid =
+        Unix.create_process exe
+          [|
+            exe; "serve"; "--socket"; socket; "--debug-sleep";
+            "--db"; "g=" ^ db_path; "--trace"; "json:" ^ trace;
+          |]
+          null_in null_out null_out
+      in
+      Unix.close null_in;
+      Unix.close null_out;
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          if Sys.file_exists socket then Sys.remove socket;
+          Sys.remove trace)
+        (fun () ->
+          let c = Client.connect_retry socket in
+          check_code "preloaded database answers" "ok"
+            (query c "g" "(x, y). TEACHES(x, y)");
+          (* Park a request on the worker pool, then interrupt the
+             server mid-service. *)
+          let in_flight =
+            Thread.create
+              (fun () ->
+                try ignore (rpc c (op "sleep" [ ("ms", J.Num 1500.) ]))
+                with _ -> ())
+              ()
+          in
+          Thread.delay 0.3;
+          Unix.kill pid Sys.sigint;
+          let _, status = Unix.waitpid [] pid in
+          Thread.join in_flight;
+          (try Client.close c with _ -> ());
+          (match status with
+          | Unix.WEXITED 130 -> ()
+          | Unix.WEXITED n -> Alcotest.failf "exit %d, expected 130" n
+          | Unix.WSIGNALED n ->
+            Alcotest.failf "killed by signal %d, expected exit 130" n
+          | Unix.WSTOPPED _ -> Alcotest.fail "stopped, expected exit 130");
+          (* Teardown ran: the socket file is gone (it is removed after
+             the pool's domains are joined, so its absence also pins
+             the join) and the trace was flushed and closed whole. *)
+          Alcotest.(check bool)
+            "teardown removed the socket file" false
+            (Sys.file_exists socket);
+          check_trace_wellformed ~expect_events:true trace))
+
+let suite =
+  [
+    Alcotest.test_case "protocol round-trips and error codes" `Quick
+      test_roundtrip;
+    Alcotest.test_case "concurrent clients match engine and one-shot CLI"
+      `Quick test_concurrent_parity;
+    Alcotest.test_case "plan cache: hit/miss/invalidate counters" `Quick
+      test_plan_cache;
+    Alcotest.test_case "full queue answers busy" `Quick test_busy_backpressure;
+    Alcotest.test_case "per-request budget trips to exhausted" `Quick
+      test_budget_exhausted;
+    Alcotest.test_case "trace files are well-formed on error exits" `Quick
+      test_trace_flush_on_exit;
+    Alcotest.test_case "SIGINT mid-service exits 130, domains joined" `Quick
+      test_serve_sigint;
+  ]
