@@ -152,8 +152,7 @@ let micro_tests () =
 
 let quota_seconds = 0.3
 
-let run_micro () =
-  Fmt.pr "@.=== Bechamel micro-benchmarks (OLS on the monotonic clock) ===@.";
+let run_micro_tests tests =
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second quota_seconds) ~stabilize:true
       ()
@@ -186,7 +185,11 @@ let run_micro () =
             (human estimate) r2_text;
           (Test.Elt.name elt, estimate, r2))
         (Test.elements test))
-    (micro_tests ())
+    tests
+
+let run_micro () =
+  Fmt.pr "@.=== Bechamel micro-benchmarks (OLS on the monotonic clock) ===@.";
+  run_micro_tests (micro_tests ())
 
 (* --- machine-readable results (--json FILE) ---
 
@@ -274,6 +277,155 @@ let e1_sanity kernel_name =
   Fmt.pr "e1-sanity: kernel %-8s E1-medium %.2f ms, answers agree@."
     kernel_name elapsed_ms
 
+(* [value_of flag args] is the argument following [flag], if any. *)
+let rec value_of flag = function
+  | [] | [ _ ] -> None
+  | a :: value :: _ when String.equal a flag -> Some value
+  | _ :: rest -> value_of flag rest
+
+(* --- the incremental-evaluation benchmark (--incr) ---
+
+   E17 (EXPERIMENTS.md, BENCH_7.json): query-after-a-small-delta on
+   the E1-medium workload, four rows.
+
+   - incr/fresh-after-delta     one fact toggled on R in a plain
+                                database, then a from-scratch
+                                [Certain.answer] — the rescan baseline.
+   - incr/session-after-delta-independent
+                                the same toggle through an
+                                [Incr_session], then a query that never
+                                reads R: every per-structure result is
+                                a memo hit. The headline row — the
+                                acceptance bar is >= 3x over the fresh
+                                baseline.
+   - incr/session-after-delta-dependent
+                                the toggle plus the mixed query that
+                                does read R: memos miss, but the cached
+                                quotient structures rebuild only the R
+                                slot.
+   - incr/session-requery       no delta, plan-cache-hot re-evaluation:
+                                the pure-memo floor.
+   - incr/mutation-only         one insert-or-retract toggle, no query:
+                                the fixed cost of a fact delta.
+   - incr/prepare-only          [Session.prepare] alone: what the serve
+                                layer pays to re-bind a plan after a
+                                delta moves the plan-cache key.
+
+   Before timing, incremental answers are checked against from-scratch
+   answers after both the insert and the retract — a silent divergence
+   would make the speedup meaningless. *)
+
+let incr_bench args =
+  let module Certain = Vardi_certain.Engine in
+  let module Session = Logicaldb.Incr_session in
+  let module Cw = Logicaldb.Cw_database in
+  let module Relation = Vardi_relational.Relation in
+  Fmt.pr "=== E17: incremental evaluation — query after a small delta ===@.";
+  let db0 = Workloads.parametric_db ~constants:16 ~unknowns:2 ~seed:7 in
+  let dep_q = Workloads.mixed_query in
+  let indep_q = Logicaldb.query "(x). ~P(x)" in
+  let delta_fact =
+    let constants = Cw.constants db0 in
+    let existing = Cw.facts db0 in
+    let candidates =
+      List.concat_map
+        (fun c ->
+          List.map (fun d -> { Cw.pred = "R"; args = [ c; d ] }) constants)
+        constants
+    in
+    match List.find_opt (fun f -> not (List.mem f existing)) candidates with
+    | Some f -> f
+    | None ->
+      Fmt.epr "incr-bench: R is full on the E1-medium workload@.";
+      exit 1
+  in
+  let check_parity label q =
+    let s = Session.create db0 in
+    let agree () =
+      let fresh = Certain.answer (Session.db s) q in
+      let incr, _ = Certain.prepared_answer_stats (Session.prepare s q) in
+      Relation.equal fresh incr
+    in
+    Session.insert s delta_fact;
+    let after_insert = agree () in
+    Session.retract s delta_fact;
+    if not (after_insert && agree ()) then begin
+      Fmt.epr
+        "incr-bench: incremental answers diverge from fresh rescan (%s)@."
+        label;
+      exit 1
+    end
+  in
+  check_parity "dependent query" dep_q;
+  check_parity "independent query" indep_q;
+  (* Each timed run performs exactly one mutation (alternating insert /
+     retract of the same fact, so state is re-appliable across
+     Bechamel's many iterations) followed by one full query. *)
+  let toggled_session q =
+    let s = Session.create db0 in
+    let present = ref false in
+    ( s,
+      fun () ->
+        if !present then Session.retract s delta_fact
+        else Session.insert s delta_fact;
+        present := not !present;
+        Certain.prepared_answer_stats (Session.prepare s q) )
+  in
+  let fresh_thunk =
+    let db = ref db0 in
+    let present = ref false in
+    fun () ->
+      (db :=
+         if !present then Cw.remove_fact !db delta_fact
+         else Cw.add_fact !db delta_fact);
+      present := not !present;
+      Certain.answer !db indep_q
+  in
+  let indep_session, indep_thunk = toggled_session indep_q in
+  let _, dep_thunk = toggled_session dep_q in
+  let requery_thunk =
+    let s = Session.create db0 in
+    let prepared = Session.prepare s dep_q in
+    fun () -> Certain.prepared_answer_stats prepared
+  in
+  let results =
+    run_micro_tests
+      [
+        Test.make ~name:"incr/fresh-after-delta" (stage fresh_thunk);
+        Test.make ~name:"incr/session-after-delta-independent"
+          (stage indep_thunk);
+        Test.make ~name:"incr/session-after-delta-dependent"
+          (stage dep_thunk);
+        Test.make ~name:"incr/session-requery" (stage requery_thunk);
+        (let s = Session.create db0 in
+         let present = ref false in
+         Test.make ~name:"incr/mutation-only"
+           (stage (fun () ->
+                if !present then Session.retract s delta_fact
+                else Session.insert s delta_fact;
+                present := not !present)));
+        (let s = Session.create db0 in
+         Test.make ~name:"incr/prepare-only"
+           (stage (fun () -> Session.prepare s indep_q)));
+      ]
+  in
+  let ns name =
+    List.find_map
+      (fun (n, e, _) -> if String.equal n name then Some e else None)
+      results
+  in
+  (match (ns "incr/fresh-after-delta", ns "incr/session-after-delta-independent")
+  with
+  | Some fresh, Some incr when incr > 0. ->
+    Fmt.pr "@.  speedup (fresh rescan / incremental, independent delta): \
+            %.1fx@."
+      (fresh /. incr)
+  | _ -> ());
+  Fmt.pr "  %a@." Session.pp_stats (Session.stats indep_session);
+  Option.iter
+    (fun path -> write_json path results)
+    (value_of "--json" args)
+
 (* --- Part 3: per-phase breakdown through the observability layer --- *)
 
 let phase_breakdown () =
@@ -289,12 +441,6 @@ let phase_breakdown () =
   let evs = Obs.events buf in
   Obs.pp_spans Fmt.stdout evs;
   Obs.pp_counters Fmt.stdout evs
-
-(* [value_of flag args] is the argument following [flag], if any. *)
-let rec value_of flag = function
-  | [] | [ _ ] -> None
-  | a :: value :: _ when String.equal a flag -> Some value
-  | _ :: rest -> value_of flag rest
 
 (* --- Part 4: the serve load generator (--serve) ---
 
@@ -524,9 +670,96 @@ let serve_bench args =
       end;
       Fmt.pr "serve-bench: all %d responses carried their expected codes@." n)
 
+(* --- Part 5: the serve mutation smoke (--serve-mutate) ---
+
+   Drives a running [ldb serve] daemon through the mutation wire ops
+   (insert / retract / close_unknown) against a database file, checks
+   every response code, and prints the final certain answer of the
+   probe query as sorted CSV rows on stdout — the same shape [ldb
+   query] prints — so the CI incr-smoke job can diff it against the
+   one-shot pipeline (ldb mutate --output F && ldb query F). The
+   script is written for data/socrates.ldb: it inserts
+   TEACHES(mystery, socrates), round-trips an insert/retract pair
+   (which must leave no trace), closes (socrates, mystery) to
+   distinct, and throws two malformed mutations at the wire to pin
+   their error codes. Any unexpected code exits 1. *)
+
+let serve_mutate_bench args =
+  let module Client = Logicaldb.Serve_client in
+  let module Json = Logicaldb.Serve_json in
+  let required flag =
+    match value_of flag args with
+    | Some v -> v
+    | None ->
+      Fmt.epr "--serve-mutate requires %s@." flag;
+      exit 2
+  in
+  let db_path = required "--db" in
+  let socket = required "--socket" in
+  let shutdown_after = List.mem "--shutdown" args in
+  let c = Client.connect_retry socket in
+  let str k v = (k, Json.Str v) in
+  let expect code label fields =
+    let resp = Client.request c (Json.Obj fields) in
+    (match Json.str_field "code" resp with
+    | Some got when got = code -> ()
+    | _ ->
+      Fmt.epr "serve-mutate: %s expected code %s, got %s@." label code
+        (Json.to_string resp);
+      exit 1);
+    resp
+  in
+  let op name rest = ("op", Json.Str name) :: rest in
+  let on_db rest = str "db" "incr" :: rest in
+  let probe = "(x, y). TEACHES(x, y)" in
+  ignore (expect "ok" "load" (op "load" (on_db [ str "path" db_path ])));
+  ignore (expect "ok" "probe" (op "query" (on_db [ str "query" probe ])));
+  ignore
+    (expect "ok" "insert"
+       (op "insert" (on_db [ str "fact" "TEACHES(mystery, socrates)" ])));
+  ignore
+    (expect "ok" "insert (round-trip)"
+       (op "insert" (on_db [ str "fact" "TEACHES(plato, mystery)" ])));
+  ignore
+    (expect "ok" "retract (round-trip)"
+       (op "retract" (on_db [ str "fact" "TEACHES(plato, mystery)" ])));
+  ignore
+    (expect "ok" "close_unknown"
+       (op "close_unknown"
+          (on_db
+             [ str "left" "socrates"; str "right" "mystery"; str "to" "distinct" ])));
+  ignore
+    (expect "parse_error" "malformed fact"
+       (op "insert" (on_db [ str "fact" "((" ])));
+  ignore
+    (expect "semantic_error" "absent retract"
+       (op "retract" (on_db [ str "fact" "TEACHES(plato, plato)" ])));
+  let final = expect "ok" "final query" (op "query" (on_db [ str "query" probe ])) in
+  let rows =
+    match Json.member "rows" final with
+    | Some (Json.List rs) ->
+      List.filter_map
+        (function
+          | Json.List cells -> Some (List.filter_map Json.to_str cells)
+          | _ -> None)
+        rs
+      |> List.sort compare
+    | _ ->
+      Fmt.epr "serve-mutate: final response without rows: %s@."
+        (Json.to_string final);
+      exit 1
+  in
+  if shutdown_after then
+    ignore (Client.request c (Json.Obj [ ("op", Json.Str "shutdown") ]));
+  Client.close c;
+  List.iter (fun row -> Fmt.pr "%s@." (String.concat ", " row)) rows;
+  Fmt.epr "serve-mutate: script complete, %d final rows@." (List.length rows)
+
 let () =
   let args = Array.to_list Sys.argv in
-  if List.mem "--serve" args then serve_bench args
+  if List.mem "--serve-mutate" args then serve_mutate_bench args
+  else if List.mem "--serve" args then serve_bench args
+  else if List.mem "--incr" args then incr_bench args
   else if List.mem "--e1-sanity" args then
     e1_sanity (Option.value ~default:"interned" (value_of "--kernel" args))
   else begin

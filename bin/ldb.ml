@@ -5,6 +5,7 @@
    ldb query     DB.ldb "(x). P(x)"          evaluate a query
    ldb compile   DB.ldb "(x). ~P(x)"         show Q-hat and the algebra plan
    ldb worlds    DB.ldb                      enumerate possible-world shapes
+   ldb mutate    DB.ldb --insert "P(a)"      apply mutations to a database file
    ldb fuzz      --seed 42 --count 10000     differential fuzzing with oracles
 
    Exit codes (documented in README.md, tested in test/test_cli.ml):
@@ -802,6 +803,104 @@ let repl_cmd =
   let doc = "Interactive query session over a logical database." in
   Cmd.v (Cmd.info "repl" ~doc) Cterm.(const run $ db_arg)
 
+(* --- mutate --- *)
+
+let mutate_cmd =
+  let insert_arg =
+    let doc = "Add the atomic fact axiom $(docv), e.g. \"P(a, b)\"; repeatable." in
+    Arg.(value & opt_all string [] & info [ "insert"; "i" ] ~docv:"FACT" ~doc)
+  in
+  let retract_arg =
+    let doc = "Remove the atomic fact axiom $(docv); repeatable. Retracting \
+               an absent fact is an error." in
+    Arg.(value & opt_all string [] & info [ "retract"; "r" ] ~docv:"FACT" ~doc)
+  in
+  let distinct_arg =
+    let doc =
+      "Close the unknown pair $(docv) to distinct (add the uniqueness axiom); \
+       repeatable. Example: --distinct a,b"
+    in
+    Arg.(
+      value
+      & opt_all (pair ~sep:',' string string) []
+      & info [ "distinct" ] ~docv:"C,D" ~doc)
+  in
+  let merge_arg =
+    let doc =
+      "Close the unknown pair $(docv) to equal: DROP merges into KEEP; \
+       repeatable. Example: --merge a,b keeps a. Errors if the pair carries \
+       a uniqueness axiom."
+    in
+    Arg.(
+      value
+      & opt_all (pair ~sep:',' string string) []
+      & info [ "merge" ] ~docv:"KEEP,DROP" ~doc)
+  in
+  let output_arg =
+    let doc = "Write the mutated database to $(docv) (default: in place)." in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "output"; "o" ] ~docv:"PATH" ~doc)
+  in
+  let parse_ground_fact text =
+    match Parser.formula text with
+    | Formula.Atom (p, ts) when List.for_all Term.is_const ts ->
+      {
+        Cw_database.pred = p;
+        args =
+          List.filter_map
+            (function Term.Const c -> Some c | Term.Var _ -> None)
+            ts;
+      }
+    | _ ->
+      Fmt.epr "error: %S is not a ground atom (expected e.g. \"P(a, b)\")@."
+        text;
+      exit 2
+  in
+  let run path inserts retracts distincts merges output =
+    handle (fun () ->
+        let session = Incr_session.create (load path) in
+        (* Group order is fixed (inserts, retracts, distinct, merge) —
+           flags of different kinds do not interleave. *)
+        List.iter
+          (fun t -> Incr_session.insert session (parse_ground_fact t))
+          inserts;
+        List.iter
+          (fun t -> Incr_session.retract session (parse_ground_fact t))
+          retracts;
+        List.iter
+          (fun (c, d) -> Incr_session.close_unknown session c d ~to_:`Distinct)
+          distincts;
+        List.iter
+          (fun (keep, drop) ->
+            Incr_session.close_unknown session keep drop ~to_:`Equal)
+          merges;
+        let out = Option.value output ~default:path in
+        if Filename.check_suffix out ".tldb" then begin
+          Fmt.epr
+            "error: mutate writes the untyped .ldb format (got %S)@." out;
+          exit 2
+        end;
+        Ldb_format.save out (Incr_session.db session);
+        Fmt.pr "%s: delta %d, %d facts@." out
+          (Incr_session.delta_epoch session)
+          (List.length (Cw_database.facts (Incr_session.db session))))
+  in
+  let doc =
+    "Apply mutations to a database file: $(b,--insert)/$(b,--retract) atomic \
+     fact axioms, $(b,--distinct) to close an unknown pair to distinct, \
+     $(b,--merge) to close it to equal. The same operations are available \
+     on a resident server via the insert/retract/close_unknown wire ops \
+     (see docs/PROTOCOL.md); this one-shot form is their file-to-file \
+     counterpart."
+  in
+  Cmd.v
+    (Cmd.info "mutate" ~doc)
+    Cterm.(
+      const run $ db_arg $ insert_arg $ retract_arg $ distinct_arg $ merge_arg
+      $ output_arg)
+
 (* --- serve --- *)
 
 let serve_cmd =
@@ -862,12 +961,15 @@ let serve_cmd =
   in
   let doc =
     "Run a resident query server on a Unix-domain socket: line-delimited \
-     JSON requests (op: load/query/boolean/stats/close/shutdown), loaded \
-     databases and compiled plans cached across requests, in-flight queries \
-     multiplexed over a fixed pool of worker domains with a bounded queue \
-     (full queue => $(b,busy)). Per-request budgets (timeout_ms, \
-     max_structures, max_evaluations) map budget exhaustion to the \
-     $(b,exhausted) code. See README for the protocol."
+     JSON requests (op: load/query/boolean/insert/retract/close_unknown/\
+     stats/close/shutdown). Each loaded database is an incremental session: \
+     mutations invalidate only what they touch, so a query after a small \
+     delta reuses the cached quotient structures and per-structure results. \
+     In-flight queries multiplex over a fixed pool of worker domains with a \
+     bounded queue (full queue => $(b,busy)); per-request budgets \
+     (timeout_ms, max_structures, max_evaluations) map budget exhaustion to \
+     the $(b,exhausted) code. The full wire protocol is specified in \
+     docs/PROTOCOL.md."
   in
   Cmd.v
     (Cmd.info "serve" ~doc)
@@ -888,6 +990,7 @@ let main =
       explain_cmd;
       fuzz_cmd;
       repl_cmd;
+      mutate_cmd;
       serve_cmd;
     ]
 

@@ -84,6 +84,28 @@ let interned_thunks algorithm order plan =
   | Naive_mappings -> Iscan.mapping_thunks plan
   | Kernel_partitions -> Iscan.structure_thunks ~order plan
 
+(* A pluggable interned structure stream. The engine's scans only need
+   three things from a plan: its symtab, its structure stream per
+   (algorithm, order), and its discrete seed — so they are bundled
+   here, letting an incremental session substitute cached structures
+   for stream positions (see Vardi_incr.Session) while the engine's
+   scheduling, budget and stats machinery stays oblivious. The
+   positional contract carries over: [source_thunks alg ord] must
+   enumerate the same renaming at every position as the fresh plan's
+   stream would. *)
+type scan_source = {
+  source_plan : Iscan.plan;
+  source_thunks : algorithm -> order -> (unit -> Iscan.structure) Seq.t;
+  source_discrete : unit -> Iscan.structure;
+}
+
+let source_of_plan plan =
+  {
+    source_plan = plan;
+    source_thunks = (fun algorithm order -> interned_thunks algorithm order plan);
+    source_discrete = (fun () -> Iscan.discrete plan);
+  }
+
 let rename_row (rename : int array) (row : int array) =
   Array.map (fun c -> Array.unsafe_get rename c) row
 
@@ -284,39 +306,49 @@ let search ~domains ~cancel ~target thunks check =
 (* [search] is instantiated at a different structure type per kernel,
    so the dispatch happens here rather than via a first-class
    quantifier argument (which would force one monomorphic type). *)
-(* [?plan] lets a prepared query (see the plan-cache API below) reuse
-   the interned database instead of re-interning it on every call. *)
-let decide_member ~target ~algorithm ~order ~domains ~cancel ~kernel ?plan lb
-    q tuple =
+(* [?source] lets a prepared query (see the plan-cache API below) reuse
+   the interned database — or an incremental session's cached stream —
+   instead of re-interning it on every call. [?wrap_check] wraps the
+   per-structure check (a session's per-query memo); the wrapper sees
+   the same structures at the same positions, so stats and positional
+   caps are unchanged whether or not it hits. *)
+let decide_member ~target ~algorithm ~order ~domains ~cancel ~kernel ?source
+    lb q tuple =
   match kernel with
   | Strings ->
     search ~domains ~cancel ~target
       (structure_thunks algorithm order lb)
       (fun s -> Eval.member s.image q (List.map s.rename tuple))
   | Interned ->
-    let plan =
-      match plan with Some plan -> plan | None -> Iscan.prepare lb
+    let source =
+      match source with
+      | Some source -> source
+      | None -> source_of_plan (Iscan.prepare lb)
     in
-    let codes = Symtab.code_tuple (Iscan.symtab plan) tuple in
+    let codes = Symtab.code_tuple (Iscan.symtab source.source_plan) tuple in
     search ~domains ~cancel ~target
-      (interned_thunks algorithm order plan)
+      (source.source_thunks algorithm order)
       (fun (s : Iscan.structure) ->
         Ieval.member s.idb q (rename_row s.rename codes))
 
-let decide_boolean ~target ~algorithm ~order ~domains ~cancel ~kernel ?plan lb
-    body =
+let decide_boolean ~target ~algorithm ~order ~domains ~cancel ~kernel ?source
+    ?wrap_check lb body =
   match kernel with
   | Strings ->
     search ~domains ~cancel ~target
       (structure_thunks algorithm order lb)
       (fun s -> Eval.satisfies s.image body)
   | Interned ->
-    let plan =
-      match plan with Some plan -> plan | None -> Iscan.prepare lb
+    let source =
+      match source with
+      | Some source -> source
+      | None -> source_of_plan (Iscan.prepare lb)
     in
+    let check (s : Iscan.structure) = Ieval.satisfies s.idb body in
+    let check = match wrap_check with Some w -> w check | None -> check in
     search ~domains ~cancel ~target
-      (interned_thunks algorithm order plan)
-      (fun (s : Iscan.structure) -> Ieval.satisfies s.idb body)
+      (source.source_thunks algorithm order)
+      check
 
 let certain_member_stats ?(algorithm = Kernel_partitions)
     ?(order = Fresh_first) ?(domains = 1) ?cancel ?(kernel = Interned) lb q
@@ -420,17 +452,19 @@ let prepare_answer_interned lb tab q =
 
 let answer_stats_interned ~algorithm ~order ~domains ~cancel ?prep lb q =
   let started = now_ns () in
-  let plan, image_answer =
+  let source, image_answer =
     Obs.span "certain.prepare" (fun () ->
         match prep with
         | Some prep -> prep
         | None ->
           let plan = Iscan.prepare lb in
-          (plan, prepare_answer_interned lb (Iscan.symtab plan) q))
+          ( source_of_plan plan,
+            prepare_answer_interned lb (Iscan.symtab plan) q ))
   in
+  let plan = source.source_plan in
   let seed =
     Obs.span "certain.seed" (fun () ->
-        let seed = image_answer (Iscan.discrete plan) in
+        let seed = image_answer (source.source_discrete ()) in
         Obs.count "certain.structures" 1;
         Obs.count "certain.evaluations" 1;
         seed)
@@ -462,7 +496,7 @@ let answer_stats_interned ~algorithm ~order ~domains ~cancel ?prep lb q =
       consume
       (admit_within cancel ~structures:1 ~evaluations:1
          (rest_after_discrete algorithm order
-            (interned_thunks algorithm order plan)))
+            (source.source_thunks algorithm order)))
   in
   let result = Atomic.get survivors in
   let early = Irel.is_empty result in
@@ -556,14 +590,16 @@ let candidates lb k =
 let possible_answer_stats_interned ~algorithm ~order ~domains ~cancel ?prep lb
     q =
   let started = now_ns () in
-  let plan, image_answer =
+  let source, image_answer =
     Obs.span "certain.prepare" (fun () ->
         match prep with
         | Some prep -> prep
         | None ->
           let plan = Iscan.prepare lb in
-          (plan, prepare_answer_interned lb (Iscan.symtab plan) q))
+          ( source_of_plan plan,
+            prepare_answer_interned lb (Iscan.symtab plan) q ))
   in
+  let plan = source.source_plan in
   let tab = Iscan.symtab plan in
   (* Same cap, same message as [candidates] on the string side. *)
   let all_candidates =
@@ -572,7 +608,7 @@ let possible_answer_stats_interned ~algorithm ~order ~domains ~cancel ?prep lb
   let total = Irel.cardinal all_candidates in
   let seed =
     Obs.span "certain.seed" (fun () ->
-        let seed = image_answer (Iscan.discrete plan) in
+        let seed = image_answer (source.source_discrete ()) in
         Obs.count "certain.structures" 1;
         Obs.count "certain.evaluations" 1;
         seed)
@@ -600,7 +636,7 @@ let possible_answer_stats_interned ~algorithm ~order ~domains ~cancel ?prep lb
     drive ~domains ~cancel ~stop:saturated consume
       (admit_within cancel ~structures:1 ~evaluations:1
          (rest_after_discrete algorithm order
-            (interned_thunks algorithm order plan)))
+            (source.source_thunks algorithm order)))
   in
   let result = Atomic.get found in
   let early = Irel.cardinal result >= total in
@@ -709,7 +745,12 @@ type prepared = {
 
 and prepared_impl =
   | Prepared_strings of (structure -> Relation.t) option
-  | Prepared_interned of Iscan.plan * (Iscan.structure -> Irel.t) option
+  | Prepared_interned of {
+      pi_source : scan_source;
+      pi_answer : (Iscan.structure -> Irel.t) option;
+      pi_check :
+        ((Iscan.structure -> bool) -> Iscan.structure -> bool) option;
+    }
 
 let prepare ?(kernel = Interned) lb q =
   validate lb q;
@@ -722,20 +763,38 @@ let prepare ?(kernel = Interned) lb q =
         | Interned ->
           let plan = Iscan.prepare lb in
           Prepared_interned
-            ( plan,
-              if Query.is_boolean q then None
-              else Some (prepare_answer_interned lb (Iscan.symtab plan) q) )
+            {
+              pi_source = source_of_plan plan;
+              pi_answer =
+                (if Query.is_boolean q then None
+                 else Some (prepare_answer_interned lb (Iscan.symtab plan) q));
+              pi_check = None;
+            }
       in
       { p_lb = lb; p_query = q; p_kernel = kernel; p_impl = impl })
+
+let prepare_with ~source ?wrap_answer ?wrap_check lb q =
+  validate lb q;
+  Obs.span "certain.prepare" (fun () ->
+      let pi_answer =
+        if Query.is_boolean q then None
+        else
+          let base =
+            prepare_answer_interned lb (Iscan.symtab source.source_plan) q
+          in
+          Some (match wrap_answer with Some w -> w base | None -> base)
+      in
+      {
+        p_lb = lb;
+        p_query = q;
+        p_kernel = Interned;
+        p_impl =
+          Prepared_interned { pi_source = source; pi_answer; pi_check = wrap_check };
+      })
 
 let prepared_db p = p.p_lb
 let prepared_query p = p.p_query
 let prepared_kernel p = p.p_kernel
-
-let prepared_iscan p =
-  match p.p_impl with
-  | Prepared_strings _ -> None
-  | Prepared_interned (plan, _) -> Some plan
 
 let prepared_answer_stats ?(algorithm = Kernel_partitions)
     ?(order = Fresh_first) ?(domains = 1) ?cancel p =
@@ -747,15 +806,17 @@ let prepared_answer_stats ?(algorithm = Kernel_partitions)
         in
         answer_stats_strings ~algorithm ~order ~domains ~cancel ~prep p.p_lb
           p.p_query
-      | Prepared_interned (plan, ia) ->
+      | Prepared_interned { pi_source; pi_answer; _ } ->
         let image_answer =
-          match ia with
+          match pi_answer with
           | Some f -> f
           | None ->
-            prepare_answer_interned p.p_lb (Iscan.symtab plan) p.p_query
+            prepare_answer_interned p.p_lb
+              (Iscan.symtab pi_source.source_plan)
+              p.p_query
         in
         answer_stats_interned ~algorithm ~order ~domains ~cancel
-          ~prep:(plan, image_answer) p.p_lb p.p_query)
+          ~prep:(pi_source, image_answer) p.p_lb p.p_query)
 
 let prepared_possible_answer_stats ?(algorithm = Kernel_partitions)
     ?(order = Fresh_first) ?(domains = 1) ?cancel p =
@@ -767,15 +828,17 @@ let prepared_possible_answer_stats ?(algorithm = Kernel_partitions)
         in
         possible_answer_stats_strings ~algorithm ~order ~domains ~cancel ~prep
           p.p_lb p.p_query
-      | Prepared_interned (plan, ia) ->
+      | Prepared_interned { pi_source; pi_answer; _ } ->
         let image_answer =
-          match ia with
+          match pi_answer with
           | Some f -> f
           | None ->
-            prepare_answer_interned p.p_lb (Iscan.symtab plan) p.p_query
+            prepare_answer_interned p.p_lb
+              (Iscan.symtab pi_source.source_plan)
+              p.p_query
         in
         possible_answer_stats_interned ~algorithm ~order ~domains ~cancel
-          ~prep:(plan, image_answer) p.p_lb p.p_query)
+          ~prep:(pi_source, image_answer) p.p_lb p.p_query)
 
 let prepared_boolean_decide ~target ~span ~name ?(algorithm = Kernel_partitions)
     ?(order = Fresh_first) ?(domains = 1) ?cancel p =
@@ -783,8 +846,13 @@ let prepared_boolean_decide ~target ~span ~name ?(algorithm = Kernel_partitions)
     invalid_arg (Printf.sprintf "Certain.%s: the query has answer variables" name);
   let body = Query.body p.p_query in
   Obs.span span (fun () ->
-      decide_boolean ~target ~algorithm ~order ~domains ~cancel
-        ~kernel:p.p_kernel ?plan:(prepared_iscan p) p.p_lb body)
+      match p.p_impl with
+      | Prepared_strings _ ->
+        decide_boolean ~target ~algorithm ~order ~domains ~cancel
+          ~kernel:Strings p.p_lb body
+      | Prepared_interned { pi_source; pi_check; _ } ->
+        decide_boolean ~target ~algorithm ~order ~domains ~cancel
+          ~kernel:Interned ~source:pi_source ?wrap_check:pi_check p.p_lb body)
 
 let prepared_certain_boolean_stats ?algorithm ?order ?domains ?cancel p =
   let refuted, stats =

@@ -316,6 +316,56 @@ type prepared
 val prepare :
   ?kernel:kernel -> Vardi_cwdb.Cw_database.t -> Vardi_logic.Query.t -> prepared
 
+(** {1 Pluggable structure sources}
+
+    An interned scan only needs three things from its plan: the symtab,
+    the structure stream per (algorithm, order), and the discrete seed.
+    A {!scan_source} bundles them, so a caller that {e owns} structures
+    across calls — the incremental session ([Vardi_incr.Session]) with
+    its partition-tree cache — can substitute cached structures for
+    stream positions while the engine's scheduling, budget and stats
+    machinery stays oblivious.
+
+    Contract: [source_thunks alg ord] must yield, at every position,
+    the same renaming that [Iscan.structure_thunks] (resp.
+    [mapping_thunks]) over [source_plan] would yield there — that is
+    what keeps positional budget caps and stats identical between a
+    cached and a fresh scan (see {!Vardi_interned.Iscan.renamings}). *)
+type scan_source = {
+  source_plan : Vardi_interned.Iscan.plan;
+  source_thunks :
+    algorithm -> order -> (unit -> Vardi_interned.Iscan.structure) Seq.t;
+  source_discrete : unit -> Vardi_interned.Iscan.structure;
+}
+
+(** The trivial source: fresh structures from the plan's own streams —
+    exactly what the unprepared entry points use internally. *)
+val source_of_plan : Vardi_interned.Iscan.plan -> scan_source
+
+(** [prepare_with ~source ?wrap_answer ?wrap_check lb q] is {!prepare}
+    on the {!Interned} kernel with the structure stream taken from
+    [source] instead of a fresh [Iscan.prepare]. [wrap_answer] wraps
+    the compiled per-structure image-answer function (a session's
+    per-query result memo); [wrap_check] likewise wraps the Boolean
+    per-structure check used by the prepared Boolean deciders. Wrappers
+    see the same structures at the same stream positions as the
+    unwrapped scan, so memo hits change no stats and move no budget
+    caps.
+    @raise Invalid_argument as {!validate}. *)
+val prepare_with :
+  source:scan_source ->
+  ?wrap_answer:
+    ((Vardi_interned.Iscan.structure -> Vardi_interned.Irel.t) ->
+    Vardi_interned.Iscan.structure ->
+    Vardi_interned.Irel.t) ->
+  ?wrap_check:
+    ((Vardi_interned.Iscan.structure -> bool) ->
+    Vardi_interned.Iscan.structure ->
+    bool) ->
+  Vardi_cwdb.Cw_database.t ->
+  Vardi_logic.Query.t ->
+  prepared
+
 val prepared_db : prepared -> Vardi_cwdb.Cw_database.t
 val prepared_query : prepared -> Vardi_logic.Query.t
 val prepared_kernel : prepared -> kernel

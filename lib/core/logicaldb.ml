@@ -22,6 +22,11 @@
       hardness reductions of Theorems 5, 7 and 9;
     - {!Obs} — structured tracing and metrics across all engines
       (spans, per-domain counters, console/JSON-lines sinks);
+    - {!Incr_session} — incremental evaluation: a resident database
+      with insert/retract/close-unknown mutations that persists the
+      symtab, the partition-tree quotients, and per-structure
+      evaluation results across queries, invalidating only what a
+      delta touches;
     - {!Serve} / {!Serve_client} / {!Serve_protocol} / {!Plan_cache} /
       {!Serve_pool} — the [ldb serve] daemon: resident databases, a
       shared worker-domain pool with admission control, and a shared
@@ -121,6 +126,10 @@ module Obs = Vardi_obs.Obs
 module Budget = Vardi_resilience.Budget
 module Resilient = Vardi_resilience.Resilient
 module Faults = Vardi_resilience.Faults
+
+(* Incremental evaluation: resident databases with mutations that keep
+   the interned kernel's heavy state warm across queries *)
+module Incr_session = Vardi_incr.Session
 
 (* Serving: resident concurrent query server over a Unix-domain
    socket — line-delimited JSON protocol, shared worker-domain pool

@@ -124,6 +124,57 @@ let add_distinct db c d =
   check_pair db.vocabulary c d;
   { db with distinct = Pair_set.add (normalize_pair c d) db.distinct }
 
+let remove_fact db fact =
+  check_fact db.vocabulary fact;
+  if not (Fact_set.mem fact db.facts) then
+    invalid_arg
+      (Printf.sprintf "Cw_database: fact %s(%s) is not in the database"
+         fact.pred
+         (String.concat ", " fact.args));
+  { db with facts = Fact_set.remove fact db.facts }
+
+let merge_constants db ~keep ~drop =
+  List.iter
+    (fun x ->
+      if not (Vocabulary.mem_constant db.vocabulary x) then
+        invalid_arg (Printf.sprintf "Cw_database: %s is not a constant" x))
+    [ keep; drop ];
+  if String.equal keep drop then
+    invalid_arg
+      (Printf.sprintf "Cw_database: cannot merge constant %s with itself" keep);
+  if are_distinct db keep drop then
+    invalid_arg
+      (Printf.sprintf
+         "Cw_database: constants %s and %s carry a uniqueness axiom; closing \
+          them to equal is inconsistent"
+         keep drop);
+  let subst c = if String.equal c drop then keep else c in
+  let vocabulary =
+    Vocabulary.make
+      ~constants:
+        (List.filter
+           (fun c -> not (String.equal c drop))
+           (Vocabulary.constants db.vocabulary))
+      ~predicates:(Vocabulary.predicates db.vocabulary)
+  in
+  let facts =
+    Fact_set.fold
+      (fun f acc -> Fact_set.add { f with args = List.map subst f.args } acc)
+      db.facts Fact_set.empty
+  in
+  let distinct =
+    Pair_set.fold
+      (fun (c, d) acc ->
+        let c = subst c and d = subst d in
+        (* A pair collapsing onto itself would be ¬(keep = keep); it can
+           only arise from a (c, d) pair where the merge was checked
+           inconsistent above, so this is unreachable — but keep the
+           guard so the invariant is local. *)
+        if String.equal c d then acc else Pair_set.add (normalize_pair c d) acc)
+      db.distinct Pair_set.empty
+  in
+  { vocabulary; facts; distinct }
+
 let size db =
   Fact_set.cardinal db.facts
   + Pair_set.cardinal db.distinct

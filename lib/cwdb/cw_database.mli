@@ -75,6 +75,26 @@ val add_fact : t -> fact -> t
 
 val add_distinct : t -> string -> string -> t
 
+(** [remove_fact db fact] retracts an atomic fact axiom.
+
+    @raise Invalid_argument if [fact] fails the {!make} validation or is
+    not in the database (retracting an absent fact is almost always a
+    caller bug, so it is loud rather than a no-op). *)
+val remove_fact : t -> fact -> t
+
+(** [merge_constants db ~keep ~drop] closes the unknown pair
+    [(keep, drop)] to {e true}: every occurrence of [drop] in a fact or
+    uniqueness axiom is rewritten to [keep], and [drop] leaves the
+    vocabulary. This is the CW-database form of adding the equality
+    [keep = drop] to the theory (the paper's theories contain no
+    equalities, so the merge is performed syntactically).
+
+    @raise Invalid_argument if either constant is undeclared, if
+    [keep = drop], or if the pair carries a uniqueness axiom — then the
+    equality would contradict [¬(keep = drop)] and the merged theory
+    would be inconsistent. *)
+val merge_constants : t -> keep:string -> drop:string -> t
+
 (** Size of the database: number of facts plus uniqueness axioms plus
     constants — the data-complexity measure's input size. *)
 val size : t -> int

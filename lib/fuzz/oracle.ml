@@ -2,9 +2,12 @@ module Formula = Vardi_logic.Formula
 module Query = Vardi_logic.Query
 module Parser = Vardi_logic.Parser
 module Pretty = Vardi_logic.Pretty
+module Vocabulary = Vardi_logic.Vocabulary
 module Relation = Vardi_relational.Relation
 module Cw_database = Vardi_cwdb.Cw_database
+module Query_check = Vardi_cwdb.Query_check
 module Certain = Vardi_certain.Engine
+module Session = Vardi_incr.Session
 module Cancel = Vardi_certain.Cancel
 module Approx = Vardi_approx.Evaluate
 module Naive_tables = Vardi_approx.Naive_tables
@@ -49,6 +52,7 @@ let oracle_ids =
     "typed-approx-sound";
     "typed-query-roundtrip";
     "tldb-roundtrip";
+    "incremental-parity";
   ]
 
 (* Enumeration budgets: the generated databases are tiny, but a caller
@@ -618,6 +622,145 @@ let check_resilient_kernel_parity ctx ~seed db q =
       | _ -> ())
     policies
 
+(* --- the incremental-parity oracle ---
+
+   An [Incr_session] with a random mutation sequence applied must stay
+   observationally identical to from-scratch evaluation on the mutated
+   database: same answers under both structure orders, agreeing with
+   both fresh kernels, and — the positional contract — identical
+   resilient summaries under a tripping budget (same qualified
+   constructor, same provenance, same scan counters; a memo hit must
+   occupy exactly the stream position a fresh evaluation would). The
+   mutation sequence is derived deterministically from the instance, so
+   a violation replays from the driver's seed alone. *)
+
+let check_incremental_parity ctx db q =
+  let oracle = "incremental-parity" in
+  let seed = Hashtbl.hash (Ldb_format.print db, Pretty.query_to_string q) in
+  let state = Random.State.make [| seed; 0x1 |] in
+  match guard ctx oracle (fun () -> Session.create db) with
+  | None -> ()
+  | Some session ->
+    let boolean = Query.is_boolean q in
+    let pick l = List.nth l (Random.State.int state (List.length l)) in
+    let preds = Vocabulary.predicates (Cw_database.vocabulary db) in
+    (* One random mutation; [false] when the drawn mutation does not
+       apply (empty database, merge that would invalidate the query or
+       hit a uniqueness axiom, ...) — the step is simply skipped. *)
+    let mutate () =
+      let current = Session.db session in
+      let constants = Cw_database.constants current in
+      match Random.State.int state 4 with
+      | 0 when preds <> [] ->
+        let p, k = pick preds in
+        let fact =
+          { Cw_database.pred = p; args = List.init k (fun _ -> pick constants) }
+        in
+        Session.insert session fact;
+        true
+      | 1 -> (
+        match Cw_database.facts current with
+        | [] -> false
+        | facts ->
+          Session.retract session (pick facts);
+          true)
+      | 2 when List.length constants >= 2 ->
+        let c = pick constants and d = pick constants in
+        if String.equal c d then false
+        else begin
+          Session.close_unknown session c d ~to_:`Distinct;
+          true
+        end
+      | 3 when List.length constants >= 2 ->
+        let keep = pick constants and drop = pick constants in
+        if String.equal keep drop || Cw_database.are_distinct current keep drop
+        then false
+        else begin
+          (* A merge drops a constant the query may mention; probe the
+             merged database first and skip the step if the query would
+             no longer validate. *)
+          match
+            Query_check.validate
+              (Cw_database.merge_constants current ~keep ~drop)
+              q
+          with
+          | () ->
+            Session.close_unknown session keep drop ~to_:`Equal;
+            true
+          | exception Invalid_argument _ -> false
+        end
+      | _ -> false
+    in
+    let compare_at step =
+      let current = Session.db session in
+      let fresh ~kernel =
+        if boolean then `Bool (Certain.certain_boolean ~kernel current q)
+        else `Rel (Certain.answer ~kernel current q)
+      in
+      let reference = guard ctx oracle (fun () -> fresh ~kernel:Certain.Strings)
+      in
+      List.iter
+        (fun (order, ord_name) ->
+          let label what =
+            Printf.sprintf "step %d, %s under %s" step what ord_name
+          in
+          (* Answers: incremental vs the fresh strings kernel (the
+             fresh interned kernel is covered by [kernel-parity]). *)
+          (match reference with
+          | None -> ()
+          | Some (`Bool reference) ->
+            expect_equal_bool ctx oracle ~reference
+              ~label:(label "session answer") (fun () ->
+                fst
+                  (Certain.prepared_certain_boolean_stats ~order
+                     (Session.prepare session q)))
+          | Some (`Rel reference) ->
+            expect_equal_rel ctx oracle ~reference
+              ~label:(label "session answer") (fun () ->
+                fst
+                  (Certain.prepared_answer_stats ~order
+                     (Session.prepare session q))));
+          (* Budgets: fresh-prepared and session-prepared must trip at
+             the same stream position with the same provenance. *)
+          List.iter
+            (fun (policy, policy_name) ->
+              let summarize prepared () =
+                if boolean then
+                  resilient_summary ~show:string_of_bool
+                    (Resilient.prepared_boolean_stats ~policy ~order
+                       ~budget:trip_budget prepared)
+                else
+                  resilient_summary ~show:rel
+                    (Resilient.prepared_answer_stats ~policy ~order
+                       ~budget:trip_budget prepared)
+              in
+              match
+                ( guard ctx oracle (summarize (Certain.prepare current q)),
+                  guard ctx oracle (summarize (Session.prepare session q)) )
+              with
+              | Some fresh_summary, Some incr_summary ->
+                if not (String.equal fresh_summary incr_summary) then
+                  add ctx oracle
+                    (Printf.sprintf
+                       "%s: budget behavior diverges:\n\
+                       \  fresh:       %s\n\
+                       \  incremental: %s"
+                       (label ("policy " ^ policy_name))
+                       fresh_summary incr_summary)
+              | _ -> ())
+            [ (Resilient.Fail, "Fail"); (Resilient.Partial, "Partial") ])
+        [
+          (Certain.Fresh_first, "Fresh_first");
+          (Certain.Merge_first, "Merge_first");
+        ]
+    in
+    compare_at 0;
+    for step = 1 to 3 do
+      match guard ctx oracle (fun () -> mutate ()) with
+      | Some true -> compare_at step
+      | Some false | None -> ()
+    done
+
 let check ?(domains = 2) ?faults_seed db q =
   let ctx = { violations = []; checks = 0 } in
   Obs.span "fuzz.oracle" (fun () ->
@@ -633,6 +776,7 @@ let check ?(domains = 2) ?faults_seed db q =
         check_fault_safety ctx ~domains ~seed db q;
         check_resilient_kernel_parity ctx ~seed db q
       | None -> ());
+      check_incremental_parity ctx db q;
       Obs.count "fuzz.checks" ctx.checks);
   List.rev ctx.violations
 

@@ -1,0 +1,494 @@
+module Cw_database = Vardi_cwdb.Cw_database
+module Query = Vardi_logic.Query
+module Formula = Vardi_logic.Formula
+module Symtab = Vardi_interned.Symtab
+module Irel = Vardi_interned.Irel
+module Idb = Vardi_interned.Idb
+module Iscan = Vardi_interned.Iscan
+module Certain = Vardi_certain.Engine
+module Obs = Vardi_obs.Obs
+
+(* Renaming arrays as hash keys. The generic [Hashtbl.hash] only
+   inspects a bounded prefix, and restricted-growth arrays share long
+   prefixes (they differ mostly in the later positions), so the cache
+   needs a full-array hash to avoid degenerate buckets. *)
+module Rkey = struct
+  type t = int array
+
+  let equal (a : int array) (b : int array) =
+    Array.length a = Array.length b
+    &&
+    let rec go i = i < 0 || (a.(i) = b.(i) && go (i - 1)) in
+    go (Array.length a - 1)
+
+  let hash (a : int array) =
+    Array.fold_left (fun h x -> (h * 31) + x + 1) (Array.length a) a
+    land max_int
+end
+
+module Rtbl = Hashtbl.Make (Rkey)
+
+(* One immutable snapshot of the resident database. Mutations swap the
+   session's current view; a prepared query captures the view it was
+   prepared against, so in-flight scans are never disturbed. *)
+type view = {
+  v_db : Cw_database.t;
+  v_plan : Iscan.plan;
+  v_tab_epoch : int;  (* bumped when the constant coding changes (merge) *)
+  v_slot_epochs : int array;  (* per relation slot; bumped by fact deltas *)
+  v_delta_epoch : int;  (* bumped by every mutation; outer caches key on it *)
+}
+
+(* One cached quotient structure: the universe depends only on the
+   renaming; each relation slot carries the slot epoch it was derived
+   at ([-1] = never built). *)
+type centry = {
+  c_universe : int array;
+  c_slots : (int * Irel.t) array;
+}
+
+type memo_rel = {
+  m_sig : int array;
+  m_rel : Irel.t;
+}
+
+type memo_bool = {
+  b_sig : int array;
+  b_val : bool;
+}
+
+type query_entry = {
+  qe_deps : int array;  (* relation slots the query reads, sorted *)
+  qe_rels : memo_rel Rtbl.t;  (* renaming -> image answer *)
+  qe_bools : memo_bool Rtbl.t;  (* renaming -> Boolean check *)
+}
+
+(* A materialized renaming stream. The partition enumeration depends
+   only on the symtab (the constant count and the distinct matrix),
+   never on the facts, so across fact deltas — which keep the symtab
+   physically intact — the stream is bit-identical and the tree walk
+   can be paid once. Keyed on physical symtab identity: a
+   distinct-closure or a merge installs a new symtab and the entry
+   simply stops matching. *)
+type ren_entry = {
+  re_tab : Symtab.t;
+  re_order : Certain.order;
+  re_reprs : int array array;
+}
+
+type t = {
+  lock : Mutex.t;  (* guards view, cache, queries and the memo tables *)
+  capacity : int;
+  mutable view : view;
+  mutable cache_era : int;  (* tab epoch the structure cache speaks *)
+  cache : centry Rtbl.t;
+  mutable ren_cache : ren_entry list;  (* at most one per live (tab, order) *)
+  queries : (Query.t, query_entry) Hashtbl.t;
+  memo_hits : int Atomic.t;
+  memo_misses : int Atomic.t;
+  slot_reuses : int Atomic.t;
+  slot_rebuilds : int Atomic.t;
+}
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let create ?(cache_capacity = 4096) db =
+  let plan = Iscan.prepare db in
+  let k = Symtab.rel_count (Iscan.symtab plan) in
+  {
+    lock = Mutex.create ();
+    capacity = max 1 cache_capacity;
+    view =
+      {
+        v_db = db;
+        v_plan = plan;
+        v_tab_epoch = 0;
+        v_slot_epochs = Array.make (max k 1) 0;
+        v_delta_epoch = 0;
+      };
+    cache_era = 0;
+    cache = Rtbl.create 256;
+    ren_cache = [];
+    queries = Hashtbl.create 16;
+    memo_hits = Atomic.make 0;
+    memo_misses = Atomic.make 0;
+    slot_reuses = Atomic.make 0;
+    slot_rebuilds = Atomic.make 0;
+  }
+
+let db t = locked t (fun () -> t.view.v_db)
+let delta_epoch t = locked t (fun () -> t.view.v_delta_epoch)
+
+(* --- mutations ------------------------------------------------------ *)
+
+(* Fact deltas keep the symtab: inserting or retracting a fact changes
+   neither the constant set nor the distinct pairs, so the codes (and
+   every code array in the caches) stay valid; only the touched
+   predicate's slot epoch moves. *)
+let install_fact_delta t v db pred =
+  let tab = Iscan.symtab v.v_plan in
+  let slot =
+    match Symtab.rel_slot tab pred with
+    | Some s -> s
+    | None -> assert false (* the fact was validated against the vocabulary *)
+  in
+  let slot_epochs = Array.copy v.v_slot_epochs in
+  slot_epochs.(slot) <- slot_epochs.(slot) + 1;
+  t.view <-
+    {
+      v_db = db;
+      v_plan = Iscan.prepare ~tab db;
+      v_tab_epoch = v.v_tab_epoch;
+      v_slot_epochs = slot_epochs;
+      v_delta_epoch = v.v_delta_epoch + 1;
+    };
+  Obs.count "incr.mutation" 1
+
+let insert t fact =
+  locked t (fun () ->
+      let v = t.view in
+      let db = Cw_database.add_fact v.v_db fact in
+      (* Adding a present fact is a no-op: skip the epoch bump so warm
+         caches stay warm. *)
+      if not (Cw_database.equal db v.v_db) then
+        install_fact_delta t v db fact.Cw_database.pred)
+
+let retract t fact =
+  locked t (fun () ->
+      let v = t.view in
+      let db = Cw_database.remove_fact v.v_db fact in
+      install_fact_delta t v db fact.Cw_database.pred)
+
+let close_unknown t c d ~to_ =
+  locked t (fun () ->
+      let v = t.view in
+      match to_ with
+      | `Distinct ->
+        let db = Cw_database.add_distinct v.v_db c d in
+        if not (Cw_database.equal db v.v_db) then begin
+          (* Codes and facts are unchanged — the new uniqueness axiom
+             only prunes the partition enumeration. The symtab must be
+             rebuilt (it bakes in the distinct matrix), but every
+             cached structure and memo entry stays valid: quotient
+             structures and their per-query answers never consult the
+             distinct pairs. *)
+          t.view <-
+            {
+              v_db = db;
+              v_plan = Iscan.prepare db;
+              v_tab_epoch = v.v_tab_epoch;
+              v_slot_epochs = v.v_slot_epochs;
+              v_delta_epoch = v.v_delta_epoch + 1;
+            };
+          Obs.count "incr.mutation" 1
+        end
+      | `Equal ->
+        let db = Cw_database.merge_constants v.v_db ~keep:c ~drop:d in
+        (* The merge re-codes the constants: every cached code array is
+           orphaned, so this is the one mutation that resets the world. *)
+        let plan = Iscan.prepare db in
+        let k = Symtab.rel_count (Iscan.symtab plan) in
+        let tab_epoch = v.v_tab_epoch + 1 in
+        Rtbl.reset t.cache;
+        Hashtbl.reset t.queries;
+        t.cache_era <- tab_epoch;
+        t.view <-
+          {
+            v_db = db;
+            v_plan = plan;
+            v_tab_epoch = tab_epoch;
+            v_slot_epochs = Array.make (max k 1) 0;
+            v_delta_epoch = v.v_delta_epoch + 1;
+          };
+        Obs.count "incr.mutation" 1)
+
+(* --- the structure cache -------------------------------------------- *)
+
+(* Mirrors the universe computation of [Iscan.image]: the sorted set of
+   codes the renaming maps onto. *)
+let universe_of n repr =
+  let seen = Array.make (max n 1) false in
+  Array.iter (fun e -> if e >= 0 then seen.(e) <- true) repr;
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    if seen.(i) then incr count
+  done;
+  let u = Array.make !count 0 in
+  let w = ref 0 in
+  for i = 0 to n - 1 do
+    if seen.(i) then begin
+      u.(!w) <- i;
+      incr w
+    end
+  done;
+  u
+
+(* [needed] marks the slots the consuming prepared query reads. Stale
+   non-needed slots are passed through as-is: the compiled answer plan
+   and the Boolean check only ever dereference the query's own
+   predicates, and the store-back below records true epochs, so a stale
+   pass-through can never be mistaken for fresh data by anyone else. *)
+let structure_for t view needed repr =
+  let plan = view.v_plan in
+  let tab = Iscan.symtab plan in
+  let nslots = Symtab.rel_count tab in
+  let cached =
+    locked t (fun () ->
+        if t.cache_era <> view.v_tab_epoch then `Bypass
+        else
+          match Rtbl.find_opt t.cache repr with
+          | Some e -> `Hit (e.c_universe, e.c_slots)
+          | None -> `Miss)
+  in
+  match cached with
+  | `Bypass ->
+    (* A scan whose view predates a merge: the shared cache now speaks
+       a different constant coding, so build fresh and leave it be. *)
+    Iscan.image plan repr
+  | (`Hit _ | `Miss) as c ->
+    let universe =
+      match c with
+      | `Hit (u, _) -> u
+      | `Miss -> universe_of (Symtab.size tab) repr
+    in
+    let slots =
+      match c with
+      | `Hit (_, s) -> Array.copy s
+      | `Miss -> Array.make nslots (-1, Irel.empty 0)
+    in
+    let reused = ref 0 in
+    let rebuilt = ref 0 in
+    let rels =
+      Array.init nslots (fun slot ->
+          let want = view.v_slot_epochs.(slot) in
+          let have, rel = slots.(slot) in
+          if have = want then begin
+            incr reused;
+            rel
+          end
+          else if not needed.(slot) then rel
+          else begin
+            let rel = Iscan.image_slot plan repr slot in
+            slots.(slot) <- (want, rel);
+            incr rebuilt;
+            rel
+          end)
+    in
+    if !reused > 0 then begin
+      ignore (Atomic.fetch_and_add t.slot_reuses !reused);
+      Obs.count "incr.slot_reuse" !reused
+    end;
+    if !rebuilt > 0 then begin
+      ignore (Atomic.fetch_and_add t.slot_rebuilds !rebuilt);
+      Obs.count "incr.slot_rebuild" !rebuilt
+    end;
+    (* Nothing to publish on a rebuild-free hit — skip the lock. *)
+    (if !rebuilt > 0 || c = `Miss then
+       locked t (fun () ->
+           if t.cache_era = view.v_tab_epoch then
+             match Rtbl.find_opt t.cache repr with
+             | Some entry ->
+               (* Monotonic store-back: never clobber a slot a newer
+                  view already refreshed. *)
+               Array.iteri
+                 (fun slot ((ep, _) as cell) ->
+                   let cur, _ = entry.c_slots.(slot) in
+                   if ep > cur then entry.c_slots.(slot) <- cell)
+                 slots
+             | None ->
+               if Rtbl.length t.cache < t.capacity then
+                 Rtbl.replace t.cache repr
+                   { c_universe = universe; c_slots = slots }));
+    { Iscan.idb = { Idb.tab; interp = repr; universe; rels }; rename = repr }
+
+(* --- engine integration --------------------------------------------- *)
+
+(* Force at most [bound + 1] elements; [None] means the stream is too
+   long to be worth materializing (fall back to streaming it). *)
+let materialize_bounded seq bound =
+  let acc = ref [] in
+  let n = ref 0 in
+  let rec go s =
+    if !n > bound then None
+    else
+      match s () with
+      | Seq.Nil -> Some (Array.of_list (List.rev !acc))
+      | Seq.Cons (x, rest) ->
+        incr n;
+        acc := x :: !acc;
+        go rest
+  in
+  go seq
+
+let cached_renamings t view order =
+  let tab = Iscan.symtab view.v_plan in
+  let find () =
+    List.find_opt
+      (fun e -> e.re_tab == tab && e.re_order = order)
+      t.ren_cache
+  in
+  match locked t find with
+  | Some e -> Some e.re_reprs
+  | None -> (
+    match
+      materialize_bounded (Iscan.renamings ~order view.v_plan) t.capacity
+    with
+    | None -> None
+    | Some reprs ->
+      locked t (fun () ->
+          if find () = None then
+            t.ren_cache <-
+              { re_tab = tab; re_order = order; re_reprs = reprs }
+              :: List.filteri (fun i _ -> i < 3) t.ren_cache);
+      Some reprs)
+
+let source_for t view needed =
+  let plan = view.v_plan in
+  {
+    Certain.source_plan = plan;
+    source_thunks =
+      (fun algorithm order ->
+        let reprs =
+          match algorithm with
+          | Certain.Naive_mappings -> Iscan.mapping_renamings plan
+          | Certain.Kernel_partitions -> (
+            match cached_renamings t view order with
+            | Some arr -> Array.to_seq arr
+            | None -> Iscan.renamings ~order plan)
+        in
+        Seq.map (fun repr () -> structure_for t view needed repr) reprs);
+    source_discrete =
+      (fun () ->
+        let n = Symtab.size (Iscan.symtab plan) in
+        structure_for t view needed (Array.init (max n 1) Fun.id));
+  }
+
+let deps_of tab q =
+  Formula.free_preds (Query.body q)
+  |> List.filter_map (fun (name, _arity) -> Symtab.rel_slot tab name)
+  |> List.sort_uniq Int.compare
+  |> Array.of_list
+
+(* The dependency signature a memo entry is tagged with: the tab epoch
+   plus the slot epochs of exactly the predicates the query reads. A
+   delta on any other predicate leaves the signature unchanged, so the
+   memo keeps hitting across it. *)
+let signature_of view deps =
+  Array.append
+    [| view.v_tab_epoch |]
+    (Array.map (fun slot -> view.v_slot_epochs.(slot)) deps)
+
+let query_entry t view q =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.queries q with
+      | Some e -> e
+      | None ->
+        let e =
+          {
+            qe_deps = deps_of (Iscan.symtab view.v_plan) q;
+            qe_rels = Rtbl.create 64;
+            qe_bools = Rtbl.create 64;
+          }
+        in
+        if Hashtbl.length t.queries < t.capacity then
+          Hashtbl.replace t.queries q e;
+        e)
+
+let wrap_answer t entry signature base (s : Iscan.structure) =
+  let key = s.Iscan.rename in
+  let hit =
+    locked t (fun () ->
+        match Rtbl.find_opt entry.qe_rels key with
+        | Some { m_sig; m_rel } when m_sig = signature -> Some m_rel
+        | Some _ | None -> None)
+  in
+  match hit with
+  | Some r ->
+    Atomic.incr t.memo_hits;
+    Obs.count "incr.memo_hit" 1;
+    r
+  | None ->
+    let r = base s in
+    Atomic.incr t.memo_misses;
+    Obs.count "incr.memo_miss" 1;
+    locked t (fun () ->
+        if Rtbl.mem entry.qe_rels key || Rtbl.length entry.qe_rels < t.capacity
+        then Rtbl.replace entry.qe_rels key { m_sig = signature; m_rel = r });
+    r
+
+let wrap_check t entry signature base (s : Iscan.structure) =
+  let key = s.Iscan.rename in
+  let hit =
+    locked t (fun () ->
+        match Rtbl.find_opt entry.qe_bools key with
+        | Some { b_sig; b_val } when b_sig = signature -> Some b_val
+        | Some _ | None -> None)
+  in
+  match hit with
+  | Some r ->
+    Atomic.incr t.memo_hits;
+    Obs.count "incr.memo_hit" 1;
+    r
+  | None ->
+    let r = base s in
+    Atomic.incr t.memo_misses;
+    Obs.count "incr.memo_miss" 1;
+    locked t (fun () ->
+        if
+          Rtbl.mem entry.qe_bools key
+          || Rtbl.length entry.qe_bools < t.capacity
+        then Rtbl.replace entry.qe_bools key { b_sig = signature; b_val = r });
+    r
+
+let prepare t q =
+  let view = locked t (fun () -> t.view) in
+  let entry = query_entry t view q in
+  let signature = signature_of view entry.qe_deps in
+  let needed =
+    let n = Symtab.rel_count (Iscan.symtab view.v_plan) in
+    let a = Array.make (max n 1) false in
+    Array.iter (fun slot -> a.(slot) <- true) entry.qe_deps;
+    a
+  in
+  Certain.prepare_with
+    ~source:(source_for t view needed)
+    ~wrap_answer:(wrap_answer t entry signature)
+    ~wrap_check:(wrap_check t entry signature)
+    view.v_db q
+
+(* --- stats ----------------------------------------------------------- *)
+
+type stats = {
+  s_delta_epoch : int;
+  s_tab_epoch : int;
+  s_memo_hits : int;
+  s_memo_misses : int;
+  s_slot_reuses : int;
+  s_slot_rebuilds : int;
+  s_structures_cached : int;
+  s_queries_tracked : int;
+}
+
+let stats t =
+  locked t (fun () ->
+      {
+        s_delta_epoch = t.view.v_delta_epoch;
+        s_tab_epoch = t.view.v_tab_epoch;
+        s_memo_hits = Atomic.get t.memo_hits;
+        s_memo_misses = Atomic.get t.memo_misses;
+        s_slot_reuses = Atomic.get t.slot_reuses;
+        s_slot_rebuilds = Atomic.get t.slot_rebuilds;
+        s_structures_cached = Rtbl.length t.cache;
+        s_queries_tracked = Hashtbl.length t.queries;
+      })
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "@[<v>delta epoch: %d (tab epoch %d)@,\
+     memo: %d hits, %d misses@,\
+     slots: %d reused, %d rebuilt@,\
+     cached: %d structures, %d queries@]"
+    s.s_delta_epoch s.s_tab_epoch s.s_memo_hits s.s_memo_misses s.s_slot_reuses
+    s.s_slot_rebuilds s.s_structures_cached s.s_queries_tracked

@@ -24,8 +24,8 @@ type plan = {
 
 let mapping_cap = 1 lsl 24
 
-let prepare db =
-  let tab = Symtab.make db in
+let prepare ?tab db =
+  let tab = match tab with Some t -> t | None -> Symtab.make db in
   let n = Symtab.size tab in
   let k = Symtab.rel_count tab in
   let base = Array.init k (fun s -> Irel.empty (Symtab.rel_arity tab s)) in
@@ -172,6 +172,73 @@ let structure_thunks ?(order = Partition.Fresh_first) plan =
     in
     expand (root plan)
 
+(* --- the renaming stream -------------------------------------------- *)
+
+(* [structure_thunks] with the image construction stripped out: the
+   same restricted-growth recursion, the same [Fresh]/[Join] choice
+   points, the same uniqueness filter — yielding only the completed
+   representative arrays. Position [i] of this stream names the same
+   renaming as position [i] of [structure_thunks], which is what lets
+   an incremental session substitute cached structures for stream
+   positions without disturbing positional budget caps. Kept textually
+   parallel to [expand] above; any change to one must mirror into the
+   other. *)
+type light_node = {
+  l_depth : int;
+  l_repr : int array;
+  l_blocks : (int * int list) list;
+}
+
+let renamings ?(order = Partition.Fresh_first) plan =
+  let n = plan.n in
+  if n = 0 then Seq.return (Array.make (max n 1) (-1))
+  else
+    let light_root =
+      { l_depth = 0; l_repr = Array.make (max n 1) (-1); l_blocks = [] }
+    in
+    let light_extend node choice =
+      let c = node.l_depth in
+      let repr = Array.copy node.l_repr in
+      let blocks =
+        match choice with
+        | Fresh ->
+          repr.(c) <- c;
+          (c, [ c ]) :: node.l_blocks
+        | Join i ->
+          let r, _ = List.nth node.l_blocks i in
+          repr.(c) <- r;
+          List.mapi
+            (fun j (br, ms) -> if j = i then (br, c :: ms) else (br, ms))
+            node.l_blocks
+      in
+      { l_depth = c + 1; l_repr = repr; l_blocks = blocks }
+    in
+    let rec expand node () =
+      let c = node.l_depth in
+      let child choice : int array Seq.t =
+        if c = n - 1 then Seq.return (light_extend node choice).l_repr
+        else fun () -> expand (light_extend node choice) ()
+      in
+      let fresh = child Fresh in
+      let joins =
+        List.mapi
+          (fun i (_, members) ->
+            if
+              List.for_all
+                (fun d -> not (Symtab.distinct plan.tab c d))
+                members
+            then Some (child (Join i))
+            else None)
+          node.l_blocks
+        |> List.filter_map Fun.id
+      in
+      let join_seq = Seq.concat (List.to_seq joins) in
+      match order with
+      | Partition.Fresh_first -> Seq.append fresh join_seq ()
+      | Partition.Merge_first -> Seq.append join_seq fresh ()
+    in
+    expand light_root
+
 (* --- whole images --------------------------------------------------- *)
 
 let image plan map =
@@ -200,6 +267,13 @@ let image plan map =
              plan.facts_by_slot.(slot)))
   in
   { idb = { Idb.tab; interp = map; universe; rels }; rename = map }
+
+let image_slot plan map slot =
+  Irel.of_rows
+    (Symtab.rel_arity plan.tab slot)
+    (List.map
+       (fun args -> Array.map (fun a -> Array.unsafe_get map a) args)
+       plan.facts_by_slot.(slot))
 
 let discrete plan = image plan (Array.init (max plan.n 1) Fun.id)
 
@@ -241,4 +315,37 @@ let mapping_thunks plan =
     Seq.init total of_index
     |> Seq.filter respects
     |> Seq.map (fun map () -> image plan map)
+  end
+
+(* The renaming mirror of [mapping_thunks]: the same counters, cap and
+   filter, yielding the maps themselves. *)
+let mapping_renamings plan =
+  let n = plan.n in
+  if n = 0 then Seq.return (Array.init (max n 1) Fun.id)
+  else begin
+    let total =
+      let rec go acc i =
+        if i = 0 then acc
+        else if acc > mapping_cap / n then
+          invalid_arg
+            (Printf.sprintf
+               "Mapping.all: %d^%d mappings exceeds the enumeration cap" n n)
+        else go (acc * n) (i - 1)
+      in
+      go 1 n
+    in
+    let distinct = Symtab.distinct_pairs plan.tab in
+    let of_index index =
+      let map = Array.make n 0 in
+      let v = ref index in
+      for i = 0 to n - 1 do
+        map.(i) <- !v mod n;
+        v := !v / n
+      done;
+      map
+    in
+    let respects map =
+      Array.for_all (fun (i, j) -> map.(i) <> map.(j)) distinct
+    in
+    Seq.init total of_index |> Seq.filter respects
   end

@@ -28,8 +28,14 @@ type structure = {
 type plan
 
 (** Intern the database: build the symtab, code every fact, and bucket
-    facts by the depth at which they become final. *)
-val prepare : Vardi_cwdb.Cw_database.t -> plan
+    facts by the depth at which they become final.
+
+    [?tab] reuses an existing symtab instead of building one — the
+    incremental session's fact-only fast path (inserting or retracting
+    a fact changes neither the constant coding nor the distinct
+    matrix). The caller is responsible for the tab actually matching
+    [db]; passing a stale tab silently miscodes facts. *)
+val prepare : ?tab:Symtab.t -> Vardi_cwdb.Cw_database.t -> plan
 
 val symtab : plan -> Symtab.t
 
@@ -40,3 +46,28 @@ val structure_thunks :
   ?order:Vardi_cwdb.Partition.order -> plan -> (unit -> structure) Seq.t
 
 val mapping_thunks : plan -> (unit -> structure) Seq.t
+
+(** {1 Renaming streams}
+
+    The two streams above with image construction stripped out: the
+    same enumeration recursion, choice points, uniqueness filters, caps
+    and error messages, yielding only the representative arrays.
+    Position [i] of [renamings] names the same renaming as position [i]
+    of [structure_thunks] (and [mapping_renamings] mirrors
+    [mapping_thunks] likewise) — the contract that lets an incremental
+    session substitute cached structures for stream positions without
+    moving positional budget caps. *)
+
+val renamings : ?order:Vardi_cwdb.Partition.order -> plan -> int array Seq.t
+val mapping_renamings : plan -> int array Seq.t
+
+(** [image plan map] builds the whole quotient structure under the
+    completed renaming [map]; equal (as interned structures) to the
+    structure the thunk streams produce for the same renaming. *)
+val image : plan -> int array -> structure
+
+(** [image_slot plan map slot] rebuilds a single relation slot of
+    [image plan map] — the incremental session's per-slot cache
+    refresh, so a delta on one predicate re-derives only that
+    predicate's rows. *)
+val image_slot : plan -> int array -> int -> Irel.t

@@ -4,6 +4,7 @@ module Obs = Vardi_obs.Obs
 type key = {
   db_name : string;
   generation : int;
+  delta : int;
   query_text : string;
   kernel : Certain.kernel;
 }
@@ -30,8 +31,9 @@ let locked cache f =
   Mutex.lock cache.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock cache.lock) f
 
-let find_or_prepare cache ~db_name ~generation ~query_text ~kernel lb q =
-  let key = { db_name; generation; query_text; kernel } in
+let find_or_prepare cache ~db_name ~generation ~delta ~query_text ~kernel
+    prepare =
+  let key = { db_name; generation; delta; query_text; kernel } in
   match locked cache (fun () -> Hashtbl.find_opt cache.table key) with
   | Some prepared ->
     Atomic.incr cache.hits;
@@ -42,7 +44,7 @@ let find_or_prepare cache ~db_name ~generation ~query_text ~kernel lb q =
     Obs.count "serve.plan_cache.miss" 1;
     (* Prepare outside the lock: compilation can be slow and must not
        stall every other worker's lookups. *)
-    let prepared = Certain.prepare ~kernel lb q in
+    let prepared = prepare () in
     locked cache (fun () ->
         if
           Hashtbl.length cache.table >= cache.capacity

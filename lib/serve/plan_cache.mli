@@ -2,13 +2,24 @@
     (database, query text, kernel), reused across requests, clients
     and worker domains.
 
-    The key is [(db name, generation, query, kernel)]. The generation
-    is bumped by the server every time a name is (re)loaded, so a
-    reload naturally invalidates every plan prepared against the old
-    vocabulary and data — stale entries are dropped lazily on the next
-    lookup miss sweep. Prepared values are immutable
-    ({!Vardi_certain.Engine.prepare}), so a cached plan may be
-    evaluated concurrently from any number of pool workers.
+    The key is [(db name, generation, delta epoch, query, kernel)] —
+    two-level invalidation:
+
+    - The {e generation} is bumped by the server every time a name is
+      (re)loaded, so a reload invalidates every plan prepared against
+      the old vocabulary and data.
+    - The {e delta epoch} is the resident session's mutation counter
+      ([Vardi_incr.Session.delta_epoch]). A mutation moves it, so the
+      next lookup re-binds the query against the post-delta view — but
+      unlike a generation bump, this is cheap: the heavy state (the
+      symtab, the quotient-structure cache, the per-structure memos)
+      persists {e inside} the session and is invalidated selectively,
+      per slot the delta touched; re-binding costs one query
+      compilation, not a rescan.
+
+    Stale entries under either key component are dropped lazily by the
+    capacity sweep. Prepared values are immutable, so a cached plan may
+    be evaluated concurrently from any number of pool workers.
 
     Hits and misses are counted and surfaced both through {!stats} (the
     serve [stats] op) and as {!Vardi_obs.Obs} counters
@@ -23,20 +34,20 @@ type t
     without limit). *)
 val create : ?capacity:int -> unit -> t
 
-(** [find_or_prepare cache ~db_name ~generation ~query_text ~kernel
-    lb q] returns the cached plan for the key, or prepares, caches and
-    returns a fresh one. The preparation itself runs outside the cache
-    lock — two racing misses on the same key may both prepare, and the
-    later insert wins; both plans are valid.
-    @raise Invalid_argument as {!Vardi_certain.Engine.prepare}. *)
+(** [find_or_prepare cache ~db_name ~generation ~delta ~query_text
+    ~kernel prepare] returns the cached plan for the key, or calls
+    [prepare ()], caches and returns the fresh plan. The preparation
+    runs outside the cache lock — two racing misses on the same key may
+    both prepare, and the later insert wins; both plans are valid.
+    @raise Invalid_argument as the supplied [prepare]. *)
 val find_or_prepare :
   t ->
   db_name:string ->
   generation:int ->
+  delta:int ->
   query_text:string ->
   kernel:Vardi_certain.Engine.kernel ->
-  Vardi_cwdb.Cw_database.t ->
-  Vardi_logic.Query.t ->
+  (unit -> Vardi_certain.Engine.prepared) ->
   Vardi_certain.Engine.prepared * [ `Hit | `Miss ]
 
 (** [(hits, misses, entries)] since {!create}. *)

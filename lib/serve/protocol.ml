@@ -49,6 +49,9 @@ type request =
   | Load of { name : string; path : string }
   | Query of { db : string; query : string; opts : eval_options }
   | Boolean of { db : string; query : string; opts : eval_options }
+  | Insert of { db : string; fact : string }
+  | Retract of { db : string; fact : string }
+  | Close_unknown of { db : string; left : string; right : string; equal : bool }
   | Stats
   | Close
   | Shutdown
@@ -129,6 +132,26 @@ let request_of_json j =
       result_ok
         (if op = "query" then Query { db; query; opts }
          else Boolean { db; query; opts })
+    | "insert" | "retract" ->
+      let* db = require_str j "db" ~code:Parse_error in
+      let* fact = require_str j "fact" ~code:Parse_error in
+      result_ok
+        (if op = "insert" then Insert { db; fact } else Retract { db; fact })
+    | "close_unknown" ->
+      let* db = require_str j "db" ~code:Parse_error in
+      let* left = require_str j "left" ~code:Parse_error in
+      let* right = require_str j "right" ~code:Parse_error in
+      let* equal =
+        match Json.member "to" j with
+        | Some (Json.Str "distinct") -> result_ok false
+        | Some (Json.Str "equal") -> result_ok true
+        | Some (Json.Str _) ->
+          (* Right shape, meaningless value: the semantic layer. *)
+          Error ("\"to\" must be \"distinct\" or \"equal\"", Semantic_error)
+        | Some _ | None ->
+          Error ("missing or non-string \"to\" field", Parse_error)
+      in
+      result_ok (Close_unknown { db; left; right; equal })
     | "stats" -> result_ok Stats
     | "close" -> result_ok Close
     | "shutdown" -> result_ok Shutdown

@@ -8,6 +8,9 @@
     {"op":"load","db":"g","path":"graph.ldb"}
     {"op":"query","db":"g","query":"(x). P(x)","timeout_ms":500}
     {"op":"boolean","db":"g","query":"(). exists x. P(x)"}
+    {"op":"insert","db":"g","fact":"P(a)"}
+    {"op":"retract","db":"g","fact":"P(a)"}
+    {"op":"close_unknown","db":"g","left":"a","right":"b","to":"distinct"}
     {"op":"stats"}
     {"op":"close"}
     {"op":"shutdown"}
@@ -17,8 +20,12 @@
     or "strings"), ["domains"], ["policy"] ("fail" default, "partial",
     "approx"), ["timeout_ms"], ["max_structures"],
     ["max_evaluations"]. Every response carries a ["code"] from the
-    exit-code taxonomy mapped onto the wire (README: serve
-    protocol). *)
+    exit-code taxonomy mapped onto the wire.
+
+    The complete specification — framing, every op's request and
+    response fields, the code taxonomy, budget fields, [cache]/[delta]
+    semantics and versioning — lives in [docs/PROTOCOL.md]; this
+    interface is the implementation's type-level summary. *)
 
 (** Protocol outcome codes — the CLI exit taxonomy on the wire. [Ok]
     covers both affirmative and refuted/empty results (the verdict
@@ -56,6 +63,18 @@ type request =
   | Load of { name : string; path : string }
   | Query of { db : string; query : string; opts : eval_options }
   | Boolean of { db : string; query : string; opts : eval_options }
+  | Insert of { db : string; fact : string }
+      (** [fact] is a ground atom in query syntax, e.g. ["P(a, b)"] *)
+  | Retract of { db : string; fact : string }
+  | Close_unknown of {
+      db : string;
+      left : string;
+      right : string;
+      equal : bool;
+          (** [false] closes the pair to {e distinct} (adds the
+              uniqueness axiom); [true] closes it to {e equal} ([right]
+              merges into [left]) *)
+    }
   | Stats
   | Close
   | Shutdown

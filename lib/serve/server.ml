@@ -5,8 +5,11 @@ module Resilient = Vardi_resilience.Resilient
 module Budget = Vardi_resilience.Budget
 module Obs = Vardi_obs.Obs
 module Query = Vardi_logic.Query
+module Formula = Vardi_logic.Formula
+module Term = Vardi_logic.Term
 module Parser = Vardi_logic.Parser
 module Lexer = Vardi_logic.Lexer
+module Session = Vardi_incr.Session
 module Relation = Vardi_relational.Relation
 module Cw_database = Vardi_cwdb.Cw_database
 module Ty_database = Vardi_typed.Ty_database
@@ -58,7 +61,12 @@ let ivar_await iv =
 
 (* --- server state -------------------------------------------------- *)
 
-type db_entry = { db : Cw_database.t; generation : int }
+(* Each loaded database is resident as an incremental session: the
+   interned symtab, quotient-structure cache and per-structure memos
+   survive across requests and mutations. The generation is bumped on
+   (re)load; mutation invalidation is finer and lives inside the
+   session (see {!Vardi_incr.Session}). *)
+type db_entry = { session : Session.t; generation : int }
 
 type state = {
   config : config;
@@ -108,7 +116,7 @@ let do_load state ~name ~path =
   | db ->
     let generation = Atomic.fetch_and_add state.next_generation 1 in
     Mutex.lock state.dbs_lock;
-    Hashtbl.replace state.dbs name { db; generation };
+    Hashtbl.replace state.dbs name { session = Session.create db; generation };
     Mutex.unlock state.dbs_lock;
     Protocol.ok
       [
@@ -173,16 +181,28 @@ let evaluate state ~want_boolean ~(opts : Protocol.eval_options) entry ~db_name
     ~query_text q =
   Obs.span "serve.evaluate" (fun () ->
       try
+        let session = entry.session in
+        (* The delta epoch is sampled before preparing; a mutation
+           racing between the sample and the prepare can bind a plan
+           keyed at epoch [n] to view [n+1] — harmless, since every
+           plan is bound to a single consistent view and the next
+           post-mutation lookup misses on the new epoch anyway. *)
+        let delta = Session.delta_epoch session in
         let prepared, cache_verdict =
           Plan_cache.find_or_prepare state.cache ~db_name
-            ~generation:entry.generation ~query_text ~kernel:opts.kernel
-            entry.db q
+            ~generation:entry.generation ~delta ~query_text
+            ~kernel:opts.kernel (fun () ->
+              match opts.kernel with
+              | Certain.Interned -> Session.prepare session q
+              | Certain.Strings ->
+                Certain.prepare ~kernel:Certain.Strings (Session.db session) q)
         in
         let cache_field =
           ( "cache",
             Json.Str (match cache_verdict with `Hit -> "hit" | `Miss -> "miss")
           )
         in
+        let delta_field = ("delta", Json.Num (float_of_int delta)) in
         let budget = budget_of_options opts in
         let qualified_tag = function
           | Resilient.Exact _ -> "exact"
@@ -205,6 +225,7 @@ let evaluate state ~want_boolean ~(opts : Protocol.eval_options) entry ~db_name
                    ("value", Json.Bool v);
                    ("qualified", Json.Str (qualified_tag qualified));
                    cache_field;
+                   delta_field;
                  ])
         end
         else begin
@@ -223,6 +244,7 @@ let evaluate state ~want_boolean ~(opts : Protocol.eval_options) entry ~db_name
                    ("cardinality", Json.Num (float_of_int (Relation.cardinal r)));
                    ("qualified", Json.Str (qualified_tag qualified));
                    cache_field;
+                   delta_field;
                  ])
         end
       with
@@ -271,11 +293,80 @@ let do_eval state ~want_boolean ~db_name ~query_text ~opts =
         submit_and_wait state (fun () ->
             evaluate state ~want_boolean ~opts entry ~db_name ~query_text q))
 
+(* --- mutations ------------------------------------------------------
+
+   Mutations run on the connection thread: they are cheap (a symtab
+   reuse or rebuild, never a scan), and the session serializes them
+   internally, so there is no reason to pay the pool round-trip. *)
+
+let parse_fact text =
+  match Parser.formula text with
+  | exception Parser.Parse_error (pos, msg) ->
+    Error
+      ( Printf.sprintf "fact syntax error at offset %d: %s" pos msg,
+        Protocol.Parse_error )
+  | exception Lexer.Lex_error (pos, msg) ->
+    Error
+      ( Printf.sprintf "fact lexical error at offset %d: %s" pos msg,
+        Protocol.Parse_error )
+  | Formula.Atom (p, ts) when List.for_all Term.is_const ts ->
+    Result.Ok
+      {
+        Cw_database.pred = p;
+        args =
+          List.filter_map
+            (function Term.Const c -> Some c | Term.Var _ -> None)
+            ts;
+      }
+  | _ ->
+    Error
+      ( "\"fact\" must be a ground atom, e.g. \"P(a, b)\"",
+        Protocol.Semantic_error )
+
+let mutation_ok ~db_name session =
+  let db = Session.db session in
+  Protocol.ok
+    [
+      ("db", Json.Str db_name);
+      ("delta", Json.Num (float_of_int (Session.delta_epoch session)));
+      ("facts", Json.Num (float_of_int (List.length (Cw_database.facts db))));
+      ( "constants",
+        Json.Num (float_of_int (List.length (Cw_database.constants db))) );
+    ]
+
+let with_db state db_name f =
+  match lookup_db state db_name with
+  | None ->
+    Protocol.error Protocol.Semantic_error
+      (Printf.sprintf "unknown database %S (load it first)" db_name)
+  | Some entry -> (
+    match f entry with
+    | resp -> resp
+    | exception Invalid_argument msg ->
+      Protocol.error Protocol.Semantic_error msg)
+
+let do_fact_mutation state ~db_name ~fact_text apply =
+  with_db state db_name (fun entry ->
+      match parse_fact fact_text with
+      | Error (msg, code) -> Protocol.error code msg
+      | Result.Ok fact ->
+        apply entry.session fact;
+        mutation_ok ~db_name entry.session)
+
+let do_close_unknown state ~db_name ~left ~right ~equal =
+  with_db state db_name (fun entry ->
+      Session.close_unknown entry.session left right
+        ~to_:(if equal then `Equal else `Distinct);
+      mutation_ok ~db_name entry.session)
+
 let do_stats state =
   let hits, misses, entries = Plan_cache.stats state.cache in
   Mutex.lock state.dbs_lock;
-  let names = Hashtbl.fold (fun name _ acc -> name :: acc) state.dbs [] in
+  let named =
+    Hashtbl.fold (fun name entry acc -> (name, entry) :: acc) state.dbs []
+  in
   Mutex.unlock state.dbs_lock;
+  let names = List.map fst named in
   Protocol.ok
     [
       ("requests", Json.Num (float_of_int (Atomic.get state.requests)));
@@ -296,6 +387,23 @@ let do_stats state =
       ( "dbs",
         Json.List
           (List.map (fun n -> Json.Str n) (List.sort compare names)) );
+      ( "sessions",
+        Json.Obj
+          (List.map
+             (fun (name, entry) ->
+               let s = Session.stats entry.session in
+               let num n = Json.Num (float_of_int n) in
+               ( name,
+                 Json.Obj
+                   [
+                     ("delta", num s.Session.s_delta_epoch);
+                     ("memo_hits", num s.Session.s_memo_hits);
+                     ("memo_misses", num s.Session.s_memo_misses);
+                     ("slot_reuses", num s.Session.s_slot_reuses);
+                     ("slot_rebuilds", num s.Session.s_slot_rebuilds);
+                     ("structures_cached", num s.Session.s_structures_cached);
+                   ] ))
+             (List.sort compare named)) );
       ("workers", Json.Num (float_of_int (Pool.workers state.pool)));
       ( "queue_capacity",
         Json.Num (float_of_int (Pool.queue_capacity state.pool)) );
@@ -321,6 +429,12 @@ let process state line =
       (do_eval state ~want_boolean:false ~db_name:db ~query_text:query ~opts, true)
     | Ok (Protocol.Boolean { db; query; opts }) ->
       (do_eval state ~want_boolean:true ~db_name:db ~query_text:query ~opts, true)
+    | Ok (Protocol.Insert { db; fact }) ->
+      (do_fact_mutation state ~db_name:db ~fact_text:fact Session.insert, true)
+    | Ok (Protocol.Retract { db; fact }) ->
+      (do_fact_mutation state ~db_name:db ~fact_text:fact Session.retract, true)
+    | Ok (Protocol.Close_unknown { db; left; right; equal }) ->
+      (do_close_unknown state ~db_name:db ~left ~right ~equal, true)
     | Ok Protocol.Stats -> (do_stats state, true)
     | Ok Protocol.Close -> (Protocol.ok [ ("closing", Json.Bool true) ], false)
     | Ok Protocol.Shutdown ->

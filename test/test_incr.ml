@@ -1,0 +1,202 @@
+(* Unit and regression tests for Incr_session: mutation semantics and
+   parity with the fresh engine, epoch accounting, and — deterministically —
+   the memo-hit counters that make incremental evaluation incremental.
+   The counter tests use measured deltas against the session's own
+   stats, so they pin behaviour (every structure memoized, independent
+   deltas keep hitting, merges reset) without hardcoding the partition
+   count of the fixture. *)
+
+open Logicaldb
+module Session = Incr_session
+
+let fact pred args = { Cw_database.pred; args }
+
+(* Two predicates, three constants, no uniqueness axioms: every
+   constant pair is unknown, so the partition stream has several
+   structures and the P/R slots can be invalidated independently. *)
+let base_db () =
+  database
+    ~predicates:[ ("P", 1); ("R", 2) ]
+    ~constants:[ "a"; "b"; "c" ]
+    ~facts:[ ("P", [ "a" ]); ("R", [ "a"; "b" ]) ]
+    ()
+
+let q_r = query "(x). exists y. R(x, y)"
+let q_p = query "(x). ~P(x)"
+
+let tuples rel = Relation.tuples rel |> List.sort compare
+
+let session_answer s q =
+  let rel, _ = Certain.prepared_answer_stats (Session.prepare s q) in
+  tuples rel
+
+let check_parity msg s =
+  List.iter
+    (fun q ->
+      Alcotest.(check (list (list string)))
+        (msg ^ ": " ^ Pretty.query_to_string q)
+        (tuples (Certain.answer (Session.db s) q))
+        (session_answer s q))
+    [ q_r; q_p ]
+
+(* --- parity across every mutation kind ----------------------------- *)
+
+let test_mutation_parity () =
+  let s = Session.create (base_db ()) in
+  check_parity "fresh session" s;
+  Session.insert s (fact "R" [ "b"; "c" ]);
+  check_parity "after insert" s;
+  Session.insert s (fact "P" [ "b" ]);
+  check_parity "after second insert" s;
+  Session.retract s (fact "R" [ "a"; "b" ]);
+  check_parity "after retract" s;
+  Session.close_unknown s "a" "b" ~to_:`Distinct;
+  check_parity "after close to distinct" s;
+  Session.close_unknown s "a" "c" ~to_:`Equal;
+  check_parity "after close to equal" s;
+  (* the merge kept "a" and dropped "c" *)
+  Alcotest.(check (list string))
+    "merge dropped the second constant" [ "a"; "b" ]
+    (Cw_database.constants (Session.db s));
+  (* boolean path parity on the mutated database *)
+  let bq = query "(). exists x. P(x)" in
+  let got, _ = Certain.prepared_certain_boolean_stats (Session.prepare s bq) in
+  Alcotest.(check bool)
+    "boolean parity on mutated db"
+    (Certain.certain_boolean (Session.db s) bq)
+    got
+
+(* --- epoch accounting ---------------------------------------------- *)
+
+let test_epochs () =
+  let s = Session.create (base_db ()) in
+  let delta () = Session.delta_epoch s in
+  Alcotest.(check int) "starts at zero" 0 (delta ());
+  Session.insert s (fact "P" [ "b" ]);
+  Alcotest.(check int) "insert bumps" 1 (delta ());
+  Session.insert s (fact "P" [ "b" ]);
+  Alcotest.(check int) "re-inserting a present fact is a no-op" 1 (delta ());
+  Session.retract s (fact "P" [ "b" ]);
+  Alcotest.(check int) "retract bumps" 2 (delta ());
+  (match Session.retract s (fact "P" [ "b" ]) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "retracting an absent fact must raise");
+  Alcotest.(check int) "failed retract does not bump" 2 (delta ());
+  (match Session.insert s (fact "NOPE" [ "a" ]) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "inserting outside the vocabulary must raise");
+  Session.close_unknown s "a" "b" ~to_:`Distinct;
+  Alcotest.(check int) "close to distinct bumps" 3 (delta ());
+  Session.close_unknown s "a" "b" ~to_:`Distinct;
+  Alcotest.(check int) "re-closing a distinct pair is a no-op" 3 (delta ());
+  (match Session.close_unknown s "a" "b" ~to_:`Equal with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "merging a distinct pair must raise");
+  Session.close_unknown s "a" "c" ~to_:`Equal;
+  let st = Session.stats s in
+  Alcotest.(check int) "merge bumps the delta epoch" 4 st.s_delta_epoch;
+  Alcotest.(check int) "merge bumps the tab epoch" 1 st.s_tab_epoch
+
+(* --- the memo-hit regression ---------------------------------------- *)
+
+(* The contract, in counters: a first evaluation misses once per
+   structure examined; re-running the same query answers every
+   structure from the memo; a delta on a predicate the query never
+   reads leaves the memo warm; a delta on a read predicate invalidates
+   it wholesale. *)
+let test_memo_hits () =
+  let s = Session.create (base_db ()) in
+  let eval q = ignore (Certain.prepared_answer_stats (Session.prepare s q)) in
+  let counters () =
+    let st = Session.stats s in
+    (st.s_memo_hits, st.s_memo_misses)
+  in
+  eval q_r;
+  let h1, m1 = counters () in
+  Alcotest.(check int) "no hits on a cold session" 0 h1;
+  Alcotest.(check bool) "first run computes every structure" true (m1 > 1);
+  eval q_r;
+  let h2, m2 = counters () in
+  Alcotest.(check int) "re-run answers every structure from the memo" m1 h2;
+  Alcotest.(check int) "re-run computes nothing" m1 m2;
+  (* a delta on P cannot disturb a query that only reads R *)
+  Session.insert s (fact "P" [ "c" ]);
+  eval q_r;
+  let h3, m3 = counters () in
+  Alcotest.(check int) "independent delta keeps the memo warm" (2 * m1) h3;
+  Alcotest.(check int) "independent delta recomputes nothing" m1 m3;
+  (* a delta on R invalidates the whole memo for q_r *)
+  Session.insert s (fact "R" [ "b"; "c" ]);
+  eval q_r;
+  let h4, m4 = counters () in
+  Alcotest.(check int) "dependent delta yields no hits" h3 h4;
+  Alcotest.(check bool) "dependent delta recomputes" true (m4 > m3);
+  (* the slot cache is finer: the delta on R rebuilt only R's slots *)
+  let st = Session.stats s in
+  Alcotest.(check bool) "untouched slots were reused" true (st.s_slot_reuses > 0)
+
+(* Closing a pair to distinct prunes the partition stream but keeps
+   both the structure cache and the memo valid for the survivors. *)
+let test_distinct_keeps_memos () =
+  let s = Session.create (base_db ()) in
+  let eval q = ignore (Certain.prepared_answer_stats (Session.prepare s q)) in
+  eval q_r;
+  let st1 = Session.stats s in
+  Session.close_unknown s "a" "b" ~to_:`Distinct;
+  eval q_r;
+  let st2 = Session.stats s in
+  Alcotest.(check int)
+    "no recomputation after closing to distinct" st1.s_memo_misses
+    st2.s_memo_misses;
+  let hits = st2.s_memo_hits - st1.s_memo_hits in
+  Alcotest.(check bool) "surviving structures hit the memo" true (hits > 0);
+  Alcotest.(check bool)
+    "the stream shrank (fewer structures than were first computed)" true
+    (hits < st1.s_memo_misses)
+
+(* A merge re-codes the constants and is the one mutation that resets
+   the structure cache and every memo. *)
+let test_merge_resets () =
+  let s = Session.create (base_db ()) in
+  let eval q = ignore (Certain.prepared_answer_stats (Session.prepare s q)) in
+  eval q_p;
+  Session.close_unknown s "a" "c" ~to_:`Equal;
+  let st1 = Session.stats s in
+  Alcotest.(check int) "merge empties the structure cache" 0
+    st1.s_structures_cached;
+  eval q_p;
+  let st2 = Session.stats s in
+  Alcotest.(check int) "no stale hits across a merge" st1.s_memo_hits
+    st2.s_memo_hits;
+  Alcotest.(check bool) "post-merge run recomputes" true
+    (st2.s_memo_misses > st1.s_memo_misses)
+
+(* --- prepared queries capture one immutable view --------------------- *)
+
+let test_prepared_snapshot () =
+  let s = Session.create (base_db ()) in
+  let before = Session.db s in
+  let p = Session.prepare s q_r in
+  Session.insert s (fact "R" [ "c"; "c" ]);
+  let old_rel, _ = Certain.prepared_answer_stats p in
+  Alcotest.(check (list (list string)))
+    "a prepared query still sees its view after a mutation"
+    (tuples (Certain.answer before q_r))
+    (tuples old_rel);
+  Alcotest.(check (list (list string)))
+    "while a fresh prepare sees the delta"
+    (tuples (Certain.answer (Session.db s) q_r))
+    (session_answer s q_r)
+
+let suite =
+  [
+    Alcotest.test_case "mutations keep parity with the fresh engine" `Quick
+      test_mutation_parity;
+    Alcotest.test_case "epoch accounting across mutations" `Quick test_epochs;
+    Alcotest.test_case "memo hit/miss regression" `Quick test_memo_hits;
+    Alcotest.test_case "close-to-distinct keeps caches warm" `Quick
+      test_distinct_keeps_memos;
+    Alcotest.test_case "merge resets caches" `Quick test_merge_resets;
+    Alcotest.test_case "prepared queries snapshot their view" `Quick
+      test_prepared_snapshot;
+  ]

@@ -22,6 +22,7 @@ let () =
       ("obs", Test_obs.suite);
       ("fuzz", Test_fuzz.suite);
       ("resilience", Test_resilience.suite);
+      ("incr", Test_incr.suite);
       ("serve", Test_serve.suite);
       ("cli", Test_cli.suite);
     ]

@@ -234,6 +234,136 @@ let test_concurrent_parity () =
                 "served rows equal one-shot ldb query rows" cli_rows
                 (rows (query c "g" (List.hd parity_queries))))))
 
+(* --- mutations on resident databases ------------------------------- *)
+
+let insert c db fact =
+  rpc c (op "insert" [ ("db", J.Str db); ("fact", J.Str fact) ])
+
+let retract c db fact =
+  rpc c (op "retract" [ ("db", J.Str db); ("fact", J.Str fact) ])
+
+let close_unknown ?to_ c db left right =
+  let base = [ ("db", J.Str db); ("left", J.Str left); ("right", J.Str right) ] in
+  let fields =
+    match to_ with None -> base | Some v -> base @ [ ("to", J.Str v) ]
+  in
+  rpc c (op "close_unknown" fields)
+
+let delta_of resp =
+  match J.num_field "delta" resp with
+  | Some d -> int_of_float d
+  | None -> Alcotest.failf "response without delta: %s" (J.to_string resp)
+
+let test_mutations () =
+  with_db (fun db_path ->
+      with_server (fun socket ->
+          with_client socket (fun c ->
+              check_code "load" "ok" (load c "g" db_path);
+              let q = "(x, y). TEACHES(x, y)" in
+              let r = query c "g" q in
+              Alcotest.(check int) "queries report the delta epoch" 0
+                (delta_of r);
+              (* insert: answers change, the delta epoch moves, and the
+                 plan cache re-binds exactly once *)
+              let r = insert c "g" "TEACHES(mystery, socrates)" in
+              check_code "insert ok" "ok" r;
+              Alcotest.(check int) "insert bumps the delta" 1 (delta_of r);
+              Alcotest.(check (option (float 0.)))
+                "fact counted" (Some 2.) (J.num_field "facts" r);
+              let r = query c "g" q in
+              Alcotest.(check (list (list string)))
+                "query sees the inserted fact"
+                [ [ "mystery"; "socrates" ]; [ "socrates"; "plato" ] ]
+                (rows r);
+              Alcotest.(check int) "query reports the new delta" 1 (delta_of r);
+              Alcotest.(check (option string))
+                "mutation invalidated the cached plan" (Some "miss")
+                (J.str_field "cache" r);
+              Alcotest.(check (option string))
+                "re-binding happens once per delta" (Some "hit")
+                (J.str_field "cache" (query c "g" q));
+              (* retract restores the original answers *)
+              let r = retract c "g" "TEACHES(mystery, socrates)" in
+              check_code "retract ok" "ok" r;
+              Alcotest.(check int) "retract bumps the delta" 2 (delta_of r);
+              Alcotest.(check (list (list string)))
+                "query sees the retraction"
+                [ [ "socrates"; "plato" ] ]
+                (rows (query c "g" q));
+              (* closing unknowns: distinct prunes, equal merges *)
+              let r = close_unknown ~to_:"distinct" c "g" "socrates" "mystery" in
+              check_code "close to distinct ok" "ok" r;
+              Alcotest.(check int) "distinct bumps the delta" 3 (delta_of r);
+              let r = close_unknown ~to_:"equal" c "g" "plato" "mystery" in
+              check_code "close to equal ok" "ok" r;
+              Alcotest.(check (option (float 0.)))
+                "merge dropped a constant" (Some 2.)
+                (J.num_field "constants" r);
+              Alcotest.(check (list (list string)))
+                "answers survive the merge"
+                [ [ "socrates"; "plato" ] ]
+                (rows (query c "g" q));
+              (* the error taxonomy for mutations *)
+              check_code "fact syntax error" "parse_error"
+                (insert c "g" "((");
+              check_code "non-ground fact" "semantic_error"
+                (insert c "g" "TEACHES(x, plato)");
+              check_code "unknown predicate" "semantic_error"
+                (insert c "g" "NOPE(socrates)");
+              check_code "retracting an absent fact" "semantic_error"
+                (retract c "g" "TEACHES(plato, plato)");
+              check_code "unknown database" "semantic_error"
+                (insert c "nope" "TEACHES(socrates, plato)");
+              check_code "bad to value" "semantic_error"
+                (close_unknown ~to_:"sideways" c "g" "socrates" "plato");
+              check_code "missing to field" "parse_error"
+                (close_unknown c "g" "socrates" "plato");
+              check_code "merging a distinct pair" "semantic_error"
+                (close_unknown ~to_:"equal" c "g" "socrates" "plato");
+              (* per-session counters surface in stats *)
+              let stats = rpc c (op "stats" []) in
+              match J.member "sessions" stats with
+              | Some sessions -> (
+                match J.member "g" sessions with
+                | Some s ->
+                  Alcotest.(check (option (float 0.)))
+                    "session delta in stats" (Some 4.) (J.num_field "delta" s)
+                | None -> Alcotest.fail "stats sessions without db g")
+              | None -> Alcotest.fail "stats without sessions")))
+
+(* Mutating through the server must land on the same database the
+   one-shot pipeline produces: serve insert+query ≡ ldb mutate + ldb
+   query on files. *)
+let test_mutation_cli_parity () =
+  with_db (fun db_path ->
+      let q = "(x, y). TEACHES(x, y)" in
+      let delta_fact = "TEACHES(mystery, plato)" in
+      let mutated = Filename.temp_file "ldb_serve" ".ldb" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove mutated)
+        (fun () ->
+          let code, _ =
+            run_ldb
+              [ "mutate"; db_path; "--insert"; delta_fact; "--output"; mutated ]
+          in
+          Alcotest.(check int) "ldb mutate exit 0" 0 code;
+          let code, out = run_ldb [ "query"; mutated; q ] in
+          Alcotest.(check int) "one-shot query exit 0" 0 code;
+          let cli_rows =
+            String.split_on_char '\n' out
+            |> List.filter (fun l -> l <> "" && l.[0] <> '(')
+            |> List.map (fun l ->
+                   String.split_on_char ',' l |> List.map String.trim)
+            |> List.sort compare
+          in
+          with_server (fun socket ->
+              with_client socket (fun c ->
+                  check_code "load" "ok" (load c "g" db_path);
+                  check_code "serve insert" "ok" (insert c "g" delta_fact);
+                  Alcotest.(check (list (list string)))
+                    "served rows equal mutate-then-query rows" cli_rows
+                    (rows (query c "g" q))))))
+
 (* --- plan-cache counters ------------------------------------------- *)
 
 let test_plan_cache () =
@@ -448,6 +578,10 @@ let suite =
       test_roundtrip;
     Alcotest.test_case "concurrent clients match engine and one-shot CLI"
       `Quick test_concurrent_parity;
+    Alcotest.test_case "mutations: ops, errors, epochs, invalidation" `Quick
+      test_mutations;
+    Alcotest.test_case "serve mutations match mutate-then-query CLI" `Quick
+      test_mutation_cli_parity;
     Alcotest.test_case "plan cache: hit/miss/invalidate counters" `Quick
       test_plan_cache;
     Alcotest.test_case "full queue answers busy" `Quick test_busy_backpressure;
