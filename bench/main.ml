@@ -16,8 +16,8 @@
    (pass --tables-only or --micro-only to restrict;
     --json FILE additionally writes the micro-benchmark estimates as
     JSON — BENCH_<pr>.json files are reference snapshots of it;
-    --e1-sanity [--kernel interned|strings] is the CI smoke gate: one
-    verified E1-medium run on the selected kernel) *)
+    --e1-sanity [--kernel interned|strings|compiled] is the CI smoke
+    gate: one verified E1-medium run on the selected kernel) *)
 
 open Bechamel
 open Toolkit
@@ -63,6 +63,11 @@ let micro_tests () =
        e1/exact-medium is the interned kernel's speedup (E15). *)
     Test.make ~name:"e1/exact-medium-strings"
       (stage (fun () -> Certain.answer ~kernel:Certain.Strings db_medium q));
+    (* The same scan with the per-structure evaluators compiled to flat
+       code: the gap to e1/exact-medium is the compiled kernel's
+       speedup over the interned interpreter (E18). *)
+    Test.make ~name:"e1/exact-medium-compiled"
+      (stage (fun () -> Certain.answer ~kernel:Certain.Compiled db_medium q));
     Test.make ~name:"e1/exact-medium-par4"
       (stage (fun () -> Certain.answer ~domains:4 db_medium q));
     Test.make ~name:"e2/precise-simulation"
@@ -242,21 +247,23 @@ let write_json path results =
   close_out out;
   Fmt.pr "@.wrote %s (%d benchmarks)@." path (List.length results)
 
-(* --- CI sanity gate (--e1-sanity --kernel interned|strings) ---
+(* --- CI sanity gate (--e1-sanity --kernel interned|strings|compiled) ---
 
    One timed run of the E1-medium workload on the selected kernel,
-   verified against the other kernel's answer. Exits non-zero on
-   disagreement, so the CI kernel-smoke job fails loudly if the
-   kernels ever diverge. *)
+   verified against a reference kernel's answer (strings for interned,
+   interned for the other two). Exits non-zero on disagreement, so the
+   CI kernel-smoke job fails loudly if the kernels ever diverge. *)
 
 let e1_sanity kernel_name =
   let module Certain = Vardi_certain.Engine in
-  let kernel, other =
+  let kernel, other, other_name =
     match kernel_name with
-    | "interned" -> (Certain.Interned, Certain.Strings)
-    | "strings" -> (Certain.Strings, Certain.Interned)
+    | "interned" -> (Certain.Interned, Certain.Strings, "strings")
+    | "strings" -> (Certain.Strings, Certain.Interned, "interned")
+    | "compiled" -> (Certain.Compiled, Certain.Interned, "interned")
     | v ->
-      Fmt.epr "unknown --kernel %S (expected interned or strings)@." v;
+      Fmt.epr "unknown --kernel %S (expected interned, strings or compiled)@."
+        v;
       exit 2
   in
   let db = Workloads.parametric_db ~constants:16 ~unknowns:2 ~seed:7 in
@@ -270,8 +277,7 @@ let e1_sanity kernel_name =
   let reference = Certain.answer ~kernel:other db q in
   if not (Vardi_relational.Relation.equal answer reference) then begin
     Fmt.epr "e1-sanity: kernel %s disagrees with %s on E1-medium@."
-      kernel_name
-      (match kernel_name with "interned" -> "strings" | _ -> "interned");
+      kernel_name other_name;
     exit 1
   end;
   Fmt.pr "e1-sanity: kernel %-8s E1-medium %.2f ms, answers agree@."

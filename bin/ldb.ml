@@ -150,13 +150,20 @@ let kernel_arg =
   let doc =
     "Evaluation kernel for the exact/possible engines: $(b,interned) \
      (integer-coded constants, array tuples, incremental quotients — the \
-     default) or $(b,strings) (the original string-keyed path, kept as the \
-     differential-testing reference)."
+     default), $(b,compiled) (the interned scan with plans and formulas \
+     flattened to packed-integer flat code; fastest) or $(b,strings) (the \
+     original string-keyed path, kept as the differential-testing \
+     reference)."
   in
   Arg.(
     value
     & opt
-        (enum [ ("interned", Certain.Interned); ("strings", Certain.Strings) ])
+        (enum
+           [
+             ("interned", Certain.Interned);
+             ("compiled", Certain.Compiled);
+             ("strings", Certain.Strings);
+           ])
         Certain.Interned
     & info [ "kernel" ] ~docv:"KERNEL" ~doc)
 
@@ -858,7 +865,16 @@ let mutate_cmd =
         text;
       exit 2
   in
-  let run path inserts retracts distincts merges output =
+  let query_arg =
+    let doc =
+      "After applying the mutations, evaluate $(docv) (certain answer) \
+       against the resident session and print the result — exercising the \
+       same incremental prepare path a server would."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "query"; "q" ] ~docv:"QUERY" ~doc)
+  in
+  let run path inserts retracts distincts merges output query_text kernel =
     handle (fun () ->
         let session = Incr_session.create (load path) in
         (* Group order is fixed (inserts, retracts, distinct, merge) —
@@ -885,7 +901,27 @@ let mutate_cmd =
         Ldb_format.save out (Incr_session.db session);
         Fmt.pr "%s: delta %d, %d facts@." out
           (Incr_session.delta_epoch session)
-          (List.length (Cw_database.facts (Incr_session.db session))))
+          (List.length (Cw_database.facts (Incr_session.db session)));
+        match query_text with
+        | None -> ()
+        | Some text ->
+          let q = Parser.query text in
+          let prepared =
+            match kernel with
+            | Certain.Strings ->
+              (* Sessions cache interned structures, so the strings
+                 kernel prepares against the mutated database directly
+                 — same answers, by the kernel-parity contract. *)
+              Certain.prepare ~kernel (Incr_session.db session) q
+            | Certain.Interned | Certain.Compiled ->
+              Incr_session.prepare ~kernel session q
+          in
+          if Query.is_boolean q then
+            let verdict, _ = Certain.prepared_certain_boolean_stats prepared in
+            Fmt.pr "%b@." verdict
+          else
+            let answer, _ = Certain.prepared_answer_stats prepared in
+            print_relation answer)
   in
   let doc =
     "Apply mutations to a database file: $(b,--insert)/$(b,--retract) atomic \
@@ -899,7 +935,7 @@ let mutate_cmd =
     (Cmd.info "mutate" ~doc)
     Cterm.(
       const run $ db_arg $ insert_arg $ retract_arg $ distinct_arg $ merge_arg
-      $ output_arg)
+      $ output_arg $ query_arg $ kernel_arg)
 
 (* --- serve --- *)
 

@@ -16,6 +16,7 @@ module Irel = Vardi_interned.Irel
 module Iplan = Vardi_interned.Iplan
 module Ieval = Vardi_interned.Ieval
 module Iscan = Vardi_interned.Iscan
+module Icode = Vardi_interned.Icode
 
 type algorithm =
   | Naive_mappings
@@ -24,6 +25,7 @@ type algorithm =
 type kernel =
   | Strings
   | Interned
+  | Compiled
 
 type order = Vardi_cwdb.Partition.order =
   | Fresh_first
@@ -301,8 +303,9 @@ let search ~domains ~cancel ~target thunks check =
 (* --- decision entry points ---------------------------------------- *)
 
 (* Per-tuple and Boolean deciders: quantify [check] over the structure
-   stream of the selected kernel. The two kernels enumerate structures
-   in the same order, so stats (and capped verdicts) agree. *)
+   stream of the selected kernel. All kernels enumerate structures in
+   the same order — [Compiled] shares the interned stream outright —
+   so stats (and capped verdicts) agree. *)
 (* [search] is instantiated at a different structure type per kernel,
    so the dispatch happens here rather than via a first-class
    quantifier argument (which would force one monomorphic type). *)
@@ -330,6 +333,19 @@ let decide_member ~target ~algorithm ~order ~domains ~cancel ~kernel ?source
       (source.source_thunks algorithm order)
       (fun (s : Iscan.structure) ->
         Ieval.member s.idb q (rename_row s.rename codes))
+  | Compiled ->
+    let source =
+      match source with
+      | Some source -> source
+      | None -> source_of_plan (Iscan.prepare lb)
+    in
+    let tab = Iscan.symtab source.source_plan in
+    let codes = Symtab.code_tuple tab tuple in
+    let cm = Icode.compile_member tab q in
+    search ~domains ~cancel ~target
+      (source.source_thunks algorithm order)
+      (fun (s : Iscan.structure) ->
+        Icode.run_member s.idb cm (rename_row s.rename codes))
 
 let decide_boolean ~target ~algorithm ~order ~domains ~cancel ~kernel ?source
     ?wrap_check lb body =
@@ -345,6 +361,18 @@ let decide_boolean ~target ~algorithm ~order ~domains ~cancel ~kernel ?source
       | None -> source_of_plan (Iscan.prepare lb)
     in
     let check (s : Iscan.structure) = Ieval.satisfies s.idb body in
+    let check = match wrap_check with Some w -> w check | None -> check in
+    search ~domains ~cancel ~target
+      (source.source_thunks algorithm order)
+      check
+  | Compiled ->
+    let source =
+      match source with
+      | Some source -> source
+      | None -> source_of_plan (Iscan.prepare lb)
+    in
+    let cs = Icode.compile_sentence (Iscan.symtab source.source_plan) body in
+    let check (s : Iscan.structure) = Icode.run_sentence s.idb cs in
     let check = match wrap_check with Some w -> w check | None -> check in
     search ~domains ~cancel ~target
       (source.source_thunks algorithm order)
@@ -450,7 +478,46 @@ let prepare_answer_interned lb tab q =
   | Some iplan -> fun (s : Iscan.structure) -> Iplan.run s.idb iplan
   | None -> fun s -> Ieval.answer s.idb q
 
-let answer_stats_interned ~algorithm ~order ~domains ~cancel ?prep lb q =
+(* Flat-code mirror of [prepare_answer_interned]: the interned plan is
+   further compiled to a packed instruction program (Icode), and the
+   non-algebra fallback to a register-machine enumerator. Both
+   compilers are total — anything they cannot compile faithfully runs
+   through the interpreters they mirror — so this stays drop-in
+   observationally equal to the interned preparer. *)
+let prepare_answer_compiled lb tab q =
+  match
+    Option.bind (Compile.prepared (Ph.ph1 lb) q) (Iplan.of_algebra tab)
+  with
+  | Some iplan ->
+    let prog = Icode.compile_plan tab iplan in
+    fun (s : Iscan.structure) -> Icode.exec s.idb prog
+  | None ->
+    let ca = Icode.compile_answer tab q in
+    fun s -> Icode.run_answer s.idb ca
+
+(* [prepare_answer_compiled] plus the packed survivor-filter probe: the
+   second component tests membership in the structure's image answer
+   without unpacking it into rows ([Icode.exec_member]). Only the
+   direct (non-prepared) scan uses it — prepared/session paths keep the
+   materializing closure so their memo wrappers observe every image. *)
+let prepare_member_compiled lb tab q =
+  match
+    Option.bind (Compile.prepared (Ph.ph1 lb) q) (Iplan.of_algebra tab)
+  with
+  | Some iplan ->
+    let prog = Icode.compile_plan tab iplan in
+    ( (fun (s : Iscan.structure) -> Icode.exec s.idb prog),
+      fun (s : Iscan.structure) ->
+        Icode.exec_member s.idb prog ~rename:s.rename )
+  | None ->
+    let ca = Icode.compile_answer tab q in
+    ( (fun (s : Iscan.structure) -> Icode.run_answer s.idb ca),
+      fun (s : Iscan.structure) ->
+        let ia = Icode.run_answer s.idb ca in
+        fun row -> Irel.mem (rename_row s.rename row) ia )
+
+let answer_stats_interned ~algorithm ~order ~domains ~cancel ?prep ?member lb
+    q =
   let started = now_ns () in
   let source, image_answer =
     Obs.span "certain.prepare" (fun () ->
@@ -481,13 +548,15 @@ let answer_stats_interned ~algorithm ~order ~domains ~cancel ?prep lb q =
     loop ()
   in
   let consume (s : Iscan.structure) =
-    let ia = image_answer s in
-    let snapshot = Atomic.get survivors in
-    let doomed =
-      Irel.filter
-        (fun row -> not (Irel.mem (rename_row s.rename row) ia))
-        snapshot
+    let mem_row =
+      match member with
+      | Some m -> m s
+      | None ->
+        let ia = image_answer s in
+        fun row -> Irel.mem (rename_row s.rename row) ia
     in
+    let snapshot = Atomic.get survivors in
+    let doomed = Irel.filter (fun row -> not (mem_row row)) snapshot in
     if not (Irel.is_empty doomed) then remove doomed
   in
   let examined =
@@ -579,7 +648,15 @@ let answer_stats ?(algorithm = Kernel_partitions) ?(order = Fresh_first)
       match kernel with
       | Strings -> answer_stats_strings ~algorithm ~order ~domains ~cancel lb q
       | Interned ->
-        answer_stats_interned ~algorithm ~order ~domains ~cancel lb q)
+        answer_stats_interned ~algorithm ~order ~domains ~cancel lb q
+      | Compiled ->
+        let plan = Iscan.prepare lb in
+        let image_answer, member =
+          prepare_member_compiled lb (Iscan.symtab plan) q
+        in
+        answer_stats_interned ~algorithm ~order ~domains ~cancel
+          ~prep:(source_of_plan plan, image_answer)
+          ~member lb q)
 
 let answer ?algorithm ?order ?domains ?cancel ?kernel lb q =
   fst (answer_stats ?algorithm ?order ?domains ?cancel ?kernel lb q)
@@ -720,7 +797,14 @@ let possible_answer_stats ?(algorithm = Kernel_partitions)
       | Strings ->
         possible_answer_stats_strings ~algorithm ~order ~domains ~cancel lb q
       | Interned ->
-        possible_answer_stats_interned ~algorithm ~order ~domains ~cancel lb q)
+        possible_answer_stats_interned ~algorithm ~order ~domains ~cancel lb q
+      | Compiled ->
+        let plan = Iscan.prepare lb in
+        possible_answer_stats_interned ~algorithm ~order ~domains ~cancel
+          ~prep:
+            ( source_of_plan plan,
+              prepare_answer_compiled lb (Iscan.symtab plan) q )
+          lb q)
 
 let possible_answer ?algorithm ?order ?domains ?cancel ?kernel lb q =
   fst (possible_answer_stats ?algorithm ?order ?domains ?cancel ?kernel lb q)
@@ -770,24 +854,39 @@ let prepare ?(kernel = Interned) lb q =
                  else Some (prepare_answer_interned lb (Iscan.symtab plan) q));
               pi_check = None;
             }
+        | Compiled ->
+          let plan = Iscan.prepare lb in
+          Prepared_interned
+            {
+              pi_source = source_of_plan plan;
+              pi_answer =
+                (if Query.is_boolean q then None
+                 else Some (prepare_answer_compiled lb (Iscan.symtab plan) q));
+              pi_check = None;
+            }
       in
       { p_lb = lb; p_query = q; p_kernel = kernel; p_impl = impl })
 
-let prepare_with ~source ?wrap_answer ?wrap_check lb q =
+let prepare_with ?(kernel = Interned) ~source ?wrap_answer ?wrap_check lb q =
   validate lb q;
+  let prepare_base =
+    match kernel with
+    | Interned -> prepare_answer_interned
+    | Compiled -> prepare_answer_compiled
+    | Strings ->
+      invalid_arg "Certain.prepare_with: kernel must be Interned or Compiled"
+  in
   Obs.span "certain.prepare" (fun () ->
       let pi_answer =
         if Query.is_boolean q then None
         else
-          let base =
-            prepare_answer_interned lb (Iscan.symtab source.source_plan) q
-          in
+          let base = prepare_base lb (Iscan.symtab source.source_plan) q in
           Some (match wrap_answer with Some w -> w base | None -> base)
       in
       {
         p_lb = lb;
         p_query = q;
-        p_kernel = Interned;
+        p_kernel = kernel;
         p_impl =
           Prepared_interned { pi_source = source; pi_answer; pi_check = wrap_check };
       })
@@ -795,6 +894,15 @@ let prepare_with ~source ?wrap_answer ?wrap_check lb q =
 let prepared_db p = p.p_lb
 let prepared_query p = p.p_query
 let prepared_kernel p = p.p_kernel
+
+(* Boolean-headed prepared queries carry no answer closure; rebuild one
+   on the fly with the kernel the query was prepared for. ([Strings]
+   never pairs with [Prepared_interned]; the branch is just totality.) *)
+let prepared_image_answer p pi_source =
+  let tab = Iscan.symtab pi_source.source_plan in
+  match p.p_kernel with
+  | Compiled -> prepare_answer_compiled p.p_lb tab p.p_query
+  | Strings | Interned -> prepare_answer_interned p.p_lb tab p.p_query
 
 let prepared_answer_stats ?(algorithm = Kernel_partitions)
     ?(order = Fresh_first) ?(domains = 1) ?cancel p =
@@ -810,10 +918,7 @@ let prepared_answer_stats ?(algorithm = Kernel_partitions)
         let image_answer =
           match pi_answer with
           | Some f -> f
-          | None ->
-            prepare_answer_interned p.p_lb
-              (Iscan.symtab pi_source.source_plan)
-              p.p_query
+          | None -> prepared_image_answer p pi_source
         in
         answer_stats_interned ~algorithm ~order ~domains ~cancel
           ~prep:(pi_source, image_answer) p.p_lb p.p_query)
@@ -832,10 +937,7 @@ let prepared_possible_answer_stats ?(algorithm = Kernel_partitions)
         let image_answer =
           match pi_answer with
           | Some f -> f
-          | None ->
-            prepare_answer_interned p.p_lb
-              (Iscan.symtab pi_source.source_plan)
-              p.p_query
+          | None -> prepared_image_answer p pi_source
         in
         possible_answer_stats_interned ~algorithm ~order ~domains ~cancel
           ~prep:(pi_source, image_answer) p.p_lb p.p_query)
@@ -852,7 +954,8 @@ let prepared_boolean_decide ~target ~span ~name ?(algorithm = Kernel_partitions)
           ~kernel:Strings p.p_lb body
       | Prepared_interned { pi_source; pi_check; _ } ->
         decide_boolean ~target ~algorithm ~order ~domains ~cancel
-          ~kernel:Interned ~source:pi_source ?wrap_check:pi_check p.p_lb body)
+          ~kernel:p.p_kernel ~source:pi_source ?wrap_check:pi_check p.p_lb
+          body)
 
 let prepared_certain_boolean_stats ?algorithm ?order ?domains ?cancel p =
   let refuted, stats =

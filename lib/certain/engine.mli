@@ -86,13 +86,22 @@ type order = Vardi_cwdb.Partition.order =
     images are built incrementally along the partition-enumeration
     tree, sharing unchanged relations with the parent node
     ({!Vardi_interned.Iscan}). Strings reappear only in the returned
-    relation. {!Strings} is the original string-keyed path, kept as
-    the differential-testing reference — both kernels enumerate
+    relation. {!Compiled} goes one step further: it shares the
+    interned structure stream but compiles the per-structure
+    evaluators to flat code once per call
+    ({!Vardi_interned.Icode}) — relational plans become packed-integer
+    instruction programs with pre-resolved slots and divisors, and
+    formula checks become register-allocated closure chains — so the
+    per-tuple path has no AST dispatch and no polymorphic comparison
+    at all. {!Strings} is the original string-keyed path, kept as the
+    differential-testing reference. All three kernels enumerate
     structures in the same order, so results, stats and positional
-    budget caps agree bit-for-bit. *)
+    budget caps agree bit-for-bit — the three-way kernel-parity fuzz
+    oracle enforces this. *)
 type kernel =
   | Strings
   | Interned
+  | Compiled
 
 (** Work counters for the complexity experiments and the CLI. *)
 type stats = {
@@ -342,17 +351,19 @@ type scan_source = {
     exactly what the unprepared entry points use internally. *)
 val source_of_plan : Vardi_interned.Iscan.plan -> scan_source
 
-(** [prepare_with ~source ?wrap_answer ?wrap_check lb q] is {!prepare}
-    on the {!Interned} kernel with the structure stream taken from
-    [source] instead of a fresh [Iscan.prepare]. [wrap_answer] wraps
-    the compiled per-structure image-answer function (a session's
-    per-query result memo); [wrap_check] likewise wraps the Boolean
-    per-structure check used by the prepared Boolean deciders. Wrappers
-    see the same structures at the same stream positions as the
-    unwrapped scan, so memo hits change no stats and move no budget
-    caps.
-    @raise Invalid_argument as {!validate}. *)
+(** [prepare_with ?kernel ~source ?wrap_answer ?wrap_check lb q] is
+    {!prepare} on the {!Interned} kernel (or {!Compiled}, via
+    [?kernel]) with the structure stream taken from [source] instead
+    of a fresh [Iscan.prepare]. [wrap_answer] wraps the compiled
+    per-structure image-answer function (a session's per-query result
+    memo); [wrap_check] likewise wraps the Boolean per-structure check
+    used by the prepared Boolean deciders. Wrappers see the same
+    structures at the same stream positions as the unwrapped scan, so
+    memo hits change no stats and move no budget caps.
+    @raise Invalid_argument as {!validate}, or if [kernel] is
+    {!Strings} (which has no interned structure stream to share). *)
 val prepare_with :
+  ?kernel:kernel ->
   source:scan_source ->
   ?wrap_answer:
     ((Vardi_interned.Iscan.structure -> Vardi_interned.Irel.t) ->

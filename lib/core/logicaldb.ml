@@ -86,6 +86,7 @@ module Idb = Vardi_interned.Idb
 module Iplan = Vardi_interned.Iplan
 module Ieval = Vardi_interned.Ieval
 module Iscan = Vardi_interned.Iscan
+module Icode = Vardi_interned.Icode
 
 (* Engines *)
 module Certain = Vardi_certain.Engine

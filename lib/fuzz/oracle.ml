@@ -266,12 +266,14 @@ let check_relational ctx ~domains db q =
 
 (* --- the kernel-parity oracle ---
 
-   The interned kernel (integer codes, array tuples, shared-prefix
-   quotients) and the original string kernel must be observationally
-   identical: same answers on every entry point, under both algorithms,
-   both structure orders, sequential and parallel. The string side is
-   the reference — it is the simpler implementation — and the interned
-   side is the one on trial. *)
+   A three-way differential: the interned kernel (integer codes, array
+   tuples, shared-prefix quotients) and the compiled kernel (packed
+   flat code, register-allocated formula closures) must both be
+   observationally identical to the original string kernel: same
+   answers on every entry point, under both algorithms, both structure
+   orders, sequential and parallel. The string side is the reference —
+   it is the simplest implementation — and the other two are on
+   trial. *)
 
 let check_kernel_parity ctx db q =
   let n = List.length (Cw_database.constants db) in
@@ -312,23 +314,32 @@ let check_kernel_parity ctx db q =
                     (Certain.possible_answer ~kernel ~algorithm ~order ~domains
                        db q)
               in
+              let on_trial =
+                [ (Certain.Interned, "interned"); (Certain.Compiled, "compiled") ]
+              in
               List.iter
                 (fun (what, run) ->
                   match guard ctx "kernel-parity" (run ~kernel:Certain.Strings)
                   with
                   | None -> ()
                   | Some (`Bool reference) ->
-                    expect_equal_bool ctx "kernel-parity" ~reference
-                      ~label:(label what) (fun () ->
-                        match run ~kernel:Certain.Interned () with
-                        | `Bool b -> b
-                        | `Rel _ -> assert false)
+                    List.iter
+                      (fun (kernel, kname) ->
+                        expect_equal_bool ctx "kernel-parity" ~reference
+                          ~label:(label (what ^ "/" ^ kname)) (fun () ->
+                            match run ~kernel () with
+                            | `Bool b -> b
+                            | `Rel _ -> assert false))
+                      on_trial
                   | Some (`Rel reference) ->
-                    expect_equal_rel ctx "kernel-parity" ~reference
-                      ~label:(label what) (fun () ->
-                        match run ~kernel:Certain.Interned () with
-                        | `Rel r -> r
-                        | `Bool _ -> assert false))
+                    List.iter
+                      (fun (kernel, kname) ->
+                        expect_equal_rel ctx "kernel-parity" ~reference
+                          ~label:(label (what ^ "/" ^ kname)) (fun () ->
+                            match run ~kernel () with
+                            | `Rel r -> r
+                            | `Bool _ -> assert false))
+                      on_trial)
                 [
                   ((if boolean then "certain_boolean" else "answer"), certain);
                   ( (if boolean then "possible_boolean" else "possible_answer"),
@@ -609,25 +620,36 @@ let check_resilient_kernel_parity ctx ~seed db q =
   List.iter
     (fun (policy, policy_name) ->
       match
-        ( guard ctx "resilient-kernel-parity"
-            (summarize ~kernel:Certain.Strings ~policy),
-          guard ctx "resilient-kernel-parity"
-            (summarize ~kernel:Certain.Interned ~policy) )
+        guard ctx "resilient-kernel-parity"
+          (summarize ~kernel:Certain.Strings ~policy)
       with
-      | Some strings, Some interned ->
-        if not (String.equal strings interned) then
-          add ctx "resilient-kernel-parity"
-            (Printf.sprintf "[%s] kernels diverge under faults:\n  strings:  %s\n  interned: %s"
-               policy_name strings interned)
-      | _ -> ())
+      | None -> ()
+      | Some strings ->
+        (* Each kernel replays the same armed fault plan (same seed),
+           so the summaries — including which probe tripped — must
+           match position for position. *)
+        List.iter
+          (fun (kernel, kname) ->
+            match
+              guard ctx "resilient-kernel-parity" (summarize ~kernel ~policy)
+            with
+            | Some on_trial ->
+              if not (String.equal strings on_trial) then
+                add ctx "resilient-kernel-parity"
+                  (Printf.sprintf
+                     "[%s] kernels diverge under faults:\n\
+                     \  strings:  %s\n\
+                     \  %s: %s" policy_name strings kname on_trial)
+            | None -> ())
+          [ (Certain.Interned, "interned"); (Certain.Compiled, "compiled") ])
     policies
 
 (* --- the incremental-parity oracle ---
 
    An [Incr_session] with a random mutation sequence applied must stay
    observationally identical to from-scratch evaluation on the mutated
-   database: same answers under both structure orders, agreeing with
-   both fresh kernels, and — the positional contract — identical
+   database: same answers under both structure orders and both session
+   kernels (interned and compiled), and — the positional contract — identical
    resilient summaries under a tripping budget (same qualified
    constructor, same provenance, same scan counters; a memo hit must
    occupy exactly the stream position a fresh evaluation would). The
@@ -705,21 +727,25 @@ let check_incremental_parity ctx db q =
             Printf.sprintf "step %d, %s under %s" step what ord_name
           in
           (* Answers: incremental vs the fresh strings kernel (the
-             fresh interned kernel is covered by [kernel-parity]). *)
-          (match reference with
-          | None -> ()
-          | Some (`Bool reference) ->
-            expect_equal_bool ctx oracle ~reference
-              ~label:(label "session answer") (fun () ->
-                fst
-                  (Certain.prepared_certain_boolean_stats ~order
-                     (Session.prepare session q)))
-          | Some (`Rel reference) ->
-            expect_equal_rel ctx oracle ~reference
-              ~label:(label "session answer") (fun () ->
-                fst
-                  (Certain.prepared_answer_stats ~order
-                     (Session.prepare session q))));
+             fresh interned/compiled kernels are covered by
+             [kernel-parity]), under both session kernels. *)
+          List.iter
+            (fun (kernel, kname) ->
+              match reference with
+              | None -> ()
+              | Some (`Bool reference) ->
+                expect_equal_bool ctx oracle ~reference
+                  ~label:(label ("session answer/" ^ kname)) (fun () ->
+                    fst
+                      (Certain.prepared_certain_boolean_stats ~order
+                         (Session.prepare ~kernel session q)))
+              | Some (`Rel reference) ->
+                expect_equal_rel ctx oracle ~reference
+                  ~label:(label ("session answer/" ^ kname)) (fun () ->
+                    fst
+                      (Certain.prepared_answer_stats ~order
+                         (Session.prepare ~kernel session q))))
+            [ (Certain.Interned, "interned"); (Certain.Compiled, "compiled") ];
           (* Budgets: fresh-prepared and session-prepared must trip at
              the same stream position with the same provenance. *)
           List.iter
@@ -734,20 +760,29 @@ let check_incremental_parity ctx db q =
                     (Resilient.prepared_answer_stats ~policy ~order
                        ~budget:trip_budget prepared)
               in
-              match
-                ( guard ctx oracle (summarize (Certain.prepare current q)),
-                  guard ctx oracle (summarize (Session.prepare session q)) )
-              with
-              | Some fresh_summary, Some incr_summary ->
-                if not (String.equal fresh_summary incr_summary) then
-                  add ctx oracle
-                    (Printf.sprintf
-                       "%s: budget behavior diverges:\n\
-                       \  fresh:       %s\n\
-                       \  incremental: %s"
-                       (label ("policy " ^ policy_name))
-                       fresh_summary incr_summary)
-              | _ -> ())
+              List.iter
+                (fun (kernel, kname) ->
+                  match
+                    ( guard ctx oracle
+                        (summarize (Certain.prepare ~kernel current q)),
+                      guard ctx oracle
+                        (summarize (Session.prepare ~kernel session q)) )
+                  with
+                  | Some fresh_summary, Some incr_summary ->
+                    if not (String.equal fresh_summary incr_summary) then
+                      add ctx oracle
+                        (Printf.sprintf
+                           "%s: budget behavior diverges:\n\
+                           \  fresh:       %s\n\
+                           \  incremental: %s"
+                           (label
+                              ("policy " ^ policy_name ^ "/" ^ kname))
+                           fresh_summary incr_summary)
+                  | _ -> ())
+                [
+                  (Certain.Interned, "interned");
+                  (Certain.Compiled, "compiled");
+                ])
             [ (Resilient.Fail, "Fail"); (Resilient.Partial, "Partial") ])
         [
           (Certain.Fresh_first, "Fresh_first");

@@ -90,15 +90,23 @@ val retract : t -> Vardi_cwdb.Cw_database.fact -> unit
 val close_unknown :
   t -> string -> string -> to_:[ `Distinct | `Equal ] -> unit
 
-(** [prepare t q] prepares [q] against the session's current view. The
-    result is a standard engine {!Vardi_certain.Engine.prepared} —
-    evaluate it through [Certain.prepared_*_stats] or
+(** [prepare ?kernel t q] prepares [q] against the session's current
+    view. The result is a standard engine
+    {!Vardi_certain.Engine.prepared} — evaluate it through
+    [Certain.prepared_*_stats] or
     [Vardi_resilience.Resilient.prepared_*]. It captures the view at
     call time; after a mutation, call [prepare] again (the heavy state
     persists in the session, so re-preparing costs one query
-    compilation, not a rescan).
-    @raise Invalid_argument as [Certain.prepare]. *)
-val prepare : t -> Vardi_logic.Query.t -> Vardi_certain.Engine.prepared
+    compilation, not a rescan). [?kernel] selects [Interned] (default)
+    or [Compiled]; both share the session's structure cache and memo
+    tables — sound because the kernels are observationally identical.
+    @raise Invalid_argument as [Certain.prepare], or if [kernel] is
+    [Strings] (sessions cache interned structures). *)
+val prepare :
+  ?kernel:Vardi_certain.Engine.kernel ->
+  t ->
+  Vardi_logic.Query.t ->
+  Vardi_certain.Engine.prepared
 
 (** Cumulative session counters (monotonic except where noted). *)
 type stats = {

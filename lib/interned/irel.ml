@@ -67,6 +67,14 @@ let of_row_array k arr =
   Array.iter (check_row t) arr;
   { arity = k; rows = sort_dedup (Array.copy arr) }
 
+(* Trusted constructor for producers that guarantee order themselves
+   (the compiled kernel's unpack step): arities are still checked, the
+   sort and the defensive copy are skipped. *)
+let of_sorted k arr =
+  let t = empty k in
+  Array.iter (check_row t) arr;
+  { arity = k; rows = arr }
+
 let mem row t =
   let rows = t.rows in
   let rec search lo hi =

@@ -31,6 +31,13 @@ val rows : t -> row array
 val of_rows : int -> row list -> t
 val of_row_array : int -> row array -> t
 
+(** [of_sorted k rows]: build from an array already strictly increasing
+    in {!compare_rows}. Arities are checked, order is trusted, and the
+    array is adopted without copying — the caller must not mutate it.
+    For producers (like the compiled kernel) whose output order is
+    guaranteed by construction. *)
+val of_sorted : int -> row array -> t
+
 val mem : row -> t -> bool
 val union : t -> t -> t
 val inter : t -> t -> t

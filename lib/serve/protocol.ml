@@ -86,8 +86,11 @@ let options_of_json j =
     | None -> result_ok default_options.kernel
     | Some (Json.Str "interned") -> result_ok Certain.Interned
     | Some (Json.Str "strings") -> result_ok Certain.Strings
+    | Some (Json.Str "compiled") -> result_ok Certain.Compiled
     | Some _ ->
-      Error ("\"kernel\" must be \"interned\" or \"strings\"", Semantic_error)
+      Error
+        ( "\"kernel\" must be \"interned\", \"strings\" or \"compiled\"",
+          Semantic_error )
   in
   let* policy =
     match Json.member "policy" j with

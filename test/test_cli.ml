@@ -109,6 +109,49 @@ let test_budget_approx_degrades () =
       Alcotest.(check bool) "provenance in stats" true
         (contains out "Theorem-11 approximation"))
 
+let test_kernel_flag () =
+  with_db (fun db ->
+      (* Every kernel name answers identically; an unknown name is a
+         cmdliner enum error, exit 2. *)
+      let reference = run_ldb [ "query"; db; "(x, y). TEACHES(x, y)" ] in
+      List.iter
+        (fun kernel ->
+          let code, out =
+            run_ldb
+              [ "query"; db; "(x, y). TEACHES(x, y)"; "--kernel"; kernel ]
+          in
+          Alcotest.(check int) (kernel ^ " exit code") (fst reference) code;
+          Alcotest.(check string)
+            (kernel ^ " answer") (snd reference) out)
+        [ "strings"; "interned"; "compiled" ];
+      let code, out =
+        run_ldb
+          [
+            "query"; db; "(). TEACHES(socrates, plato)";
+            "--kernel"; "compiled"; "--stats";
+          ]
+      in
+      Alcotest.(check int) "compiled verdict" 0 code;
+      Alcotest.(check bool) "compiled prints stats" true
+        (contains out "structures:");
+      check_exit "unknown kernel name" 2
+        (run_ldb
+           [ "query"; db; "(). TEACHES(socrates, plato)"; "--kernel"; "jit" ]);
+      check_exit "mutate accepts --kernel compiled" 0
+        (run_ldb
+           [
+             "mutate"; db; "--insert"; "TEACHES(plato, mystery)";
+             "--query"; "(x). exists y. TEACHES(x, y)";
+             "--kernel"; "compiled";
+           ]);
+      check_exit "mutate rejects unknown kernel" 2
+        (run_ldb
+           [
+             "mutate"; db; "--insert"; "TEACHES(plato, mystery)";
+             "--query"; "(x). exists y. TEACHES(x, y)";
+             "--kernel"; "jit";
+           ]))
+
 let test_exit_sigint () =
   let null_in = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
   let null_out = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
@@ -138,5 +181,7 @@ let suite =
       test_exit_budget_exhausted;
     Alcotest.test_case "--on-budget approx prints a qualified answer" `Quick
       test_budget_approx_degrades;
+    Alcotest.test_case "--kernel selects a kernel; unknown names exit 2"
+      `Quick test_kernel_flag;
     Alcotest.test_case "exit 130: SIGINT" `Quick test_exit_sigint;
   ]

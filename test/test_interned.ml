@@ -325,16 +325,20 @@ let test_budget_positional_parity () =
             let cancel = Cancel.create ~max_structures:cap () in
             Certain.answer_stats ~kernel ~domains ~cancel socrates query
           in
-          let r_i, s_i = run Certain.Interned in
           let r_s, s_s = run Certain.Strings in
-          let label what =
-            Printf.sprintf "%s under cap %d, domains %d" what cap domains
-          in
-          check Support.relation_testable (label "capped answer") r_s r_i;
-          check_int (label "structures") s_s.Certain.structures
-            s_i.Certain.structures;
-          check_bool (label "interrupted agrees") true
-            (s_i.Certain.interrupted = s_s.Certain.interrupted))
+          List.iter
+            (fun (kernel, kname) ->
+              let r_i, s_i = run kernel in
+              let label what =
+                Printf.sprintf "%s (%s) under cap %d, domains %d" what kname
+                  cap domains
+              in
+              check Support.relation_testable (label "capped answer") r_s r_i;
+              check_int (label "structures") s_s.Certain.structures
+                s_i.Certain.structures;
+              check_bool (label "interrupted agrees") true
+                (s_i.Certain.interrupted = s_s.Certain.interrupted))
+            [ (Certain.Interned, "interned"); (Certain.Compiled, "compiled") ])
         [ 1; 4 ])
     [ 1; 2; 3; 5; 8 ]
 

@@ -7,6 +7,7 @@ let () =
       ("cwdb", Test_cwdb.suite);
       ("certain", Test_certain.suite);
       ("interned", Test_interned.suite);
+      ("compiled", Test_compiled.suite);
       ("approx", Test_approx.suite);
       ("reiter", Test_reiter.suite);
       ("typed", Test_typed.suite);
