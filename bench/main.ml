@@ -432,6 +432,149 @@ let incr_bench args =
     (fun path -> write_json path results)
     (value_of "--json" args)
 
+(* --- the durability benchmark (--durable) ---
+
+   E19 (EXPERIMENTS.md, BENCH_9.json): what the write-ahead log costs,
+   and what recovery costs, on the E17 delta-then-query workload.
+
+   - durable/delta-query-none     the baseline: one fact toggle through
+                                  a bare [Incr_session] plus one
+                                  dependent-query evaluation — E17's
+                                  session-after-delta-dependent shape.
+   - durable/delta-query-{never,batch,always}
+                                  the same toggle+query through a
+                                  [Durable_store]: probe, WAL append
+                                  (with the named fsync policy), apply,
+                                  query. The acceptance bar is batch
+                                  overhead <= 15% over the baseline.
+   - durable/recover-{100,1000,5000}
+                                  full recovery (snapshot load + log
+                                  scan + replay) of a directory whose
+                                  WAL holds that many records — how
+                                  startup cost scales with log length.
+
+   Before timing, a commit/kill/recover round-trip is checked for
+   equality (database and delta epoch) — a benchmark of a recovery
+   that loses data would be meaningless. *)
+
+let durable_bench args =
+  let module Certain = Vardi_certain.Engine in
+  let module Session = Logicaldb.Incr_session in
+  let module Cw = Logicaldb.Cw_database in
+  let module Store = Logicaldb.Durable_store in
+  let module Wal = Logicaldb.Wal in
+  let module Recovery = Logicaldb.Recovery in
+  Fmt.pr "=== E19: durability — WAL overhead and recovery time ===@.";
+  let db0 = Workloads.parametric_db ~constants:16 ~unknowns:2 ~seed:7 in
+  let dep_q = Workloads.mixed_query in
+  let delta_fact =
+    let constants = Cw.constants db0 in
+    let existing = Cw.facts db0 in
+    let candidates =
+      List.concat_map
+        (fun c ->
+          List.map (fun d -> { Cw.pred = "R"; args = [ c; d ] }) constants)
+        constants
+    in
+    match List.find_opt (fun f -> not (List.mem f existing)) candidates with
+    | Some f -> f
+    | None ->
+      Fmt.epr "durable-bench: R is full on the E1-medium workload@.";
+      exit 1
+  in
+  let root = Filename.temp_file "durable_bench" "" in
+  Sys.remove root;
+  Unix.mkdir root 0o755;
+  (* Correctness gate: a committed prefix must survive an abandoned
+     descriptor (the simulated kill -9) bit-for-bit. *)
+  (let dir = Filename.concat root "gate" in
+   let store = Store.create ~dir ~sync:Wal.Always ~snapshot_every:0 db0 in
+   ignore (Store.commit store (Session.Insert delta_fact));
+   ignore (Store.commit store (Session.Retract delta_fact));
+   ignore (Store.commit store (Session.Insert delta_fact));
+   let wanted = Session.db (Store.session store) in
+   let delta = Session.delta_epoch (Store.session store) in
+   Store.abandon store;
+   let report = Recovery.verify dir in
+   if
+     not
+       (Cw.equal (Session.db report.Recovery.r_session) wanted
+       && Session.delta_epoch report.Recovery.r_session = delta)
+   then begin
+     Fmt.epr "durable-bench: recovery diverges from the committed state@.";
+     exit 1
+   end);
+  let toggle apply =
+    let present = ref false in
+    fun () ->
+      (if !present then apply (Session.Retract delta_fact)
+       else apply (Session.Insert delta_fact));
+      present := not !present
+  in
+  let session_thunk =
+    let s = Session.create db0 in
+    let step = toggle (fun m -> ignore (Session.apply s m)) in
+    fun () ->
+      step ();
+      Certain.prepared_answer_stats (Session.prepare s dep_q)
+  in
+  let store_thunk name sync =
+    let dir = Filename.concat root name in
+    let store = Store.create ~dir ~sync ~snapshot_every:0 db0 in
+    let s = Store.session store in
+    let step = toggle (fun m -> ignore (Store.commit store m)) in
+    fun () ->
+      step ();
+      Certain.prepared_answer_stats (Session.prepare s dep_q)
+  in
+  let recovery_dir n =
+    let dir = Filename.concat root (Printf.sprintf "recover%d" n) in
+    let store = Store.create ~dir ~sync:Wal.Never ~snapshot_every:0 db0 in
+    let step = toggle (fun m -> ignore (Store.commit store m)) in
+    for _ = 1 to n do
+      step ()
+    done;
+    Store.abandon store;
+    dir
+  in
+  let results =
+    run_micro_tests
+      [
+        Test.make ~name:"durable/delta-query-none" (stage session_thunk);
+        Test.make ~name:"durable/delta-query-never"
+          (stage (store_thunk "never" Wal.Never));
+        Test.make ~name:"durable/delta-query-batch"
+          (stage (store_thunk "batch" Wal.Batch));
+        Test.make ~name:"durable/delta-query-always"
+          (stage (store_thunk "always" Wal.Always));
+        (let d = recovery_dir 100 in
+         Test.make ~name:"durable/recover-100"
+           (stage (fun () -> Recovery.verify d)));
+        (let d = recovery_dir 1000 in
+         Test.make ~name:"durable/recover-1000"
+           (stage (fun () -> Recovery.verify d)));
+        (let d = recovery_dir 5000 in
+         Test.make ~name:"durable/recover-5000"
+           (stage (fun () -> Recovery.verify d)));
+      ]
+  in
+  let ns name =
+    List.find_map
+      (fun (n, e, _) -> if String.equal n name then Some e else None)
+      results
+  in
+  (match (ns "durable/delta-query-none", ns "durable/delta-query-batch") with
+  | Some base, Some batch when base > 0. ->
+    Fmt.pr "@.  WAL overhead (--sync=batch over in-memory): %+.1f%%@."
+      ((batch -. base) /. base *. 100.)
+  | _ -> ());
+  (match (ns "durable/delta-query-none", ns "durable/delta-query-always") with
+  | Some base, Some always when base > 0. ->
+    Fmt.pr "  WAL overhead (--sync=always over in-memory): %+.1f%%@."
+      ((always -. base) /. base *. 100.)
+  | _ -> ());
+  Option.iter (fun path -> write_json path results) (value_of "--json" args)
+
 (* --- Part 3: per-phase breakdown through the observability layer --- *)
 
 let phase_breakdown () =
@@ -479,6 +622,19 @@ let serve_bench args =
   let per_client = int_arg "--requests" 25 in
   let workers = int_arg "--workers" 2 in
   let queue_capacity = int_arg "--queue" 64 in
+  (* --retries N: connect with backoff while the server is coming up,
+     and resend on the busy backpressure code (capped exponential
+     backoff + jitter, Client's policy) — 0 = fail fast, the default. *)
+  let retries =
+    match value_of "--retries" args with
+    | None -> 0
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some n when n >= 0 -> n
+      | _ ->
+        Fmt.epr "--retries expects a non-negative integer, got %S@." v;
+        exit 2)
+  in
   let mixed = List.mem "--mixed" args in
   let json_path = value_of "--json" args in
   let external_socket = value_of "--socket" args in
@@ -513,6 +669,7 @@ let serve_bench args =
                 queue_capacity;
                 debug_sleep = false;
                 preload = [];
+                durability = None;
               })
           ()
       in
@@ -559,7 +716,10 @@ let serve_bench args =
       let unexpected = Atomic.make 0 in
       let latencies = Array.make clients [||] in
       let client_thread idx () =
-        let c = Client.connect_retry socket_path in
+        let c =
+          if retries > 0 then Client.connect ~retries socket_path
+          else Client.connect_retry socket_path
+        in
         Fun.protect
           ~finally:(fun () -> Client.close c)
           (fun () ->
@@ -589,7 +749,7 @@ let serve_bench args =
                   in
                   ( "ok",
                     fun () ->
-                      Client.request c
+                      Client.request_retry ~retries c
                         (Json.Obj
                            [
                              ("op", Json.Str op);
@@ -766,6 +926,7 @@ let () =
   if List.mem "--serve-mutate" args then serve_mutate_bench args
   else if List.mem "--serve" args then serve_bench args
   else if List.mem "--incr" args then incr_bench args
+  else if List.mem "--durable" args then durable_bench args
   else if List.mem "--e1-sanity" args then
     e1_sanity (Option.value ~default:"interned" (value_of "--kernel" args))
   else begin

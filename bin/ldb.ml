@@ -49,6 +49,15 @@ let handle f =
   | Fuzz_corpus.Corpus_error msg ->
     Fmt.epr "corpus error: %s@." msg;
     exit 2
+  | Recovery.Corrupt msg ->
+    Fmt.epr "unrecoverable: %s@." msg;
+    exit 2
+  | Wal.Corrupt { offset; reason } ->
+    Fmt.epr "unrecoverable: WAL corrupt at byte %d: %s@." offset reason;
+    exit 2
+  | Snapshot.Corrupt msg ->
+    Fmt.epr "unrecoverable: %s@." msg;
+    exit 2
   | Sys_error msg ->
     Fmt.epr "error: %s@." msg;
     exit 2
@@ -972,6 +981,31 @@ let serve_cmd =
     in
     Arg.(value & flag & info [ "debug-sleep" ] ~doc)
   in
+  let data_dir_arg =
+    let doc =
+      "Run durable: every loaded database gets a write-ahead log and \
+       periodic snapshots in a subdirectory of $(docv), each acknowledged \
+       mutation is logged before its ok response, and startup recovers \
+       whatever the directory holds before accepting clients."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "data-dir" ] ~docv:"DIR" ~doc)
+  in
+  let sync_arg =
+    let doc =
+      "WAL fsync policy (with --data-dir): $(b,always) fsyncs before every \
+       ack, $(b,batch) coalesces fsyncs in a background thread (bounded \
+       delay), $(b,never) leaves it to the OS."
+    in
+    Arg.(value & opt string "always" & info [ "sync" ] ~docv:"MODE" ~doc)
+  in
+  let snapshot_every_arg =
+    let doc =
+      "Checkpoint (fresh snapshot, truncated log) every $(docv) logged \
+       mutations; 0 disables auto-checkpointing (with --data-dir)."
+    in
+    Arg.(value & opt int 64 & info [ "snapshot-every" ] ~docv:"N" ~doc)
+  in
   let parse_preload spec =
     match String.index_opt spec '=' with
     | Some i when i > 0 && i < String.length spec - 1 ->
@@ -981,9 +1015,22 @@ let serve_cmd =
       Fmt.epr "error: --db expects NAME=PATH, got %S@." spec;
       exit 2
   in
-  let run socket workers queue preload debug_sleep trace metrics =
+  let run socket workers queue preload debug_sleep data_dir sync
+      snapshot_every trace metrics =
     handle (fun () ->
         let preload = List.map parse_preload preload in
+        let sync =
+          match Wal.sync_of_string sync with
+          | Some s -> s
+          | None ->
+            Fmt.epr "error: --sync expects always|batch|never, got %S@." sync;
+            exit 2
+        in
+        let durability =
+          Option.map
+            (fun data_dir -> { Serve.data_dir; sync; snapshot_every })
+            data_dir
+        in
         with_observability ~trace ~metrics (fun () ->
             Serve.run
               {
@@ -992,6 +1039,7 @@ let serve_cmd =
                 queue_capacity = queue;
                 debug_sleep;
                 preload;
+                durability;
               };
             Fmt.pr "serve: clean shutdown@."))
   in
@@ -1004,14 +1052,82 @@ let serve_cmd =
      In-flight queries multiplex over a fixed pool of worker domains with a \
      bounded queue (full queue => $(b,busy)); per-request budgets \
      (timeout_ms, max_structures, max_evaluations) map budget exhaustion to \
-     the $(b,exhausted) code. The full wire protocol is specified in \
-     docs/PROTOCOL.md."
+     the $(b,exhausted) code. With $(b,--data-dir) the server is durable: \
+     acknowledged mutations survive kill -9 via a per-database write-ahead \
+     log with snapshot compaction, replayed on the next startup. SIGTERM \
+     drains gracefully (queued requests answered, stores checkpointed, \
+     exit 0). The full wire protocol is specified in docs/PROTOCOL.md."
   in
   Cmd.v
     (Cmd.info "serve" ~doc)
     Cterm.(
       const run $ socket_arg $ workers_arg $ queue_arg $ preload_arg
-      $ debug_sleep_arg $ trace_arg $ metrics_arg)
+      $ debug_sleep_arg $ data_dir_arg $ sync_arg $ snapshot_every_arg
+      $ trace_arg $ metrics_arg)
+
+(* --- recover --- *)
+
+let recover_cmd =
+  let dir_arg =
+    let doc = "Data directory ($(b,ldb serve --data-dir)'s)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc)
+  in
+  let db_name_arg =
+    let doc = "Recover only the named database (default: all found)." in
+    Arg.(value & opt (some string) None & info [ "db" ] ~docv:"NAME" ~doc)
+  in
+  let verify_arg =
+    let doc =
+      "Read-only: run the full recovery checks without truncating torn \
+       tails or compacting."
+    in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
+  let run dir db_name verify =
+    handle (fun () ->
+        let names =
+          match db_name with
+          | Some n -> [ n ]
+          | None -> Recovery.list ~data_dir:dir
+        in
+        if names = [] then begin
+          Fmt.epr "error: no database directories under %s@." dir;
+          exit 2
+        end;
+        List.iter
+          (fun name ->
+            let db_dir = Recovery.db_dir ~data_dir:dir ~name in
+            let report =
+              if verify then Recovery.verify db_dir
+              else Recovery.recover db_dir
+            in
+            (* Compaction: fold the replayed tail into a fresh snapshot
+               so the next serve startup is replay-free. *)
+            if (not verify) && report.Recovery.r_replayed > 0 then begin
+              let store, _ = Durable_store.open_ ~dir:db_dir () in
+              Durable_store.checkpoint store;
+              Durable_store.close store
+            end;
+            Fmt.pr
+              "%s: %s seq %d (snapshot %d, replayed %d, skipped %d%s)@."
+              name
+              (if verify then "ok at" else "recovered to")
+              report.Recovery.r_seq report.Recovery.r_snapshot_seq
+              report.Recovery.r_replayed report.Recovery.r_skipped
+              (if report.Recovery.r_torn_bytes > 0 then
+                 Printf.sprintf ", torn tail %d bytes"
+                   report.Recovery.r_torn_bytes
+               else ""))
+          names)
+  in
+  let doc =
+    "Recover (or, with $(b,--verify), just check) the databases in a serve \
+     data directory: load each snapshot, validate the write-ahead log, \
+     truncate any torn tail, replay the acknowledged records, and compact \
+     into a fresh snapshot. Exits 2 with a clear message on unrecoverable \
+     mid-log corruption — acknowledged history is never silently dropped."
+  in
+  Cmd.v (Cmd.info "recover" ~doc) Cterm.(const run $ dir_arg $ db_name_arg $ verify_arg)
 
 let main =
   let doc = "query closed-world logical databases (Vardi, PODS 1985)" in
@@ -1028,6 +1144,7 @@ let main =
       repl_cmd;
       mutate_cmd;
       serve_cmd;
+      recover_cmd;
     ]
 
 (* Evaluate without cmdliner's exception catcher so the exit-code

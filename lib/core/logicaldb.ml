@@ -27,6 +27,10 @@
       symtab, the partition-tree quotients, and per-structure
       evaluation results across queries, invalidating only what a
       delta touches;
+    - {!Wal} / {!Snapshot} / {!Recovery} / {!Durable_store} —
+      durability: a per-database write-ahead log with CRC'd records,
+      atomically-renamed snapshots, and startup recovery that replays
+      the log tail through an {!Incr_session};
     - {!Serve} / {!Serve_client} / {!Serve_protocol} / {!Plan_cache} /
       {!Serve_pool} — the [ldb serve] daemon: resident databases, a
       shared worker-domain pool with admission control, and a shared
@@ -131,6 +135,13 @@ module Faults = Vardi_resilience.Faults
 (* Incremental evaluation: resident databases with mutations that keep
    the interned kernel's heavy state warm across queries *)
 module Incr_session = Vardi_incr.Session
+
+(* Durability: per-database write-ahead log, atomic snapshots, and
+   startup recovery for the serve daemon's resident sessions *)
+module Wal = Vardi_durable.Wal
+module Snapshot = Vardi_durable.Snapshot
+module Recovery = Vardi_durable.Recovery
+module Durable_store = Vardi_durable.Store
 
 (* Serving: resident concurrent query server over a Unix-domain
    socket — line-delimited JSON protocol, shared worker-domain pool

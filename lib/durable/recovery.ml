@@ -1,0 +1,140 @@
+module Faults = Vardi_resilience.Faults
+module Session = Vardi_incr.Session
+
+(* --- name <-> directory encoding ----------------------------------- *)
+
+let safe_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '.' || c = '_' || c = '-'
+
+let encode_name name =
+  let b = Buffer.create (String.length name) in
+  String.iteri
+    (fun i c ->
+      if safe_char c && not (i = 0 && c = '.') then Buffer.add_char b c
+      else Buffer.add_string b (Printf.sprintf "%%%02X" (Char.code c)))
+    name;
+  Buffer.contents b
+
+let decode_name enc =
+  let b = Buffer.create (String.length enc) in
+  let i = ref 0 in
+  let n = String.length enc in
+  while !i < n do
+    if enc.[!i] = '%' && !i + 2 < n then begin
+      match int_of_string_opt ("0x" ^ String.sub enc (!i + 1) 2) with
+      | Some code ->
+        Buffer.add_char b (Char.chr code);
+        i := !i + 3
+      | None ->
+        Buffer.add_char b enc.[!i];
+        incr i
+    end
+    else begin
+      Buffer.add_char b enc.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+let db_dir ~data_dir ~name = Filename.concat data_dir (encode_name name)
+
+let list ~data_dir =
+  match Sys.readdir data_dir with
+  | exception Sys_error _ -> []
+  | names ->
+    Array.to_list names
+    |> List.filter (fun n -> Sys.is_directory (Filename.concat data_dir n))
+    |> List.map decode_name
+    |> List.sort String.compare
+
+(* --- recovery ------------------------------------------------------ *)
+
+type report = {
+  r_session : Session.t;
+  r_seq : int;
+  r_delta : int;
+  r_snapshot_seq : int;
+  r_replayed : int;
+  r_skipped : int;
+  r_torn_bytes : int;
+}
+
+exception Corrupt of string
+
+let recover ?cache_capacity ?(truncate = true) dir =
+  Faults.point "recovery.read";
+  (* A crash mid-snapshot leaves a staging file; it was never published,
+     so it carries no acknowledged state and is swept first. *)
+  let tmp = Snapshot.tmp_path dir in
+  if truncate && Sys.file_exists tmp then Sys.remove tmp;
+  let snap =
+    match Snapshot.read dir with
+    | Some meta -> meta
+    | None -> raise (Sys_error (dir ^ ": no snapshot to recover from"))
+    | exception Snapshot.Corrupt reason ->
+      raise (Corrupt (Snapshot.path dir ^ ": " ^ reason))
+  in
+  let wal_file = Wal.path dir in
+  let scan =
+    try Wal.scan wal_file
+    with Wal.Corrupt { offset; reason } ->
+      raise
+        (Corrupt
+           (Printf.sprintf
+              "%s: unrecoverable corruption at byte %d: %s (a torn tail \
+               would be truncated, but damage before intact records means \
+               acknowledged history was lost)"
+              wal_file offset reason))
+  in
+  if truncate && scan.torn > 0 then Wal.truncate_torn wal_file ~good:scan.good;
+  let session = Session.create ?cache_capacity ~delta_epoch:snap.delta snap.db in
+  let seq = ref snap.seq in
+  let replayed = ref 0 in
+  let skipped = ref 0 in
+  List.iter
+    (fun (e : Wal.entry) ->
+      if e.e_seq <= snap.seq then incr skipped
+        (* a crash between snapshot publication and WAL reset leaves the
+           whole old log behind; its records are already in the snapshot *)
+      else if e.e_seq <> !seq + 1 then
+        raise
+          (Corrupt
+             (Printf.sprintf
+                "%s: WAL does not continue the snapshot: expected seq %d, \
+                 found %d"
+                wal_file (!seq + 1) e.e_seq))
+      else begin
+        (match Session.apply session e.e_mutation with
+        | true -> ()
+        | false ->
+          (* the log never records no-ops, so a record that replays as
+             one means log and snapshot disagree about history *)
+          raise
+            (Corrupt
+               (Printf.sprintf
+                  "%s: record seq %d replayed as a no-op — log and \
+                   snapshot disagree"
+                  wal_file e.e_seq))
+        | exception Invalid_argument msg ->
+          raise
+            (Corrupt
+               (Printf.sprintf "%s: record seq %d does not apply: %s"
+                  wal_file e.e_seq msg)));
+        incr seq;
+        incr replayed
+      end)
+    scan.entries;
+  {
+    r_session = session;
+    r_seq = !seq;
+    r_delta = Session.delta_epoch session;
+    r_snapshot_seq = snap.seq;
+    r_replayed = !replayed;
+    r_skipped = !skipped;
+    r_torn_bytes = scan.torn;
+  }
+
+let verify ?cache_capacity dir = recover ?cache_capacity ~truncate:false dir

@@ -1,0 +1,68 @@
+(** Startup recovery: rebuild a resident session from a database
+    directory's snapshot and WAL tail.
+
+    A durable database lives in one directory holding [snapshot.ldb]
+    (see {!Snapshot}) and [wal.log] (see {!Wal}). Recovery:
+
+    + deletes a stale [snapshot.ldb.tmp] left by a crash mid-snapshot;
+    + loads the snapshot (a directory with neither file recovers as
+      absent — {!recover} raises; the {!Store} creates fresh instead);
+    + scans the WAL, truncating a {e torn tail} (the residue of an
+      interrupted append — those bytes were never acknowledged) but
+      {b refusing} on {e mid-log} corruption, because every complete
+      record before a valid record was acknowledged and silently
+      dropping it would un-happen an acked mutation;
+    + replays, through {!Vardi_incr.Session.apply}, exactly the records
+      with sequence numbers after the snapshot's — records at or below
+      it are stale duplicates from a crash between snapshot publication
+      and log reset, and are skipped;
+    + requires the replayed records to continue the snapshot's sequence
+      contiguously, so the recovered session's delta epoch (snapshot
+      epoch + replayed records) matches the lost process's exactly.
+
+    Database {e names} (arbitrary strings on the wire) map to directory
+    names through a conservative percent-encoding, {!encode_name}, so a
+    data dir enumerates cleanly with {!list}. *)
+
+(** [encode_name name] percent-encodes everything outside
+    [A-Za-z0-9._-] (and encodes a leading dot), so any wire database
+    name is a safe, flat directory name. *)
+val encode_name : string -> string
+
+(** Inverse of {!encode_name} (returns the input unchanged when no
+    escapes are present). *)
+val decode_name : string -> string
+
+(** [db_dir ~data_dir ~name] is [data_dir/encode_name name]. *)
+val db_dir : data_dir:string -> name:string -> string
+
+(** [list ~data_dir] is the decoded names of the database directories
+    under [data_dir] (sorted; empty when the directory is missing). *)
+val list : data_dir:string -> string list
+
+type report = {
+  r_session : Vardi_incr.Session.t;  (** the recovered resident session *)
+  r_seq : int;  (** last applied sequence number *)
+  r_delta : int;  (** the recovered session's delta epoch *)
+  r_snapshot_seq : int;  (** sequence the snapshot was taken at *)
+  r_replayed : int;  (** WAL records applied on top of the snapshot *)
+  r_skipped : int;  (** stale records at or below the snapshot seq *)
+  r_torn_bytes : int;  (** torn-tail bytes dropped (0 = clean) *)
+}
+
+(** Unrecoverable damage: mid-log WAL corruption ({!Wal.Corrupt}),
+    snapshot damage ({!Snapshot.Corrupt}), a WAL that does not continue
+    the snapshot's sequence, or a record the database refuses to
+    replay. The payload says where and why; callers exit 2. *)
+exception Corrupt of string
+
+(** [recover ?cache_capacity ?truncate dir] rebuilds the session.
+    [truncate] (default [true]) physically drops a torn WAL tail;
+    [~truncate:false] is the read-only verification mode ([ldb recover
+    --verify]) — same checks, no writes.
+    @raise Corrupt as above.
+    @raise Sys_error when [dir] has no snapshot (nothing to recover). *)
+val recover : ?cache_capacity:int -> ?truncate:bool -> string -> report
+
+(** [verify dir] is [recover ~truncate:false dir]. *)
+val verify : ?cache_capacity:int -> string -> report

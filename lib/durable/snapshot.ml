@@ -1,0 +1,88 @@
+module Faults = Vardi_resilience.Faults
+module Ldb_format = Vardi_format.Ldb_format
+
+let path dir = Filename.concat dir "snapshot.ldb"
+let tmp_path dir = Filename.concat dir "snapshot.ldb.tmp"
+
+type meta = { seq : int; delta : int; db : Vardi_cwdb.Cw_database.t }
+
+exception Corrupt of string
+
+let fsync_dir dir =
+  (* Directory fsync commits the rename itself; some filesystems refuse
+     fsync on a directory fd — then the rename's durability rides on the
+     next journal commit, which is the best available. *)
+  match Unix.openfile dir [ O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
+let write_all fd s pos len =
+  let p = ref pos and n = ref len in
+  while !n > 0 do
+    let k = Unix.write_substring fd s !p !n in
+    p := !p + k;
+    n := !n - k
+  done
+
+let write ~dir ~seq ~delta db =
+  Faults.point "snapshot.write";
+  let body =
+    Printf.sprintf "# ldb-snapshot 1\n# seq %d\n# delta %d\n%s" seq delta
+      (Ldb_format.print db)
+  in
+  let tmp = tmp_path dir in
+  let fd = Unix.openfile tmp [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      (match
+         Faults.short_write ~total:(String.length body) "snapshot.write.short"
+       with
+      | Some k ->
+        write_all fd body 0 k;
+        (* crash before the rename: the stale .tmp is recovery's to sweep *)
+        raise (Faults.Injected "snapshot.write.short")
+      | None -> ());
+      write_all fd body 0 (String.length body);
+      Unix.fsync fd);
+  Unix.rename tmp (path dir);
+  fsync_dir dir
+
+let header_int ~key line =
+  let prefix = "# " ^ key ^ " " in
+  if String.length line > String.length prefix
+     && String.sub line 0 (String.length prefix) = prefix
+  then
+    int_of_string_opt
+      (String.sub line (String.length prefix)
+         (String.length line - String.length prefix))
+  else None
+
+let read dir =
+  let file = path dir in
+  if not (Sys.file_exists file) then None
+  else begin
+    let text =
+      let ic = In_channel.open_bin file in
+      Fun.protect
+        ~finally:(fun () -> In_channel.close ic)
+        (fun () -> In_channel.input_all ic)
+    in
+    match String.split_on_char '\n' text with
+    | "# ldb-snapshot 1" :: seq_line :: delta_line :: _ -> begin
+      match (header_int ~key:"seq" seq_line, header_int ~key:"delta" delta_line) with
+      | Some seq, Some delta -> begin
+        match Ldb_format.parse text with
+        | db -> Some { seq; delta; db }
+        | exception Ldb_format.Syntax_error (line, msg) ->
+          raise (Corrupt (Printf.sprintf "snapshot body: line %d: %s" line msg))
+        | exception Invalid_argument msg ->
+          raise (Corrupt ("snapshot body: " ^ msg))
+      end
+      | _ -> raise (Corrupt "snapshot header: bad seq/delta lines")
+    end
+    | _ -> raise (Corrupt "snapshot header: missing '# ldb-snapshot 1' line")
+  end

@@ -1,0 +1,48 @@
+(** Database snapshots: the compaction half of durability.
+
+    A snapshot is a valid [.ldb] text file (readable by [ldb] and every
+    {!Vardi_format.Ldb_format} consumer) prefixed with comment header
+    lines the recovery path reads back:
+
+    {v
+    # ldb-snapshot 1
+    # seq 42
+    # delta 40
+    predicate TEACHES/2
+    ...
+    v}
+
+    [seq] is the WAL sequence number of the last mutation folded into
+    the snapshot (so recovery replays exactly the records after it) and
+    [delta] is the session's delta epoch at that point (so a recovered
+    session reports the same epoch the lost process would have).
+
+    {!write} never overwrites in place: it writes [snapshot.ldb.tmp],
+    fsyncs, atomically renames over [snapshot.ldb], and fsyncs the
+    directory — a crash at any point leaves either the old snapshot or
+    the new one, never a hybrid. It visits the
+    {!Vardi_resilience.Faults} points ["snapshot.write"] and
+    ["snapshot.write.short"]. *)
+
+(** [dir/snapshot.ldb]. *)
+val path : string -> string
+
+(** The staging file {!write} renames from ([dir/snapshot.ldb.tmp]);
+    recovery deletes a stale one left by a crash mid-write. *)
+val tmp_path : string -> string
+
+type meta = { seq : int; delta : int; db : Vardi_cwdb.Cw_database.t }
+
+exception Corrupt of string
+
+(** [write ~dir ~seq ~delta db] atomically replaces [dir]'s snapshot.
+    @raise Vardi_resilience.Faults.Injected at the armed crash points
+    (the staging [.tmp] may remain; the published snapshot is intact). *)
+val write : dir:string -> seq:int -> delta:int -> Vardi_cwdb.Cw_database.t -> unit
+
+(** [read dir] loads the published snapshot; [None] when the directory
+    has none.
+    @raise Corrupt when the file exists but its header or body does not
+    parse — a snapshot is published atomically, so damage means the
+    file was corrupted at rest and recovery must refuse. *)
+val read : string -> meta option

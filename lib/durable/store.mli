@@ -1,0 +1,86 @@
+(** A durable store: one database directory ({!Snapshot} +  {!Wal})
+    bound to one resident {!Vardi_incr.Session}, with the write-ahead
+    commit discipline the serve daemon's durability contract rests on.
+
+    {!commit} serializes mutations under an internal lock and performs,
+    in order: a {e probe} of the current database (reject invalid
+    mutations and detect no-ops {e before} anything is logged — the WAL
+    only ever records mutations that will apply and move the delta
+    epoch), the WAL append (with the configured {!Wal.sync} policy),
+    and only then the in-memory apply. A mutation is thus never
+    acknowledged before it is logged, and never logged unless it will
+    succeed.
+
+    Every [snapshot_every] committed records the store {e checkpoints}:
+    writes a fresh snapshot (atomic rename) and resets the WAL, so the
+    log stays short and recovery stays fast. *)
+
+type t
+
+(** [create ~dir ?sync ?snapshot_every ?cache_capacity db] starts a
+    {b fresh} lineage in [dir] (created if missing; any previous
+    snapshot/WAL there is discarded): snapshot of [db] at seq [0],
+    delta epoch [0], empty log. [snapshot_every] (default [64]; [0]
+    disables) is the auto-checkpoint record threshold. *)
+val create :
+  dir:string ->
+  ?sync:Wal.sync ->
+  ?batch_interval:float ->
+  ?snapshot_every:int ->
+  ?cache_capacity:int ->
+  Vardi_cwdb.Cw_database.t ->
+  t
+
+(** [open_ ~dir ... ()] recovers an existing lineage
+    ({!Recovery.recover}, truncating any torn tail) and reopens its log
+    for appending.
+    @raise Recovery.Corrupt and [Sys_error] as {!Recovery.recover}. *)
+val open_ :
+  dir:string ->
+  ?sync:Wal.sync ->
+  ?batch_interval:float ->
+  ?snapshot_every:int ->
+  ?cache_capacity:int ->
+  unit ->
+  t * Recovery.report
+
+(** The store's resident session. Queries go straight to it; mutations
+    must go through {!commit}. *)
+val session : t -> Vardi_incr.Session.t
+
+val dir : t -> string
+val sync : t -> Wal.sync
+
+(** Last committed sequence number (0 = none since {!create}). *)
+val seq : t -> int
+
+(** Checkpoints taken since open (auto + explicit). *)
+val snapshots : t -> int
+
+val wal_counters : t -> Wal.counters
+
+(** [commit t m] runs the write-ahead commit. [`Applied seq] means the
+    mutation is logged (durable per the sync policy) and applied;
+    [`Noop] means it would not change the database — nothing was
+    logged or applied.
+    @raise Invalid_argument when the mutation is invalid (same
+    conditions as the session mutators) or the store is closed.
+    @raise Vardi_resilience.Faults.Injected at the durable layer's
+    crash points — the store refuses further commits; recover from
+    disk. *)
+val commit : t -> Vardi_incr.Session.mutation -> [ `Applied of int | `Noop ]
+
+(** [checkpoint t] forces a snapshot + WAL reset now. *)
+val checkpoint : t -> unit
+
+(** [flush t] fsyncs pending WAL bytes (meaningful under [Batch]). *)
+val flush : t -> unit
+
+(** [close t] flushes and closes the log. The session stays usable for
+    reads; further {!commit}s raise. *)
+val close : t -> unit
+
+(** [abandon t] drops the log descriptor without flushing — the
+    simulated [kill -9] the crash-recovery oracle uses. On-disk state
+    is exactly what the sync policy had already persisted. *)
+val abandon : t -> unit

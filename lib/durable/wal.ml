@@ -1,0 +1,386 @@
+module Faults = Vardi_resilience.Faults
+module Session = Vardi_incr.Session
+module Cw_database = Vardi_cwdb.Cw_database
+
+type mutation = Session.mutation
+
+type sync = Always | Batch | Never
+
+let sync_to_string = function
+  | Always -> "always"
+  | Batch -> "batch"
+  | Never -> "never"
+
+let sync_of_string = function
+  | "always" -> Some Always
+  | "batch" -> Some Batch
+  | "never" -> Some Never
+  | _ -> None
+
+let path dir = Filename.concat dir "wal.log"
+
+let magic = "LDBWAL1\n"
+let header_len = String.length magic
+
+(* --- record encoding ---------------------------------------------- *)
+
+let tag_insert = 0
+let tag_retract = 1
+let tag_close_distinct = 2
+let tag_close_equal = 3
+
+let add_u16 b n =
+  if n < 0 || n > 0xFFFF then invalid_arg "Wal: field too long";
+  Buffer.add_char b (Char.chr (n lsr 8));
+  Buffer.add_char b (Char.chr (n land 0xFF))
+
+let add_str b s =
+  add_u16 b (String.length s);
+  Buffer.add_string b s
+
+let add_u64 b n =
+  for i = 0 to 7 do
+    Buffer.add_char b (Char.chr ((n lsr ((7 - i) * 8)) land 0xFF))
+  done
+
+let encode_payload ~seq (m : mutation) =
+  let b = Buffer.create 64 in
+  add_u64 b seq;
+  (match m with
+  | Session.Insert { pred; args } | Session.Retract { pred; args } ->
+    Buffer.add_char b
+      (Char.chr (match m with Session.Insert _ -> tag_insert | _ -> tag_retract));
+    add_str b pred;
+    add_u16 b (List.length args);
+    List.iter (add_str b) args
+  | Session.Close { left; right; equal } ->
+    Buffer.add_char b (Char.chr (if equal then tag_close_equal else tag_close_distinct));
+    add_str b left;
+    add_str b right);
+  Buffer.contents b
+
+exception Decode of string
+
+let get_u16 s pos =
+  if pos + 2 > String.length s then raise (Decode "truncated field");
+  (Char.code s.[pos] lsl 8) lor Char.code s.[pos + 1]
+
+let get_str s pos =
+  let len = get_u16 s pos in
+  if pos + 2 + len > String.length s then raise (Decode "truncated string");
+  (String.sub s (pos + 2) len, pos + 2 + len)
+
+let decode_payload s =
+  if String.length s < 9 then raise (Decode "payload too short");
+  let seq = ref 0 in
+  for i = 0 to 7 do
+    seq := (!seq lsl 8) lor Char.code s.[i]
+  done;
+  let tag = Char.code s.[8] in
+  let m =
+    if tag = tag_insert || tag = tag_retract then begin
+      let pred, pos = get_str s 9 in
+      let nargs = get_u16 s pos in
+      let pos = ref (pos + 2) in
+      let args = ref [] in
+      for _ = 1 to nargs do
+        let a, p = get_str s !pos in
+        pos := p;
+        args := a :: !args
+      done;
+      let args = List.rev !args in
+      if !pos <> String.length s then raise (Decode "trailing bytes");
+      let fact = { Cw_database.pred; args } in
+      if tag = tag_insert then Session.Insert fact else Session.Retract fact
+    end
+    else if tag = tag_close_distinct || tag = tag_close_equal then begin
+      let left, pos = get_str s 9 in
+      let right, pos = get_str s pos in
+      if pos <> String.length s then raise (Decode "trailing bytes");
+      Session.Close { left; right; equal = tag = tag_close_equal }
+    end
+    else raise (Decode (Printf.sprintf "unknown op tag %d" tag))
+  in
+  (!seq, m)
+
+let put_u32 bytes pos (v : int32) =
+  let v = Int32.to_int v land 0xFFFFFFFF in
+  Bytes.set bytes pos (Char.chr ((v lsr 24) land 0xFF));
+  Bytes.set bytes (pos + 1) (Char.chr ((v lsr 16) land 0xFF));
+  Bytes.set bytes (pos + 2) (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set bytes (pos + 3) (Char.chr (v land 0xFF))
+
+let get_u32 s pos =
+  (Char.code s.[pos] lsl 24)
+  lor (Char.code s.[pos + 1] lsl 16)
+  lor (Char.code s.[pos + 2] lsl 8)
+  lor Char.code s.[pos + 3]
+
+(* [len | payload | crc32(payload)] as one string, written in one go so
+   a torn append can only ever damage the file's tail. *)
+let frame payload =
+  let plen = String.length payload in
+  let b = Bytes.create (4 + plen + 4) in
+  put_u32 b 0 (Int32.of_int plen);
+  Bytes.blit_string payload 0 b 4 plen;
+  put_u32 b (4 + plen) (Crc32.digest payload);
+  Bytes.unsafe_to_string b
+
+(* --- appender ------------------------------------------------------ *)
+
+type t = {
+  fd : Unix.file_descr;
+  sync : sync;
+  lock : Mutex.t;
+  mutable writable : bool;  (* false after close/abandon or a torn write *)
+  mutable fd_open : bool;
+  mutable dirty : bool;  (* Batch: bytes written since the last fsync *)
+  mutable flusher : Thread.t option;
+  mutable appends : int;
+  mutable fsyncs : int;
+  mutable bytes : int;
+}
+
+let write_all fd s pos len =
+  let p = ref pos and n = ref len in
+  while !n > 0 do
+    let k = Unix.write_substring fd s !p !n in
+    p := !p + k;
+    n := !n - k
+  done
+
+let rec flusher_loop t interval =
+  Thread.delay interval;
+  let continue =
+    Mutex.protect t.lock (fun () ->
+        if not t.fd_open then false
+        else begin
+          if t.dirty then begin
+            (try
+               Unix.fsync t.fd;
+               t.fsyncs <- t.fsyncs + 1
+             with Unix.Unix_error _ -> ());
+            t.dirty <- false
+          end;
+          true
+        end)
+  in
+  if continue then flusher_loop t interval
+
+let open_ ?(sync = Always) ?(batch_interval = 0.02) file =
+  let fd = Unix.openfile file [ O_WRONLY; O_CREAT; O_APPEND ] 0o644 in
+  if (Unix.fstat fd).st_size = 0 then begin
+    write_all fd magic 0 header_len;
+    Unix.fsync fd
+  end;
+  let t =
+    {
+      fd;
+      sync;
+      lock = Mutex.create ();
+      writable = true;
+      fd_open = true;
+      dirty = false;
+      flusher = None;
+      appends = 0;
+      fsyncs = 0;
+      bytes = 0;
+    }
+  in
+  (match sync with
+  | Batch -> t.flusher <- Some (Thread.create (fun () -> flusher_loop t batch_interval) ())
+  | Always | Never -> ());
+  t
+
+let append t ~seq m =
+  Faults.point "wal.append";
+  let record = frame (encode_payload ~seq m) in
+  let total = String.length record in
+  Mutex.protect t.lock (fun () ->
+      if not t.writable then invalid_arg "Wal.append: log is closed";
+      (match Faults.short_write ~total "wal.append.short" with
+      | Some k ->
+        (* a torn write: only the first [k] bytes reach the file, and the
+           log refuses further appends so the tear stays at the tail. *)
+        write_all t.fd record 0 k;
+        t.writable <- false;
+        raise (Faults.Injected "wal.append.short")
+      | None -> ());
+      write_all t.fd record 0 total;
+      t.appends <- t.appends + 1;
+      t.bytes <- t.bytes + total;
+      match t.sync with
+      | Always ->
+        Faults.point "wal.fsync";
+        Unix.fsync t.fd;
+        t.fsyncs <- t.fsyncs + 1
+      | Batch -> t.dirty <- true
+      | Never -> ())
+
+let flush t =
+  Mutex.protect t.lock (fun () ->
+      if t.fd_open then begin
+        Unix.fsync t.fd;
+        t.fsyncs <- t.fsyncs + 1;
+        t.dirty <- false
+      end)
+
+let reset t =
+  Mutex.protect t.lock (fun () ->
+      if not t.writable then invalid_arg "Wal.reset: log is closed";
+      Unix.ftruncate t.fd header_len;
+      (* O_APPEND repositions every write at the new end of file. *)
+      Unix.fsync t.fd;
+      t.fsyncs <- t.fsyncs + 1;
+      t.dirty <- false)
+
+let join_flusher t =
+  match t.flusher with
+  | None -> ()
+  | Some th ->
+    t.flusher <- None;
+    Thread.join th
+
+let close t =
+  Mutex.protect t.lock (fun () ->
+      if t.fd_open then begin
+        (match t.sync with
+        | Never -> ()
+        | Always | Batch ->
+          (try
+             Unix.fsync t.fd;
+             t.fsyncs <- t.fsyncs + 1
+           with Unix.Unix_error _ -> ()));
+        Unix.close t.fd;
+        t.fd_open <- false;
+        t.writable <- false
+      end);
+  join_flusher t
+
+let abandon t =
+  Mutex.protect t.lock (fun () ->
+      if t.fd_open then begin
+        Unix.close t.fd;
+        t.fd_open <- false;
+        t.writable <- false
+      end);
+  join_flusher t
+
+type counters = { c_appends : int; c_fsyncs : int; c_bytes : int }
+
+let counters t =
+  Mutex.protect t.lock (fun () ->
+      { c_appends = t.appends; c_fsyncs = t.fsyncs; c_bytes = t.bytes })
+
+(* --- scanning ------------------------------------------------------ *)
+
+type entry = { e_seq : int; e_mutation : mutation; e_off : int; e_len : int }
+type scan = { entries : entry list; good : int; torn : int }
+
+exception Corrupt of { offset : int; reason : string }
+
+let read_file file =
+  let ic = In_channel.open_bin file in
+  Fun.protect
+    ~finally:(fun () -> In_channel.close ic)
+    (fun () -> In_channel.input_all ic)
+
+let scan file =
+  Faults.point "recovery.read";
+  if not (Sys.file_exists file) then { entries = []; good = 0; torn = 0 }
+  else begin
+    let data = read_file file in
+    let size = String.length data in
+    if size = 0 then { entries = []; good = 0; torn = 0 }
+    else if size < header_len then
+      (* a crash inside the initial header write *)
+      { entries = []; good = 0; torn = size }
+    else if String.sub data 0 header_len <> magic then
+      raise (Corrupt { offset = 0; reason = "bad magic header" })
+    else begin
+      let entries = ref [] in
+      let off = ref header_len in
+      let torn_at = ref None in
+      let last_seq = ref None in
+      (try
+         while !off < size && !torn_at = None do
+           let start = !off in
+           if size - start < 4 then torn_at := Some start
+           else begin
+             let plen = get_u32 data start in
+             let record_end = start + 4 + plen + 4 in
+             if plen < 9 || record_end > size then
+               (* the length cannot frame a record inside the file: the
+                  shape an interrupted append leaves — a torn tail. *)
+               torn_at := Some start
+             else begin
+               let payload = String.sub data (start + 4) plen in
+               let stored = Int32.of_int (get_u32 data (start + 4 + plen)) in
+               let computed =
+                 Int32.logand (Crc32.digest payload) 0xFFFFFFFFl
+               in
+               if Int32.logand stored 0xFFFFFFFFl <> computed then begin
+                 if record_end = size then torn_at := Some start
+                 else
+                   raise
+                     (Corrupt { offset = start; reason = "CRC mismatch" })
+               end
+               else begin
+                 let seq, m =
+                   try decode_payload payload
+                   with Decode reason ->
+                     raise (Corrupt { offset = start; reason })
+                 in
+                 (match !last_seq with
+                 | Some s when seq <> s + 1 ->
+                   raise
+                     (Corrupt
+                        {
+                          offset = start;
+                          reason =
+                            Printf.sprintf
+                              "sequence gap: %d after %d" seq s;
+                        })
+                 | _ -> ());
+                 last_seq := Some seq;
+                 entries :=
+                   {
+                     e_seq = seq;
+                     e_mutation = m;
+                     e_off = start;
+                     e_len = record_end - start;
+                   }
+                   :: !entries;
+                 off := record_end
+               end
+             end
+           end
+         done
+       with Decode reason -> raise (Corrupt { offset = !off; reason }));
+      let good = match !torn_at with Some at -> at | None -> !off in
+      { entries = List.rev !entries; good; torn = size - good }
+    end
+  end
+
+let truncate_torn file ~good =
+  let fd = Unix.openfile file [ O_WRONLY ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      Unix.ftruncate fd good;
+      Unix.fsync fd)
+
+let corrupt file ~bit =
+  let fd = Unix.openfile file [ O_RDWR ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let pos = bit / 8 in
+      let buf = Bytes.create 1 in
+      ignore (Unix.lseek fd pos SEEK_SET);
+      if Unix.read fd buf 0 1 <> 1 then invalid_arg "Wal.corrupt: out of range";
+      Bytes.set buf 0
+        (Char.chr (Char.code (Bytes.get buf 0) lxor (1 lsl (bit mod 8))));
+      ignore (Unix.lseek fd pos SEEK_SET);
+      ignore (Unix.write fd buf 0 1);
+      Unix.fsync fd)

@@ -1,0 +1,131 @@
+(** Per-database write-ahead log: the append-only record file that
+    makes acknowledged mutations survive a crash.
+
+    {2 File format}
+
+    The file opens with an 8-byte magic header ([LDBWAL1\n]); after it,
+    a sequence of length-prefixed records:
+
+    {v
+    +----------------+---------------------------+----------------+
+    | length (u32 BE)| payload (length bytes)    | CRC32 (u32 BE) |
+    +----------------+---------------------------+----------------+
+    payload = seq (u64 BE) · op tag (1 byte) · op-specific fields
+    v}
+
+    The CRC covers the payload only. Sequence numbers are monotone
+    (+1 per record) across the database's whole lineage — a snapshot
+    truncates the log but the numbering continues, so recovery can tell
+    stale pre-snapshot records from the tail it must replay.
+
+    {2 Failure taxonomy on read}
+
+    {!scan} distinguishes two kinds of damage:
+    - a {e torn tail} — the file ends inside a record (incomplete
+      length/payload/CRC, or a CRC mismatch on the final record, or a
+      length field too damaged to frame a record inside the file).
+      That is what an interrupted write leaves behind; the tail is
+      reported (and {!truncate_torn} drops it) and everything before it
+      is served.
+    - {e mid-log corruption} — a CRC mismatch, undecodable payload or
+      sequence discontinuity with valid records after it. No write
+      interruption produces that shape; it means the file was damaged
+      at rest, and {!scan} refuses with {!Corrupt} rather than silently
+      dropping acknowledged history.
+
+    {2 Fault points}
+
+    Writes visit {!Vardi_resilience.Faults} as ["wal.append"] (before
+    any byte), ["wal.append.short"] (torn-write injection via
+    [Faults.short_write]) and ["wal.fsync"] (record complete, fsync
+    pending); {!scan} visits ["recovery.read"]. *)
+
+type mutation = Vardi_incr.Session.mutation
+
+(** When an {e acknowledged} append is durable:
+    - [Always] — fsync before {!append} returns; an ack implies the
+      record is on stable storage.
+    - [Batch] — appends are written (and the channel flushed) eagerly
+      but fsync'd by a background coalescing thread within the open
+      call's [batch_interval]; an ack implies durability after at most
+      that interval.
+    - [Never] — no fsync; durability is whenever the OS writes back. *)
+type sync = Always | Batch | Never
+
+val sync_to_string : sync -> string
+val sync_of_string : string -> sync option
+
+(** [path dir] is the log's conventional location ([dir/wal.log]). *)
+val path : string -> string
+
+(** {1 Appending} *)
+
+type t
+
+(** [open_ ?sync ?batch_interval path] opens (creating, with the magic
+    header, if missing or empty) the log for appending. The caller is
+    expected to have run recovery first on a dirty file — an appender
+    never inspects existing records. [batch_interval] (seconds, default
+    [0.02]) bounds the [Batch] coalescing delay. *)
+val open_ : ?sync:sync -> ?batch_interval:float -> string -> t
+
+(** [append t ~seq m] appends one record and applies the sync policy.
+    Write-ahead discipline is the caller's: append must succeed before
+    the mutation is applied or acknowledged.
+    @raise Vardi_resilience.Faults.Injected at the armed crash points.
+    @raise Invalid_argument if [t] is closed. *)
+val append : t -> seq:int -> mutation -> unit
+
+(** [flush t] flushes the channel and fsyncs if anything is pending. *)
+val flush : t -> unit
+
+(** [reset t] truncates the log back to the bare header — called after
+    a snapshot has made its records redundant. Fsyncs. *)
+val reset : t -> unit
+
+(** [close t] flushes, fsyncs (unless [Never]) and closes. *)
+val close : t -> unit
+
+(** [abandon t] closes the descriptor without flushing anything beyond
+    what {!append} already pushed — the tests' simulated [kill -9]. *)
+val abandon : t -> unit
+
+type counters = {
+  c_appends : int;  (** records appended since {!open_} *)
+  c_fsyncs : int;  (** fsync calls issued *)
+  c_bytes : int;  (** record bytes appended since {!open_} *)
+}
+
+val counters : t -> counters
+
+(** {1 Scanning (the recovery read path)} *)
+
+type entry = {
+  e_seq : int;
+  e_mutation : mutation;
+  e_off : int;  (** byte offset of the record's length prefix *)
+  e_len : int;  (** total record length (prefix + payload + CRC) *)
+}
+
+type scan = {
+  entries : entry list;  (** valid records, in file order *)
+  good : int;  (** byte offset just past the last valid record *)
+  torn : int;  (** torn-tail bytes after [good] ([0] = clean) *)
+}
+
+exception Corrupt of { offset : int; reason : string }
+
+(** [scan path] reads and validates the whole log. A missing file scans
+    as empty.
+    @raise Corrupt on mid-log corruption (see the failure taxonomy
+    above). *)
+val scan : string -> scan
+
+(** [truncate_torn path ~good] drops a torn tail at the byte level
+    (ftruncate to [good], fsync). Idempotent. *)
+val truncate_torn : string -> good:int -> unit
+
+(** [corrupt path ~bit] flips one bit of the file in place — the
+    directed bit-rot injection recovery tests and the checked-in
+    corpus generator use. *)
+val corrupt : string -> bit:int -> unit

@@ -20,6 +20,9 @@ module Obs = Vardi_obs.Obs
 module Resilient = Vardi_resilience.Resilient
 module Budget = Vardi_resilience.Budget
 module Faults = Vardi_resilience.Faults
+module Wal = Vardi_durable.Wal
+module Recovery = Vardi_durable.Recovery
+module Store = Vardi_durable.Store
 
 type violation = {
   oracle : string;
@@ -53,6 +56,7 @@ let oracle_ids =
     "typed-query-roundtrip";
     "tldb-roundtrip";
     "incremental-parity";
+    "crash-recovery";
   ]
 
 (* Enumeration budgets: the generated databases are tiny, but a caller
@@ -796,6 +800,190 @@ let check_incremental_parity ctx db q =
       | Some false | None -> ()
     done
 
+(* --- crash-recovery -------------------------------------------------
+
+   Durability oracle for the write-ahead log (Theorem 1 state as the
+   recoverable object): run a random mutation script against a
+   [Durable_store] with fault injection armed, "kill" the process at
+   whatever fault point fires ([Store.abandon] — the file descriptor is
+   dropped without flushing or checkpointing), then recover the
+   directory and demand the recovered session equals a fresh session
+   that applied exactly the durable prefix of the script.
+
+   Which prefix is durable is determined by the crash point, and that
+   determinism is the contract under test:
+
+   - ["wal.append"] / ["wal.append.short"]: the record was not (fully)
+     written, so the in-flight mutation must NOT survive — recovery
+     sees the acknowledged prefix only (truncating the torn tail in the
+     short-write case).
+   - ["wal.fsync"] / ["snapshot.write"] / ["snapshot.write.short"]: the
+     record was fully written before the crash, so the in-flight
+     mutation MUST survive even though the client never saw an ack
+     (fsync crash) or the checkpoint was interrupted (snapshot crash —
+     the stale tmp file is swept, the previous snapshot + log win).
+
+   Answers and delta epochs must agree, not just the databases: a
+   recovered session that answers through stale caches or restarts its
+   epoch would pass a database-only check. *)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let check_crash_recovery ctx ~seed db q =
+  let oracle = "crash-recovery" in
+  let state = Random.State.make [| seed; 0xC4A5 |] in
+  let dir = Filename.temp_file "ldb-crashrec" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> try rm_rf dir with Sys_error _ -> ())
+  @@ fun () ->
+  match
+    guard ctx oracle (fun () ->
+        Store.create ~dir ~sync:Wal.Always ~snapshot_every:4 db)
+  with
+  | None -> ()
+  | Some store ->
+    let pick l = List.nth l (Random.State.int state (List.length l)) in
+    let preds = Vocabulary.predicates (Cw_database.vocabulary db) in
+    (* Draw the next mutation, valid against [current] (the store
+       probes validity itself and would raise [Invalid_argument] on an
+       invalid one — the generator only proposes applicable steps, the
+       same vocabulary walk as [check_incremental_parity]). *)
+    let gen current =
+      let constants = Cw_database.constants current in
+      match Random.State.int state 4 with
+      | 0 when preds <> [] ->
+        let p, k = pick preds in
+        Some
+          (Session.Insert
+             {
+               Cw_database.pred = p;
+               args = List.init k (fun _ -> pick constants);
+             })
+      | 1 -> (
+        match Cw_database.facts current with
+        | [] -> None
+        | facts -> Some (Session.Retract (pick facts)))
+      | 2 when List.length constants >= 2 ->
+        let c = pick constants and d = pick constants in
+        if String.equal c d then None
+        else Some (Session.Close { left = c; right = d; equal = false })
+      | 3 when List.length constants >= 2 ->
+        let keep = pick constants and drop = pick constants in
+        if String.equal keep drop || Cw_database.are_distinct current keep drop
+        then None
+        else (
+          match
+            Query_check.validate
+              (Cw_database.merge_constants current ~keep ~drop)
+              q
+          with
+          | () -> Some (Session.Close { left = keep; right = drop; equal = true })
+          | exception Invalid_argument _ -> None)
+      | _ -> None
+    in
+    let script_len = 8 + Random.State.int state 8 in
+    (* Mutations whose commit returned normally (acknowledged), newest
+       first; [crashed] records the fault point and the in-flight
+       mutation when injection fired mid-commit. *)
+    let acked = ref [] in
+    let crashed = ref None in
+    (match
+       guard ctx oracle (fun () ->
+           Faults.with_faults ~seed ~rate:0.1 (fun () ->
+               let step = ref 0 in
+               while !step < script_len && !crashed = None do
+                 incr step;
+                 let current = Session.db (Store.session store) in
+                 match gen current with
+                 | None -> ()
+                 | Some m -> (
+                   match Store.commit store m with
+                   | `Applied _ | `Noop -> acked := m :: !acked
+                   | exception Faults.Injected point ->
+                     crashed := Some (point, m))
+               done))
+     with
+    | None -> ()
+    | Some () ->
+      Store.abandon store;
+      let durable =
+        match !crashed with
+        | None -> List.rev !acked
+        | Some (("wal.fsync" | "snapshot.write" | "snapshot.write.short"), m)
+          ->
+          List.rev (m :: !acked)
+        | Some (_, _) ->
+          (* "wal.append" / "wal.append.short": nothing (fully) hit the
+             log for the in-flight mutation. *)
+          List.rev !acked
+      in
+      let where =
+        match !crashed with
+        | None -> Printf.sprintf "clean kill after %d commits" (List.length !acked)
+        | Some (point, _) ->
+          Printf.sprintf "crash at %s after %d commits" point
+            (List.length !acked)
+      in
+      (match
+         guard ctx oracle (fun () ->
+             let reference = Session.create db in
+             List.iter (fun m -> ignore (Session.apply reference m)) durable;
+             let report = Recovery.recover dir in
+             (reference, report))
+       with
+      | None -> ()
+      | Some (reference, report) ->
+        let edb = Session.db reference in
+        let rdb = Session.db report.Recovery.r_session in
+        ctx.checks <- ctx.checks + 1;
+        if not (Cw_database.equal rdb edb) then
+          add ctx oracle
+            (Printf.sprintf
+               "%s: recovered database differs from the durable prefix:\n\
+               \  expected: %s\n\
+               \  recovered: %s"
+               where (Ldb_format.print edb) (Ldb_format.print rdb));
+        ctx.checks <- ctx.checks + 1;
+        let edelta = Session.delta_epoch reference
+        and rdelta = Session.delta_epoch report.Recovery.r_session in
+        if rdelta <> edelta then
+          add ctx oracle
+            (Printf.sprintf
+               "%s: recovered delta epoch %d, expected %d (the epoch must \
+                count replayed mutations or compiled-plan reuse breaks)"
+               where rdelta edelta);
+        (* The recovered session must answer live, not just hold the
+           right facts. *)
+        (if Query.is_boolean q then
+           expect_equal_bool ctx oracle
+             ~reference:(Certain.certain_boolean edb q)
+             ~label:(where ^ ", recovered session answer") (fun () ->
+               fst
+                 (Certain.prepared_certain_boolean_stats
+                    (Session.prepare report.Recovery.r_session q)))
+         else
+           expect_equal_rel ctx oracle ~reference:(Certain.answer edb q)
+             ~label:(where ^ ", recovered session answer") (fun () ->
+               fst
+                 (Certain.prepared_answer_stats
+                    (Session.prepare report.Recovery.r_session q))));
+        (* Recovery is idempotent: a second, read-only pass over the
+           (now truncated) directory lands on the same state. *)
+        (match guard ctx oracle (fun () -> Recovery.verify dir) with
+        | None -> ()
+        | Some again ->
+          ctx.checks <- ctx.checks + 1;
+          if not (Cw_database.equal (Session.db again.Recovery.r_session) edb)
+          then
+            add ctx oracle
+              (Printf.sprintf "%s: second recovery pass diverged" where))))
+
 let check ?(domains = 2) ?faults_seed db q =
   let ctx = { violations = []; checks = 0 } in
   Obs.span "fuzz.oracle" (fun () ->
@@ -809,7 +997,8 @@ let check ?(domains = 2) ?faults_seed db q =
       (match faults_seed with
       | Some seed ->
         check_fault_safety ctx ~domains ~seed db q;
-        check_resilient_kernel_parity ctx ~seed db q
+        check_resilient_kernel_parity ctx ~seed db q;
+        check_crash_recovery ctx ~seed db q
       | None -> ());
       check_incremental_parity ctx db q;
       Obs.count "fuzz.checks" ctx.checks);

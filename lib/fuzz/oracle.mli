@@ -44,6 +44,17 @@
       constructor and value, same [source]/[tripped]/[scan_failure]
       provenance, same scan counters (wall-clock excluded), and under
       the [Fail] policy the same propagated fault;
+    - [crash-recovery] (only with [faults_seed]): a random mutation
+      script runs against a {!Vardi_durable.Store} (sync [Always],
+      checkpoint every 4 records) with fault injection armed; the
+      process is "killed" at whichever durability fault point fires
+      ([wal.append], [wal.append.short], [wal.fsync], [snapshot.write],
+      [snapshot.write.short]) and the directory recovered. The
+      recovered session must equal — database, delta epoch and query
+      answers — a fresh session that applied exactly the durable
+      prefix determined by the crash point (append crashes lose the
+      in-flight mutation, fsync/snapshot crashes keep it), and a
+      second recovery pass must land on the same state;
     - [query-roundtrip], [ldb-roundtrip]: pretty-printed queries and
       databases reparse to equal values;
     - typed lane: [typed-approx-sound], [typed-query-roundtrip],

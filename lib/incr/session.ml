@@ -94,7 +94,7 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let create ?(cache_capacity = 4096) db =
+let create ?(cache_capacity = 4096) ?(delta_epoch = 0) db =
   let plan = Iscan.prepare db in
   let k = Symtab.rel_count (Iscan.symtab plan) in
   {
@@ -106,7 +106,7 @@ let create ?(cache_capacity = 4096) db =
         v_plan = plan;
         v_tab_epoch = 0;
         v_slot_epochs = Array.make (max k 1) 0;
-        v_delta_epoch = 0;
+        v_delta_epoch = delta_epoch;
       };
     cache_era = 0;
     cache = Rtbl.create 256;
@@ -203,6 +203,22 @@ let close_unknown t c d ~to_ =
             v_delta_epoch = v.v_delta_epoch + 1;
           };
         Obs.count "incr.mutation" 1)
+
+(* --- mutations as data (the durable layer's replay entry point) ----- *)
+
+type mutation =
+  | Insert of Cw_database.fact
+  | Retract of Cw_database.fact
+  | Close of { left : string; right : string; equal : bool }
+
+let apply t m =
+  let before = delta_epoch t in
+  (match m with
+  | Insert fact -> insert t fact
+  | Retract fact -> retract t fact
+  | Close { left; right; equal } ->
+    close_unknown t left right ~to_:(if equal then `Equal else `Distinct));
+  delta_epoch t > before
 
 (* --- the structure cache -------------------------------------------- *)
 

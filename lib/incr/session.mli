@@ -59,8 +59,13 @@ type t
     [cache_capacity] bounds both the quotient-structure cache and each
     per-query memo table (entries, not bytes; default [4096]); beyond
     the bound existing entries are still served but new ones are not
-    added. *)
-val create : ?cache_capacity:int -> Vardi_cwdb.Cw_database.t -> t
+    added. [delta_epoch] (default [0]) is the epoch the session starts
+    at — crash recovery passes the snapshot's recorded epoch so that
+    after replaying the log tail the recovered session reports the same
+    delta epoch the lost process would have (outer plan caches key on
+    it). *)
+val create :
+  ?cache_capacity:int -> ?delta_epoch:int -> Vardi_cwdb.Cw_database.t -> t
 
 (** The current database (the latest view's). *)
 val db : t -> Vardi_cwdb.Cw_database.t
@@ -89,6 +94,24 @@ val retract : t -> Vardi_cwdb.Cw_database.fact -> unit
     @raise Invalid_argument as the underlying database operations. *)
 val close_unknown :
   t -> string -> string -> to_:[ `Distinct | `Equal ] -> unit
+
+(** Mutations as first-class data: what the durable layer's write-ahead
+    log records and startup recovery replays. [Close] with
+    [equal = false] is [close_unknown ~to_:`Distinct]; with
+    [equal = true] it is the merge ([left] survives, [right] drops). *)
+type mutation =
+  | Insert of Vardi_cwdb.Cw_database.fact
+  | Retract of Vardi_cwdb.Cw_database.fact
+  | Close of { left : string; right : string; equal : bool }
+
+(** [apply t m] applies one mutation through {!insert} / {!retract} /
+    {!close_unknown} and reports whether the delta epoch moved ([false]
+    = the mutation was a no-op, e.g. inserting a present fact). The
+    epoch comparison samples before and after, so the verdict is only
+    meaningful when mutations on [t] are externally serialized (the
+    durable layer holds its commit lock across the call).
+    @raise Invalid_argument as the underlying operation. *)
+val apply : t -> mutation -> bool
 
 (** [prepare ?kernel t q] prepares [q] against the session's current
     view. The result is a standard engine

@@ -40,6 +40,32 @@ let point name =
 
 let probe () = point "scan.worker"
 
+(* Auxiliary deterministic draw for a firing visit: where a short write
+   stops, or which bit a flip corrupts. Re-mixes the same (seed, visit)
+   coordinates under a derived name so the draw is independent of the
+   firing decision but replays with it. *)
+let draw plan visit name modulus =
+  if modulus <= 0 then 0
+  else
+    Int64.to_int
+      (Int64.rem
+         (Int64.logand (mix plan.seed visit (name ^ "#aux")) Int64.max_int)
+         (Int64.of_int modulus))
+
+let short_write ~total name =
+  match Atomic.get current with
+  | None -> None
+  | Some plan ->
+    let visit = Atomic.fetch_and_add visits 1 in
+    if fires plan visit name then Some (draw plan visit name total) else None
+
+let flip_bit ~bits name =
+  match Atomic.get current with
+  | None -> None
+  | Some plan ->
+    let visit = Atomic.fetch_and_add visits 1 in
+    if fires plan visit name then Some (draw plan visit name bits) else None
+
 let raising_sink ?(after = 0) () =
   let seen = Atomic.make 0 in
   {

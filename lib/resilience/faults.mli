@@ -55,6 +55,22 @@ val point : string -> unit
     as ["scan.worker"], from inside a worker domain. *)
 val probe : unit -> unit
 
+(** [short_write ~total name] is the durable file layer's torn-write
+    injection: when the armed plan fires, [Some k] with
+    [0 <= k < total] — the caller should persist only the first [k]
+    bytes of its [total]-byte write and then crash (raise {!Injected}).
+    [None] when disarmed or the visit does not fire. The durable layer
+    visits it as ["wal.append.short"] and ["snapshot.write.short"];
+    the plain crash points are ["wal.append"], ["wal.fsync"],
+    ["snapshot.write"] and ["recovery.read"] via {!point}. *)
+val short_write : total:int -> string -> int option
+
+(** [flip_bit ~bits name] draws a bit offset in [0 .. bits - 1] to
+    corrupt when the armed plan fires — the bit-rot half of the durable
+    file-layer injection (directed recovery tests flip a drawn bit and
+    assert the CRC catches it). *)
+val flip_bit : bits:int -> string -> int option
+
 (** [raising_sink ?after ()] is a sink whose [emit] raises
     [Injected "obs.sink"] on every event after the first [after]
     (default [0] — every event) and whose [flush] raises likewise.

@@ -6,9 +6,13 @@ type job = cancelled:bool -> unit
 type t = {
   lock : Mutex.t;
   nonempty : Condition.t;
+  emptied : Condition.t;
+      (* broadcast whenever a worker pops the queue empty; [stop ~drain]
+         waits on it so queued jobs get real answers before shutdown *)
   queue : job Queue.t;
   queue_capacity : int;
   mutable stopping : bool;
+  mutable draining : bool;
   mutable domains : unit Domain.t list;
   workers : int;
 }
@@ -28,6 +32,7 @@ let worker_loop pool () =
   let rec loop () =
     if not (Queue.is_empty pool.queue) then begin
       let job = Queue.pop pool.queue in
+      if Queue.is_empty pool.queue then Condition.broadcast pool.emptied;
       Mutex.unlock pool.lock;
       run_job job ~cancelled:false;
       Mutex.lock pool.lock;
@@ -49,9 +54,11 @@ let create ~workers ~queue_capacity () =
     {
       lock = Mutex.create ();
       nonempty = Condition.create ();
+      emptied = Condition.create ();
       queue = Queue.create ();
       queue_capacity;
       stopping = false;
+      draining = false;
       domains = [];
       workers;
     }
@@ -65,7 +72,7 @@ let create ~workers ~queue_capacity () =
 let submit pool job =
   Mutex.lock pool.lock;
   let verdict =
-    if pool.stopping then `Stopping
+    if pool.stopping || pool.draining then `Stopping
     else if Queue.length pool.queue >= pool.queue_capacity then `Busy
     else begin
       Queue.push job pool.queue;
@@ -79,10 +86,20 @@ let submit pool job =
   | `Accepted | `Stopping -> ());
   verdict
 
-let stop pool =
+let stop ?(drain = false) pool =
   Mutex.lock pool.lock;
   if pool.stopping then Mutex.unlock pool.lock
   else begin
+    if drain then begin
+      (* Graceful path (SIGTERM): refuse new work but let the workers
+         answer everything already accepted before we claim the queue —
+         after the wait below it is empty, so the orphan sweep finds
+         nothing and every queued job got a real response. *)
+      pool.draining <- true;
+      while not (Queue.is_empty pool.queue) do
+        Condition.wait pool.emptied pool.lock
+      done
+    end;
     pool.stopping <- true;
     (* Claim every not-yet-started job while holding the lock, so each
        job is run exactly once: either by a worker (~cancelled:false)

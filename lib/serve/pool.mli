@@ -29,8 +29,14 @@ val submit :
 
 (** [stop pool] rejects further submissions, runs every still-queued
     job with [~cancelled:true], lets in-flight jobs finish, and joins
-    all worker domains before returning. Idempotent. *)
-val stop : t -> unit
+    all worker domains before returning. Idempotent.
+
+    [~drain:true] is the graceful variant (the server's SIGTERM path):
+    new submissions are refused ([`Stopping]) immediately, but jobs
+    already queued are left for the workers and [stop] waits until the
+    queue is empty before shutting down — every accepted job gets its
+    real response instead of a [cancelled] one. *)
+val stop : ?drain:bool -> t -> unit
 
 val workers : t -> int
 val queue_capacity : t -> int

@@ -15,6 +15,19 @@ module Cw_database = Vardi_cwdb.Cw_database
 module Ty_database = Vardi_typed.Ty_database
 module Ldb_format = Vardi_format.Ldb_format
 module Tldb_format = Vardi_format.Tldb_format
+module Wal = Vardi_durable.Wal
+module Recovery = Vardi_durable.Recovery
+module Store = Vardi_durable.Store
+
+(* When set, every loaded database lives in a directory under
+   [data_dir] with a write-ahead log and periodic snapshots, and
+   startup recovers whatever the directory holds before the socket
+   opens (see {!Vardi_durable}). *)
+type durability = {
+  data_dir : string;
+  sync : Wal.sync;
+  snapshot_every : int;
+}
 
 type config = {
   socket_path : string;
@@ -22,6 +35,7 @@ type config = {
   queue_capacity : int;
   debug_sleep : bool;
   preload : (string * string) list;
+  durability : durability option;
 }
 
 let default_config =
@@ -31,6 +45,7 @@ let default_config =
     queue_capacity = 16;
     debug_sleep = false;
     preload = [];
+    durability = None;
   }
 
 (* --- one-shot synchronization between connection thread and worker - *)
@@ -66,7 +81,11 @@ let ivar_await iv =
    survive across requests and mutations. The generation is bumped on
    (re)load; mutation invalidation is finer and lives inside the
    session (see {!Vardi_incr.Session}). *)
-type db_entry = { session : Session.t; generation : int }
+type db_entry = {
+  session : Session.t;
+  generation : int;
+  store : Store.t option;  (* [Some] iff the server runs durable *)
+}
 
 type state = {
   config : config;
@@ -79,6 +98,7 @@ type state = {
   requests : int Atomic.t;
   code_counts : (Protocol.code * int Atomic.t) list;
   stopping : bool Atomic.t;
+  draining : bool Atomic.t;  (* SIGTERM: answer queued jobs first *)
   torn_down : bool Atomic.t;
   conns_lock : Mutex.t;
   mutable conns : (Thread.t * Unix.file_descr) list;
@@ -107,6 +127,18 @@ let lookup_db state name =
 
 (* --- request handlers ---------------------------------------------- *)
 
+let install_entry state name entry =
+  Mutex.lock state.dbs_lock;
+  let previous = Hashtbl.find_opt state.dbs name in
+  Hashtbl.replace state.dbs name entry;
+  Mutex.unlock state.dbs_lock;
+  (* A replaced durable entry's log descriptor is released after its
+     final flush; the new entry's [Store.create] already started the
+     fresh lineage on disk. *)
+  match previous with
+  | Some { store = Some old; _ } -> ( try Store.close old with _ -> ())
+  | _ -> ()
+
 let do_load state ~name ~path =
   match
     if Filename.check_suffix path ".tldb" then
@@ -115,14 +147,25 @@ let do_load state ~name ~path =
   with
   | db ->
     let generation = Atomic.fetch_and_add state.next_generation 1 in
-    Mutex.lock state.dbs_lock;
-    Hashtbl.replace state.dbs name { session = Session.create db; generation };
-    Mutex.unlock state.dbs_lock;
+    let entry =
+      match state.config.durability with
+      | None -> { session = Session.create db; generation; store = None }
+      | Some d ->
+        (* (Re)loading starts a fresh lineage: snapshot at seq 0, empty
+           log — the previous directory contents are superseded. *)
+        let dir = Recovery.db_dir ~data_dir:d.data_dir ~name in
+        let store =
+          Store.create ~dir ~sync:d.sync ~snapshot_every:d.snapshot_every db
+        in
+        { session = Store.session store; generation; store = Some store }
+    in
+    install_entry state name entry;
     Protocol.ok
       [
         ("db", Json.Str name);
         ("constants", Json.Num (float_of_int (List.length (Cw_database.constants db))));
         ("facts", Json.Num (float_of_int (List.length (Cw_database.facts db))));
+        ("durable", Json.Bool (entry.store <> None));
       ]
   | exception Ldb_format.Syntax_error (line, msg) ->
     Protocol.error Protocol.Parse_error
@@ -325,7 +368,8 @@ let parse_fact text =
       ( "\"fact\" must be a ground atom, e.g. \"P(a, b)\"",
         Protocol.Semantic_error )
 
-let mutation_ok ~db_name session =
+let mutation_ok ~db_name entry =
+  let session = entry.session in
   let db = Session.db session in
   Protocol.ok
     [
@@ -334,7 +378,19 @@ let mutation_ok ~db_name session =
       ("facts", Json.Num (float_of_int (List.length (Cw_database.facts db))));
       ( "constants",
         Json.Num (float_of_int (List.length (Cw_database.constants db))) );
+      (* the durability promise this very ack carries: [true] means the
+         mutation was in the write-ahead log before this response *)
+      ("durable", Json.Bool (entry.store <> None));
     ]
+
+(* The write-ahead discipline lives in [Store.commit]: the record is
+   logged (and synced per the --sync policy) before the session moves
+   and before the [ok] below is written. Without durability the
+   session applies directly, as before. *)
+let commit_mutation entry (m : Session.mutation) =
+  match entry.store with
+  | Some store -> ignore (Store.commit store m)
+  | None -> ignore (Session.apply entry.session m)
 
 let with_db state db_name f =
   match lookup_db state db_name with
@@ -347,19 +403,18 @@ let with_db state db_name f =
     | exception Invalid_argument msg ->
       Protocol.error Protocol.Semantic_error msg)
 
-let do_fact_mutation state ~db_name ~fact_text apply =
+let do_fact_mutation state ~db_name ~fact_text wrap =
   with_db state db_name (fun entry ->
       match parse_fact fact_text with
       | Error (msg, code) -> Protocol.error code msg
       | Result.Ok fact ->
-        apply entry.session fact;
-        mutation_ok ~db_name entry.session)
+        commit_mutation entry (wrap fact);
+        mutation_ok ~db_name entry)
 
 let do_close_unknown state ~db_name ~left ~right ~equal =
   with_db state db_name (fun entry ->
-      Session.close_unknown entry.session left right
-        ~to_:(if equal then `Equal else `Distinct);
-      mutation_ok ~db_name entry.session)
+      commit_mutation entry (Session.Close { left; right; equal });
+      mutation_ok ~db_name entry)
 
 let do_stats state =
   let hits, misses, entries = Plan_cache.stats state.cache in
@@ -395,17 +450,32 @@ let do_stats state =
              (fun (name, entry) ->
                let s = Session.stats entry.session in
                let num n = Json.Num (float_of_int n) in
+               let durable_fields =
+                 match entry.store with
+                 | None -> []
+                 | Some store ->
+                   let c = Store.wal_counters store in
+                   [
+                     ("seq", num (Store.seq store));
+                     ("wal_appends", num c.Wal.c_appends);
+                     ("wal_fsyncs", num c.Wal.c_fsyncs);
+                     ("wal_bytes", num c.Wal.c_bytes);
+                     ("snapshots", num (Store.snapshots store));
+                   ]
+               in
                ( name,
                  Json.Obj
-                   [
-                     ("delta", num s.Session.s_delta_epoch);
-                     ("memo_hits", num s.Session.s_memo_hits);
-                     ("memo_misses", num s.Session.s_memo_misses);
-                     ("slot_reuses", num s.Session.s_slot_reuses);
-                     ("slot_rebuilds", num s.Session.s_slot_rebuilds);
-                     ("structures_cached", num s.Session.s_structures_cached);
-                   ] ))
+                   ([
+                      ("delta", num s.Session.s_delta_epoch);
+                      ("memo_hits", num s.Session.s_memo_hits);
+                      ("memo_misses", num s.Session.s_memo_misses);
+                      ("slot_reuses", num s.Session.s_slot_reuses);
+                      ("slot_rebuilds", num s.Session.s_slot_rebuilds);
+                      ("structures_cached", num s.Session.s_structures_cached);
+                    ]
+                   @ durable_fields) ))
              (List.sort compare named)) );
+      ("durable", Json.Bool (state.config.durability <> None));
       ("workers", Json.Num (float_of_int (Pool.workers state.pool)));
       ( "queue_capacity",
         Json.Num (float_of_int (Pool.queue_capacity state.pool)) );
@@ -432,9 +502,13 @@ let process state line =
     | Ok (Protocol.Boolean { db; query; opts }) ->
       (do_eval state ~want_boolean:true ~db_name:db ~query_text:query ~opts, true)
     | Ok (Protocol.Insert { db; fact }) ->
-      (do_fact_mutation state ~db_name:db ~fact_text:fact Session.insert, true)
+      ( do_fact_mutation state ~db_name:db ~fact_text:fact (fun f ->
+            Session.Insert f),
+        true )
     | Ok (Protocol.Retract { db; fact }) ->
-      (do_fact_mutation state ~db_name:db ~fact_text:fact Session.retract, true)
+      ( do_fact_mutation state ~db_name:db ~fact_text:fact (fun f ->
+            Session.Retract f),
+        true )
     | Ok (Protocol.Close_unknown { db; left; right; equal }) ->
       (do_close_unknown state ~db_name:db ~left ~right ~equal, true)
     | Ok Protocol.Stats -> (do_stats state, true)
@@ -518,9 +592,10 @@ let teardown state =
     Atomic.set state.stopping true;
     (try Unix.close state.listener with Unix.Unix_error _ -> ());
     (* Stop the pool first: queued jobs get their [cancelled]
-       responses, in-flight jobs finish, worker domains are joined —
-       after this no domain is alive. *)
-    Pool.stop state.pool;
+       responses — or, on the SIGTERM drain path, their real ones —
+       in-flight jobs finish, worker domains are joined; after this no
+       domain is alive. *)
+    Pool.stop ~drain:(Atomic.get state.draining) state.pool;
     (* Cut idle connections blocked in [input_line], then join every
        connection thread so their teardown (flush + close) has run
        before the process exits. *)
@@ -532,14 +607,80 @@ let teardown state =
         try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
       conns;
     List.iter (fun (thread, _) -> Thread.join thread) conns;
+    (* Every shutdown path parts with a checkpoint: acked mutations are
+       already safe in the WAL, but a fresh snapshot + reset log makes
+       the next startup replay-free. *)
+    Mutex.lock state.dbs_lock;
+    let entries = Hashtbl.fold (fun _ e acc -> e :: acc) state.dbs [] in
+    Mutex.unlock state.dbs_lock;
+    List.iter
+      (fun entry ->
+        match entry.store with
+        | None -> ()
+        | Some store ->
+          (try Store.checkpoint store with _ -> ());
+          (try Store.close store with _ -> ()))
+      entries;
     (try Unix.unlink state.config.socket_path with Unix.Unix_error _ -> ());
     Obs.flush ()
   end
 
+(* A leftover socket file is only removed after proving no server is
+   behind it: connect succeeding means one is (refuse loudly — a blind
+   unlink would steal its clients); ECONNREFUSED means the previous
+   daemon died without its teardown (crash, kill -9) and left the name
+   dangling. Anything that is not a socket is never touched. *)
+let remove_stale_socket path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> (
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let verdict =
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          match Unix.connect fd (Unix.ADDR_UNIX path) with
+          | () -> `Live
+          | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> `Dead
+          | exception Unix.Unix_error (e, _, _) -> `Unknown e)
+    in
+    match verdict with
+    | `Dead -> Unix.unlink path
+    | `Live ->
+      invalid_arg
+        (Printf.sprintf
+           "%s: a server is already listening on this socket; shut it down \
+            first or pick a different --socket"
+           path)
+    | `Unknown e ->
+      invalid_arg
+        (Printf.sprintf "%s: cannot probe existing socket (%s); remove it \
+                         manually if the server is gone"
+           path (Unix.error_message e)))
+  | _ ->
+    invalid_arg
+      (Printf.sprintf
+         "%s: refusing to replace an existing non-socket file" path)
+
+let recover_data_dir state (d : durability) =
+  List.iter
+    (fun name ->
+      let dir = Recovery.db_dir ~data_dir:d.data_dir ~name in
+      let store, report =
+        Store.open_ ~dir ~sync:d.sync ~snapshot_every:d.snapshot_every ()
+      in
+      Obs.count "serve.recovered" 1;
+      if report.Recovery.r_torn_bytes > 0 then
+        Obs.count "serve.recovered.torn" 1;
+      let generation = Atomic.fetch_and_add state.next_generation 1 in
+      install_entry state name
+        { session = Store.session store; generation; store = Some store })
+    (Recovery.list ~data_dir:d.data_dir)
+
 let run config =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
-  if Sys.file_exists config.socket_path then Unix.unlink config.socket_path;
+  remove_stale_socket config.socket_path;
   let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   let state =
     match
@@ -560,6 +701,7 @@ let run config =
         requests = Atomic.make 0;
         code_counts = List.map (fun c -> (c, Atomic.make 0)) all_codes;
         stopping = Atomic.make false;
+        draining = Atomic.make false;
         torn_down = Atomic.make false;
         conns_lock = Mutex.create ();
         conns = [];
@@ -571,19 +713,41 @@ let run config =
   Fun.protect
     ~finally:(fun () -> teardown state)
     (fun () ->
+      (* SIGTERM = graceful drain: flip the flags and let the accept
+         loop notice — teardown then waits for queued jobs, answers
+         them, checkpoints every durable store, and [run] returns
+         normally (exit 0). SIGINT keeps its Sys.Break path. *)
+      (try
+         Sys.set_signal Sys.sigterm
+           (Sys.Signal_handle
+              (fun _ ->
+                Atomic.set state.draining true;
+                Atomic.set state.stopping true))
+       with Invalid_argument _ -> ());
+      (* Recovery precedes the first accept: every database directory
+         under the data dir is resident — snapshot loaded, WAL tail
+         replayed — before any client can ask. Unrecoverable corruption
+         (Recovery.Corrupt) propagates and fails startup. *)
+      (match config.durability with
+      | Some d -> recover_data_dir state d
+      | None -> ());
       (* Preloads fail fast: a server that can't load its databases
-         should die at startup, through the CLI's usual error path. *)
+         should die at startup, through the CLI's usual error path.
+         A name recovery already restored is NOT reloaded — restarting
+         with the same command line must keep the recovered mutations,
+         not reset the database to its seed file. *)
       List.iter
         (fun (name, path) ->
-          match do_load state ~name ~path with
-          | Json.Obj fields when List.assoc_opt "error" fields <> None ->
-            let msg =
-              match List.assoc_opt "error" fields with
-              | Some (Json.Str m) -> m
-              | _ -> "preload failed"
-            in
-            invalid_arg (Printf.sprintf "--db %s=%s: %s" name path msg)
-          | _ -> ())
+          if lookup_db state name = None then
+            match do_load state ~name ~path with
+            | Json.Obj fields when List.assoc_opt "error" fields <> None ->
+              let msg =
+                match List.assoc_opt "error" fields with
+                | Some (Json.Str m) -> m
+                | _ -> "preload failed"
+              in
+              invalid_arg (Printf.sprintf "--db %s=%s: %s" name path msg)
+            | _ -> ())
         config.preload;
       Obs.count "serve.start" 1;
       (* [select] with a short timeout instead of a bare blocking

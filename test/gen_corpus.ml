@@ -1,0 +1,69 @@
+(* Regenerates the checked-in durability corpus under
+   test/corpus/durable/ — three serve data directories the recovery
+   tests and the CI crash-smoke job feed to `ldb recover --verify`:
+
+     good/g/     a clean lineage: snapshot at seq 0 plus a 4-record log
+     torn/g/     the same lineage with the final record cut mid-CRC
+                 (a crash landed mid-write; recovery truncates it)
+     corrupt/g/  the same lineage with one payload bit of record 1
+                 flipped (bit rot before intact records; recovery must
+                 refuse with exit 2, acknowledged history is gone)
+
+   Deterministic: same tool version, same bytes. Run from the repo
+   root after changing the WAL format:
+
+     dune exec test/gen_corpus.exe -- test/corpus/durable
+*)
+
+open Logicaldb
+module Session = Incr_session
+module Store = Durable_store
+
+let db () =
+  Ldb_format.parse
+    "predicate TEACHES/2\n\
+     constant socrates plato mystery\n\
+     fact TEACHES(socrates, plato)\n\
+     distinct socrates plato\n"
+
+let fact pred args = { Cw_database.pred; args }
+
+let script =
+  [
+    Session.Insert (fact "TEACHES" [ "mystery"; "socrates" ]);
+    Session.Retract (fact "TEACHES" [ "socrates"; "plato" ]);
+    Session.Close { left = "socrates"; right = "mystery"; equal = false };
+    Session.Insert (fact "TEACHES" [ "plato"; "mystery" ]);
+  ]
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let build root name =
+  let data_dir = Filename.concat root name in
+  if Sys.file_exists data_dir then rm_rf data_dir;
+  let dir = Recovery.db_dir ~data_dir ~name:"g" in
+  let store = Store.create ~dir ~sync:Wal.Always ~snapshot_every:0 (db ()) in
+  List.iter (fun m -> ignore (Store.commit store m)) script;
+  Store.abandon store;
+  dir
+
+let () =
+  let root = if Array.length Sys.argv > 1 then Sys.argv.(1) else "." in
+  ignore (build root "good");
+  let torn = build root "torn" in
+  let scan = Wal.scan (Wal.path torn) in
+  let last = List.nth scan.Wal.entries (List.length scan.Wal.entries - 1) in
+  let cut = last.Wal.e_off + last.Wal.e_len - 2 in
+  let fd = Unix.openfile (Wal.path torn) [ Unix.O_WRONLY ] 0 in
+  Unix.ftruncate fd cut;
+  Unix.close fd;
+  let corrupt = build root "corrupt" in
+  let scan = Wal.scan (Wal.path corrupt) in
+  let first = List.hd scan.Wal.entries in
+  Wal.corrupt (Wal.path corrupt) ~bit:((first.Wal.e_off + 4 + 8) * 8 + 1);
+  Printf.printf "corpus written under %s: good torn corrupt\n" root

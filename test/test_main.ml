@@ -25,5 +25,6 @@ let () =
       ("resilience", Test_resilience.suite);
       ("incr", Test_incr.suite);
       ("serve", Test_serve.suite);
+      ("durable", Test_durable.suite);
       ("cli", Test_cli.suite);
     ]

@@ -429,6 +429,84 @@ let test_busy_backpressure () =
           check_code "in-flight request still completed" "ok" !r1;
           check_code "queued request still completed" "ok" !r2))
 
+(* Same contention setup, but the third client retries through the
+   busy window instead of giving up: request_retry resends (busy means
+   the request was never admitted, so resending is safe even for
+   mutations) with growing jittered backoff until a slot frees up. *)
+let test_busy_retry () =
+  with_server ~workers:1 ~queue:1 ~debug_sleep:true (fun socket ->
+      let sleep_req c ms = rpc c (op "sleep" [ ("ms", J.Num ms) ]) in
+      let c1 = Client.connect_retry socket in
+      let c2 = Client.connect_retry socket in
+      let c3 = Client.connect_retry socket in
+      Fun.protect
+        ~finally:(fun () -> List.iter Client.close [ c1; c2; c3 ])
+        (fun () ->
+          let t1 = Thread.create (fun () -> ignore (sleep_req c1 600.)) () in
+          Thread.delay 0.2;
+          let t2 = Thread.create (fun () -> ignore (sleep_req c2 600.)) () in
+          Thread.delay 0.2;
+          check_code "without retries the full queue answers busy" "busy"
+            (sleep_req c3 10.);
+          check_code "with retries the request lands once a slot frees" "ok"
+            (Client.request_retry ~retries:8 ~backoff_ms:50 c3
+               (J.Obj (op "sleep" [ ("ms", J.Num 10.) ])));
+          Thread.join t1;
+          Thread.join t2))
+
+(* --- stale sockets -------------------------------------------------- *)
+
+let test_stale_socket () =
+  (* A dead socket file — left by a kill -9 — is probed (connect gets
+     ECONNREFUSED) and silently replaced. *)
+  let path = temp_socket () in
+  let dead = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind dead (Unix.ADDR_UNIX path);
+  Unix.close dead;
+  Alcotest.(check bool) "dead socket file is on disk" true
+    (Sys.file_exists path);
+  with_db (fun db_path ->
+      let config =
+        {
+          Serve.default_config with
+          socket_path = path;
+          preload = [ ("g", db_path) ];
+        }
+      in
+      let server = Thread.create (fun () -> Serve.run config) () in
+      Fun.protect
+        ~finally:(fun () ->
+          (try
+             let c = Client.connect_retry path in
+             ignore (Client.request c (J.Obj [ ("op", J.Str "shutdown") ]));
+             Client.close c
+           with _ -> ());
+          Thread.join server;
+          if Sys.file_exists path then Sys.remove path)
+        (fun () ->
+          let c = Client.connect_retry path in
+          check_code "server replaced the dead socket and serves" "ok"
+            (query c "g" "(x, y). TEACHES(x, y)");
+          Client.close c));
+  (* A live socket — another server instance — must be refused, not
+     hijacked: the exe exits 2 without disturbing the running one. *)
+  with_db (fun db_path ->
+      with_server (fun socket ->
+          with_client socket (fun c ->
+              check_code "first server up" "ok" (load c "g" db_path);
+              let code, _ = run_ldb [ "serve"; "--socket"; socket ] in
+              Alcotest.(check int) "second server refused with exit 2" 2 code;
+              check_code "first server undisturbed" "ok"
+                (query c "g" "(x, y). TEACHES(x, y)"))));
+  (* A path that exists but is not a socket is never deleted. *)
+  let regular = Filename.temp_file "ldb_serve" ".notasock" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove regular)
+    (fun () ->
+      let code, _ = run_ldb [ "serve"; "--socket"; regular ] in
+      Alcotest.(check int) "non-socket path refused with exit 2" 2 code;
+      Alcotest.(check bool) "and left in place" true (Sys.file_exists regular))
+
 (* --- per-request budgets ------------------------------------------- *)
 
 let test_budget_exhausted () =
@@ -585,6 +663,10 @@ let suite =
     Alcotest.test_case "plan cache: hit/miss/invalidate counters" `Quick
       test_plan_cache;
     Alcotest.test_case "full queue answers busy" `Quick test_busy_backpressure;
+    Alcotest.test_case "request_retry rides out the busy window" `Quick
+      test_busy_retry;
+    Alcotest.test_case "stale sockets: dead replaced, live and files refused"
+      `Quick test_stale_socket;
     Alcotest.test_case "per-request budget trips to exhausted" `Quick
       test_budget_exhausted;
     Alcotest.test_case "trace files are well-formed on error exits" `Quick
