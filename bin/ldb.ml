@@ -177,11 +177,34 @@ let kernel_arg =
     & info [ "kernel" ] ~docv:"KERNEL" ~doc)
 
 let backend_arg =
-  let doc = "Approximation back end: $(b,direct) or $(b,algebra)." in
+  let doc =
+    "Approximation back end: $(b,direct) (Tarskian evaluator), \
+     $(b,algebra) (compiled relational algebra) or $(b,optimized) \
+     (optimized algebra with the acyclic-query fast path: acyclic \
+     conjunctive queries are evaluated by Yannakakis's semijoin-reduced \
+     join-tree algorithm, everything else falls back to the optimized \
+     plan)."
+  in
   Arg.(
     value
-    & opt (enum [ ("direct", Approx.Direct); ("algebra", Approx.Algebra) ]) Approx.Direct
+    & opt
+        (enum
+           [
+             ("direct", Approx.Direct);
+             ("algebra", Approx.Algebra);
+             ("optimized", Approx.Algebra_optimized);
+           ])
+        Approx.Direct
     & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
+let explain_arg =
+  let doc =
+    "Before evaluating, print the query plan: the optimized algebra \
+     expression, and — when the acyclic-query fast path applies — the \
+     join tree with each node's variable coverage and the semijoin \
+     schedule of both reducer passes."
+  in
+  Arg.(value & flag & info [ "explain" ] ~doc)
 
 let domains_arg =
   let doc =
@@ -406,9 +429,39 @@ let run_resilient db q ~policy ~algorithm ~domains ~kernel ~stats ~budget =
     status
   end
 
+(* --explain: show how the query will be evaluated before running it.
+   For the approx engine the plan is over Ph2 of the Semantic-mode hat
+   (the default pipeline); for the exact/possible engines it is the
+   reusable prepared plan, executed against every image structure. *)
+let print_plan db q engine =
+  (match engine with
+  | Approximate -> (
+    let hat = Translate.query Translate.Semantic q in
+    let ph2 = Ph.ph2 db in
+    match Yannakakis.plan ~virtuals:(Disagree.virtuals db) ph2 hat with
+    | Some p ->
+      Fmt.pr "plan: acyclic-CQ fast path (Yannakakis)@.%a@."
+        Yannakakis.pp_plan p
+    | None -> (
+      match Compile.prepared ph2 hat with
+      | Some plan ->
+        Fmt.pr "plan: not an acyclic CQ — optimized algebra fallback@.  %a@."
+          Algebra.pp plan
+      | None ->
+        Fmt.pr
+          "plan: outside the relational algebra — Tarskian evaluator@."))
+  | Exact | Possible -> (
+    match Compile.prepared (Ph.ph1 db) q with
+    | Some plan ->
+      Fmt.pr "plan: optimized algebra, run per structure@.  %a@." Algebra.pp
+        plan
+    | None ->
+      Fmt.pr "plan: outside the relational algebra — Tarskian evaluator@."));
+  Fmt.pr "@."
+
 let query_cmd =
-  let run path query_text engine algorithm kernel backend domains stats trace
-      metrics timeout max_structures max_evaluations policy =
+  let run path query_text engine algorithm kernel backend explain domains
+      stats trace metrics timeout max_structures max_evaluations policy =
     let status = ref 0 in
     handle (fun () ->
         let budget =
@@ -417,6 +470,10 @@ let query_cmd =
         with_observability ~trace ~metrics (fun () ->
         match load_any path with
         | Typed tdb ->
+          if explain then begin
+            Fmt.epr "error: --explain applies to untyped .ldb databases@.";
+            exit 2
+          end;
           if not (Budget.is_unlimited budget) then begin
             Fmt.epr
               "error: budget options (--timeout, --max-structures, \
@@ -426,6 +483,10 @@ let query_cmd =
           status := run_typed_query tdb query_text engine
         | Untyped db ->
         let q = Parser.query query_text in
+        if explain then begin
+          Query_check.validate db q;
+          print_plan db q engine
+        end;
         if not (Budget.is_unlimited budget) then begin
           if engine <> Exact then begin
             Fmt.epr
@@ -497,9 +558,9 @@ let query_cmd =
     (Cmd.info "query" ~doc)
     Cterm.(
       const run $ db_arg $ query_arg $ engine_arg $ algorithm_arg
-      $ kernel_arg $ backend_arg $ domains_arg $ stats_arg $ trace_arg
-      $ metrics_arg $ timeout_arg $ max_structures_arg $ max_evaluations_arg
-      $ policy_arg)
+      $ kernel_arg $ backend_arg $ explain_arg $ domains_arg $ stats_arg
+      $ trace_arg $ metrics_arg $ timeout_arg $ max_structures_arg
+      $ max_evaluations_arg $ policy_arg)
 
 (* --- compile --- *)
 
@@ -638,10 +699,19 @@ let fuzz_cmd =
     in
     Arg.(value & flag & info [ "faults" ] ~doc)
   in
+  let min_acq_detected_arg =
+    let doc =
+      "Fail (exit 1) unless at least $(docv) instances took the \
+       acyclic-query fast path — guards the [acq-parity] oracle against \
+       an acyclicity test so strict it always falls back."
+    in
+    Arg.(value & opt int 0 & info [ "min-acq-detected" ] ~docv:"N" ~doc)
+  in
   let run seed count max_depth unknown_density noise replay corpus_dir
-      no_shrink no_typed faults domains trace metrics =
+      no_shrink no_typed faults min_acq_detected domains trace metrics =
     handle (fun () ->
         with_observability ~trace ~metrics (fun () ->
+            Fuzz_oracle.reset_acq_detection ();
             match replay with
             | Some path ->
               let cases =
@@ -695,7 +765,19 @@ let fuzz_cmd =
               in
               let outcome = Fuzz.run ~config () in
               Fmt.pr "%a@." Fuzz.pp_outcome outcome;
-              if not (Fuzz.clean outcome) then exit 1))
+              let detected, total = Fuzz_oracle.acq_detection () in
+              if total > 0 then
+                Fmt.pr "acq fast path taken on %d/%d instances (%.1f%%)@."
+                  detected total
+                  (100.0 *. float_of_int detected /. float_of_int total);
+              if not (Fuzz.clean outcome) then exit 1;
+              if detected < min_acq_detected then begin
+                Fmt.epr
+                  "error: only %d instances took the acq fast path \
+                   (--min-acq-detected %d)@."
+                  detected min_acq_detected;
+                exit 1
+              end))
   in
   let doc =
     "Differential fuzzing of the engines with theorem-level oracles: random \
@@ -711,7 +793,8 @@ let fuzz_cmd =
     Cterm.(
       const run $ seed_arg $ count_arg $ max_depth_arg $ unknown_density_arg
       $ noise_arg $ replay_arg $ corpus_dir_arg $ no_shrink_arg $ no_typed_arg
-      $ faults_arg $ domains_arg $ trace_arg $ metrics_arg)
+      $ faults_arg $ min_acq_detected_arg $ domains_arg $ trace_arg
+      $ metrics_arg)
 
 (* --- repl --- *)
 

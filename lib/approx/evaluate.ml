@@ -49,11 +49,20 @@ let answer ?(mode = Translate.Semantic) ?(backend = Direct) lb q =
           match backend with
           | Direct -> Eval.answer ~virtuals:hooks ph2 hat
           | Algebra -> Compile.answer ~virtuals:hooks ph2 hat
-          | Algebra_optimized ->
-            let plan =
-              Vardi_relational.Optimizer.optimize ph2 (Compile.query ph2 hat)
-            in
-            Vardi_relational.Algebra.run ~virtuals:hooks ph2 plan))
+          | Algebra_optimized -> (
+            (* Acyclic-CQ fast path: Semantic-mode hats preserve the
+               exists/and structure of CQ inputs (negations become
+               alpha$P virtual atoms), so they stay eligible. *)
+            match Vardi_relational.Yannakakis.answer ~virtuals:hooks ph2 hat with
+            | Some r ->
+              Obs.count "approx.acq_fastpath" 1;
+              r
+            | None ->
+              Obs.count "approx.acq_fallback" 1;
+              let plan =
+                Vardi_relational.Optimizer.optimize ph2 (Compile.query ph2 hat)
+              in
+              Vardi_relational.Algebra.run ~virtuals:hooks ph2 plan)))
 
 let member ?(mode = Translate.Semantic) lb q tuple =
   Query_check.validate lb q;

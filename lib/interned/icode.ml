@@ -140,8 +140,12 @@ let rec fallback_arity tab = function
   | Iplan.Empty k -> k
   | Iplan.Select (_, e) -> fallback_arity tab e
   | Iplan.Project (cols, _) -> Array.length cols
-  | Iplan.Product (a, b) -> fallback_arity tab a + fallback_arity tab b
-  | Iplan.Union (a, _) | Iplan.Inter (a, _) | Iplan.Diff (a, _) ->
+  | Iplan.Product (a, b) | Iplan.Join (_, a, b) ->
+    fallback_arity tab a + fallback_arity tab b
+  | Iplan.Semijoin (_, a, _)
+  | Iplan.Union (a, _)
+  | Iplan.Inter (a, _)
+  | Iplan.Diff (a, _) ->
     fallback_arity tab a
 
 (* One walk: validates (slot/column ranges, arity agreement, packing
@@ -232,6 +236,10 @@ let compile_plan tab plan =
         if ka <> kb then raise Unpackable;
         emit Diff (-1);
         ka
+      | Iplan.Join _ | Iplan.Semijoin _ ->
+        (* Hash joins need materialized row access, not packed ints;
+           run the whole plan on the interpreter instead. *)
+        raise Unpackable
     in
     let out = go plan in
     Packed

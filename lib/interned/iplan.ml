@@ -15,6 +15,8 @@ type t =
   | Select of selection * t
   | Project of int array * t
   | Product of t * t
+  | Join of (int * int) list * t * t
+  | Semijoin of (int * int) list * t * t
   | Union of t * t
   | Inter of t * t
   | Diff of t * t
@@ -65,6 +67,14 @@ let of_algebra tab expr =
       let* a = go a in
       let* b = go b in
       Some (Product (a, b))
+    | Algebra.Join (pairs, a, b) ->
+      let* a = go a in
+      let* b = go b in
+      Some (Join (pairs, a, b))
+    | Algebra.Semijoin (pairs, a, b) ->
+      let* a = go a in
+      let* b = go b in
+      Some (Semijoin (pairs, a, b))
     | Algebra.Union (a, b) ->
       let* a = go a in
       let* b = go b in
@@ -112,6 +122,42 @@ let rec run idb plan =
     Irel.filter keep r
   | Project (cols, e) -> Irel.project cols (run idb e)
   | Product (a, b) -> Irel.product (run idb a) (run idb b)
+  | Join (pairs, a, b) ->
+    let ra = run idb a and rb = run idb b in
+    let lcols = Array.of_list (List.map fst pairs)
+    and rcols = Array.of_list (List.map snd pairs) in
+    let key (row : Irel.row) cols =
+      Array.to_list (Array.map (fun i -> row.(i)) cols)
+    in
+    let table : (int list, Irel.row list) Hashtbl.t = Hashtbl.create 64 in
+    Irel.iter
+      (fun row ->
+        let k = key row rcols in
+        let prev = try Hashtbl.find table k with Not_found -> [] in
+        Hashtbl.replace table k (row :: prev))
+      rb;
+    let out = Irel.arity ra + Irel.arity rb in
+    let acc = ref [] in
+    Irel.iter
+      (fun row ->
+        match Hashtbl.find_opt table (key row lcols) with
+        | None -> ()
+        | Some matches ->
+          List.iter
+            (fun rrow -> acc := Array.append row rrow :: !acc)
+            matches)
+      ra;
+    Irel.of_rows out !acc
+  | Semijoin (pairs, a, b) ->
+    let ra = run idb a and rb = run idb b in
+    let lcols = Array.of_list (List.map fst pairs)
+    and rcols = Array.of_list (List.map snd pairs) in
+    let key (row : Irel.row) cols =
+      Array.to_list (Array.map (fun i -> row.(i)) cols)
+    in
+    let keys : (int list, unit) Hashtbl.t = Hashtbl.create 64 in
+    Irel.iter (fun row -> Hashtbl.replace keys (key row rcols) ()) rb;
+    Irel.filter (fun row -> Hashtbl.mem keys (key row lcols)) ra
   | Union (a, b) -> Irel.union (run idb a) (run idb b)
   | Inter (a, b) -> Irel.inter (run idb a) (run idb b)
   | Diff (a, b) -> Irel.diff (run idb a) (run idb b)

@@ -21,6 +21,9 @@ type t =
   | Select of selection * t
   | Project of int array * t
   | Product of t * t
+  | Join of (int * int) list * t * t
+      (** hash equi-join; mirrors [Algebra.Join] *)
+  | Semijoin of (int * int) list * t * t
   | Union of t * t
   | Inter of t * t
   | Diff of t * t

@@ -14,11 +14,22 @@ type t =
   | Select of selection * t
   | Project of int list * t
   | Product of t * t
+  | Join of (int * int) list * t * t
+  | Semijoin of (int * int) list * t * t
   | Union of t * t
   | Inter of t * t
   | Diff of t * t
 
 let error fmt = Format.kasprintf (fun s -> raise (Eval.Eval_error s)) fmt
+
+let check_join_pairs ~ka ~kb pairs =
+  List.iter
+    (fun (i, j) ->
+      if i < 0 || i >= ka then
+        error "Algebra: join column $%d out of range (left arity %d)" i ka;
+      if j < 0 || j >= kb then
+        error "Algebra: join column $%d out of range (right arity %d)" j kb)
+    pairs
 
 let rec arity db = function
   | Base p -> (
@@ -50,6 +61,14 @@ let rec arity db = function
       cols;
     List.length cols
   | Product (a, b) -> arity db a + arity db b
+  | Join (pairs, a, b) ->
+    let ka = arity db a and kb = arity db b in
+    check_join_pairs ~ka ~kb pairs;
+    ka + kb
+  | Semijoin (pairs, a, b) ->
+    let ka = arity db a and kb = arity db b in
+    check_join_pairs ~ka ~kb pairs;
+    ka
   | Union (a, b) | Inter (a, b) | Diff (a, b) ->
     let ka = arity db a and kb = arity db b in
     if ka <> kb then
@@ -101,6 +120,41 @@ let run ?(virtuals = Eval.no_virtuals) db expr =
         r
         (Relation.empty (List.length cols))
     | Product (a, b) -> Relation.product (go a) (go b)
+    | Join (pairs, a, b) ->
+      let ra = go a and rb = go b in
+      let lcols = List.map fst pairs and rcols = List.map snd pairs in
+      let key arr cols = List.map (fun i -> arr.(i)) cols in
+      let table : (string list, string list list) Hashtbl.t =
+        Hashtbl.create 64
+      in
+      Relation.fold
+        (fun row () ->
+          let k = key (Array.of_list row) rcols in
+          let prev = try Hashtbl.find table k with Not_found -> [] in
+          Hashtbl.replace table k (row :: prev))
+        rb ();
+      let out = Relation.arity ra + Relation.arity rb in
+      Relation.fold
+        (fun row acc ->
+          let k = key (Array.of_list row) lcols in
+          match Hashtbl.find_opt table k with
+          | None -> acc
+          | Some matches ->
+            List.fold_left
+              (fun acc rrow -> Relation.add (row @ rrow) acc)
+              acc matches)
+        ra (Relation.empty out)
+    | Semijoin (pairs, a, b) ->
+      let ra = go a and rb = go b in
+      let lcols = List.map fst pairs and rcols = List.map snd pairs in
+      let key arr cols = List.map (fun i -> arr.(i)) cols in
+      let keys : (string list, unit) Hashtbl.t = Hashtbl.create 64 in
+      Relation.fold
+        (fun row () -> Hashtbl.replace keys (key (Array.of_list row) rcols) ())
+        rb ();
+      Relation.filter
+        (fun row -> Hashtbl.mem keys (key (Array.of_list row) lcols))
+        ra
     | Union (a, b) -> Relation.union (go a) (go b)
     | Inter (a, b) -> Relation.inter (go a) (go b)
     | Diff (a, b) -> Relation.diff (go a) (go b)
@@ -110,8 +164,12 @@ let run ?(virtuals = Eval.no_virtuals) db expr =
 let rec size = function
   | Base _ | Virtual _ | Domain | Empty _ -> 1
   | Select (_, e) | Project (_, e) -> 1 + size e
-  | Product (a, b) | Union (a, b) | Inter (a, b) | Diff (a, b) ->
-    1 + size a + size b
+  | Product (a, b)
+  | Join (_, a, b)
+  | Semijoin (_, a, b)
+  | Union (a, b)
+  | Inter (a, b)
+  | Diff (a, b) -> 1 + size a + size b
 
 let pp_selection ppf = function
   | Cols_eq (i, j) -> Fmt.pf ppf "$%d = $%d" i j
@@ -120,6 +178,9 @@ let pp_selection ppf = function
   | Col_neq_const (i, c) -> Fmt.pf ppf "$%d != %s" i c
   | Consts_eq (c, d) -> Fmt.pf ppf "%s = %s" c d
   | Consts_neq (c, d) -> Fmt.pf ppf "%s != %s" c d
+
+let pp_pairs =
+  Fmt.(list ~sep:comma (fun ppf (i, j) -> pf ppf "$%d=$%d" i j))
 
 let rec pp ppf = function
   | Base p -> Fmt.string ppf p
@@ -130,6 +191,10 @@ let rec pp ppf = function
   | Project (cols, e) ->
     Fmt.pf ppf "project[%a](%a)" Fmt.(list ~sep:comma int) cols pp e
   | Product (a, b) -> Fmt.pf ppf "(%a x %a)" pp a pp b
+  | Join (pairs, a, b) ->
+    Fmt.pf ppf "join[%a](%a, %a)" pp_pairs pairs pp a pp b
+  | Semijoin (pairs, a, b) ->
+    Fmt.pf ppf "semijoin[%a](%a, %a)" pp_pairs pairs pp a pp b
   | Union (a, b) -> Fmt.pf ppf "(%a U %a)" pp a pp b
   | Inter (a, b) -> Fmt.pf ppf "(%a n %a)" pp a pp b
   | Diff (a, b) -> Fmt.pf ppf "(%a - %a)" pp a pp b

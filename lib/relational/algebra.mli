@@ -23,6 +23,23 @@ type t =
   | Project of int list * t           (** output column [i] is input column
                                           [cols.(i)]; may duplicate and reorder *)
   | Product of t * t
+  | Join of (int * int) list * t * t
+                                      (** equi-join: keeps [u ++ v] for
+                                          [u] in the left and [v] in the right
+                                          operand with [u.(i) = v.(j)] for every
+                                          pair [(i, j)]; output arity is the sum
+                                          of the operand arities. Evaluated as a
+                                          hash join — semantically equal to the
+                                          corresponding [Select]s over
+                                          [Product], without materializing the
+                                          cartesian product. An empty pair list
+                                          degenerates to [Product]. *)
+  | Semijoin of (int * int) list * t * t
+                                      (** keeps the left rows that agree with at
+                                          least one right row on every pair;
+                                          output arity is the left arity. An
+                                          empty pair list keeps the left operand
+                                          iff the right operand is nonempty. *)
   | Union of t * t
   | Inter of t * t
   | Diff of t * t

@@ -1,0 +1,97 @@
+(* GYO (Graham–Yu–Özsoyoğlu) ear reduction over join hypergraphs.
+
+   A hyperedge is the variable set of one conjunct; the hypergraph is
+   acyclic exactly when repeatedly removing "ears" empties it. An edge
+   [e] is an ear when every one of its vertices either occurs in no
+   other live edge (isolated) or is covered by one single witness edge
+   [w]; removing [e] and recording [w] as its parent yields a join tree
+   with the running-intersection property. *)
+
+type tree = { edge : int; vars : string list; children : tree list }
+
+let dedup vars =
+  List.rev
+    (List.fold_left
+       (fun acc v -> if List.mem v acc then acc else v :: acc)
+       [] vars)
+
+let rec fold f acc t = List.fold_left (fold f) (f acc t) t.children
+
+let tree_size t = fold (fun n _ -> n + 1) 0 t
+
+let join_tree edges =
+  let n = List.length edges in
+  if n = 0 then invalid_arg "Hypergraph.join_tree: no edges";
+  let vars = Array.of_list (List.map dedup edges) in
+  let alive = Array.make n true in
+  (* How many live edges contain each vertex. *)
+  let count : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let bump v d =
+    let c = try Hashtbl.find count v with Not_found -> 0 in
+    Hashtbl.replace count v (c + d)
+  in
+  Array.iter (List.iter (fun v -> bump v 1)) vars;
+  (* parent.(e) = Some w: e was removed as an ear witnessed by w;
+     Some (-1): all of e's vertices were isolated (disconnected ear). *)
+  let parent = Array.make n None in
+  let remaining = ref n in
+  let remove e w =
+    alive.(e) <- false;
+    List.iter (fun v -> bump v (-1)) vars.(e);
+    parent.(e) <- Some w;
+    decr remaining
+  in
+  let find_ear () =
+    let rec try_edge e =
+      if e >= n then None
+      else if not alive.(e) then try_edge (e + 1)
+      else
+        let shared =
+          List.filter (fun v -> Hashtbl.find count v >= 2) vars.(e)
+        in
+        if shared = [] then Some (e, -1)
+        else
+          let witness = ref (-1) in
+          for w = 0 to n - 1 do
+            if
+              !witness < 0 && w <> e && alive.(w)
+              && List.for_all (fun v -> List.mem v vars.(w)) shared
+            then witness := w
+          done;
+          if !witness >= 0 then Some (e, !witness) else try_edge (e + 1)
+    in
+    try_edge 0
+  in
+  let rec reduce () =
+    if !remaining > 1 then
+      match find_ear () with
+      | Some (e, w) ->
+        remove e w;
+        reduce ()
+      | None -> ()
+  in
+  reduce ();
+  if !remaining > 1 then None
+  else begin
+    (* The last live edge roots the tree; disconnected ears hang off
+       the root (they share no variables with it, by construction). *)
+    let root = ref 0 in
+    for e = 0 to n - 1 do
+      if alive.(e) then root := e
+    done;
+    let children = Array.make n [] in
+    Array.iteri
+      (fun e p ->
+        match p with
+        | None -> ()
+        | Some w ->
+          let w = if w < 0 then !root else w in
+          children.(w) <- e :: children.(w))
+      parent;
+    let rec build e =
+      { edge = e; vars = vars.(e); children = List.map build children.(e) }
+    in
+    Some (build !root)
+  end
+
+let is_acyclic edges = Option.is_some (join_tree edges)

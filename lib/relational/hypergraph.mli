@@ -1,0 +1,30 @@
+(** Join hypergraphs and GYO acyclicity.
+
+    A conjunctive query's hypergraph has one hyperedge per atom — the
+    atom's set of variables. The query is {e acyclic} exactly when GYO
+    ear reduction empties the hypergraph, and the reduction order
+    yields a {e join tree}: a tree over the atoms in which, for every
+    variable, the atoms containing it form a connected subtree (the
+    running-intersection property). {!Yannakakis} evaluates acyclic
+    queries over such a tree in time polynomial in input + output. *)
+
+type tree = {
+  edge : int;  (** index into the input edge list *)
+  vars : string list;  (** the edge's variables, deduplicated *)
+  children : tree list;
+}
+
+(** [join_tree edges] is [Some t] with [t] a join tree covering every
+    edge exactly once iff the hypergraph is acyclic, [None] otherwise.
+    Edges that share no variable with the rest (disconnected
+    components) are attached below the root; the join across them is a
+    cartesian product, which keeps the tree semantics exact.
+    @raise Invalid_argument on an empty edge list. *)
+val join_tree : string list list -> tree option
+
+val is_acyclic : string list list -> bool
+
+(** Pre-order fold over a tree. *)
+val fold : ('a -> tree -> 'a) -> 'a -> tree -> 'a
+
+val tree_size : tree -> int

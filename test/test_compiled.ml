@@ -135,6 +135,10 @@ let rec plan_to_string = function
       (plan_to_string p)
   | Iplan.Product (a, b) ->
     Printf.sprintf "Product(%s, %s)" (plan_to_string a) (plan_to_string b)
+  | Iplan.Join (_, a, b) ->
+    Printf.sprintf "Join(%s, %s)" (plan_to_string a) (plan_to_string b)
+  | Iplan.Semijoin (_, a, b) ->
+    Printf.sprintf "Semijoin(%s, %s)" (plan_to_string a) (plan_to_string b)
   | Iplan.Union (a, b) ->
     Printf.sprintf "Union(%s, %s)" (plan_to_string a) (plan_to_string b)
   | Iplan.Inter (a, b) ->

@@ -16,6 +16,7 @@ let () =
       ("format", Test_format.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("optimizer", Test_optimizer.suite);
+      ("acq", Test_acq.suite);
       ("semantics-ground-truth", Test_semantics.suite);
       ("explain-sampling", Test_explain_sampling.suite);
       ("theory", Test_theory.suite);

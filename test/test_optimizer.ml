@@ -84,12 +84,20 @@ let test_pushdown_product () =
     (Algebra.Product
        (Algebra.Select (Algebra.Cols_eq (0, 1), Algebra.Base "R"), Algebra.Base "P"))
     (opt e2);
-  (* A selection spanning both sides stays put. *)
+  (* A spanning equality fuses product and selection into an equi-join;
+     a spanning disequality stays put. *)
   let e3 =
     Algebra.Select
       (Algebra.Cols_eq (0, 2), Algebra.Product (Algebra.Base "R", Algebra.Base "P"))
   in
-  check algebra_testable "spanning selection kept" e3 (opt e3)
+  check algebra_testable "spanning equality fused to join"
+    (Algebra.Join ([ (0, 0) ], Algebra.Base "R", Algebra.Base "P"))
+    (opt e3);
+  let e4 =
+    Algebra.Select
+      (Algebra.Cols_neq (0, 2), Algebra.Product (Algebra.Base "R", Algebra.Base "P"))
+  in
+  check algebra_testable "spanning disequality kept" e4 (opt e4)
 
 let test_pushdown_project () =
   let e =
@@ -149,7 +157,7 @@ let gen_algebra : Algebra.t QCheck2.Gen.t =
     (fun self depth ->
       if depth = 0 then leaf
       else
-        let* choice = int_bound 6 in
+        let* choice = int_bound 7 in
         match choice with
         | 0 -> leaf
         | 1 ->
@@ -180,6 +188,20 @@ let gen_algebra : Algebra.t QCheck2.Gen.t =
           let* a = self (depth - 1) in
           let* b = self (depth - 1) in
           return (Algebra.Product (a, b))
+        | 4 ->
+          let* a = self (depth - 1) in
+          let* b = self (depth - 1) in
+          let ka = arity_of a and kb = arity_of b in
+          if ka = 0 || kb = 0 then return (Algebra.Product (a, b))
+          else
+            let* pairs =
+              list_size (int_bound 2)
+                (pair (int_bound (ka - 1)) (int_bound (kb - 1)))
+            in
+            let* semi = bool in
+            return
+              (if semi then Algebra.Semijoin (pairs, a, b)
+               else Algebra.Join (pairs, a, b))
         | _ ->
           let* a = self (depth - 1) in
           let* b = self (depth - 1) in
